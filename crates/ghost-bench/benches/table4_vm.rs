@@ -1,0 +1,71 @@
+//! Table 4: secure VM core-scheduling performance (§4.5). bwaves-like
+//! rate and total time for CFS, in-kernel core scheduling, and ghOSt
+//! core scheduling, plus the isolation audit the security argument
+//! rests on.
+
+use ghost_bench::table4::{self, VmSched};
+use ghost_metrics::Table;
+use ghost_sim::time::SECS;
+use ghost_workloads::vm::VmConfig;
+
+fn main() {
+    let cfg = VmConfig {
+        work_per_vcpu: 12 * SECS,
+        ..VmConfig::default()
+    };
+    let rows: Vec<table4::Table4Row> = [
+        VmSched::Cfs,
+        VmSched::KernelCoreSched,
+        VmSched::GhostCoreSched,
+    ]
+    .into_iter()
+    .map(|s| table4::run(s, cfg.clone()))
+    .collect();
+
+    let mut t = Table::new(vec![
+        "Scheduling Policy",
+        "bwaves Rate",
+        "Total Time",
+        "cross-VM SMT leaks",
+    ])
+    .with_title("Table 4: Secure VM Core Scheduling performance");
+    for r in &rows {
+        t.row(vec![
+            r.sched.name().to_string(),
+            format!("{:.0}", r.rate),
+            format!("{:.0} seconds", r.total_secs),
+            r.isolation_violations.to_string(),
+        ]);
+    }
+    t.print();
+
+    let cfs = &rows[0];
+    let kernel = &rows[1];
+    let ghost = &rows[2];
+    // Security: both core schedulers never co-run different VMs on a core.
+    assert_eq!(kernel.isolation_violations, 0, "kernel core-sched leaked");
+    assert_eq!(ghost.isolation_violations, 0, "ghOSt core-sched leaked");
+    // CFS leaks (that is the point of the mitigation) and is fastest.
+    assert!(
+        cfs.isolation_violations > 0,
+        "CFS should co-schedule different VMs on SMT siblings"
+    );
+    assert!(
+        cfs.total_secs <= kernel.total_secs && cfs.total_secs <= ghost.total_secs,
+        "CFS should be fastest (no isolation constraint)"
+    );
+    // ghOSt is competitive with the in-kernel implementation (paper:
+    // 929 s vs 937 s — within ~1%; we allow 10%).
+    let ratio = ghost.total_secs / kernel.total_secs;
+    assert!(
+        (0.85..=1.10).contains(&ratio),
+        "ghOSt core-sched should be competitive with in-kernel: ratio {ratio:.3}"
+    );
+    // The isolation cost is visible but modest (paper: ~5%; allow 1-30%).
+    let cost = kernel.total_secs / cfs.total_secs;
+    assert!(
+        (1.0..=1.35).contains(&cost),
+        "core scheduling cost should be modest: {cost:.3}"
+    );
+    println!("\nOK: Table 4 shapes hold (CFS fastest, secure schedulers within ~10% of each other, zero leaks).");
+}

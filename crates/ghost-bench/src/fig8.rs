@@ -1,0 +1,111 @@
+//! Fig. 8: Google Search (§4.4) on a 256-CPU AMD Rome machine: CFS vs
+//! the NUMA/CCX-aware least-runtime-first ghOSt policy, serving query
+//! types A (CPU+memory, NUMA-affine), B (SSD), and C (CPU-bound).
+
+use ghost_core::enclave::EnclaveConfig;
+use ghost_core::runtime::GhostRuntime;
+use ghost_policies::search::{SearchConfig, SearchPolicy};
+use ghost_sim::kernel::{Kernel, KernelConfig, ThreadSpec};
+use ghost_sim::time::{Nanos, MILLIS};
+use ghost_sim::topology::Topology;
+use ghost_sim::CpuSet;
+use ghost_workloads::search::{QueryType, SearchApp, SearchResults, SearchWorkloadConfig};
+
+/// Scheduler under test.
+#[derive(Debug, Clone)]
+pub enum SearchSched {
+    /// Stock CFS.
+    Cfs,
+    /// The ghOSt Search policy with the given tunables (ablations flip
+    /// the flags).
+    Ghost(SearchConfig),
+}
+
+impl SearchSched {
+    /// Legend name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SearchSched::Cfs => "CFS",
+            SearchSched::Ghost(_) => "ghOSt",
+        }
+    }
+}
+
+/// Worker pool sizes per query type.
+pub const A_WORKERS_PER_SOCKET: usize = 96;
+pub const B_WORKERS: usize = 72;
+pub const C_WORKERS: usize = 96;
+pub const SERVERS: usize = 16;
+
+/// Runs the Search experiment for `duration` of virtual time.
+pub fn run(sched: SearchSched, wl: SearchWorkloadConfig, duration: Nanos) -> SearchResults {
+    let topo = Topology::rome_256();
+    let cfg = KernelConfig {
+        tick_ns: 4 * MILLIS,
+        ..KernelConfig::default()
+    };
+    let mut kernel = Kernel::new(topo, cfg);
+    let app_id = kernel.state.next_app_id();
+    let mut app = SearchApp::new(wl, app_id);
+
+    let socket0 = kernel.state.topo.socket_cpus(0);
+    let socket1 = kernel.state.topo.socket_cpus(1);
+    let mut workers = Vec::new();
+    // Type A: socket-affine pools ("sub-queries must be processed by
+    // specific worker threads tied to a NUMA node").
+    for (si, socket) in [socket0, socket1].into_iter().enumerate() {
+        for i in 0..A_WORKERS_PER_SOCKET {
+            let tid = kernel.spawn(
+                ThreadSpec::workload(&format!("A-s{si}-{i}"), &kernel.state.topo)
+                    .app(app_id)
+                    .affinity(socket),
+            );
+            app.add_worker(tid, QueryType::A);
+            workers.push(tid);
+        }
+    }
+    for i in 0..B_WORKERS {
+        let tid =
+            kernel.spawn(ThreadSpec::workload(&format!("B-{i}"), &kernel.state.topo).app(app_id));
+        app.add_worker(tid, QueryType::B);
+        workers.push(tid);
+    }
+    for i in 0..C_WORKERS {
+        let tid =
+            kernel.spawn(ThreadSpec::workload(&format!("C-{i}"), &kernel.state.topo).app(app_id));
+        app.add_worker(tid, QueryType::C);
+        workers.push(tid);
+    }
+    for i in 0..SERVERS {
+        let tid = kernel
+            .spawn(ThreadSpec::workload(&format!("server-{i}"), &kernel.state.topo).app(app_id));
+        app.add_server(tid);
+    }
+    app.start(&mut kernel.state);
+    kernel.add_app(Box::new(app));
+
+    if let SearchSched::Ghost(policy_cfg) = &sched {
+        let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
+        runtime.install(&mut kernel);
+        let cpus: CpuSet = kernel.state.topo.all_cpus_set();
+        let enclave = runtime.create_enclave(
+            cpus,
+            EnclaveConfig::centralized("search"),
+            Box::new(SearchPolicy::new(policy_cfg.clone())),
+        );
+        runtime.spawn_agents(&mut kernel, enclave);
+        for &w in &workers {
+            runtime.attach_thread(&mut kernel.state, enclave, w);
+        }
+    }
+
+    kernel.run_until(duration);
+    let app = kernel
+        .app_mut(app_id)
+        .as_any()
+        .downcast_mut::<SearchApp>()
+        .expect("search app");
+    // SearchApp::results consumes; swap a fresh app in its place.
+    let extracted = std::mem::replace(app, SearchApp::new(SearchWorkloadConfig::default(), app_id));
+    extracted.results()
+}

@@ -1,0 +1,235 @@
+//! Enclaves: CPU partitions each managed by one ghOSt policy (§3, Fig. 2).
+//!
+//! "A system can be partitioned into multiple independent enclaves, at CPU
+//! granularity, each of which runs its own policy. ... Enclaves also help
+//! in isolating faults, limiting the damage of an agent-crash to the
+//! enclave it belongs to."
+
+use crate::msg::Message;
+use crate::pnt::PntRings;
+use crate::queue::MessageQueue;
+use crate::status::StatusWordRef;
+use ghost_sim::cpuset::CpuSet;
+use ghost_sim::thread::Tid;
+use ghost_sim::time::Nanos;
+use ghost_sim::topology::CpuId;
+use std::collections::HashMap;
+
+/// Identifier of an enclave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EnclaveId(pub u32);
+
+/// Identifier of a message queue within an enclave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueueId(pub u32);
+
+/// How agents are organized in an enclave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AgentMode {
+    /// One active agent per CPU, each with its own queue (Fig. 2 left).
+    PerCpu,
+    /// One spinning global agent scheduling every CPU in the enclave;
+    /// all other agents are inactive hot-standbys (Fig. 2 right).
+    Centralized,
+    /// One queue and one active agent per *physical core*, scheduling
+    /// both SMT siblings with synchronized group commits (§4.5, Fig. 9).
+    PerCore,
+}
+
+/// Per-enclave configuration.
+#[derive(Debug, Clone)]
+pub struct EnclaveConfig {
+    /// Debug name.
+    pub name: String,
+    /// Agent organization.
+    pub mode: AgentMode,
+    /// Capacity of each message queue.
+    pub queue_capacity: usize,
+    /// Deliver `TIMER_TICK` messages for enclave CPUs.
+    pub deliver_ticks: bool,
+    /// Watchdog: destroy the enclave if a runnable ghOSt thread is left
+    /// unscheduled for this long (§3.4). `None` disables the watchdog.
+    pub watchdog_timeout: Option<Nanos>,
+    /// Enable the BPF `pick_next_task` fast path with this per-node ring
+    /// capacity (§3.2/§5). `None` disables it.
+    pub pnt_ring_capacity: Option<usize>,
+}
+
+impl EnclaveConfig {
+    /// A centralized enclave with sensible defaults.
+    pub fn centralized(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            mode: AgentMode::Centralized,
+            queue_capacity: 65_536,
+            deliver_ticks: false,
+            watchdog_timeout: None,
+            pnt_ring_capacity: None,
+        }
+    }
+
+    /// A per-CPU enclave with sensible defaults.
+    pub fn per_cpu(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            mode: AgentMode::PerCpu,
+            queue_capacity: 8_192,
+            deliver_ticks: true,
+            watchdog_timeout: None,
+            pnt_ring_capacity: None,
+        }
+    }
+
+    /// A per-physical-core enclave (secure VM scheduling, §4.5).
+    pub fn per_core(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            mode: AgentMode::PerCore,
+            queue_capacity: 8_192,
+            deliver_ticks: false,
+            watchdog_timeout: None,
+            pnt_ring_capacity: None,
+        }
+    }
+
+    /// Sets the watchdog timeout.
+    pub fn with_watchdog(mut self, timeout: Nanos) -> Self {
+        self.watchdog_timeout = Some(timeout);
+        self
+    }
+
+    /// Enables the PNT fast path.
+    pub fn with_pnt(mut self, ring_capacity: usize) -> Self {
+        self.pnt_ring_capacity = Some(ring_capacity);
+        self
+    }
+
+    /// Enables or disables tick delivery.
+    pub fn with_ticks(mut self, deliver: bool) -> Self {
+        self.deliver_ticks = deliver;
+        self
+    }
+}
+
+/// How message production into a queue wakes agents
+/// (`CONFIG_QUEUE_WAKEUP()`, §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeMode {
+    /// No wakeup: the queue is polled (by the spinning global agent).
+    Polled,
+    /// Wake this agent thread when a message is produced.
+    WakeAgent(Tid),
+    /// Wake the agent pinned to the CPU that generated the event; that
+    /// agent becomes the active agent for its physical core (per-core
+    /// mode, §4.5 / Fig. 9).
+    WakeEventCpuAgent,
+}
+
+/// A queue plus its wakeup configuration.
+pub struct QueueState {
+    /// The shared-memory ring.
+    pub queue: MessageQueue,
+    /// Wakeup behaviour.
+    pub wake: WakeMode,
+}
+
+/// Kernel-side bookkeeping for a ghOSt-managed thread.
+pub struct ThreadInfo {
+    /// Queue this thread's messages are routed to (`ASSOCIATE_QUEUE()`).
+    pub queue: QueueId,
+    /// The thread's sequence number `Tseq`.
+    pub tseq: u64,
+    /// Messages for this thread produced but not yet consumed; a nonzero
+    /// count fails `ASSOCIATE_QUEUE()` per §3.1.
+    pub pending_msgs: u32,
+    /// Shared status word (seq + on-CPU/runnable flags).
+    pub status: StatusWordRef,
+    /// Set while a committed-but-not-yet-run transaction references the
+    /// thread, so a second transaction cannot double-schedule it.
+    pub picked: bool,
+}
+
+/// A committed transaction waiting for its target CPU to act on it.
+#[derive(Debug, Clone, Copy)]
+pub struct CommittedSlot {
+    /// Thread to run.
+    pub tid: Tid,
+    /// Virtual time at which the target CPU observes the commit (IPI
+    /// arrival + handler for remote targets; end of the agent's local
+    /// commit work for local targets).
+    pub arm_at: Nanos,
+}
+
+/// Per-agent bookkeeping.
+pub struct AgentSlot {
+    /// The agent's pthread.
+    pub tid: Tid,
+    /// The CPU this agent is pinned to.
+    pub cpu: CpuId,
+    /// The agent's status word; its seq is `Aseq`.
+    pub status: StatusWordRef,
+}
+
+/// An enclave: a CPU partition managed by one policy.
+pub struct Enclave {
+    /// Identifier.
+    pub id: EnclaveId,
+    /// Configuration.
+    pub config: EnclaveConfig,
+    /// CPUs owned by the enclave.
+    pub cpus: CpuSet,
+    /// Queues by id (None = destroyed).
+    pub queues: Vec<Option<QueueState>>,
+    /// The default queue new threads are associated with.
+    pub default_queue: QueueId,
+    /// Queue receiving CPU-scoped messages, per CPU.
+    pub cpu_queues: HashMap<CpuId, QueueId>,
+    /// ghOSt-managed threads.
+    pub threads: HashMap<Tid, ThreadInfo>,
+    /// Agents by CPU.
+    pub agents: HashMap<CpuId, AgentSlot>,
+    /// The currently active global agent (centralized mode).
+    pub global_agent: Option<Tid>,
+    /// Active agent per physical core (per-core mode), keyed by the
+    /// first CPU of the core.
+    pub core_active: HashMap<CpuId, Tid>,
+    /// Kernel-side committed-transaction slot per CPU.
+    pub committed: HashMap<CpuId, CommittedSlot>,
+    /// PNT fast-path rings, if enabled.
+    pub pnt: Option<PntRings>,
+    /// Scheduling hints published by workloads (Fig. 1's optional
+    /// hints channel): tid → opaque hint word interpreted by the policy
+    /// (e.g. expected runtime or a deadline).
+    pub hints: HashMap<Tid, u64>,
+    /// Set once the enclave is being destroyed; all operations abort.
+    pub destroyed: bool,
+    /// An armed-activation flag to coalesce agent-loop scheduling.
+    pub loop_armed: bool,
+}
+
+impl Enclave {
+    /// Pops every message from `qid` into a vector (consumer side),
+    /// updating per-thread pending counts.
+    pub fn drain_queue(&mut self, qid: QueueId) -> Vec<Message> {
+        let Some(Some(qs)) = self.queues.get(qid.0 as usize) else {
+            return Vec::new();
+        };
+        let msgs = qs.queue.drain();
+        for m in &msgs {
+            if m.ty.is_thread_msg() {
+                if let Some(info) = self.threads.get_mut(&m.tid) {
+                    info.pending_msgs = info.pending_msgs.saturating_sub(1);
+                }
+            }
+        }
+        msgs
+    }
+
+    /// The queue CPU-scoped messages for `cpu` go to.
+    pub fn queue_for_cpu(&self, cpu: CpuId) -> QueueId {
+        self.cpu_queues
+            .get(&cpu)
+            .copied()
+            .unwrap_or(self.default_queue)
+    }
+}

@@ -1,0 +1,137 @@
+//! ghOSt messages (Table 1 of the paper).
+//!
+//! The kernel notifies agents of thread state changes asynchronously via
+//! messages. Every thread-scoped message carries the thread's sequence
+//! number `Tseq`, "incremented whenever that thread posts a new state
+//! change message" (§3.1); agents echo the latest `Tseq` they have seen
+//! when committing transactions so the kernel can reject stale decisions.
+
+use ghost_sim::thread::Tid;
+use ghost_sim::time::Nanos;
+use ghost_sim::topology::CpuId;
+
+/// Message types, exactly the set in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgType {
+    /// A thread entered the ghOSt scheduling class.
+    ThreadCreated,
+    /// A running ghOSt thread blocked.
+    ThreadBlocked,
+    /// A running ghOSt thread was preempted (typically by a CFS thread —
+    /// the ghOSt class sits below CFS, §3.4).
+    ThreadPreempted,
+    /// A running ghOSt thread called `sched_yield`.
+    ThreadYield,
+    /// A ghOSt thread exited or left the class.
+    ThreadDead,
+    /// A blocked ghOSt thread became runnable.
+    ThreadWakeup,
+    /// `sched_setaffinity` changed the thread's CPU mask.
+    ThreadAffinity,
+    /// Periodic timer tick on a CPU in the enclave.
+    TimerTick,
+}
+
+impl MsgType {
+    /// True for messages about a specific thread (everything except
+    /// `TIMER_TICK`).
+    pub fn is_thread_msg(self) -> bool {
+        !matches!(self, MsgType::TimerTick)
+    }
+
+    /// The canonical uppercase name used in the paper.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MsgType::ThreadCreated => "THREAD_CREATED",
+            MsgType::ThreadBlocked => "THREAD_BLOCKED",
+            MsgType::ThreadPreempted => "THREAD_PREEMPTED",
+            MsgType::ThreadYield => "THREAD_YIELD",
+            MsgType::ThreadDead => "THREAD_DEAD",
+            MsgType::ThreadWakeup => "THREAD_WAKEUP",
+            MsgType::ThreadAffinity => "THREAD_AFFINITY",
+            MsgType::TimerTick => "TIMER_TICK",
+        }
+    }
+}
+
+/// A message as delivered to an agent: `(M_T, T_seq)` in the paper's
+/// notation, plus the payload agents need to act without a kernel
+/// round-trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Message {
+    /// Message type.
+    pub ty: MsgType,
+    /// Subject thread; `Tid(u32::MAX)` for CPU-scoped messages.
+    pub tid: Tid,
+    /// The thread's sequence number at posting time (0 for CPU messages).
+    pub seq: u64,
+    /// CPU the event happened on (preemption CPU, tick CPU, wakeup CPU).
+    pub cpu: CpuId,
+    /// Virtual time the message was produced.
+    pub produced_at: Nanos,
+}
+
+/// Sentinel tid for CPU-scoped messages.
+pub const NO_TID: Tid = Tid(u32::MAX);
+
+impl Message {
+    /// Creates a thread-scoped message.
+    pub fn thread(ty: MsgType, tid: Tid, seq: u64, cpu: CpuId, now: Nanos) -> Self {
+        debug_assert!(ty.is_thread_msg());
+        Self {
+            ty,
+            tid,
+            seq,
+            cpu,
+            produced_at: now,
+        }
+    }
+
+    /// Creates a `TIMER_TICK` message for `cpu`.
+    pub fn tick(cpu: CpuId, now: Nanos) -> Self {
+        Self {
+            ty: MsgType::TimerTick,
+            tid: NO_TID,
+            seq: 0,
+            cpu,
+            produced_at: now,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_msgs_are_thread_scoped() {
+        for ty in [
+            MsgType::ThreadCreated,
+            MsgType::ThreadBlocked,
+            MsgType::ThreadPreempted,
+            MsgType::ThreadYield,
+            MsgType::ThreadDead,
+            MsgType::ThreadWakeup,
+            MsgType::ThreadAffinity,
+        ] {
+            assert!(ty.is_thread_msg());
+        }
+        assert!(!MsgType::TimerTick.is_thread_msg());
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(MsgType::ThreadWakeup.as_str(), "THREAD_WAKEUP");
+        assert_eq!(MsgType::TimerTick.as_str(), "TIMER_TICK");
+    }
+
+    #[test]
+    fn constructors_fill_fields() {
+        let m = Message::thread(MsgType::ThreadWakeup, Tid(7), 42, CpuId(3), 1000);
+        assert_eq!(m.tid, Tid(7));
+        assert_eq!(m.seq, 42);
+        let t = Message::tick(CpuId(9), 5);
+        assert_eq!(t.tid, NO_TID);
+        assert_eq!(t.cpu, CpuId(9));
+    }
+}

@@ -1,0 +1,147 @@
+//! The BPF `pick_next_task` fast path (§3.2, §5 of the paper).
+//!
+//! "When a CPU becomes idle and the agent has not already issued a
+//! transaction, the BPF program issues its own transaction, picking a
+//! thread to run on that CPU. The BPF program communicates with the agent
+//! via a shared-memory window ... with several multi-producer,
+//! multi-consumer ring buffers. The agent inserts runnable threads into
+//! the buffers and BPF tries to run them. The agent may revoke a thread
+//! before BPF can schedule the thread."
+//!
+//! We model the shared-memory window as per-NUMA-node rings of candidate
+//! threads. The (simulated) kernel consults the ring for the idling CPU's
+//! node inside `pick_next`, closing the scheduling gap between agent loop
+//! iterations.
+
+use ghost_sim::thread::Tid;
+use std::collections::VecDeque;
+
+/// Per-NUMA-node rings of runnable candidates for idle CPUs.
+#[derive(Debug)]
+pub struct PntRings {
+    rings: Vec<VecDeque<Tid>>,
+    capacity: usize,
+    /// Threads pushed by the agent and consumed by the kernel.
+    pub picks: u64,
+    /// Push attempts rejected because the ring was full.
+    pub overflows: u64,
+}
+
+impl PntRings {
+    /// Creates `nodes` rings with the given per-ring capacity.
+    pub fn new(nodes: usize, capacity: usize) -> Self {
+        Self {
+            rings: (0..nodes.max(1)).map(|_| VecDeque::new()).collect(),
+            capacity: capacity.max(1),
+            picks: 0,
+            overflows: 0,
+        }
+    }
+
+    /// Number of rings (NUMA nodes).
+    pub fn nodes(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Agent side: offers `tid` to idle CPUs of `node`. Returns false if
+    /// the ring is full.
+    pub fn push(&mut self, node: usize, tid: Tid) -> bool {
+        let n = self.rings.len();
+        let ring = &mut self.rings[node % n];
+        if ring.len() >= self.capacity {
+            self.overflows += 1;
+            return false;
+        }
+        ring.push_back(tid);
+        true
+    }
+
+    /// Agent side: revokes a previously offered thread (e.g. the agent
+    /// scheduled it itself). Returns true if it was still in a ring.
+    pub fn revoke(&mut self, tid: Tid) -> bool {
+        for ring in &mut self.rings {
+            if let Some(i) = ring.iter().position(|&t| t == tid) {
+                ring.remove(i);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Kernel side ("BPF program"): pops a candidate for an idling CPU on
+    /// `node`, falling back to other nodes' rings if the local one is
+    /// empty (work conservation beats locality for an otherwise-idle CPU).
+    pub fn pop_for(&mut self, node: usize) -> Option<Tid> {
+        let n = self.rings.len();
+        for off in 0..n {
+            let idx = (node + off) % n;
+            if let Some(tid) = self.rings[idx].pop_front() {
+                self.picks += 1;
+                return Some(tid);
+            }
+        }
+        None
+    }
+
+    /// Total queued candidates across rings.
+    pub fn len(&self) -> usize {
+        self.rings.iter().map(VecDeque::len).sum()
+    }
+
+    /// True if all rings are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_local_node() {
+        let mut r = PntRings::new(2, 4);
+        assert!(r.push(0, Tid(1)));
+        assert!(r.push(1, Tid(2)));
+        assert_eq!(r.pop_for(0), Some(Tid(1)));
+        assert_eq!(r.pop_for(1), Some(Tid(2)));
+        assert_eq!(r.pop_for(0), None);
+        assert_eq!(r.picks, 2);
+    }
+
+    #[test]
+    fn pop_falls_back_to_remote_node() {
+        let mut r = PntRings::new(2, 4);
+        r.push(1, Tid(9));
+        assert_eq!(r.pop_for(0), Some(Tid(9)));
+    }
+
+    #[test]
+    fn capacity_limits_and_counts_overflow() {
+        let mut r = PntRings::new(1, 2);
+        assert!(r.push(0, Tid(1)));
+        assert!(r.push(0, Tid(2)));
+        assert!(!r.push(0, Tid(3)));
+        assert_eq!(r.overflows, 1);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn revoke_removes_candidate() {
+        let mut r = PntRings::new(2, 4);
+        r.push(0, Tid(1));
+        r.push(1, Tid(2));
+        assert!(r.revoke(Tid(2)));
+        assert!(!r.revoke(Tid(2)));
+        assert_eq!(r.pop_for(1), Some(Tid(1)));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn zero_nodes_clamps_to_one() {
+        let mut r = PntRings::new(0, 1);
+        assert_eq!(r.nodes(), 1);
+        assert!(r.push(5, Tid(1)));
+        assert_eq!(r.pop_for(3), Some(Tid(1)));
+    }
+}

@@ -1,0 +1,331 @@
+//! The userspace policy interface: what scheduling policies program
+//! against. This is the analogue of the paper's userspace support library
+//! (3,115 LOC of C++ in Table 2).
+
+use crate::enclave::{Enclave, QueueId, WakeMode};
+use crate::msg::Message;
+use ghost_sim::cpuset::CpuSet;
+use ghost_sim::kernel::KernelState;
+use ghost_sim::thread::{ThreadState, Tid};
+use ghost_sim::time::Nanos;
+use ghost_sim::topology::{CpuId, Topology};
+
+/// A snapshot of a ghOSt thread's state as an agent sees it (messages +
+/// status words; agents never dereference kernel structures, §3.1).
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadView {
+    /// Thread id.
+    pub tid: Tid,
+    /// True if runnable and waiting for an agent decision.
+    pub runnable: bool,
+    /// CPU the thread is running on right now, if any.
+    pub on_cpu: Option<CpuId>,
+    /// Latest thread sequence number `Tseq`.
+    pub tseq: u64,
+    /// Last CPU the thread ran on (for locality placement).
+    pub last_cpu: Option<CpuId>,
+    /// Total work completed (the Search policy's min-heap key).
+    pub total_runtime: Nanos,
+    /// Affinity mask (delivered with `THREAD_CREATED`/`THREAD_AFFINITY`).
+    pub affinity: CpuSet,
+    /// Nice value.
+    pub nice: i8,
+    /// Grouping cookie (e.g. VM id for core scheduling).
+    pub cookie: u64,
+}
+
+/// The API surface an activation exposes to the policy.
+///
+/// All time charged through this context ([`PolicyCtx::charge`] and the
+/// implicit costs of commits) extends the agent's busy period in the
+/// simulation, so expensive policies really do schedule more slowly.
+pub struct PolicyCtx<'a> {
+    pub(crate) k: &'a mut KernelState,
+    pub(crate) enclave: &'a mut Enclave,
+    pub(crate) stats: &'a mut crate::runtime::GhostStats,
+    pub(crate) agent_cpu: CpuId,
+    pub(crate) agent_tid: Tid,
+    pub(crate) busy: Nanos,
+    pub(crate) smt_scale: bool,
+    pub(crate) wakeup_request: Option<Nanos>,
+}
+
+impl<'a> PolicyCtx<'a> {
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.k.now
+    }
+
+    /// Machine topology.
+    pub fn topo(&self) -> &Topology {
+        &self.k.topo
+    }
+
+    /// The CPU this agent runs on.
+    pub fn local_cpu(&self) -> CpuId {
+        self.agent_cpu
+    }
+
+    /// The agent thread's id.
+    pub fn agent_tid(&self) -> Tid {
+        self.agent_tid
+    }
+
+    /// The enclave's CPU set.
+    pub fn enclave_cpus(&self) -> CpuSet {
+        self.enclave.cpus
+    }
+
+    /// CPUs in the enclave that are idle *and* have no committed
+    /// transaction pending — the `GetIdleCPUs()` of the paper's Fig. 4.
+    /// The global agent's own CPU is excluded.
+    pub fn idle_cpus(&self) -> CpuSet {
+        self.enclave
+            .cpus
+            .iter()
+            .filter(|&c| {
+                c != self.agent_cpu
+                    && self.k.cpus[c.index()].is_idle()
+                    && !self.enclave.committed.contains_key(&c)
+            })
+            .collect()
+    }
+
+    /// The ghOSt thread currently running on `cpu`, if any (candidates
+    /// for preemptive policies such as Shinjuku).
+    pub fn running_ghost(&self, cpu: CpuId) -> Option<Tid> {
+        let cur = self.k.cpus[cpu.index()].current?;
+        self.enclave.threads.contains_key(&cur).then_some(cur)
+    }
+
+    /// True if `cpu` has a committed transaction not yet acted on.
+    pub fn commit_pending(&self, cpu: CpuId) -> bool {
+        self.enclave.committed.contains_key(&cpu)
+    }
+
+    /// The thread a pending (committed, not yet picked) transaction will
+    /// run on `cpu`, if any.
+    pub fn pending_commit_tid(&self, cpu: CpuId) -> Option<Tid> {
+        self.enclave.committed.get(&cpu).map(|s| s.tid)
+    }
+
+    /// True if `cpu` is currently occupied by an agent thread (which will
+    /// vacate when its activation ends — such CPUs accept commits).
+    pub fn agent_on_cpu(&self, cpu: CpuId) -> bool {
+        self.k.cpus[cpu.index()]
+            .current
+            .is_some_and(|t| self.k.threads[t.index()].kind == ghost_sim::thread::ThreadKind::Agent)
+    }
+
+    /// Number of CFS threads queued behind `cpu` (the hot-handoff
+    /// pressure signal, §3.3).
+    pub fn cfs_pressure(&self, cpu: CpuId) -> u32 {
+        self.k.cpus[cpu.index()].cfs_queued
+    }
+
+    /// This agent's current sequence number `Aseq`, read from its status
+    /// word. Committing with an `Aseq` older than the value at commit
+    /// time fails with `ESTALE` (§3.2).
+    pub fn agent_seq(&self) -> u64 {
+        self.enclave
+            .agents
+            .get(&self.agent_cpu)
+            .map_or(0, |a| a.status.seq())
+    }
+
+    /// Snapshot of a managed thread, or `None` if it is not (or no
+    /// longer) in this enclave.
+    pub fn thread_view(&mut self, tid: Tid) -> Option<ThreadView> {
+        let info = self.enclave.threads.get(&tid)?;
+        // Sync runtime so `total_runtime` reflects in-progress stints.
+        let tseq = info.tseq;
+        self.k.sync_runtime(tid);
+        let t = &self.k.threads[tid.index()];
+        Some(ThreadView {
+            tid,
+            runnable: t.state == ThreadState::Runnable,
+            on_cpu: if t.state == ThreadState::Running {
+                t.cpu
+            } else {
+                None
+            },
+            tseq,
+            last_cpu: t.last_cpu,
+            total_runtime: t.total_work,
+            affinity: t.affinity,
+            nice: t.nice,
+            cookie: t.cookie,
+        })
+    }
+
+    /// Virtual time this activation has charged so far (dequeues, policy
+    /// compute, commits). The activation logically occupies the agent
+    /// until `now() + busy_so_far()`.
+    pub fn busy_so_far(&self) -> Nanos {
+        self.busy
+    }
+
+    /// Charges `ns` of policy compute time to this activation.
+    pub fn charge(&mut self, ns: Nanos) {
+        self.busy += if self.smt_scale {
+            self.k.costs.smt_scaled(ns)
+        } else {
+            ns
+        };
+    }
+
+    // `commit` / `commit_one` (`TXNS_COMMIT()`) are implemented in
+    // `runtime.rs`, next to the kernel-side validation logic they invoke.
+
+    /// `ASSOCIATE_QUEUE()`: reroutes a thread's messages to `queue`.
+    /// Fails (returning `false`) if the thread has pending messages in
+    /// its current queue, per §3.1.
+    pub fn associate_queue(&mut self, tid: Tid, queue: QueueId) -> bool {
+        let Some(info) = self.enclave.threads.get_mut(&tid) else {
+            return false;
+        };
+        if info.pending_msgs > 0 {
+            return false;
+        }
+        if self
+            .enclave
+            .queues
+            .get(queue.0 as usize)
+            .map_or(true, Option::is_none)
+        {
+            return false;
+        }
+        info.queue = queue;
+        true
+    }
+
+    /// `TXNS_RECALL()`: withdraws a committed-but-not-yet-acted-on
+    /// transaction from `cpu`, returning the thread it would have run.
+    /// The thread becomes schedulable again immediately. Returns `None`
+    /// if no transaction was pending (it may already have been picked).
+    pub fn recall(&mut self, cpu: CpuId) -> Option<Tid> {
+        let slot = self.enclave.committed.remove(&cpu)?;
+        if let Some(info) = self.enclave.threads.get_mut(&slot.tid) {
+            info.picked = false;
+        }
+        self.charge(self.k.costs.syscall + self.k.costs.txn_validate);
+        self.stats.txns_recalled += 1;
+        Some(slot.tid)
+    }
+
+    /// `DESTROY_QUEUE()`: removes a queue. Fails if it is the default
+    /// queue, still has messages, or any thread is associated with it.
+    pub fn destroy_queue(&mut self, queue: QueueId) -> bool {
+        if queue == self.enclave.default_queue {
+            return false;
+        }
+        if self.enclave.threads.values().any(|i| i.queue == queue) {
+            return false;
+        }
+        match self.enclave.queues.get_mut(queue.0 as usize) {
+            Some(slot @ Some(_)) => {
+                if slot.as_ref().is_some_and(|qs| !qs.queue.is_empty()) {
+                    return false;
+                }
+                *slot = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Reads the latest scheduling hint a workload published for `tid`
+    /// (Fig. 1's "optional scheduling hints" channel), if any.
+    pub fn hint(&self, tid: Tid) -> Option<u64> {
+        self.enclave.hints.get(&tid).copied()
+    }
+
+    /// `CREATE_QUEUE()`: creates a new queue, polled by default.
+    pub fn create_queue(&mut self) -> QueueId {
+        let cap = self.enclave.config.queue_capacity;
+        let id = QueueId(self.enclave.queues.len() as u32);
+        self.enclave.queues.push(Some(crate::enclave::QueueState {
+            queue: crate::queue::MessageQueue::new(cap),
+            wake: WakeMode::Polled,
+        }));
+        id
+    }
+
+    /// `CONFIG_QUEUE_WAKEUP()`: sets the wakeup behaviour of a queue.
+    pub fn config_queue_wakeup(&mut self, queue: QueueId, wake: WakeMode) -> bool {
+        match self.enclave.queues.get_mut(queue.0 as usize) {
+            Some(Some(qs)) => {
+                qs.wake = wake;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Offers a runnable thread to the BPF PNT fast path on `node`'s
+    /// ring. Returns false if PNT is disabled or the ring is full.
+    pub fn pnt_push(&mut self, node: usize, tid: Tid) -> bool {
+        match &mut self.enclave.pnt {
+            Some(rings) => rings.push(node, tid),
+            None => false,
+        }
+    }
+
+    /// Revokes a thread from the PNT rings (the agent scheduled it
+    /// itself).
+    pub fn pnt_revoke(&mut self, tid: Tid) -> bool {
+        match &mut self.enclave.pnt {
+            Some(rings) => rings.revoke(tid),
+            None => false,
+        }
+    }
+
+    /// Wakes the agent pinned to `cpu` and makes it the active agent of
+    /// its core (per-core mode): lets one core's activation hand work to
+    /// an idle peer core instead of waiting for the peer's next message
+    /// or tick ("when a physical core goes idle and looks for a new
+    /// thread to run", §4.5).
+    pub fn ping_core_agent(&mut self, cpu: CpuId) -> bool {
+        let Some(slot) = self.enclave.agents.get(&cpu) else {
+            return false;
+        };
+        let agent = slot.tid;
+        let key = self.k.topo.core_cpus(cpu).first().expect("core has a CPU");
+        self.enclave.core_active.insert(key, agent);
+        if self.k.threads[agent.index()].state == ghost_sim::ThreadState::Blocked {
+            self.k.wake(agent);
+        }
+        true
+    }
+
+    /// Requests the next spontaneous activation of the (global) agent at
+    /// virtual time `at`, e.g. for time-slice preemption checks.
+    pub fn request_wakeup_at(&mut self, at: Nanos) {
+        let at = at.max(self.k.now);
+        self.wakeup_request = Some(match self.wakeup_request {
+            Some(cur) => cur.min(at),
+            None => at,
+        });
+    }
+
+    /// Deterministic RNG for randomized policies.
+    pub fn rng(&mut self) -> &mut rand::rngs::StdRng {
+        &mut self.k.rng
+    }
+}
+
+/// A userspace scheduling policy.
+///
+/// One activation = drain the agent's queue (the harness calls
+/// [`GhostPolicy::on_msg`] per message, charging dequeue costs), then
+/// [`GhostPolicy::schedule`] to make decisions.
+pub trait GhostPolicy {
+    /// Debug name.
+    fn name(&self) -> &str;
+
+    /// A message drained from the agent's queue.
+    fn on_msg(&mut self, msg: &Message, ctx: &mut PolicyCtx<'_>);
+
+    /// Make scheduling decisions (inspect idle CPUs, commit transactions).
+    fn schedule(&mut self, ctx: &mut PolicyCtx<'_>);
+}

@@ -1,0 +1,1273 @@
+//! The ghOSt runtime: kernel scheduling class + agent driver + userspace
+//! control surface.
+//!
+//! [`GhostRuntime`] wires three faces around one shared state:
+//!
+//! * [`GhostClass`] — the kernel scheduling class installed *below* CFS
+//!   (slot [`CLASS_GHOST`]). It emits Table 1 messages on thread state
+//!   changes and runs only threads that agents committed via transactions
+//!   (or the PNT fast path).
+//! * [`GhostDriver`] — runs agent activations: drain queue → policy →
+//!   commit, with all costs charged to virtual time.
+//! * [`GhostHandle`] (a clone of the runtime) — the "userspace process"
+//!   view: create enclaves, spawn agents, attach threads, stage upgrades,
+//!   inject crashes, read stats.
+
+use crate::enclave::{
+    AgentMode, AgentSlot, CommittedSlot, Enclave, EnclaveConfig, EnclaveId, QueueId, QueueState,
+    ThreadInfo, WakeMode,
+};
+use crate::msg::{Message, MsgType};
+use crate::pnt::PntRings;
+use crate::policy::{GhostPolicy, PolicyCtx};
+use crate::queue::MessageQueue;
+use crate::status::{StatusWord, SW_ATTACHED, SW_ONCPU, SW_RUNNABLE};
+use crate::txn::{SeqConstraint, Transaction, TxnStatus};
+use ghost_sim::agent::{AgentDriver, AgentOutcome};
+use ghost_sim::class::{OffCpuReason, SchedClass, CLASS_CFS, CLASS_GHOST};
+use ghost_sim::cpuset::CpuSet;
+use ghost_sim::kernel::{Kernel, KernelState, ThreadSpec};
+use ghost_sim::thread::{ThreadState, Tid};
+use ghost_sim::time::Nanos;
+use ghost_sim::topology::CpuId;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Counters describing everything the runtime did.
+#[derive(Debug, Default, Clone)]
+pub struct GhostStats {
+    /// Messages posted, indexed by [`MsgType`] discriminant order.
+    pub msgs_posted: [u64; 8],
+    /// Messages dropped because a queue was full.
+    pub msgs_dropped: u64,
+    /// Agent activations.
+    pub activations: u64,
+    /// Activations that drained no messages (pure timer/poll wakeups).
+    pub empty_activations: u64,
+    /// Total agent busy time (ns of virtual time).
+    pub agent_busy_ns: u64,
+    /// Transactions committed successfully.
+    pub txns_committed: u64,
+    /// Transactions failed with `ESTALE`.
+    pub txns_stale: u64,
+    /// Transactions failed: target not runnable.
+    pub txns_not_runnable: u64,
+    /// Transactions failed: CPU busy with higher-class work.
+    pub txns_cpu_busy: u64,
+    /// Transactions failed: CPU/affinity unavailable.
+    pub txns_cpu_unavailable: u64,
+    /// Transactions aborted (atomic group failure or enclave teardown).
+    pub txns_aborted: u64,
+    /// Transactions recalled via `TXNS_RECALL()`.
+    pub txns_recalled: u64,
+    /// `TXNS_COMMIT()` calls with more than one transaction.
+    pub group_commits: u64,
+    /// Threads scheduled through the PNT fast path.
+    pub pnt_picks: u64,
+    /// Global-agent hot handoffs (§3.3).
+    pub handoffs: u64,
+    /// Enclaves destroyed by the watchdog.
+    pub watchdog_destroys: u64,
+    /// Enclaves destroyed in total.
+    pub enclave_destroys: u64,
+    /// In-place agent upgrades (§3.4).
+    pub upgrades: u64,
+    /// Agent crashes that fell back to CFS.
+    pub fallbacks: u64,
+}
+
+impl GhostStats {
+    fn msg_idx(ty: MsgType) -> usize {
+        match ty {
+            MsgType::ThreadCreated => 0,
+            MsgType::ThreadBlocked => 1,
+            MsgType::ThreadPreempted => 2,
+            MsgType::ThreadYield => 3,
+            MsgType::ThreadDead => 4,
+            MsgType::ThreadWakeup => 5,
+            MsgType::ThreadAffinity => 6,
+            MsgType::TimerTick => 7,
+        }
+    }
+
+    /// Count of messages posted with the given type.
+    pub fn posted(&self, ty: MsgType) -> u64 {
+        self.msgs_posted[Self::msg_idx(ty)]
+    }
+
+    /// Total failed transactions.
+    pub fn txns_failed(&self) -> u64 {
+        self.txns_stale
+            + self.txns_not_runnable
+            + self.txns_cpu_busy
+            + self.txns_cpu_unavailable
+            + self.txns_aborted
+    }
+}
+
+struct Core {
+    enclaves: Vec<Option<Enclave>>,
+    policies: Vec<Option<Box<dyn GhostPolicy>>>,
+    staged: Vec<Option<Box<dyn GhostPolicy>>>,
+    thread_enclave: HashMap<Tid, EnclaveId>,
+    pending_attach: HashMap<Tid, EnclaveId>,
+    agent_enclave: HashMap<Tid, (EnclaveId, CpuId)>,
+    cpu_enclave: Vec<Option<EnclaveId>>,
+    stats: GhostStats,
+}
+
+fn core_key_of(k: &KernelState, cpu: CpuId) -> CpuId {
+    k.topo
+        .core_cpus(cpu)
+        .first()
+        .expect("core has at least one CPU")
+}
+
+impl Core {
+    fn enclave_mut(&mut self, id: EnclaveId) -> Option<&mut Enclave> {
+        self.enclaves.get_mut(id.0 as usize)?.as_mut()
+    }
+
+    fn enclave_of_cpu(&self, cpu: CpuId) -> Option<EnclaveId> {
+        self.cpu_enclave[cpu.index()]
+    }
+
+    /// Posts a message about `tid` (or a CPU event when `tid` is `None`)
+    /// into the right queue of `eid`: bumps sequence numbers, updates
+    /// status words, and wakes or notifies the consuming agent per the
+    /// queue's wakeup configuration.
+    fn post(
+        &mut self,
+        k: &mut KernelState,
+        eid: EnclaveId,
+        ty: MsgType,
+        tid: Option<Tid>,
+        cpu: CpuId,
+    ) {
+        let Some(enclave) = self.enclaves[eid.0 as usize].as_mut() else {
+            return;
+        };
+        if enclave.destroyed {
+            return;
+        }
+        let (qid, msg) = match tid {
+            Some(t) => {
+                let Some(info) = enclave.threads.get_mut(&t) else {
+                    return;
+                };
+                info.tseq += 1;
+                info.pending_msgs += 1;
+                let seq = info.tseq;
+                info.status.publish(|_, f| (seq, f));
+                (info.queue, Message::thread(ty, t, seq, cpu, k.now))
+            }
+            None => (enclave.queue_for_cpu(cpu), Message::tick(cpu, k.now)),
+        };
+        let Some(Some(qs)) = enclave.queues.get(qid.0 as usize) else {
+            return;
+        };
+        if qs.queue.push(msg).is_err() {
+            self.stats.msgs_dropped += 1;
+            if let Some(t) = tid {
+                if let Some(info) = enclave.threads.get_mut(&t) {
+                    info.pending_msgs = info.pending_msgs.saturating_sub(1);
+                }
+            }
+            return;
+        }
+        self.stats.msgs_posted[GhostStats::msg_idx(ty)] += 1;
+        let wake = qs.wake;
+        let enqueue_done = k.now + k.costs.msg_enqueue;
+        match wake {
+            WakeMode::WakeAgent(agent) => {
+                if let Some((_, acpu)) = self.agent_enclave.get(&agent).copied() {
+                    if let Some(slot) = enclave.agents.get(&acpu) {
+                        slot.status.bump_seq(); // Aseq.
+                    }
+                }
+                if k.threads[agent.index()].state == ThreadState::Blocked {
+                    k.wake_at(enqueue_done, agent);
+                }
+            }
+            WakeMode::WakeEventCpuAgent => {
+                // Per-core mode (§4.5): the CPU generating the message
+                // wakes its own agent, which becomes the core's active
+                // agent.
+                if let Some(slot) = enclave.agents.get(&cpu) {
+                    let agent = slot.tid;
+                    slot.status.bump_seq();
+                    enclave.core_active.insert(core_key_of(k, cpu), agent);
+                    if k.threads[agent.index()].state == ThreadState::Blocked {
+                        k.wake_at(enqueue_done, agent);
+                    }
+                }
+            }
+            WakeMode::Polled => {
+                // Centralized: notify the spinning global agent, or wake
+                // it if it parked (hot handoff left no spinner).
+                if let Some(global) = enclave.global_agent {
+                    if let Some((_, gcpu)) = self.agent_enclave.get(&global).copied() {
+                        if let Some(slot) = enclave.agents.get(&gcpu) {
+                            slot.status.bump_seq();
+                        }
+                    }
+                    match k.threads[global.index()].state {
+                        ThreadState::Running => {
+                            if !enclave.loop_armed {
+                                enclave.loop_armed = true;
+                                k.schedule_agent_loop(enqueue_done, global);
+                            }
+                        }
+                        ThreadState::Blocked => k.wake_at(enqueue_done, global),
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tears an enclave down: every managed thread falls back to CFS and
+    /// every agent is killed. Other enclaves are untouched (§3.4).
+    fn destroy_enclave(&mut self, k: &mut KernelState, eid: EnclaveId) {
+        let Some(enclave) = self.enclaves[eid.0 as usize].as_mut() else {
+            return;
+        };
+        if enclave.destroyed {
+            return;
+        }
+        enclave.destroyed = true;
+        enclave.committed.clear();
+        let tids: Vec<Tid> = enclave.threads.keys().copied().collect();
+        let agents: Vec<Tid> = enclave.agents.values().map(|a| a.tid).collect();
+        let cpus: Vec<CpuId> = enclave.cpus.iter().collect();
+        for cpu in cpus {
+            self.cpu_enclave[cpu.index()] = None;
+        }
+        for tid in tids {
+            k.move_to_class(tid, CLASS_CFS);
+        }
+        for agent in agents {
+            self.agent_enclave.remove(&agent);
+            k.kill(agent);
+        }
+        self.stats.enclave_destroys += 1;
+    }
+}
+
+/// The shared-everything runtime; clone freely (all clones are views of
+/// the same state).
+#[derive(Clone)]
+pub struct GhostRuntime {
+    shared: Rc<RefCell<Core>>,
+}
+
+/// The userspace control handle (same object as the runtime).
+pub type GhostHandle = GhostRuntime;
+
+impl GhostRuntime {
+    /// Creates a runtime for a machine with `num_cpus` CPUs.
+    pub fn new(num_cpus: usize) -> Self {
+        Self {
+            shared: Rc::new(RefCell::new(Core {
+                enclaves: Vec::new(),
+                policies: Vec::new(),
+                staged: Vec::new(),
+                thread_enclave: HashMap::new(),
+                pending_attach: HashMap::new(),
+                agent_enclave: HashMap::new(),
+                cpu_enclave: vec![None; num_cpus],
+                stats: GhostStats::default(),
+            })),
+        }
+    }
+
+    /// Installs the ghOSt class and driver into the kernel.
+    pub fn install(&self, kernel: &mut Kernel) {
+        kernel.install_class(
+            CLASS_GHOST,
+            Box::new(GhostClass {
+                shared: Rc::clone(&self.shared),
+            }),
+        );
+        kernel.set_driver(Box::new(GhostDriver {
+            shared: Rc::clone(&self.shared),
+        }));
+    }
+
+    /// Creates an enclave over `cpus` with the given policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus` is empty or overlaps an existing enclave.
+    pub fn create_enclave(
+        &self,
+        cpus: CpuSet,
+        config: EnclaveConfig,
+        policy: Box<dyn GhostPolicy>,
+    ) -> EnclaveId {
+        assert!(!cpus.is_empty(), "enclave must own at least one CPU");
+        let mut core = self.shared.borrow_mut();
+        for c in cpus.iter() {
+            assert!(
+                core.cpu_enclave[c.index()].is_none(),
+                "{c} already belongs to an enclave"
+            );
+        }
+        let id = EnclaveId(core.enclaves.len() as u32);
+        for c in cpus.iter() {
+            core.cpu_enclave[c.index()] = Some(id);
+        }
+        let default_q = QueueState {
+            queue: MessageQueue::new(config.queue_capacity),
+            wake: WakeMode::Polled,
+        };
+        // One PNT ring per NUMA node is the paper's §5 layout; sized from
+        // the config if enabled.
+        let pnt = config.pnt_ring_capacity.map(|cap| PntRings::new(2, cap));
+        let enclave = Enclave {
+            id,
+            cpus,
+            queues: vec![Some(default_q)],
+            default_queue: QueueId(0),
+            cpu_queues: HashMap::new(),
+            threads: HashMap::new(),
+            agents: HashMap::new(),
+            global_agent: None,
+            core_active: HashMap::new(),
+            committed: HashMap::new(),
+            pnt,
+            hints: HashMap::new(),
+            destroyed: false,
+            loop_armed: false,
+            config,
+        };
+        core.enclaves.push(Some(enclave));
+        core.policies.push(Some(policy));
+        core.staged.push(None);
+        id
+    }
+
+    /// Spawns one pinned agent pthread per enclave CPU, configures queues
+    /// for the enclave's [`AgentMode`], starts the global agent (if
+    /// centralized), and arms the watchdog.
+    pub fn spawn_agents(&self, kernel: &mut Kernel, eid: EnclaveId) {
+        let cpus: Vec<CpuId> = {
+            let core = self.shared.borrow();
+            core.enclaves[eid.0 as usize]
+                .as_ref()
+                .expect("enclave exists")
+                .cpus
+                .iter()
+                .collect()
+        };
+        // Spawn agent threads (outside the borrow: spawn touches classes).
+        let mut slots: Vec<(CpuId, Tid)> = Vec::new();
+        for &cpu in &cpus {
+            let tid = kernel.spawn(
+                ThreadSpec::workload(
+                    &format!("ghost-agent-e{}-c{}", eid.0, cpu.0),
+                    &kernel.state.topo,
+                )
+                .affinity(CpuSet::from_iter([cpu]))
+                .agent(),
+            );
+            slots.push((cpu, tid));
+        }
+        let mut to_wake = Vec::new();
+        {
+            let mut core = self.shared.borrow_mut();
+            for &(cpu, tid) in &slots {
+                core.agent_enclave.insert(tid, (eid, cpu));
+            }
+            let enclave = core.enclave_mut(eid).expect("enclave exists");
+            for (cpu, tid) in slots {
+                let status = StatusWord::new();
+                status.set_flags(SW_ATTACHED);
+                enclave.agents.insert(cpu, AgentSlot { tid, cpu, status });
+            }
+            match enclave.config.mode {
+                AgentMode::Centralized => {
+                    let global = enclave.agents[&cpus[0]].tid;
+                    enclave.global_agent = Some(global);
+                    to_wake.push(global);
+                }
+                AgentMode::PerCpu => {
+                    for &cpu in &cpus {
+                        let agent = enclave.agents[&cpu].tid;
+                        let qid = QueueId(enclave.queues.len() as u32);
+                        enclave.queues.push(Some(QueueState {
+                            queue: MessageQueue::new(enclave.config.queue_capacity),
+                            wake: WakeMode::WakeAgent(agent),
+                        }));
+                        enclave.cpu_queues.insert(cpu, qid);
+                    }
+                    // The default queue wakes the first agent, which
+                    // redistributes new threads via ASSOCIATE_QUEUE.
+                    let first_agent = enclave.agents[&cpus[0]].tid;
+                    if let Some(Some(qs)) = enclave.queues.get_mut(0) {
+                        qs.wake = WakeMode::WakeAgent(first_agent);
+                    }
+                }
+                AgentMode::PerCore => {
+                    let mut per_core: HashMap<CpuId, QueueId> = HashMap::new();
+                    for &cpu in &cpus {
+                        let key = core_key_of(&kernel.state, cpu);
+                        let qid = *per_core.entry(key).or_insert_with(|| {
+                            let qid = QueueId(enclave.queues.len() as u32);
+                            enclave.queues.push(Some(QueueState {
+                                queue: MessageQueue::new(enclave.config.queue_capacity),
+                                wake: WakeMode::WakeEventCpuAgent,
+                            }));
+                            qid
+                        });
+                        enclave.cpu_queues.insert(cpu, qid);
+                    }
+                    // New threads are associated with the default queue;
+                    // in per-core mode the agent of the event's CPU is
+                    // woken for those messages too, and every activation
+                    // drains the default queue alongside its core queue.
+                    if let Some(Some(qs)) = enclave.queues.get_mut(0) {
+                        qs.wake = WakeMode::WakeEventCpuAgent;
+                    }
+                }
+            }
+            if let Some(timeout) = enclave.config.watchdog_timeout {
+                let at = kernel.state.now + timeout / 2;
+                kernel.state.arm_driver_timer(at, eid.0 as u64);
+            }
+        }
+        for tid in to_wake {
+            kernel.wake_now(tid);
+        }
+    }
+
+    /// Attaches a native thread to an enclave: moves it into the ghOSt
+    /// scheduling class, generating `THREAD_CREATED` (and `THREAD_WAKEUP`
+    /// if it is runnable).
+    pub fn attach_thread(&self, k: &mut KernelState, eid: EnclaveId, tid: Tid) {
+        self.shared.borrow_mut().pending_attach.insert(tid, eid);
+        k.move_to_class(tid, CLASS_GHOST);
+    }
+
+    /// Stages a new policy version for an in-place upgrade (§3.4): "the
+    /// new agent blocks until the old agent crashes or exits", then takes
+    /// over.
+    pub fn stage_upgrade(&self, eid: EnclaveId, policy: Box<dyn GhostPolicy>) {
+        self.shared.borrow_mut().staged[eid.0 as usize] = Some(policy);
+    }
+
+    /// Performs an in-place upgrade right now: the staged policy takes
+    /// over and re-extracts thread state from the kernel via synthetic
+    /// `THREAD_CREATED`/`THREAD_WAKEUP` messages. Returns false if no
+    /// policy was staged.
+    pub fn upgrade_now(&self, k: &mut KernelState, eid: EnclaveId) -> bool {
+        let mut core = self.shared.borrow_mut();
+        let Some(staged) = core.staged[eid.0 as usize].take() else {
+            return false;
+        };
+        core.policies[eid.0 as usize] = Some(staged);
+        core.stats.upgrades += 1;
+        let Some(enclave) = core.enclave_mut(eid) else {
+            return true;
+        };
+        let tids: Vec<Tid> = enclave.threads.keys().copied().collect();
+        for tid in tids {
+            let cpu = k.threads[tid.index()].last_cpu.unwrap_or(CpuId(0));
+            core.post(k, eid, MsgType::ThreadCreated, Some(tid), cpu);
+            if k.threads[tid.index()].state == ThreadState::Runnable {
+                core.post(k, eid, MsgType::ThreadWakeup, Some(tid), cpu);
+            }
+        }
+        true
+    }
+
+    /// Destroys an enclave: threads fall back to CFS, agents die.
+    pub fn destroy_enclave(&self, k: &mut KernelState, eid: EnclaveId) {
+        self.shared.borrow_mut().destroy_enclave(k, eid);
+    }
+
+    /// Agent pthreads of an enclave (for crash injection in tests).
+    pub fn agent_tids(&self, eid: EnclaveId) -> Vec<Tid> {
+        let core = self.shared.borrow();
+        core.enclaves[eid.0 as usize]
+            .as_ref()
+            .map(|e| e.agents.values().map(|a| a.tid).collect())
+            .unwrap_or_default()
+    }
+
+    /// The current global agent of a centralized enclave.
+    pub fn global_agent(&self, eid: EnclaveId) -> Option<Tid> {
+        let core = self.shared.borrow();
+        core.enclaves[eid.0 as usize]
+            .as_ref()
+            .and_then(|e| e.global_agent)
+    }
+
+    /// True if the enclave exists and has not been destroyed.
+    pub fn enclave_alive(&self, eid: EnclaveId) -> bool {
+        let core = self.shared.borrow();
+        core.enclaves[eid.0 as usize]
+            .as_ref()
+            .is_some_and(|e| !e.destroyed)
+    }
+
+    /// Publishes a scheduling hint for a managed thread (the workload
+    /// side of Fig. 1's "optional scheduling hints" arrow). The next
+    /// agent activation can read it via `PolicyCtx::hint`.
+    pub fn set_hint(&self, tid: Tid, hint: u64) {
+        let mut core = self.shared.borrow_mut();
+        if let Some(&eid) = core.thread_enclave.get(&tid) {
+            if let Some(enclave) = core.enclave_mut(eid) {
+                enclave.hints.insert(tid, hint);
+            }
+        }
+    }
+
+    /// Snapshot of runtime statistics.
+    pub fn stats(&self) -> GhostStats {
+        self.shared.borrow().stats.clone()
+    }
+
+    /// Runs `f` against the enclave's policy (to extract policy-internal
+    /// results after a run).
+    pub fn with_policy<R>(
+        &self,
+        eid: EnclaveId,
+        f: impl FnOnce(&mut dyn GhostPolicy) -> R,
+    ) -> Option<R> {
+        let mut core = self.shared.borrow_mut();
+        core.policies[eid.0 as usize]
+            .as_mut()
+            .map(|p| f(p.as_mut()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transaction commit (TXNS_COMMIT) — kernel-side validation and effects.
+// ---------------------------------------------------------------------------
+
+impl<'a> PolicyCtx<'a> {
+    /// `TXNS_COMMIT()`: commits a group of transactions, writing each
+    /// transaction's `status` in place (the paper's Figs. 3–4 check
+    /// `txn->status` right after the call).
+    ///
+    /// Costs charged to the activation: one syscall, per-transaction
+    /// validation, and — for remote targets — a single batched IPI
+    /// (first target full price, extra targets amortized), with
+    /// cross-socket and SMT multipliers applied.
+    pub fn commit(&mut self, txns: &mut [Transaction]) {
+        self.do_commit(txns, false);
+    }
+
+    /// Commits a group atomically: if any transaction fails validation,
+    /// none take effect (failed ones carry their real failure status,
+    /// would-have-succeeded ones are `Aborted`). Used by per-core secure
+    /// VM scheduling, §4.5: "issuing commits for both CPUs of a core
+    /// which must either all succeed or all fail".
+    pub fn commit_atomic(&mut self, txns: &mut [Transaction]) {
+        self.do_commit(txns, true);
+    }
+
+    /// Commits a single transaction and returns its status.
+    pub fn commit_one(&mut self, txn: &mut Transaction) -> TxnStatus {
+        let mut arr = [*txn];
+        self.commit(&mut arr);
+        *txn = arr[0];
+        txn.status
+    }
+
+    /// The queue CPU-scoped events for `cpu` are routed to.
+    pub fn queue_of_cpu(&self, cpu: CpuId) -> QueueId {
+        self.enclave.queue_for_cpu(cpu)
+    }
+
+    /// Tids of all threads managed by this enclave.
+    pub fn managed_threads(&self) -> Vec<Tid> {
+        self.enclave.threads.keys().copied().collect()
+    }
+
+    fn scaled(&self, cost: Nanos) -> Nanos {
+        if self.smt_scale {
+            self.k.costs.smt_scaled(cost)
+        } else {
+            cost
+        }
+    }
+
+    fn validate(&self, txn: &Transaction) -> TxnStatus {
+        let enclave = &*self.enclave;
+        if enclave.destroyed {
+            return TxnStatus::Aborted;
+        }
+        if !enclave.cpus.contains(txn.cpu) {
+            return TxnStatus::CpuUnavailable;
+        }
+        let Some(info) = enclave.threads.get(&txn.tid) else {
+            return TxnStatus::TargetNotRunnable;
+        };
+        if info.picked {
+            return TxnStatus::TargetNotRunnable;
+        }
+        let t = &self.k.threads[txn.tid.index()];
+        if t.state != ThreadState::Runnable {
+            return TxnStatus::TargetNotRunnable;
+        }
+        if !t.affinity.contains(txn.cpu) {
+            return TxnStatus::CpuUnavailable;
+        }
+        match txn.seq {
+            SeqConstraint::None => {}
+            SeqConstraint::Agent(aseq) => {
+                let cur = enclave
+                    .agents
+                    .get(&self.agent_cpu)
+                    .map_or(0, |a| a.status.seq());
+                if aseq < cur {
+                    return TxnStatus::Stale;
+                }
+            }
+            SeqConstraint::Thread(tseq) => {
+                if tseq < info.tseq {
+                    return TxnStatus::Stale;
+                }
+            }
+        }
+        if enclave.committed.contains_key(&txn.cpu) {
+            return TxnStatus::CpuBusy;
+        }
+        // Occupancy: ghOSt may preempt its own threads but nothing of a
+        // higher class — except the agent's own CPU, which the agent is
+        // about to give up (local commit), and CPUs occupied by *agent*
+        // threads, which vacate as soon as their activation ends (the
+        // committed slot is consumed when the CPU next picks).
+        let cs = &self.k.cpus[txn.cpu.index()];
+        if cs.is_occupied() && txn.cpu != self.agent_cpu {
+            if let Some(cur) = cs.current {
+                let cur = &self.k.threads[cur.index()];
+                if cur.class < CLASS_GHOST && cur.kind != ghost_sim::thread::ThreadKind::Agent {
+                    return TxnStatus::CpuBusy;
+                }
+            }
+        }
+        TxnStatus::Committed
+    }
+
+    fn do_commit(&mut self, txns: &mut [Transaction], atomic: bool) {
+        let costs_syscall = self.k.costs.syscall;
+        let costs_validate = self.k.costs.txn_validate;
+        let costs_local = self.k.costs.txn_local_commit.saturating_sub(costs_syscall);
+        self.busy += self.scaled(costs_syscall);
+        // Validation pass. Duplicate targets within the group are caught
+        // by inserting provisional slots as we go.
+        let mut provisional: Vec<usize> = Vec::new();
+        for i in 0..txns.len() {
+            let mut status = self.validate(&txns[i]);
+            // A per-txn validation charge, dearer across sockets. Local
+            // transactions are charged via `txn_local_commit` in the
+            // effect pass instead (Table 3 line 3 subsumes validation).
+            if txns[i].cpu != self.agent_cpu {
+                let cross = !self.k.topo.same_socket(self.agent_cpu, txns[i].cpu);
+                let mut vcost = costs_validate;
+                if cross {
+                    vcost = self.k.costs.cross_socket_scaled(vcost);
+                }
+                self.busy += self.scaled(vcost);
+            }
+            if status == TxnStatus::Committed {
+                // Reserve target CPU and thread against duplicates.
+                self.enclave.committed.insert(
+                    txns[i].cpu,
+                    CommittedSlot {
+                        tid: txns[i].tid,
+                        arm_at: Nanos::MAX, // Patched below.
+                    },
+                );
+                if let Some(info) = self.enclave.threads.get_mut(&txns[i].tid) {
+                    info.picked = true;
+                }
+                provisional.push(i);
+            } else if atomic {
+                // Unwind everything and mark the rest aborted.
+                for &j in &provisional {
+                    self.enclave.committed.remove(&txns[j].cpu);
+                    if let Some(info) = self.enclave.threads.get_mut(&txns[j].tid) {
+                        info.picked = false;
+                    }
+                    txns[j].status = TxnStatus::Aborted;
+                    self.stats.txns_aborted += 1;
+                }
+                txns[i].status = status;
+                self.count_failure(status);
+                // Remaining txns are aborted unexamined.
+                for t in txns[i + 1..].iter_mut() {
+                    t.status = TxnStatus::Aborted;
+                    self.stats.txns_aborted += 1;
+                }
+                return;
+            }
+            if status != TxnStatus::Committed {
+                self.count_failure(status);
+            }
+            txns[i].status = status;
+            let _ = &mut status;
+        }
+        if txns.len() > 1 {
+            self.stats.group_commits += 1;
+        }
+        // Effect pass: charge IPI batch, arm slots.
+        let mut remote: Vec<(usize, bool)> = Vec::new(); // (txn index, cross-socket)
+        for &i in &provisional {
+            if txns[i].cpu == self.agent_cpu {
+                self.busy += self.scaled(costs_local);
+            } else {
+                let cross = !self.k.topo.same_socket(self.agent_cpu, txns[i].cpu);
+                remote.push((i, cross));
+            }
+        }
+        let n_remote = remote.len() as u64;
+        for (idx, &(_, cross)) in remote.iter().enumerate() {
+            let base = if idx == 0 {
+                self.k.costs.ipi_send
+            } else {
+                self.k.costs.ipi_send_extra
+            };
+            let c = if cross {
+                self.k.costs.cross_socket_scaled(base)
+            } else {
+                base
+            };
+            self.busy += self.scaled(c);
+        }
+        let dispatch = self.k.now + self.busy;
+        // Arm local slots: visible as soon as the agent parks.
+        for &i in &provisional {
+            if txns[i].cpu == self.agent_cpu {
+                if let Some(slot) = self.enclave.committed.get_mut(&txns[i].cpu) {
+                    slot.arm_at = dispatch;
+                }
+                // The local CPU reschedules when the agent parks; no IPI.
+            }
+        }
+        // Arm remote slots and send IPIs.
+        for &(i, cross) in &remote {
+            let prop = self.k.costs.ipi_propagation
+                + if cross {
+                    self.k.costs.ipi_propagation_cross_socket
+                } else {
+                    0
+                };
+            let contention = if n_remote > 1 {
+                self.k.costs.group_target_contention
+            } else {
+                0
+            };
+            let resched_at = dispatch + prop + self.k.costs.ipi_receive + contention;
+            if let Some(slot) = self.enclave.committed.get_mut(&txns[i].cpu) {
+                slot.arm_at = resched_at;
+            }
+            self.k.send_ipi(txns[i].cpu, resched_at);
+        }
+        if atomic && provisional.len() > 1 {
+            // Synchronized group commit (§4.5): all targets act on the
+            // commit at the same instant, so a core never transiently
+            // runs threads of different VMs while the switches land.
+            let arm_all = provisional
+                .iter()
+                .filter_map(|&i| self.enclave.committed.get(&txns[i].cpu))
+                .map(|s| s.arm_at)
+                .max()
+                .unwrap_or(dispatch);
+            for &i in &provisional {
+                if let Some(slot) = self.enclave.committed.get_mut(&txns[i].cpu) {
+                    slot.arm_at = arm_all;
+                }
+                self.k.send_ipi(txns[i].cpu, arm_all);
+            }
+        }
+        self.stats.txns_committed += provisional.len() as u64;
+    }
+
+    fn count_failure(&mut self, status: TxnStatus) {
+        match status {
+            TxnStatus::Stale => self.stats.txns_stale += 1,
+            TxnStatus::TargetNotRunnable => self.stats.txns_not_runnable += 1,
+            TxnStatus::CpuBusy => self.stats.txns_cpu_busy += 1,
+            TxnStatus::CpuUnavailable => self.stats.txns_cpu_unavailable += 1,
+            TxnStatus::Aborted => self.stats.txns_aborted += 1,
+            TxnStatus::Committed | TxnStatus::Pending => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The kernel scheduling class.
+// ---------------------------------------------------------------------------
+
+/// The ghOSt scheduling class (kernel side).
+pub struct GhostClass {
+    shared: Rc<RefCell<Core>>,
+}
+
+impl SchedClass for GhostClass {
+    fn name(&self) -> &'static str {
+        "ghost"
+    }
+
+    fn enqueue(&mut self, tid: Tid, k: &mut KernelState) -> Option<CpuId> {
+        // A ghOSt thread became runnable: no kernel runqueue — tell the
+        // agent instead (THREAD_WAKEUP).
+        let mut core = self.shared.borrow_mut();
+        if let Some(&eid) = core.thread_enclave.get(&tid) {
+            let cpu = k.threads[tid.index()].last_cpu.unwrap_or(CpuId(0));
+            if let Some(enclave) = core.enclave_mut(eid) {
+                if let Some(info) = enclave.threads.get(&tid) {
+                    info.status.set_flags(SW_RUNNABLE);
+                }
+            }
+            core.post(k, eid, MsgType::ThreadWakeup, Some(tid), cpu);
+        }
+        None
+    }
+
+    fn dequeue(&mut self, tid: Tid, _k: &mut KernelState) {
+        // Runnable thread leaving the class (kill or class move): drop
+        // any committed slot or PNT offer referencing it.
+        let mut core = self.shared.borrow_mut();
+        if let Some(&eid) = core.thread_enclave.get(&tid) {
+            if let Some(enclave) = core.enclave_mut(eid) {
+                enclave.committed.retain(|_, slot| slot.tid != tid);
+                if let Some(pnt) = &mut enclave.pnt {
+                    pnt.revoke(tid);
+                }
+                if let Some(info) = enclave.threads.get_mut(&tid) {
+                    info.picked = false;
+                }
+            }
+        }
+    }
+
+    fn pick_next(&mut self, cpu: CpuId, k: &mut KernelState) -> Option<Tid> {
+        let mut core = self.shared.borrow_mut();
+        let eid = core.enclave_of_cpu(cpu)?;
+        let now = k.now;
+        let node = k.topo.info(cpu).socket as usize;
+        let enclave = core.enclave_mut(eid)?;
+        if enclave.destroyed {
+            return None;
+        }
+        // Committed transaction for this CPU?
+        if let Some(slot) = enclave.committed.get(&cpu).copied() {
+            if slot.arm_at <= now {
+                enclave.committed.remove(&cpu);
+                if let Some(info) = enclave.threads.get_mut(&slot.tid) {
+                    info.picked = false;
+                }
+                if k.threads[slot.tid.index()].state == ThreadState::Runnable
+                    && k.threads[slot.tid.index()].affinity.contains(cpu)
+                {
+                    if let Some(info) = enclave.threads.get(&slot.tid) {
+                        info.status
+                            .publish(|s, f| (s, (f | SW_ONCPU) & !SW_RUNNABLE));
+                    }
+                    return Some(slot.tid);
+                }
+                // Slot target went away between commit and pick: fall
+                // through (maybe PNT has something).
+            } else {
+                // The commit's IPI has not logically arrived yet.
+                return None;
+            }
+        }
+        // BPF pick_next_task fast path.
+        if enclave.pnt.is_some() {
+            loop {
+                let cand = enclave.pnt.as_mut().and_then(|p| p.pop_for(node))?;
+                let ok = enclave.threads.get(&cand).is_some_and(|i| !i.picked)
+                    && k.threads[cand.index()].state == ThreadState::Runnable
+                    && k.threads[cand.index()].affinity.contains(cpu);
+                if ok {
+                    if let Some(info) = enclave.threads.get(&cand) {
+                        info.status
+                            .publish(|s, f| (s, (f | SW_ONCPU) & !SW_RUNNABLE));
+                    }
+                    core.stats.pnt_picks += 1;
+                    return Some(cand);
+                }
+            }
+        }
+        None
+    }
+
+    fn put_prev(&mut self, tid: Tid, cpu: CpuId, _still_runnable: bool, k: &mut KernelState) {
+        let reason = k.offcpu_reason;
+        let mut core = self.shared.borrow_mut();
+        let Some(&eid) = core.thread_enclave.get(&tid) else {
+            return;
+        };
+        let ty = match reason {
+            OffCpuReason::Preempt => MsgType::ThreadPreempted,
+            OffCpuReason::Yield => MsgType::ThreadYield,
+            OffCpuReason::Block => MsgType::ThreadBlocked,
+            OffCpuReason::Exit => MsgType::ThreadDead,
+        };
+        if let Some(enclave) = core.enclave_mut(eid) {
+            if let Some(info) = enclave.threads.get(&tid) {
+                let runnable = matches!(reason, OffCpuReason::Preempt | OffCpuReason::Yield);
+                info.status.publish(|s, f| {
+                    let f = f & !SW_ONCPU;
+                    (
+                        s,
+                        if runnable {
+                            f | SW_RUNNABLE
+                        } else {
+                            f & !SW_RUNNABLE
+                        },
+                    )
+                });
+            }
+        }
+        core.post(k, eid, ty, Some(tid), cpu);
+        if reason == OffCpuReason::Exit {
+            // Registry cleanup happens in on_detach; drop the mapping so
+            // the detach path does not double-post THREAD_DEAD.
+            if let Some(enclave) = core.enclave_mut(eid) {
+                enclave.threads.remove(&tid);
+            }
+            core.thread_enclave.remove(&tid);
+        }
+    }
+
+    fn on_tick(&mut self, _cpu: CpuId, _current: Tid, _k: &mut KernelState) -> bool {
+        // Agents drive all preemption decisions; the kernel class never
+        // preempts on its own.
+        false
+    }
+
+    fn on_tick_all(&mut self, cpu: CpuId, k: &mut KernelState) {
+        let mut core = self.shared.borrow_mut();
+        let Some(eid) = core.enclave_of_cpu(cpu) else {
+            return;
+        };
+        let deliver = core.enclaves[eid.0 as usize]
+            .as_ref()
+            .is_some_and(|e| !e.destroyed && e.config.deliver_ticks);
+        if deliver {
+            core.post(k, eid, MsgType::TimerTick, None, cpu);
+        }
+    }
+
+    fn has_runnable(&self, cpu: CpuId, k: &KernelState) -> bool {
+        let core = self.shared.borrow();
+        let Some(eid) = core.cpu_enclave[cpu.index()] else {
+            return false;
+        };
+        core.enclaves[eid.0 as usize].as_ref().is_some_and(|e| {
+            e.committed.contains_key(&cpu)
+                || e.pnt.as_ref().is_some_and(|p| !p.is_empty())
+                || e.threads
+                    .keys()
+                    .any(|&t| k.threads[t.index()].state == ThreadState::Runnable)
+        })
+    }
+
+    fn on_attach(&mut self, tid: Tid, k: &mut KernelState) {
+        let mut core = self.shared.borrow_mut();
+        let Some(eid) = core.pending_attach.remove(&tid) else {
+            panic!(
+                "thread {tid} moved into the ghOSt class without an enclave; \
+                 use GhostHandle::attach_thread"
+            );
+        };
+        core.thread_enclave.insert(tid, eid);
+        let Some(enclave) = core.enclave_mut(eid) else {
+            return;
+        };
+        let status = StatusWord::new();
+        status.set_flags(SW_ATTACHED);
+        let default_q = enclave.default_queue;
+        enclave.threads.insert(
+            tid,
+            ThreadInfo {
+                queue: default_q,
+                tseq: 0,
+                pending_msgs: 0,
+                status,
+                picked: false,
+            },
+        );
+        let cpu = k.threads[tid.index()].last_cpu.unwrap_or(CpuId(0));
+        core.post(k, eid, MsgType::ThreadCreated, Some(tid), cpu);
+    }
+
+    fn on_detach(&mut self, tid: Tid, k: &mut KernelState) {
+        let mut core = self.shared.borrow_mut();
+        let Some(eid) = core.thread_enclave.remove(&tid) else {
+            return; // Already cleaned (death path).
+        };
+        let cpu = k.threads[tid.index()].last_cpu.unwrap_or(CpuId(0));
+        if let Some(enclave) = core.enclave_mut(eid) {
+            enclave.committed.retain(|_, slot| slot.tid != tid);
+            if let Some(pnt) = &mut enclave.pnt {
+                pnt.revoke(tid);
+            }
+        }
+        // Departure is indistinguishable from death for the policy.
+        core.post(k, eid, MsgType::ThreadDead, Some(tid), cpu);
+        if let Some(enclave) = core.enclave_mut(eid) {
+            enclave.threads.remove(&tid);
+            enclave.hints.remove(&tid);
+        }
+    }
+
+    fn on_affinity_changed(&mut self, tid: Tid, k: &mut KernelState) {
+        let mut core = self.shared.borrow_mut();
+        let Some(&eid) = core.thread_enclave.get(&tid) else {
+            return;
+        };
+        let cpu = k.threads[tid.index()].last_cpu.unwrap_or(CpuId(0));
+        // Invalidate a committed slot the new mask forbids.
+        if let Some(enclave) = core.enclave_mut(eid) {
+            let affinity = k.threads[tid.index()].affinity;
+            let stale: Vec<CpuId> = enclave
+                .committed
+                .iter()
+                .filter(|(c, slot)| slot.tid == tid && !affinity.contains(**c))
+                .map(|(c, _)| *c)
+                .collect();
+            for c in stale {
+                enclave.committed.remove(&c);
+                if let Some(info) = enclave.threads.get_mut(&tid) {
+                    info.picked = false;
+                }
+            }
+        }
+        core.post(k, eid, MsgType::ThreadAffinity, Some(tid), cpu);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The agent driver.
+// ---------------------------------------------------------------------------
+
+/// Runs agent activations (the `AgentDriver` plugged into the kernel).
+pub struct GhostDriver {
+    shared: Rc<RefCell<Core>>,
+}
+
+impl GhostDriver {
+    /// One activation: drain the queue feeding this agent, feed messages
+    /// and a schedule() call to the policy, return the outcome.
+    fn activate(
+        core: &mut Core,
+        k: &mut KernelState,
+        eid: EnclaveId,
+        agent_tid: Tid,
+        agent_cpu: CpuId,
+        qids: &[QueueId],
+        spinning: bool,
+    ) -> AgentOutcome {
+        let mut policy = match core.policies[eid.0 as usize].take() {
+            Some(p) => p,
+            None => return AgentOutcome::Block { busy: 0 },
+        };
+        let Some(enclave) = core.enclaves[eid.0 as usize].as_mut() else {
+            core.policies[eid.0 as usize] = Some(policy);
+            return AgentOutcome::Block { busy: 0 };
+        };
+        enclave.loop_armed = false;
+        let mut msgs = Vec::new();
+        for &qid in qids {
+            msgs.extend(enclave.drain_queue(qid));
+        }
+        let smt_scale = k.sibling_busy(agent_cpu);
+        let mut ctx = PolicyCtx {
+            k,
+            enclave,
+            stats: &mut core.stats,
+            agent_cpu,
+            agent_tid,
+            busy: 0,
+            smt_scale,
+            wakeup_request: None,
+        };
+        ctx.stats.activations += 1;
+        if msgs.is_empty() {
+            ctx.stats.empty_activations += 1;
+        }
+        let dequeue = ctx.k.costs.msg_dequeue;
+        for m in &msgs {
+            // Consuming a message posted by a remote-socket CPU drags the
+            // queue slot and status-word cachelines across the
+            // interconnect.
+            let cost = if ctx.k.topo.same_socket(m.cpu, agent_cpu) {
+                dequeue
+            } else {
+                ctx.k.costs.cross_socket_scaled(dequeue)
+            };
+            ctx.charge(cost);
+            policy.on_msg(m, &mut ctx);
+        }
+        policy.schedule(&mut ctx);
+        let busy = ctx.busy;
+        let wakeup = ctx.wakeup_request;
+        ctx.stats.agent_busy_ns += busy;
+        core.policies[eid.0 as usize] = Some(policy);
+        if spinning {
+            let next = wakeup.map(|at| at.max(k.now + busy));
+            AgentOutcome::Spin { busy, next }
+        } else {
+            AgentOutcome::Block { busy }
+        }
+    }
+}
+
+impl AgentDriver for GhostDriver {
+    fn run_agent(&mut self, tid: Tid, cpu: CpuId, k: &mut KernelState) -> AgentOutcome {
+        let mut core = self.shared.borrow_mut();
+        let core = &mut *core;
+        let Some(&(eid, agent_cpu)) = core.agent_enclave.get(&tid) else {
+            return AgentOutcome::Block { busy: 0 };
+        };
+        debug_assert_eq!(cpu, agent_cpu, "agents are pinned");
+        let Some(enclave) = core.enclaves[eid.0 as usize].as_ref() else {
+            return AgentOutcome::Block { busy: 0 };
+        };
+        if enclave.destroyed {
+            return AgentOutcome::Block { busy: 0 };
+        }
+        match enclave.config.mode {
+            AgentMode::Centralized => {
+                if enclave.global_agent != Some(tid) {
+                    // Inactive agents immediately vacate their CPUs.
+                    return AgentOutcome::Block { busy: 0 };
+                }
+                // Hot handoff: a CFS thread wants this CPU (§3.3).
+                if k.cpus[cpu.index()].cfs_queued > 0 {
+                    let successor = enclave
+                        .cpus
+                        .iter()
+                        .filter(|&c| c != cpu)
+                        .find(|&c| k.cpus[c.index()].is_idle())
+                        .and_then(|c| enclave.agents.get(&c).map(|a| a.tid));
+                    if let Some(succ) = successor {
+                        let enclave = core.enclaves[eid.0 as usize].as_mut().expect("alive");
+                        enclave.global_agent = Some(succ);
+                        core.stats.handoffs += 1;
+                        k.wake(succ);
+                        return AgentOutcome::Block { busy: 0 };
+                    }
+                    // No idle CPU to hand off to: keep spinning (the
+                    // paper's agent also stays if it cannot find one).
+                }
+                let qid = enclave.default_queue;
+                GhostDriver::activate(core, k, eid, tid, agent_cpu, &[qid], true)
+            }
+            AgentMode::PerCpu => {
+                // An agent drains its own CPU's queue; the agent that the
+                // default queue wakes also owns new-thread traffic on it
+                // (and redistributes via ASSOCIATE_QUEUE).
+                let mut qids = Vec::with_capacity(2);
+                let default_q = enclave.default_queue;
+                if let Some(Some(qs)) = enclave.queues.get(default_q.0 as usize) {
+                    if qs.wake == WakeMode::WakeAgent(tid) {
+                        qids.push(default_q);
+                    }
+                }
+                let own = enclave.queue_for_cpu(agent_cpu);
+                if !qids.contains(&own) {
+                    qids.push(own);
+                }
+                GhostDriver::activate(core, k, eid, tid, agent_cpu, &qids, false)
+            }
+            AgentMode::PerCore => {
+                let key = core_key_of(k, agent_cpu);
+                if enclave.core_active.get(&key) != Some(&tid) {
+                    return AgentOutcome::Block { busy: 0 };
+                }
+                // Drain the shared default queue (new-thread traffic)
+                // plus this core's own queue.
+                let default_q = enclave.default_queue;
+                let own = enclave.queue_for_cpu(agent_cpu);
+                let qids = if own == default_q {
+                    vec![own]
+                } else {
+                    vec![default_q, own]
+                };
+                GhostDriver::activate(core, k, eid, tid, agent_cpu, &qids, false)
+            }
+        }
+    }
+
+    fn on_timer(&mut self, key: u64, k: &mut KernelState) {
+        // Watchdog scan for enclave `key` (§3.4): destroy the enclave if
+        // a runnable ghOSt thread has been left unscheduled for longer
+        // than the configured timeout.
+        let mut core = self.shared.borrow_mut();
+        let eid = EnclaveId(key as u32);
+        let Some(enclave) = core.enclaves[eid.0 as usize].as_ref() else {
+            return;
+        };
+        if enclave.destroyed {
+            return;
+        }
+        let Some(timeout) = enclave.config.watchdog_timeout else {
+            return;
+        };
+        let starved = enclave.threads.keys().any(|&t| {
+            let th = &k.threads[t.index()];
+            th.state == ThreadState::Runnable && k.now.saturating_sub(th.runnable_since) > timeout
+        });
+        if starved {
+            core.stats.watchdog_destroys += 1;
+            core.destroy_enclave(k, eid);
+        } else {
+            k.arm_driver_timer(k.now + timeout / 2, key);
+        }
+    }
+
+    fn on_agent_killed(&mut self, tid: Tid, k: &mut KernelState) {
+        // Agent crash (§3.4): promote a staged policy in place, or fall
+        // back to CFS by destroying the enclave.
+        let (eid, cpu) = {
+            let mut core = self.shared.borrow_mut();
+            let Some((eid, cpu)) = core.agent_enclave.remove(&tid) else {
+                return;
+            };
+            (eid, cpu)
+        };
+        let has_staged = self.shared.borrow().staged[eid.0 as usize].is_some();
+        if has_staged {
+            // In-place upgrade: the staged policy takes over; the dead
+            // agent's pthread is respawned by reusing a surviving agent
+            // as global (centralized) or leaving per-CPU peers in place.
+            let runtime = GhostRuntime {
+                shared: Rc::clone(&self.shared),
+            };
+            runtime.upgrade_now(k, eid);
+            let mut core = self.shared.borrow_mut();
+            if let Some(enclave) = core.enclave_mut(eid) {
+                enclave.agents.remove(&cpu);
+                if enclave.global_agent == Some(tid) {
+                    let succ = enclave.agents.values().next().map(|a| a.tid);
+                    enclave.global_agent = succ;
+                    if let Some(s) = succ {
+                        k.wake(s);
+                    }
+                }
+            }
+        } else {
+            let mut core = self.shared.borrow_mut();
+            if let Some(enclave) = core.enclave_mut(eid) {
+                enclave.agents.remove(&cpu);
+                let was_global = enclave.global_agent == Some(tid);
+                let any_left = !enclave.agents.is_empty();
+                if was_global || !any_left || enclave.config.mode != AgentMode::Centralized {
+                    // Fault isolation: fall back to CFS.
+                    core.stats.fallbacks += 1;
+                    core.destroy_enclave(k, eid);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Status words: per-thread and per-agent state shared between kernel and
+//! agents through (simulated) shared memory.
+//!
+//! "ghOSt allows agents to efficiently poll auxiliary information about
+//! thread and CPU state through status words, mapped into the agent's
+//! address space" (§3.1). We implement them with real atomics so the same
+//! type is sound if the agent runs in a different OS thread than the
+//! simulated kernel (the `ghost-bench` Criterion microbenchmarks exercise
+//! exactly that).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Flag bit: the thread is on a CPU right now.
+pub const SW_ONCPU: u64 = 1 << 0;
+/// Flag bit: the thread is runnable (waiting for an agent decision).
+pub const SW_RUNNABLE: u64 = 1 << 1;
+/// Flag bit: the enclave/agent considers this entity attached and live.
+pub const SW_ATTACHED: u64 = 1 << 2;
+
+/// A shared status word holding a sequence number and state flags.
+///
+/// The kernel publishes with [`StatusWord::publish`]; agents read with
+/// acquire loads, so a read of the sequence number orders after the state
+/// change it describes.
+///
+/// # Examples
+///
+/// ```
+/// use ghost_core::status::{StatusWord, SW_RUNNABLE};
+///
+/// let sw = StatusWord::new();
+/// sw.publish(|seq, flags| (seq + 1, flags | SW_RUNNABLE));
+/// assert_eq!(sw.seq(), 1);
+/// assert!(sw.has_flags(SW_RUNNABLE));
+/// ```
+#[derive(Debug, Default)]
+pub struct StatusWord {
+    /// Packed as two u64s to keep reads cheap and tear-free.
+    seq: AtomicU64,
+    flags: AtomicU64,
+}
+
+/// Shared handle to a status word.
+pub type StatusWordRef = Arc<StatusWord>;
+
+impl StatusWord {
+    /// Creates a zeroed status word.
+    pub fn new() -> StatusWordRef {
+        Arc::new(Self::default())
+    }
+
+    /// Current sequence number (acquire).
+    pub fn seq(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+
+    /// Current flags (acquire).
+    pub fn flags(&self) -> u64 {
+        self.flags.load(Ordering::Acquire)
+    }
+
+    /// True if all bits of `mask` are set.
+    pub fn has_flags(&self, mask: u64) -> bool {
+        self.flags() & mask == mask
+    }
+
+    /// Kernel-side update: applies `f` to `(seq, flags)` and publishes the
+    /// result with release ordering (flags first, then seq, so an agent
+    /// that observes the new seq also observes the new flags).
+    pub fn publish<F: FnOnce(u64, u64) -> (u64, u64)>(&self, f: F) {
+        let seq = self.seq.load(Ordering::Relaxed);
+        let flags = self.flags.load(Ordering::Relaxed);
+        let (nseq, nflags) = f(seq, flags);
+        self.flags.store(nflags, Ordering::Release);
+        self.seq.store(nseq, Ordering::Release);
+    }
+
+    /// Increments the sequence number, returning the new value.
+    pub fn bump_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Sets flag bits.
+    pub fn set_flags(&self, mask: u64) {
+        self.flags.fetch_or(mask, Ordering::AcqRel);
+    }
+
+    /// Clears flag bits.
+    pub fn clear_flags(&self, mask: u64) {
+        self.flags.fetch_and(!mask, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_zeroed() {
+        let sw = StatusWord::new();
+        assert_eq!(sw.seq(), 0);
+        assert_eq!(sw.flags(), 0);
+        assert!(!sw.has_flags(SW_ONCPU));
+    }
+
+    #[test]
+    fn bump_and_flags() {
+        let sw = StatusWord::new();
+        assert_eq!(sw.bump_seq(), 1);
+        assert_eq!(sw.bump_seq(), 2);
+        sw.set_flags(SW_ONCPU | SW_RUNNABLE);
+        assert!(sw.has_flags(SW_ONCPU));
+        sw.clear_flags(SW_ONCPU);
+        assert!(!sw.has_flags(SW_ONCPU));
+        assert!(sw.has_flags(SW_RUNNABLE));
+    }
+
+    #[test]
+    fn publish_is_atomic_pairwise() {
+        let sw = StatusWord::new();
+        sw.publish(|s, f| (s + 10, f | SW_ATTACHED));
+        assert_eq!(sw.seq(), 10);
+        assert!(sw.has_flags(SW_ATTACHED));
+    }
+
+    #[test]
+    fn cross_thread_visibility() {
+        let sw = StatusWord::new();
+        let sw2 = Arc::clone(&sw);
+        let h = std::thread::spawn(move || {
+            for _ in 0..10_000 {
+                sw2.publish(|s, f| (s + 1, f ^ SW_RUNNABLE));
+            }
+        });
+        // Reader: seq must be monotone.
+        let mut last = 0;
+        while last < 10_000 {
+            let s = sw.seq();
+            assert!(s >= last);
+            last = last.max(s);
+        }
+        h.join().unwrap();
+        assert_eq!(sw.seq(), 10_000);
+    }
+}

@@ -1,0 +1,130 @@
+//! Transactions: the agent → kernel scheduling interface (§3.2).
+//!
+//! Agents open transactions in shared memory (`TXN_CREATE()`), fill in the
+//! thread to run and the CPU to run it on, and commit one or many with a
+//! single `TXNS_COMMIT()` syscall. Group commits amortize the syscall and
+//! send one batched IPI instead of one per target CPU.
+
+use ghost_sim::thread::Tid;
+use ghost_sim::topology::CpuId;
+
+/// The sequence-number freshness constraint attached to a transaction.
+///
+/// Per-CPU agents commit with their agent sequence number `Aseq` (§3.2);
+/// the centralized agent commits with the target thread's `Tseq` (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqConstraint {
+    /// No freshness check (used by the BPF fast path, which runs
+    /// synchronously in the kernel and cannot be stale).
+    None,
+    /// Fail with [`TxnStatus::Stale`] if the committing agent's `Aseq`
+    /// advanced past this value (a new message is waiting).
+    Agent(u64),
+    /// Fail with [`TxnStatus::Stale`] if the target thread's `Tseq`
+    /// advanced past this value (the thread changed state).
+    Thread(u64),
+}
+
+/// Commit outcome of a single transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnStatus {
+    /// Not yet committed.
+    Pending,
+    /// Committed: the target CPU will run the thread.
+    Committed,
+    /// The sequence-number check failed (`ESTALE` in the paper): the
+    /// agent's view of the world is out of date. Drain and retry.
+    Stale,
+    /// The target thread is not runnable (blocked, dead, running
+    /// elsewhere, or unknown to the enclave).
+    TargetNotRunnable,
+    /// The target CPU is running a higher-priority-class thread (e.g.
+    /// CFS), which ghOSt must not preempt.
+    CpuBusy,
+    /// The target CPU is not in the enclave or not in the thread's
+    /// affinity mask.
+    CpuUnavailable,
+    /// The enclave rejected the transaction (e.g. being destroyed).
+    Aborted,
+}
+
+impl TxnStatus {
+    /// True only for [`TxnStatus::Committed`].
+    pub fn committed(self) -> bool {
+        self == TxnStatus::Committed
+    }
+}
+
+/// A scheduling transaction: run `tid` on `cpu`, subject to `seq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transaction {
+    /// Thread to schedule.
+    pub tid: Tid,
+    /// Target CPU.
+    pub cpu: CpuId,
+    /// Freshness constraint.
+    pub seq: SeqConstraint,
+    /// Commit outcome, written by the kernel.
+    pub status: TxnStatus,
+}
+
+impl Transaction {
+    /// `TXN_CREATE()`: opens a transaction scheduling `tid` on `cpu` with
+    /// no freshness constraint.
+    pub fn new(tid: Tid, cpu: CpuId) -> Self {
+        Self {
+            tid,
+            cpu,
+            seq: SeqConstraint::None,
+            status: TxnStatus::Pending,
+        }
+    }
+
+    /// Attaches an agent-sequence constraint.
+    pub fn with_agent_seq(mut self, aseq: u64) -> Self {
+        self.seq = SeqConstraint::Agent(aseq);
+        self
+    }
+
+    /// Attaches a thread-sequence constraint.
+    pub fn with_thread_seq(mut self, tseq: u64) -> Self {
+        self.seq = SeqConstraint::Thread(tseq);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_txn_is_pending() {
+        let t = Transaction::new(Tid(3), CpuId(1));
+        assert_eq!(t.status, TxnStatus::Pending);
+        assert_eq!(t.seq, SeqConstraint::None);
+        assert!(!t.status.committed());
+    }
+
+    #[test]
+    fn seq_builders() {
+        let a = Transaction::new(Tid(1), CpuId(0)).with_agent_seq(9);
+        assert_eq!(a.seq, SeqConstraint::Agent(9));
+        let t = Transaction::new(Tid(1), CpuId(0)).with_thread_seq(4);
+        assert_eq!(t.seq, SeqConstraint::Thread(4));
+    }
+
+    #[test]
+    fn committed_predicate() {
+        assert!(TxnStatus::Committed.committed());
+        for s in [
+            TxnStatus::Pending,
+            TxnStatus::Stale,
+            TxnStatus::TargetNotRunnable,
+            TxnStatus::CpuBusy,
+            TxnStatus::CpuUnavailable,
+            TxnStatus::Aborted,
+        ] {
+            assert!(!s.committed());
+        }
+    }
+}

@@ -1,0 +1,619 @@
+//! End-to-end tests of the ghOSt runtime on the simulated kernel:
+//! message flow, transactions (local/remote/group/ESTALE), preemption by
+//! CFS, hot handoff, the PNT fast path, the watchdog, crash fallback, and
+//! in-place upgrade.
+
+use ghost_core::enclave::EnclaveConfig;
+use ghost_core::msg::{Message, MsgType};
+use ghost_core::policy::{GhostPolicy, PolicyCtx};
+use ghost_core::runtime::GhostRuntime;
+use ghost_core::txn::{Transaction, TxnStatus};
+use ghost_sim::app::{App, AppId, Next};
+use ghost_sim::kernel::{Kernel, KernelConfig, KernelState, ThreadSpec};
+use ghost_sim::thread::{ThreadState, Tid};
+use ghost_sim::time::{Nanos, MICROS, MILLIS};
+use ghost_sim::topology::{CpuId, Topology};
+use ghost_sim::{CpuSet, CLASS_CFS};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
+
+/// A centralized FIFO policy (the paper's Fig. 4 example).
+#[derive(Default)]
+struct FifoPolicy {
+    rq: VecDeque<Tid>,
+    queued: HashSet<Tid>,
+    seqs: HashMap<Tid, u64>,
+    /// Failed-commit log for assertions.
+    failures: Vec<TxnStatus>,
+}
+
+impl FifoPolicy {
+    fn enqueue(&mut self, tid: Tid) {
+        if self.queued.insert(tid) {
+            self.rq.push_back(tid);
+        }
+    }
+
+    fn remove(&mut self, tid: Tid) {
+        if self.queued.remove(&tid) {
+            self.rq.retain(|&t| t != tid);
+        }
+    }
+}
+
+impl GhostPolicy for FifoPolicy {
+    fn name(&self) -> &str {
+        "test-fifo"
+    }
+
+    fn on_msg(&mut self, msg: &Message, _ctx: &mut PolicyCtx<'_>) {
+        if msg.ty.is_thread_msg() {
+            self.seqs.insert(msg.tid, msg.seq);
+        }
+        match msg.ty {
+            MsgType::ThreadWakeup | MsgType::ThreadPreempted | MsgType::ThreadYield => {
+                self.enqueue(msg.tid)
+            }
+            MsgType::ThreadBlocked | MsgType::ThreadDead => self.remove(msg.tid),
+            _ => {}
+        }
+    }
+
+    fn schedule(&mut self, ctx: &mut PolicyCtx<'_>) {
+        let idle = ctx.idle_cpus();
+        let mut txns = Vec::new();
+        let mut scheduled = Vec::new();
+        for cpu in idle.iter() {
+            let Some(tid) = self.rq.pop_front() else {
+                break;
+            };
+            self.queued.remove(&tid);
+            scheduled.push(tid);
+            let seq = self.seqs.get(&tid).copied().unwrap_or(0);
+            txns.push(Transaction::new(tid, cpu).with_thread_seq(seq));
+        }
+        if txns.is_empty() {
+            return;
+        }
+        ctx.commit(&mut txns);
+        for txn in &txns {
+            if !txn.status.committed() {
+                self.failures.push(txn.status);
+                self.enqueue(txn.tid);
+            }
+        }
+    }
+}
+
+/// Workload app: each thread runs `seg` then blocks; timers re-arm work.
+struct PulseApp {
+    conf: HashMap<Tid, (Nanos, Nanos)>, // (segment, period)
+    completions: Rc<RefCell<HashMap<Tid, u64>>>,
+}
+
+impl App for PulseApp {
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &str {
+        "pulse"
+    }
+
+    fn on_timer(&mut self, key: u64, k: &mut KernelState) {
+        let tid = Tid(key as u32);
+        let (seg, period) = self.conf[&tid];
+        if k.threads[tid.index()].state == ThreadState::Blocked {
+            k.thread_mut(tid).remaining = seg;
+            k.wake(tid);
+        }
+        if period > 0 {
+            let app = k.thread(tid).app.expect("pulse thread has app");
+            k.arm_app_timer(k.now + period, app, key);
+        }
+    }
+
+    fn on_segment_end(&mut self, tid: Tid, _k: &mut KernelState) -> Next {
+        *self.completions.borrow_mut().entry(tid).or_insert(0) += 1;
+        Next::Block
+    }
+}
+
+struct Setup {
+    kernel: Kernel,
+    runtime: GhostRuntime,
+    enclave: ghost_core::enclave::EnclaveId,
+    app: AppId,
+    threads: Vec<Tid>,
+    completions: Rc<RefCell<HashMap<Tid, u64>>>,
+}
+
+/// Builds: a machine, a centralized enclave over all but CPU 0, `n`
+/// ghOSt-managed pulse threads (seg every period).
+fn centralized_setup(
+    topo: Topology,
+    n: usize,
+    seg: Nanos,
+    period: Nanos,
+    config: EnclaveConfig,
+    policy: Box<dyn GhostPolicy>,
+) -> Setup {
+    centralized_setup_opts(topo, n, seg, period, config, policy, true)
+}
+
+fn centralized_setup_opts(
+    topo: Topology,
+    n: usize,
+    seg: Nanos,
+    period: Nanos,
+    config: EnclaveConfig,
+    policy: Box<dyn GhostPolicy>,
+    stagger: bool,
+) -> Setup {
+    let mut kernel = Kernel::new(topo, KernelConfig::default());
+    let ncpus = kernel.state.topo.num_cpus();
+    let runtime = GhostRuntime::new(ncpus);
+    runtime.install(&mut kernel);
+    let cpus: CpuSet = (1..ncpus as u16).map(CpuId).collect();
+    let enclave = runtime.create_enclave(cpus, config, policy);
+    runtime.spawn_agents(&mut kernel, enclave);
+
+    let app = kernel.state.next_app_id();
+    let completions = Rc::new(RefCell::new(HashMap::new()));
+    let mut conf = HashMap::new();
+    let mut threads = Vec::new();
+    for i in 0..n {
+        let tid = kernel.spawn(ThreadSpec::workload(&format!("w{i}"), &kernel.state.topo).app(app));
+        conf.insert(tid, (seg, period));
+        threads.push(tid);
+    }
+    kernel.add_app(Box::new(PulseApp {
+        conf,
+        completions: Rc::clone(&completions),
+    }));
+    for &tid in &threads {
+        runtime.attach_thread(&mut kernel.state, enclave, tid);
+    }
+    for (i, &tid) in threads.iter().enumerate() {
+        let at = if stagger {
+            (i as u64 + 1) * 10_000
+        } else {
+            10_000
+        };
+        kernel.state.arm_app_timer(at, app, tid.0 as u64);
+    }
+    Setup {
+        kernel,
+        runtime,
+        enclave,
+        app,
+        threads,
+        completions,
+    }
+}
+
+#[test]
+fn centralized_fifo_schedules_threads() {
+    let mut s = centralized_setup(
+        Topology::test_small(4), // 8 CPUs.
+        4,
+        100 * MICROS,
+        MILLIS,
+        EnclaveConfig::centralized("test"),
+        Box::new(FifoPolicy::default()),
+    );
+    s.kernel.run_until(50 * MILLIS);
+    let stats = s.runtime.stats();
+    assert!(
+        stats.txns_committed >= 100,
+        "txns: {}",
+        stats.txns_committed
+    );
+    assert!(stats.posted(MsgType::ThreadWakeup) >= 100);
+    assert!(stats.posted(MsgType::ThreadBlocked) >= 100);
+    assert!(stats.posted(MsgType::ThreadCreated) == 4);
+    for &t in &s.threads {
+        let done = s.completions.borrow()[&t];
+        assert!(done >= 40, "thread {t} completed only {done} pulses");
+    }
+    // The agent spent real virtual time working.
+    assert!(stats.agent_busy_ns > 0);
+    assert!(stats.activations > 100);
+}
+
+#[test]
+fn ghost_threads_are_preempted_by_cfs() {
+    // 4 CPUs: enclave = {1,2,3}; agent spins on 1, ghOSt work on 2–3.
+    let mut s = centralized_setup(
+        Topology::test_small(2),
+        2,
+        5 * MILLIS,
+        10 * MILLIS,
+        EnclaveConfig::centralized("test"),
+        Box::new(FifoPolicy::default()),
+    );
+    // A second app drives a CFS hog pinned to CPU 2, where ghOSt threads
+    // run 5 ms segments — every hog wakeup must preempt them.
+    let hog_app_id = s.kernel.state.next_app_id();
+    let hog = s.kernel.spawn(
+        ThreadSpec::workload("cfs-hog", &s.kernel.state.topo)
+            .app(hog_app_id)
+            .affinity(CpuSet::from_iter([CpuId(2)])),
+    );
+    let hog_completions = Rc::new(RefCell::new(HashMap::new()));
+    let mut conf = HashMap::new();
+    conf.insert(hog, (2 * MILLIS, 10 * MILLIS));
+    s.kernel.add_app(Box::new(PulseApp {
+        conf,
+        completions: Rc::clone(&hog_completions),
+    }));
+    s.kernel
+        .state
+        .arm_app_timer(3 * MILLIS, hog_app_id, hog.0 as u64);
+    s.kernel.run_until(200 * MILLIS);
+    let stats = s.runtime.stats();
+    assert!(
+        stats.posted(MsgType::ThreadPreempted) > 0,
+        "CFS hog must preempt ghOSt threads"
+    );
+    // The ghOSt thread still made progress afterwards.
+    assert!(s.completions.borrow()[&s.threads[0]] >= 10);
+}
+
+#[test]
+fn group_commit_schedules_multiple_cpus() {
+    // All threads wake at the same instant so the FIFO commits groups.
+    let mut s = centralized_setup_opts(
+        Topology::test_small(4),
+        6,
+        500 * MICROS,
+        MILLIS,
+        EnclaveConfig::centralized("test"),
+        Box::new(FifoPolicy::default()),
+        false,
+    );
+    s.kernel.run_until(30 * MILLIS);
+    let stats = s.runtime.stats();
+    assert!(stats.group_commits > 0, "expected group commits");
+    assert!(stats.txns_committed > 50);
+}
+
+#[test]
+fn stale_thread_seq_fails_with_estale() {
+    /// A policy that deliberately commits with an outdated Tseq once.
+    #[derive(Default)]
+    struct StalePolicy {
+        inner: FifoPolicy,
+        sabotaged: bool,
+        stale_seen: Rc<RefCell<bool>>,
+    }
+    impl GhostPolicy for StalePolicy {
+        fn name(&self) -> &str {
+            "stale-test"
+        }
+        fn on_msg(&mut self, msg: &Message, ctx: &mut PolicyCtx<'_>) {
+            self.inner.on_msg(msg, ctx);
+        }
+        fn schedule(&mut self, ctx: &mut PolicyCtx<'_>) {
+            if !self.sabotaged {
+                if let Some(&tid) = self.inner.rq.front() {
+                    let seq = self.inner.seqs.get(&tid).copied().unwrap_or(0);
+                    if seq >= 2 {
+                        // Commit with an old sequence number.
+                        self.sabotaged = true;
+                        let cpu = ctx.idle_cpus().first();
+                        if let Some(cpu) = cpu {
+                            let mut txn = Transaction::new(tid, cpu).with_thread_seq(seq - 1);
+                            let status = ctx.commit_one(&mut txn);
+                            assert_eq!(status, TxnStatus::Stale);
+                            *self.stale_seen.borrow_mut() = true;
+                        }
+                    }
+                }
+            }
+            self.inner.schedule(ctx);
+        }
+    }
+    let stale_seen = Rc::new(RefCell::new(false));
+    let policy = StalePolicy {
+        stale_seen: Rc::clone(&stale_seen),
+        ..Default::default()
+    };
+    let mut s = centralized_setup(
+        Topology::test_small(4),
+        2,
+        100 * MICROS,
+        MILLIS,
+        EnclaveConfig::centralized("test"),
+        Box::new(policy),
+    );
+    s.kernel.run_until(50 * MILLIS);
+    assert!(*stale_seen.borrow(), "ESTALE path never exercised");
+    assert!(s.runtime.stats().txns_stale >= 1);
+    // Despite the sabotage, scheduling continued.
+    assert!(s.completions.borrow()[&s.threads[0]] > 10);
+}
+
+#[test]
+fn watchdog_destroys_enclave_and_falls_back_to_cfs() {
+    /// A policy that never schedules anything (a "buggy agent").
+    struct DeadPolicy;
+    impl GhostPolicy for DeadPolicy {
+        fn name(&self) -> &str {
+            "dead"
+        }
+        fn on_msg(&mut self, _msg: &Message, _ctx: &mut PolicyCtx<'_>) {}
+        fn schedule(&mut self, _ctx: &mut PolicyCtx<'_>) {}
+    }
+    let mut s = centralized_setup(
+        Topology::test_small(4),
+        2,
+        100 * MICROS,
+        MILLIS,
+        EnclaveConfig::centralized("test").with_watchdog(20 * MILLIS),
+        Box::new(DeadPolicy),
+    );
+    s.kernel.run_until(200 * MILLIS);
+    let stats = s.runtime.stats();
+    assert_eq!(stats.watchdog_destroys, 1);
+    assert!(!s.runtime.enclave_alive(s.enclave));
+    // Threads fell back to CFS and resumed making progress.
+    for &t in &s.threads {
+        assert_eq!(s.kernel.state.thread(t).class, CLASS_CFS);
+        assert!(
+            s.completions.borrow().get(&t).copied().unwrap_or(0) > 50,
+            "thread {t} should run under CFS after the fallback"
+        );
+    }
+}
+
+#[test]
+fn agent_crash_without_standby_falls_back_to_cfs() {
+    let mut s = centralized_setup(
+        Topology::test_small(4),
+        2,
+        100 * MICROS,
+        MILLIS,
+        EnclaveConfig::centralized("test"),
+        Box::new(FifoPolicy::default()),
+    );
+    s.kernel.run_until(20 * MILLIS);
+    assert!(s.runtime.enclave_alive(s.enclave));
+    let global = s.runtime.global_agent(s.enclave).expect("global agent");
+    s.kernel.kill(global);
+    s.kernel.run_until(60 * MILLIS);
+    let stats = s.runtime.stats();
+    assert!(stats.fallbacks >= 1);
+    assert!(!s.runtime.enclave_alive(s.enclave));
+    for &t in &s.threads {
+        assert_eq!(s.kernel.state.thread(t).class, CLASS_CFS);
+    }
+    // And they keep running under CFS.
+    let before = s.completions.borrow()[&s.threads[0]];
+    s.kernel.run_until(120 * MILLIS);
+    assert!(s.completions.borrow()[&s.threads[0]] > before);
+}
+
+#[test]
+fn staged_upgrade_survives_agent_crash() {
+    let mut s = centralized_setup(
+        Topology::test_small(4),
+        2,
+        100 * MICROS,
+        MILLIS,
+        EnclaveConfig::centralized("test"),
+        Box::new(FifoPolicy::default()),
+    );
+    s.kernel.run_until(20 * MILLIS);
+    // Stage a new policy version, then crash the running agent.
+    s.runtime
+        .stage_upgrade(s.enclave, Box::new(FifoPolicy::default()));
+    let global = s.runtime.global_agent(s.enclave).expect("global agent");
+    s.kernel.kill(global);
+    s.kernel.run_until(100 * MILLIS);
+    let stats = s.runtime.stats();
+    assert_eq!(stats.upgrades, 1);
+    assert!(
+        s.runtime.enclave_alive(s.enclave),
+        "enclave survives upgrade"
+    );
+    // The new policy schedules: threads still make ghOSt progress.
+    let before = s.completions.borrow()[&s.threads[0]];
+    s.kernel.run_until(200 * MILLIS);
+    assert!(s.completions.borrow()[&s.threads[0]] > before + 50);
+    assert_ne!(s.kernel.state.thread(s.threads[0]).class, CLASS_CFS);
+}
+
+#[test]
+fn pnt_fast_path_schedules_idle_cpus() {
+    /// A policy that only offers threads to the PNT rings and never
+    /// commits transactions itself.
+    struct PntOnly2(FifoPolicy);
+    impl GhostPolicy for PntOnly2 {
+        fn name(&self) -> &str {
+            "pnt-only"
+        }
+        fn on_msg(&mut self, msg: &Message, ctx: &mut PolicyCtx<'_>) {
+            self.0.on_msg(msg, ctx);
+        }
+        fn schedule(&mut self, ctx: &mut PolicyCtx<'_>) {
+            let node = ctx.topo().info(ctx.local_cpu()).socket as usize;
+            while let Some(tid) = self.0.rq.pop_front() {
+                self.0.queued.remove(&tid);
+                ctx.pnt_push(node, tid);
+            }
+        }
+    }
+    let mut s = centralized_setup(
+        Topology::test_small(4),
+        4,
+        100 * MICROS,
+        MILLIS,
+        EnclaveConfig::centralized("test").with_pnt(64),
+        Box::new(PntOnly2(FifoPolicy::default())),
+    );
+    // CFS blips: short CFS work on enclave CPUs forces rescheds whose
+    // pick_next consults the PNT rings when the CPU would otherwise idle.
+    let app = s.app;
+    for c in 2..8u16 {
+        let blip = s.kernel.spawn(
+            ThreadSpec::workload(&format!("blip{c}"), &s.kernel.state.topo)
+                .app(app)
+                .affinity(CpuSet::from_iter([CpuId(c)])),
+        );
+        s.kernel.state.thread_mut(blip).remaining = 10 * MICROS;
+        for i in 0..100u64 {
+            s.kernel.state.wake_at(i * MILLIS + 100_000, blip);
+        }
+    }
+    s.kernel.run_until(100 * MILLIS);
+    let stats = s.runtime.stats();
+    assert!(stats.pnt_picks > 0, "PNT fast path never picked a thread");
+    assert!(
+        s.completions
+            .borrow()
+            .get(&s.threads[0])
+            .copied()
+            .unwrap_or(0)
+            > 10,
+        "threads should run via PNT"
+    );
+}
+
+#[test]
+fn hot_handoff_moves_global_agent() {
+    let mut s = centralized_setup(
+        Topology::test_small(4),
+        2,
+        100 * MICROS,
+        MILLIS,
+        EnclaveConfig::centralized("test"),
+        Box::new(FifoPolicy::default()),
+    );
+    s.kernel.run_until(10 * MILLIS);
+    let global_before = s.runtime.global_agent(s.enclave).expect("global");
+    let gcpu = s.kernel.state.thread(global_before).cpu.expect("on cpu");
+    // Pin a CFS thread to exactly the global agent's CPU.
+    let app = s.app;
+    let hog = s.kernel.spawn(
+        ThreadSpec::workload("pinned-cfs", &s.kernel.state.topo)
+            .app(app)
+            .affinity(CpuSet::from_iter([gcpu])),
+    );
+    s.kernel.state.thread_mut(hog).remaining = 5 * MILLIS;
+    s.kernel.wake_now(hog);
+    s.kernel.run_until(30 * MILLIS);
+    let stats = s.runtime.stats();
+    assert!(stats.handoffs >= 1, "no hot handoff happened");
+    let global_after = s.runtime.global_agent(s.enclave).expect("global");
+    assert_ne!(global_before, global_after);
+    // The CFS thread got its CPU.
+    assert!(s.kernel.state.thread(hog).total_work >= 4 * MILLIS);
+    // And ghOSt scheduling continued under the new global agent.
+    let before = s.completions.borrow()[&s.threads[0]];
+    s.kernel.run_until(60 * MILLIS);
+    assert!(s.completions.borrow()[&s.threads[0]] > before);
+}
+
+#[test]
+fn destroy_enclave_api_moves_threads_to_cfs() {
+    let mut s = centralized_setup(
+        Topology::test_small(4),
+        2,
+        100 * MICROS,
+        MILLIS,
+        EnclaveConfig::centralized("test"),
+        Box::new(FifoPolicy::default()),
+    );
+    s.kernel.run_until(10 * MILLIS);
+    s.runtime.destroy_enclave(&mut s.kernel.state, s.enclave);
+    s.kernel.run_until(20 * MILLIS);
+    assert!(!s.runtime.enclave_alive(s.enclave));
+    for &t in &s.threads {
+        assert_eq!(s.kernel.state.thread(t).class, CLASS_CFS);
+        assert_ne!(s.kernel.state.thread(t).state, ThreadState::Dead);
+    }
+    for agent in s.runtime.agent_tids(s.enclave) {
+        assert_eq!(s.kernel.state.thread(agent).state, ThreadState::Dead);
+    }
+}
+
+/// Fig. 2: multiple enclaves run independent policies concurrently, and
+/// destroying one leaves the other intact (§3.4 fault isolation).
+#[test]
+fn enclaves_are_isolated_from_each_other() {
+    let mut kernel = Kernel::new(Topology::test_small(4), KernelConfig::default());
+    let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
+    runtime.install(&mut kernel);
+    // Enclave A on CPUs 1-3, enclave B on CPUs 4-7.
+    let cpus_a: CpuSet = (1..4u16).map(CpuId).collect();
+    let cpus_b: CpuSet = (4..8u16).map(CpuId).collect();
+    let enc_a = runtime.create_enclave(
+        cpus_a,
+        EnclaveConfig::centralized("A"),
+        Box::new(FifoPolicy::default()),
+    );
+    let enc_b = runtime.create_enclave(
+        cpus_b,
+        EnclaveConfig::centralized("B"),
+        Box::new(FifoPolicy::default()),
+    );
+    runtime.spawn_agents(&mut kernel, enc_a);
+    runtime.spawn_agents(&mut kernel, enc_b);
+
+    let app = kernel.state.next_app_id();
+    let completions = Rc::new(RefCell::new(HashMap::new()));
+    let mut conf = HashMap::new();
+    let mut a_tids = Vec::new();
+    let mut b_tids = Vec::new();
+    for i in 0..2 {
+        let ta = kernel.spawn(ThreadSpec::workload(&format!("a{i}"), &kernel.state.topo).app(app));
+        let tb = kernel.spawn(ThreadSpec::workload(&format!("b{i}"), &kernel.state.topo).app(app));
+        conf.insert(ta, (100 * MICROS, MILLIS));
+        conf.insert(tb, (100 * MICROS, MILLIS));
+        a_tids.push(ta);
+        b_tids.push(tb);
+    }
+    kernel.add_app(Box::new(PulseApp {
+        conf,
+        completions: Rc::clone(&completions),
+    }));
+    for &t in &a_tids {
+        runtime.attach_thread(&mut kernel.state, enc_a, t);
+        kernel.state.arm_app_timer(10_000, app, t.0 as u64);
+    }
+    for &t in &b_tids {
+        runtime.attach_thread(&mut kernel.state, enc_b, t);
+        kernel.state.arm_app_timer(10_000, app, t.0 as u64);
+    }
+    kernel.run_until(50 * MILLIS);
+    // Both enclaves schedule concurrently; threads stay inside their
+    // enclave's CPUs.
+    for &t in &a_tids {
+        assert!(cpus_a.contains(kernel.state.thread(t).last_cpu.expect("ran")));
+    }
+    for &t in &b_tids {
+        assert!(cpus_b.contains(kernel.state.thread(t).last_cpu.expect("ran")));
+    }
+
+    // Crash enclave A's agent: A falls back to CFS, B keeps scheduling.
+    let a_agent = runtime.global_agent(enc_a).expect("A has a global agent");
+    kernel.kill(a_agent);
+    kernel.run_until(60 * MILLIS);
+    assert!(!runtime.enclave_alive(enc_a));
+    assert!(runtime.enclave_alive(enc_b), "enclave B must be untouched");
+    for &t in &a_tids {
+        assert_eq!(kernel.state.thread(t).class, CLASS_CFS);
+    }
+    let b_before = completions.borrow()[&b_tids[0]];
+    kernel.run_until(120 * MILLIS);
+    assert!(
+        completions.borrow()[&b_tids[0]] > b_before + 30,
+        "enclave B must keep scheduling after A's crash"
+    );
+    // And A's threads keep running, now under CFS.
+    let a_before = completions.borrow()[&a_tids[0]];
+    kernel.run_until(180 * MILLIS);
+    assert!(completions.borrow()[&a_tids[0]] > a_before + 30);
+}

@@ -1,0 +1,477 @@
+//! Secure VM core scheduling (§4.5): protect VMs from cross-hyperthread
+//! L1TF/MDS attacks by ensuring "every physical core only runs virtual
+//! CPUs (vCPUs) from the same VM".
+//!
+//! The enclave runs in per-core mode (one queue and one active agent per
+//! physical core, Fig. 9). Each activation schedules *both* siblings of
+//! its core with an atomic group commit — "issuing commits for both CPUs
+//! of a core which must either all succeed or all fail" — so the
+//! same-VM-per-core invariant can never be violated by a half-applied
+//! decision.
+//!
+//! VM selection is a partitioned EDF-like scheme: every VM is guaranteed
+//! a quantum per period (bounding tail latency); spare capacity goes to
+//! whichever runnable VM has the earliest deadline (improving average
+//! latency). Runqueues prefer NUMA-local vCPUs but spill across nodes
+//! under load, matching the paper's description.
+
+use crate::tracker::ThreadTracker;
+use ghost_core::msg::Message;
+use ghost_core::policy::{GhostPolicy, PolicyCtx};
+use ghost_core::txn::Transaction;
+use ghost_sim::thread::Tid;
+use ghost_sim::time::{Nanos, MILLIS};
+use ghost_sim::topology::CpuId;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Core-scheduling tunables.
+#[derive(Debug, Clone)]
+pub struct CoreSchedConfig {
+    /// Guaranteed slice per VM per period.
+    pub quantum: Nanos,
+    /// EDF period.
+    pub period: Nanos,
+}
+
+impl Default for CoreSchedConfig {
+    fn default() -> Self {
+        Self {
+            quantum: 3 * MILLIS,
+            period: 12 * MILLIS,
+        }
+    }
+}
+
+/// Per-VM scheduling state.
+#[derive(Debug, Default)]
+struct VmState {
+    /// Runnable vCPU threads of this VM.
+    rq: VecDeque<Tid>,
+    /// EDF deadline: earlier = more starved.
+    deadline: Nanos,
+}
+
+/// The secure VM core-scheduling policy.
+pub struct CoreSchedPolicy {
+    /// Tunables.
+    pub config: CoreSchedConfig,
+    tracker: ThreadTracker,
+    vms: HashMap<u64, VmState>,
+    queued: HashSet<Tid>,
+    cookie_of: HashMap<Tid, u64>,
+    /// Which VM each core is currently dedicated to, and since when.
+    core_vm: HashMap<CpuId, (u64, Nanos)>,
+    /// Atomic group commits issued.
+    pub group_commits: u64,
+    /// Commits.
+    pub commits: u64,
+    /// Failed commits.
+    pub failures: u64,
+}
+
+impl CoreSchedPolicy {
+    /// Creates the policy.
+    pub fn new(config: CoreSchedConfig) -> Self {
+        Self {
+            config,
+            tracker: ThreadTracker::new(),
+            vms: HashMap::new(),
+            queued: HashSet::new(),
+            cookie_of: HashMap::new(),
+            core_vm: HashMap::new(),
+            group_commits: 0,
+            commits: 0,
+            failures: 0,
+        }
+    }
+
+    fn enqueue(&mut self, tid: Tid, cookie: u64, now: Nanos, period: Nanos) {
+        if self.queued.insert(tid) {
+            let vm = self.vms.entry(cookie).or_insert_with(|| VmState {
+                rq: VecDeque::new(),
+                deadline: now + period,
+            });
+            vm.rq.push_back(tid);
+        }
+    }
+
+    fn dequeue(&mut self, tid: Tid) {
+        if self.queued.remove(&tid) {
+            for vm in self.vms.values_mut() {
+                vm.rq.retain(|&t| t != tid);
+            }
+        }
+    }
+
+    /// The runnable VM with the earliest deadline, preferring VMs with a
+    /// NUMA-local thread for `core_cpu`.
+    fn pick_vm(&self, ctx: &PolicyCtx<'_>, core_cpu: CpuId) -> Option<u64> {
+        let socket = ctx.topo().info(core_cpu).socket;
+        self.vms
+            .iter()
+            .filter(|(_, vm)| !vm.rq.is_empty())
+            .min_by_key(|(_, vm)| {
+                let local = vm.rq.iter().any(|&t| {
+                    self.tracker
+                        .get(t)
+                        .is_some_and(|v| ctx.topo().info(v.last_cpu).socket == socket)
+                });
+                (vm.deadline, !local)
+            })
+            .map(|(&cookie, _)| cookie)
+    }
+
+    /// Pops up to `n` runnable threads of VM `cookie`, NUMA-local first.
+    fn take_threads(
+        &mut self,
+        cookie: u64,
+        n: usize,
+        ctx: &PolicyCtx<'_>,
+        near: CpuId,
+    ) -> Vec<Tid> {
+        let socket = ctx.topo().info(near).socket;
+        let Some(vm) = self.vms.get_mut(&cookie) else {
+            return Vec::new();
+        };
+        let mut picked = Vec::new();
+        // Two passes: NUMA-local threads first, then any.
+        for local_pass in [true, false] {
+            let mut i = 0;
+            while i < vm.rq.len() && picked.len() < n {
+                let tid = vm.rq[i];
+                let local = self
+                    .tracker
+                    .get(tid)
+                    .is_some_and(|v| ctx.topo().info(v.last_cpu).socket == socket);
+                if local == local_pass {
+                    vm.rq.remove(i);
+                    picked.push(tid);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        for &t in &picked {
+            self.queued.remove(&t);
+        }
+        picked
+    }
+
+    /// Number of enclave cores with no ghOSt thread running or pending —
+    /// capacity that spreading should use before SMT-pairing (CFS and the
+    /// in-kernel core scheduler both prefer idle cores; pairing when
+    /// cores are spare costs the 0.65x SMT rate for nothing).
+    fn spare_cores(&self, ctx: &PolicyCtx<'_>) -> usize {
+        let mut seen: Vec<CpuId> = Vec::new();
+        let mut spare = 0;
+        for c in ctx.enclave_cpus().iter() {
+            let core = ctx.topo().core_cpus(c);
+            let key = core.first().expect("core has a CPU");
+            if seen.contains(&key) {
+                continue;
+            }
+            seen.push(key);
+            let free = core.iter().all(|cc| {
+                !ctx.commit_pending(cc)
+                    && ctx.running_ghost(cc).is_none()
+                    && (ctx.agent_on_cpu(cc)
+                        || ctx.idle_cpus().contains(cc)
+                        || cc == ctx.local_cpu())
+            });
+            if free {
+                spare += 1;
+            }
+        }
+        spare
+    }
+
+    /// True when demand exceeds the spread capacity, so filling SMT
+    /// siblings is worth the 0.65x rate.
+    fn should_pair(&self, ctx: &PolicyCtx<'_>) -> bool {
+        let waiting: usize = self.vms.values().map(|v| v.rq.len()).sum();
+        waiting > self.spare_cores(ctx)
+    }
+
+    fn requeue(&mut self, tid: Tid, ctx: &mut PolicyCtx<'_>) {
+        let cookie = self.cookie_of.get(&tid).copied().unwrap_or(0);
+        let now = ctx.now();
+        let period = self.config.period;
+        self.enqueue(tid, cookie, now, period);
+    }
+
+    /// Schedules the activation core: both sibling CPUs of
+    /// `ctx.local_cpu()`, and nothing else (per-core model).
+    fn schedule_core(&mut self, ctx: &mut PolicyCtx<'_>) {
+        if std::env::var_os("GHOST_CS_DEBUG").is_some() {
+            let waiting: usize = self.vms.values().map(|v| v.rq.len()).sum();
+            if waiting > 0 {
+                eprintln!(
+                    "CSDBG t={} agent_cpu={} waiting={} idle={:?} queued={}",
+                    ctx.now(),
+                    ctx.local_cpu(),
+                    waiting,
+                    ctx.idle_cpus(),
+                    self.queued.len(),
+                );
+            }
+        }
+        let now = ctx.now();
+        let core = ctx.topo().core_cpus(ctx.local_cpu());
+        let cpus: Vec<CpuId> = core.iter().collect();
+        let key = cpus[0];
+        // What VM has the core claimed right now? Both running threads
+        // AND pending (committed, not yet picked) transactions count — a
+        // pending sibling commit already dedicates the core.
+        let running: Vec<(CpuId, Tid)> = cpus
+            .iter()
+            .filter_map(|&c| {
+                ctx.running_ghost(c)
+                    .or_else(|| ctx.pending_commit_tid(c))
+                    .map(|t| (c, t))
+            })
+            .collect();
+        let current_vm = running
+            .first()
+            .and_then(|(_, t)| self.cookie_of.get(t).copied());
+        // A core CPU accepts a commit when it has no pending slot and no
+        // ghOSt thread: truly idle, the agent's own CPU (local commit),
+        // or a CPU an agent occupies transiently.
+        let idle: Vec<CpuId> = cpus
+            .iter()
+            .copied()
+            .filter(|&c| {
+                !ctx.commit_pending(c)
+                    && ctx.running_ghost(c).is_none()
+                    && (c == ctx.local_cpu() || ctx.agent_on_cpu(c) || ctx.idle_cpus().contains(c))
+            })
+            .collect();
+        match current_vm {
+            Some(vm) => {
+                // Fill the idle sibling with another vCPU of the SAME VM
+                // only — never mix cookies on a core.
+                let quantum_expired = self.core_vm.get(&key).is_some_and(|&(v, since)| {
+                    v == vm && now.saturating_sub(since) >= self.config.quantum
+                });
+                let other_waiting = self.vms.iter().any(|(&c, s)| c != vm && !s.rq.is_empty());
+                if quantum_expired && other_waiting {
+                    // Rotate the whole core to the next VM atomically.
+                    if let Some(next_vm) = self.pick_vm(ctx, key) {
+                        if next_vm != vm {
+                            self.rotate_core(ctx, &cpus, next_vm);
+                            return;
+                        }
+                    }
+                }
+                if self.should_pair(ctx) {
+                    for &c in &idle {
+                        let Some(tid) = self.take_threads(vm, 1, ctx, key).pop() else {
+                            break;
+                        };
+                        let mut txn =
+                            Transaction::new(tid, c).with_thread_seq(self.tracker.seq(tid));
+                        if ctx.commit_one(&mut txn).committed() {
+                            self.commits += 1;
+                            self.tracker.mark_scheduled(tid);
+                        } else {
+                            self.failures += 1;
+                            self.requeue(tid, ctx);
+                        }
+                    }
+                }
+            }
+            None => {
+                // Core fully idle (as far as ghOSt is concerned): pick
+                // the earliest-deadline VM and dedicate the core to it.
+                if idle.is_empty() {
+                    return; // CFS or another class owns the core.
+                }
+                let Some(vm) = self.pick_vm(ctx, key) else {
+                    return;
+                };
+                let want = if self.should_pair(ctx) { idle.len() } else { 1 };
+                let threads = self.take_threads(vm, want, ctx, key);
+                if threads.is_empty() {
+                    return;
+                }
+                self.core_vm.insert(key, (vm, now));
+                if let Some(s) = self.vms.get_mut(&vm) {
+                    s.deadline = now + self.config.period;
+                }
+                let mut txns: Vec<Transaction> = threads
+                    .iter()
+                    .zip(idle.iter())
+                    .map(|(&t, &c)| Transaction::new(t, c).with_thread_seq(self.tracker.seq(t)))
+                    .collect();
+                if txns.len() > 1 {
+                    self.group_commits += 1;
+                    ctx.commit_atomic(&mut txns);
+                } else {
+                    ctx.commit(&mut txns);
+                }
+                for txn in &txns {
+                    if txn.status.committed() {
+                        self.commits += 1;
+                        self.tracker.mark_scheduled(txn.tid);
+                    } else {
+                        self.failures += 1;
+                        self.requeue(txn.tid, ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Preempts both siblings and installs vCPUs of `next_vm` atomically.
+    fn rotate_core(&mut self, ctx: &mut PolicyCtx<'_>, cpus: &[CpuId], next_vm: u64) {
+        let now = ctx.now();
+        let key = cpus[0];
+        let avail: Vec<CpuId> = cpus
+            .iter()
+            .copied()
+            .filter(|&c| !ctx.commit_pending(c))
+            .collect();
+        // Every sibling currently running the old VM must be replaced in
+        // the same atomic group — a partial rotation would mix VMs on the
+        // core. If the next VM cannot man all of them, skip this round
+        // (it gets the core at the next natural idle point).
+        let must_replace = cpus
+            .iter()
+            .filter(|&&c| ctx.running_ghost(c).is_some())
+            .count();
+        let threads = self.take_threads(next_vm, avail.len(), ctx, key);
+        if threads.is_empty() || threads.len() < must_replace {
+            for t in threads {
+                self.requeue(t, ctx);
+            }
+            return;
+        }
+        let mut txns: Vec<Transaction> = threads
+            .iter()
+            .zip(avail.iter())
+            .map(|(&t, &c)| Transaction::new(t, c).with_thread_seq(self.tracker.seq(t)))
+            .collect();
+        if txns.len() > 1 {
+            self.group_commits += 1;
+            ctx.commit_atomic(&mut txns);
+        } else {
+            ctx.commit(&mut txns);
+        }
+        let mut any = false;
+        for txn in &txns {
+            if txn.status.committed() {
+                self.commits += 1;
+                any = true;
+                self.tracker.mark_scheduled(txn.tid);
+            } else {
+                self.failures += 1;
+                self.requeue(txn.tid, ctx);
+            }
+        }
+        if any {
+            self.core_vm.insert(key, (next_vm, now));
+            if let Some(s) = self.vms.get_mut(&next_vm) {
+                s.deadline = now + self.config.period;
+            }
+        }
+    }
+}
+
+impl GhostPolicy for CoreSchedPolicy {
+    fn name(&self) -> &str {
+        "secure-vm-core-sched"
+    }
+
+    fn on_msg(&mut self, msg: &Message, ctx: &mut PolicyCtx<'_>) {
+        let Some(view) = self.tracker.apply(msg) else {
+            return;
+        };
+        let cookie = match self.cookie_of.get(&msg.tid) {
+            Some(&c) => c,
+            None => {
+                let c = ctx.thread_view(msg.tid).map(|v| v.cookie).unwrap_or(0);
+                self.cookie_of.insert(msg.tid, c);
+                c
+            }
+        };
+        if view.dead {
+            self.dequeue(msg.tid);
+            self.cookie_of.remove(&msg.tid);
+        } else if view.runnable {
+            let now = ctx.now();
+            let period = self.config.period;
+            self.enqueue(msg.tid, cookie, now, period);
+        } else {
+            self.dequeue(msg.tid);
+        }
+    }
+
+    fn schedule(&mut self, ctx: &mut PolicyCtx<'_>) {
+        self.schedule_core(ctx);
+        // Work remains but this core cannot take it: hand it to peer
+        // cores by waking their agents (shared runqueues, §4.5). Eligible
+        // peers have spare capacity AND a compatible claim: fully idle,
+        // or already dedicated to a VM that has waiting threads.
+        if !self.vms.values().any(|v| !v.rq.is_empty()) {
+            return;
+        }
+        let local_core = ctx.topo().core_cpus(ctx.local_cpu());
+        let mut pinged = 0;
+        let mut seen_cores: Vec<CpuId> = Vec::new();
+        for c in ctx.enclave_cpus().iter() {
+            if pinged >= 4 {
+                break;
+            }
+            let core = ctx.topo().core_cpus(c);
+            let key = core.first().expect("core has a CPU");
+            if local_core.contains(c) || seen_cores.contains(&key) {
+                continue;
+            }
+            seen_cores.push(key);
+            let spare = core.iter().any(|cc| {
+                !ctx.commit_pending(cc)
+                    && ctx.running_ghost(cc).is_none()
+                    && (ctx.agent_on_cpu(cc) || ctx.idle_cpus().contains(cc))
+            });
+            if !spare {
+                continue;
+            }
+            let claimed = core.iter().find_map(|cc| {
+                ctx.running_ghost(cc)
+                    .or_else(|| ctx.pending_commit_tid(cc))
+                    .and_then(|t| self.cookie_of.get(&t).copied())
+            });
+            let compatible = match claimed {
+                None => true,
+                Some(vm) => self.vms.get(&vm).is_some_and(|s| !s.rq.is_empty()),
+            };
+            if compatible {
+                ctx.charge(120);
+                ctx.ping_core_agent(c);
+                pinged += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vms_queue_separately() {
+        let mut p = CoreSchedPolicy::new(CoreSchedConfig::default());
+        p.enqueue(Tid(1), 100, 0, p.config.period);
+        p.enqueue(Tid(2), 200, 0, p.config.period);
+        p.enqueue(Tid(3), 100, 0, p.config.period);
+        assert_eq!(p.vms[&100].rq.len(), 2);
+        assert_eq!(p.vms[&200].rq.len(), 1);
+        p.dequeue(Tid(1));
+        assert_eq!(p.vms[&100].rq.len(), 1);
+    }
+
+    #[test]
+    fn default_config_bounds_quantum_by_period() {
+        let c = CoreSchedConfig::default();
+        assert!(c.quantum < c.period);
+    }
+}

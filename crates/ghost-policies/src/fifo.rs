@@ -1,0 +1,157 @@
+//! The centralized FIFO / round-robin policy — the paper's Fig. 4 global
+//! agent and the policy behind the Fig. 5 scalability experiment ("The
+//! policy manages all threads in a FIFO runqueue, scheduling them on CPUs
+//! as soon as CPUs become idle. The agent groups as many transactions as
+//! possible per commit.").
+
+use crate::tracker::ThreadTracker;
+use ghost_core::msg::Message;
+use ghost_core::policy::{GhostPolicy, PolicyCtx};
+use ghost_core::txn::Transaction;
+use ghost_sim::thread::Tid;
+use std::collections::{HashSet, VecDeque};
+
+/// Centralized FIFO over all managed threads.
+#[derive(Default)]
+pub struct CentralizedFifo {
+    tracker: ThreadTracker,
+    rq: VecDeque<Tid>,
+    queued: HashSet<Tid>,
+    /// Per-decision compute cost charged to the agent (ns); models the
+    /// policy's own bookkeeping.
+    pub decision_cost: u64,
+    /// Transactions committed (for harness assertions).
+    pub commits: u64,
+    /// Commit failures (requeued).
+    pub failures: u64,
+}
+
+impl CentralizedFifo {
+    /// Creates the policy with a small default decision cost.
+    pub fn new() -> Self {
+        Self {
+            decision_cost: 50,
+            ..Self::default()
+        }
+    }
+
+    fn enqueue(&mut self, tid: Tid) {
+        if self.queued.insert(tid) {
+            self.rq.push_back(tid);
+        }
+    }
+
+    fn dequeue(&mut self, tid: Tid) {
+        if self.queued.remove(&tid) {
+            self.rq.retain(|&t| t != tid);
+        }
+    }
+
+    /// Current runqueue length.
+    pub fn backlog(&self) -> usize {
+        self.rq.len()
+    }
+
+    /// Pops the next thread from the FIFO (for wrappers that drive the
+    /// queue with different commit strategies, e.g. the no-group-commit
+    /// ablation).
+    pub fn pop_next(&mut self) -> Option<Tid> {
+        let tid = self.rq.pop_front()?;
+        self.queued.remove(&tid);
+        Some(tid)
+    }
+
+    /// Latest known sequence number of `tid`.
+    pub fn seq_of(&self, tid: Tid) -> u64 {
+        self.tracker.seq(tid)
+    }
+
+    /// Records a successful external commit of `tid`.
+    pub fn note_scheduled(&mut self, tid: Tid) {
+        self.tracker.mark_scheduled(tid);
+    }
+
+    /// Puts `tid` back on the queue after a failed external commit.
+    pub fn requeue(&mut self, tid: Tid) {
+        self.enqueue(tid);
+    }
+}
+
+impl GhostPolicy for CentralizedFifo {
+    fn name(&self) -> &str {
+        "centralized-fifo"
+    }
+
+    fn on_msg(&mut self, msg: &Message, _ctx: &mut PolicyCtx<'_>) {
+        let Some(view) = self.tracker.apply(msg) else {
+            return;
+        };
+        if view.dead {
+            self.dequeue(msg.tid);
+        } else if view.runnable {
+            self.enqueue(msg.tid);
+        } else {
+            self.dequeue(msg.tid);
+        }
+    }
+
+    fn schedule(&mut self, ctx: &mut PolicyCtx<'_>) {
+        if self.rq.is_empty() {
+            return;
+        }
+        // Group as many transactions as possible into one commit (Fig. 4).
+        let mut txns = Vec::new();
+        for cpu in ctx.idle_cpus().iter() {
+            let Some(tid) = self.rq.pop_front() else {
+                break;
+            };
+            self.queued.remove(&tid);
+            ctx.charge(self.decision_cost);
+            txns.push(Transaction::new(tid, cpu).with_thread_seq(self.tracker.seq(tid)));
+        }
+        if txns.is_empty() {
+            return;
+        }
+        ctx.commit(&mut txns);
+        for txn in &txns {
+            if txn.status.committed() {
+                self.commits += 1;
+                self.tracker.mark_scheduled(txn.tid);
+            } else {
+                self.failures += 1;
+                self.enqueue(txn.tid);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghost_core::msg::MsgType;
+    use ghost_sim::topology::CpuId;
+
+    #[test]
+    fn runqueue_is_fifo_without_duplicates() {
+        let mut p = CentralizedFifo::new();
+        for i in [1u32, 2, 3, 2, 1] {
+            let m = Message::thread(MsgType::ThreadWakeup, Tid(i), 1, CpuId(0), 0);
+            let v = p.tracker.apply(&m).unwrap();
+            if v.runnable {
+                p.enqueue(Tid(i));
+            }
+        }
+        assert_eq!(p.backlog(), 3);
+        assert_eq!(p.rq.pop_front(), Some(Tid(1)));
+        assert_eq!(p.rq.pop_front(), Some(Tid(2)));
+        assert_eq!(p.rq.pop_front(), Some(Tid(3)));
+    }
+
+    #[test]
+    fn blocked_threads_leave_the_queue() {
+        let mut p = CentralizedFifo::new();
+        p.enqueue(Tid(7));
+        p.dequeue(Tid(7));
+        assert_eq!(p.backlog(), 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # ghost-policies — the scheduling policies from the paper's evaluation
+//!
+//! Each policy implements [`ghost_core::GhostPolicy`] over the
+//! [`ghost_core::PolicyCtx`] API, mirroring the userspace policies of the
+//! paper:
+//!
+//! | module | paper | LOC in paper |
+//! |---|---|---|
+//! | [`per_cpu`] | the per-CPU example of §3.2 / Fig. 3 | — |
+//! | [`fifo`] | the round-robin global policy of Fig. 5 | — |
+//! | [`shinjuku`] | the Shinjuku policy, §4.2 | 710 |
+//! | [`shinjuku_shenango`] | Shinjuku + Shenango, §4.2 | 727 |
+//! | [`snap`] | the Google Snap policy, §4.3 | 855 |
+//! | [`search`] | the Google Search policy, §4.4 | 929 |
+//! | [`core_sched`] | secure VM core scheduling, §4.5 | 4,702 |
+//!
+//! [`tracker`] is the shared message-driven thread-state bookkeeping all
+//! policies build on (part of the "userspace support library" role).
+
+pub mod core_sched;
+pub mod fifo;
+pub mod per_cpu;
+pub mod search;
+pub mod shinjuku;
+pub mod shinjuku_shenango;
+pub mod snap;
+pub mod tracker;
+
+pub use core_sched::CoreSchedPolicy;
+pub use fifo::CentralizedFifo;
+pub use per_cpu::PerCpuPolicy;
+pub use search::{SearchConfig, SearchPolicy};
+pub use shinjuku::{ShinjukuConfig, ShinjukuPolicy};
+pub use shinjuku_shenango::ShinjukuShenangoPolicy;
+pub use snap::SnapPolicy;
+pub use tracker::ThreadTracker;

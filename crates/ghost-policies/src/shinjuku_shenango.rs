@@ -1,0 +1,153 @@
+//! Shinjuku + Shenango (§4.2): "We extended our ghOSt-Shinjuku policy to
+//! implement Shenango-style scheduling with merely 17 more lines of code
+//! ... The policy monitors the load to RocksDB and gives spare cycles to
+//! the batch app."
+//!
+//! Latency-critical (LC) workers behave exactly as in
+//! [`crate::shinjuku`]; batch threads (marked with [`BATCH_COOKIE`]) run
+//! only on CPUs the LC FIFO leaves idle and are preempted the moment LC
+//! work needs the CPU.
+
+use crate::shinjuku::{ShinjukuConfig, ShinjukuPolicy};
+use ghost_core::msg::{Message, MsgType};
+use ghost_core::policy::{GhostPolicy, PolicyCtx};
+use ghost_core::txn::Transaction;
+use ghost_sim::thread::Tid;
+use std::collections::{HashSet, VecDeque};
+
+/// Cookie value marking batch (best-effort) threads.
+pub const BATCH_COOKIE: u64 = 0xBA7C4;
+
+/// Shinjuku for LC work + Shenango-style batch filling.
+pub struct ShinjukuShenangoPolicy {
+    lc: ShinjukuPolicy,
+    batch_rq: VecDeque<Tid>,
+    batch_queued: HashSet<Tid>,
+    batch_threads: HashSet<Tid>,
+    /// Batch commits (for CPU-share accounting assertions).
+    pub batch_commits: u64,
+}
+
+impl ShinjukuShenangoPolicy {
+    /// Creates the policy.
+    pub fn new(config: ShinjukuConfig) -> Self {
+        Self {
+            lc: ShinjukuPolicy::new(config),
+            batch_rq: VecDeque::new(),
+            batch_queued: HashSet::new(),
+            batch_threads: HashSet::new(),
+            batch_commits: 0,
+        }
+    }
+}
+
+impl GhostPolicy for ShinjukuShenangoPolicy {
+    fn name(&self) -> &str {
+        "shinjuku+shenango"
+    }
+
+    fn on_msg(&mut self, msg: &Message, ctx: &mut PolicyCtx<'_>) {
+        // Classify new threads by cookie.
+        if msg.ty == MsgType::ThreadCreated {
+            if let Some(view) = ctx.thread_view(msg.tid) {
+                if view.cookie == BATCH_COOKIE {
+                    self.batch_threads.insert(msg.tid);
+                }
+            }
+        }
+        if self.batch_threads.contains(&msg.tid) {
+            // Batch bookkeeping mirrors the LC tracker, one queue.
+            let Some(view) = self.lc.tracker.apply(msg) else {
+                return;
+            };
+            if view.dead {
+                self.batch_queued.remove(&msg.tid);
+                self.batch_rq.retain(|&t| t != msg.tid);
+                self.batch_threads.remove(&msg.tid);
+            } else if view.runnable {
+                if self.batch_queued.insert(msg.tid) {
+                    self.batch_rq.push_back(msg.tid);
+                }
+            } else {
+                self.batch_queued.remove(&msg.tid);
+                self.batch_rq.retain(|&t| t != msg.tid);
+            }
+            return;
+        }
+        self.lc.track(msg);
+    }
+
+    fn schedule(&mut self, ctx: &mut PolicyCtx<'_>) {
+        // LC first: fill idle CPUs and preempt expired slices. If LC work
+        // is waiting, evict batch threads to make room — one group commit
+        // for all evictions (the batch IPI amortization matters exactly
+        // here, at high load).
+        if !self.lc.rq.is_empty() {
+            let victims: Vec<_> = ctx
+                .enclave_cpus()
+                .iter()
+                .filter_map(|cpu| {
+                    let t = ctx.running_ghost(cpu)?;
+                    (self.batch_threads.contains(&t) && !ctx.commit_pending(cpu)).then_some(cpu)
+                })
+                .collect();
+            let mut txns = Vec::new();
+            for cpu in victims {
+                let Some(next) = self.lc.rq.pop_front() else {
+                    break;
+                };
+                txns.push(
+                    ghost_core::Transaction::new(next, cpu)
+                        .with_thread_seq(self.lc.tracker.seq(next)),
+                );
+            }
+            if !txns.is_empty() {
+                ctx.commit(&mut txns);
+                for txn in &txns {
+                    if txn.status.committed() {
+                        self.lc.note_commit(txn.tid, ctx.now());
+                    } else {
+                        self.lc.note_failure(txn.tid);
+                    }
+                }
+            }
+        }
+        self.lc.fill_idle(ctx);
+        self.lc.preempt_expired(ctx);
+        self.lc.arm_slice_timer(ctx);
+        // Spare cycles go to the batch app — but keep a couple of CPUs
+        // in reserve so bursts of LC arrivals land on truly idle CPUs
+        // instead of waiting out a batch eviction (the "monitors the
+        // load" part of the paper's Shenango-style extension).
+        const RESERVE: usize = 2;
+        while self.lc.rq.is_empty() && ctx.idle_cpus().count() > RESERVE {
+            let Some(cpu) = ctx.idle_cpus().first() else {
+                break;
+            };
+            let Some(tid) = self.batch_rq.pop_front() else {
+                break;
+            };
+            self.batch_queued.remove(&tid);
+            let mut txn = Transaction::new(tid, cpu).with_thread_seq(self.lc.tracker.seq(tid));
+            if ctx.commit_one(&mut txn).committed() {
+                self.batch_commits += 1;
+                self.lc.tracker.mark_scheduled(tid);
+            } else if self.batch_queued.insert(tid) {
+                self.batch_rq.push_back(tid);
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_with_no_batch_threads() {
+        let p = ShinjukuShenangoPolicy::new(ShinjukuConfig::default());
+        assert!(p.batch_threads.is_empty());
+        assert_eq!(p.batch_commits, 0);
+    }
+}

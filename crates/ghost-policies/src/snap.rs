@@ -1,0 +1,184 @@
+//! The Google Snap policy (§4.3): "a simple, yet effective centralized
+//! FIFO policy. The global agent tries to find an idle CPU to schedule
+//! its threads, giving Snap worker threads strict priority over
+//! antagonist threads. ... We did not use any dedicated cores."
+//!
+//! Snap worker threads are marked with [`SNAP_COOKIE`]; everything else
+//! managed by the enclave is treated as antagonist (batch) load.
+
+use crate::tracker::ThreadTracker;
+use ghost_core::msg::{Message, MsgType};
+use ghost_core::policy::{GhostPolicy, PolicyCtx};
+use ghost_core::txn::Transaction;
+use ghost_sim::thread::Tid;
+use ghost_sim::topology::CpuId;
+use std::collections::{HashSet, VecDeque};
+
+/// Cookie value marking Snap packet-processing worker threads.
+pub const SNAP_COOKIE: u64 = 0x54A9;
+
+/// Strict-priority centralized FIFO: Snap workers over antagonists.
+pub struct SnapPolicy {
+    tracker: ThreadTracker,
+    snap_threads: HashSet<Tid>,
+    snap_rq: VecDeque<Tid>,
+    batch_rq: VecDeque<Tid>,
+    queued: HashSet<Tid>,
+    /// Antagonist preemptions by Snap workers.
+    pub batch_preemptions: u64,
+    /// Commits (both classes).
+    pub commits: u64,
+    /// Failed commits.
+    pub failures: u64,
+}
+
+impl SnapPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self {
+            tracker: ThreadTracker::new(),
+            snap_threads: HashSet::new(),
+            snap_rq: VecDeque::new(),
+            batch_rq: VecDeque::new(),
+            queued: HashSet::new(),
+            batch_preemptions: 0,
+            commits: 0,
+            failures: 0,
+        }
+    }
+
+    fn enqueue(&mut self, tid: Tid) {
+        if self.queued.insert(tid) {
+            if self.snap_threads.contains(&tid) {
+                self.snap_rq.push_back(tid);
+            } else {
+                self.batch_rq.push_back(tid);
+            }
+        }
+    }
+
+    fn dequeue(&mut self, tid: Tid) {
+        if self.queued.remove(&tid) {
+            self.snap_rq.retain(|&t| t != tid);
+            self.batch_rq.retain(|&t| t != tid);
+        }
+    }
+
+    /// Picks a target CPU for a Snap worker: an idle CPU near where the
+    /// worker last ran, falling back to preempting an antagonist.
+    fn pick_cpu(&self, tid: Tid, ctx: &PolicyCtx<'_>) -> Option<(CpuId, bool)> {
+        let idle = ctx.idle_cpus();
+        let last = self.tracker.get(tid).map(|t| t.last_cpu);
+        if let Some(last) = last {
+            if idle.contains(last) {
+                return Some((last, false));
+            }
+            // Same-socket idle CPU next.
+            if let Some(c) = idle.iter().find(|&c| ctx.topo().same_socket(c, last)) {
+                return Some((c, false));
+            }
+        }
+        if let Some(c) = idle.first() {
+            return Some((c, false));
+        }
+        // No idle CPU: preempt an antagonist (never another Snap worker).
+        let victim_cpu = ctx.enclave_cpus().iter().find(|&cpu| {
+            !ctx.commit_pending(cpu)
+                && ctx
+                    .running_ghost(cpu)
+                    .is_some_and(|t| !self.snap_threads.contains(&t))
+        })?;
+        Some((victim_cpu, true))
+    }
+}
+
+impl Default for SnapPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GhostPolicy for SnapPolicy {
+    fn name(&self) -> &str {
+        "snap-fifo"
+    }
+
+    fn on_msg(&mut self, msg: &Message, ctx: &mut PolicyCtx<'_>) {
+        if msg.ty == MsgType::ThreadCreated {
+            if let Some(view) = ctx.thread_view(msg.tid) {
+                if view.cookie == SNAP_COOKIE {
+                    self.snap_threads.insert(msg.tid);
+                }
+            }
+        }
+        let Some(view) = self.tracker.apply(msg) else {
+            return;
+        };
+        if view.dead {
+            self.dequeue(msg.tid);
+            self.snap_threads.remove(&msg.tid);
+        } else if view.runnable {
+            self.enqueue(msg.tid);
+        } else {
+            self.dequeue(msg.tid);
+        }
+    }
+
+    fn schedule(&mut self, ctx: &mut PolicyCtx<'_>) {
+        // Snap workers first — they may preempt antagonists.
+        while let Some(&tid) = self.snap_rq.front() {
+            let Some((cpu, preempts)) = self.pick_cpu(tid, ctx) else {
+                break; // Everything busy with Snap work or CFS.
+            };
+            self.snap_rq.pop_front();
+            self.queued.remove(&tid);
+            ctx.charge(60);
+            let mut txn = Transaction::new(tid, cpu).with_thread_seq(self.tracker.seq(tid));
+            if ctx.commit_one(&mut txn).committed() {
+                self.commits += 1;
+                if preempts {
+                    self.batch_preemptions += 1;
+                }
+                self.tracker.mark_scheduled(tid);
+            } else {
+                self.failures += 1;
+                self.enqueue(tid);
+                break;
+            }
+        }
+        // Antagonists fill whatever is still idle.
+        for cpu in ctx.idle_cpus().iter() {
+            let Some(tid) = self.batch_rq.pop_front() else {
+                break;
+            };
+            self.queued.remove(&tid);
+            ctx.charge(60);
+            let mut txn = Transaction::new(tid, cpu).with_thread_seq(self.tracker.seq(tid));
+            if ctx.commit_one(&mut txn).committed() {
+                self.commits += 1;
+                self.tracker.mark_scheduled(tid);
+            } else {
+                self.failures += 1;
+                self.enqueue(tid);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snap_and_batch_queues_are_separate() {
+        let mut p = SnapPolicy::new();
+        p.snap_threads.insert(Tid(1));
+        p.enqueue(Tid(1));
+        p.enqueue(Tid(2));
+        assert_eq!(p.snap_rq.len(), 1);
+        assert_eq!(p.batch_rq.len(), 1);
+        p.dequeue(Tid(1));
+        assert!(p.snap_rq.is_empty());
+        assert_eq!(p.batch_rq.len(), 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! Message-driven thread-state tracking shared by all policies.
+//!
+//! Agents "operate on the system's state as observed via messages"
+//! (§3.1): this tracker folds the message stream into a per-thread view
+//! (runnable?, latest `Tseq`, last CPU) that policies consult instead of
+//! kernel structures.
+
+use ghost_core::msg::{Message, MsgType};
+use ghost_sim::thread::Tid;
+use ghost_sim::topology::CpuId;
+use std::collections::HashMap;
+
+/// Per-thread knowledge derived from messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackedThread {
+    /// Latest sequence number seen in a message.
+    pub seq: u64,
+    /// True between WAKEUP/PREEMPTED/YIELD and BLOCKED/DEAD/(scheduled).
+    pub runnable: bool,
+    /// CPU of the last message about this thread.
+    pub last_cpu: CpuId,
+    /// True once THREAD_DEAD was seen.
+    pub dead: bool,
+}
+
+/// Folds Table 1 messages into per-thread state.
+#[derive(Debug, Default)]
+pub struct ThreadTracker {
+    threads: HashMap<Tid, TrackedThread>,
+}
+
+impl ThreadTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies one message; returns the updated view.
+    ///
+    /// `THREAD_CREATED` inserts a non-runnable entry (the wakeup follows
+    /// separately if the thread is runnable).
+    pub fn apply(&mut self, msg: &Message) -> Option<TrackedThread> {
+        if !msg.ty.is_thread_msg() {
+            return None;
+        }
+        let entry = self.threads.entry(msg.tid).or_insert(TrackedThread {
+            seq: 0,
+            runnable: false,
+            last_cpu: msg.cpu,
+            dead: false,
+        });
+        entry.seq = entry.seq.max(msg.seq);
+        entry.last_cpu = msg.cpu;
+        match msg.ty {
+            MsgType::ThreadWakeup | MsgType::ThreadPreempted | MsgType::ThreadYield => {
+                entry.runnable = true;
+            }
+            MsgType::ThreadBlocked => entry.runnable = false,
+            MsgType::ThreadDead => {
+                entry.runnable = false;
+                entry.dead = true;
+            }
+            MsgType::ThreadCreated | MsgType::ThreadAffinity => {}
+            MsgType::TimerTick => unreachable!("filtered above"),
+        }
+        let view = *entry;
+        if view.dead {
+            self.threads.remove(&msg.tid);
+        }
+        Some(view)
+    }
+
+    /// Marks a thread as scheduled (no longer waiting): called after a
+    /// successful commit so the policy does not double-schedule it.
+    pub fn mark_scheduled(&mut self, tid: Tid) {
+        if let Some(t) = self.threads.get_mut(&tid) {
+            t.runnable = false;
+        }
+    }
+
+    /// Marks a thread runnable again (failed commit re-queue path).
+    pub fn mark_runnable(&mut self, tid: Tid) {
+        if let Some(t) = self.threads.get_mut(&tid) {
+            t.runnable = true;
+        }
+    }
+
+    /// Latest view of a thread.
+    pub fn get(&self, tid: Tid) -> Option<&TrackedThread> {
+        self.threads.get(&tid)
+    }
+
+    /// Latest sequence number for a thread (0 if unknown).
+    pub fn seq(&self, tid: Tid) -> u64 {
+        self.threads.get(&tid).map_or(0, |t| t.seq)
+    }
+
+    /// Number of tracked (live) threads.
+    pub fn len(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// True if no threads are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.threads.is_empty()
+    }
+
+    /// Iterates over tracked threads.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tid, &TrackedThread)> {
+        self.threads.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(ty: MsgType, tid: u32, seq: u64) -> Message {
+        Message::thread(ty, Tid(tid), seq, CpuId(0), 0)
+    }
+
+    #[test]
+    fn created_is_not_runnable() {
+        let mut t = ThreadTracker::new();
+        let v = t.apply(&m(MsgType::ThreadCreated, 1, 1)).unwrap();
+        assert!(!v.runnable);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn wakeup_block_cycle() {
+        let mut t = ThreadTracker::new();
+        t.apply(&m(MsgType::ThreadCreated, 1, 1));
+        assert!(t.apply(&m(MsgType::ThreadWakeup, 1, 2)).unwrap().runnable);
+        assert!(!t.apply(&m(MsgType::ThreadBlocked, 1, 3)).unwrap().runnable);
+        assert_eq!(t.seq(1.into_tid()), 3);
+    }
+
+    #[test]
+    fn dead_removes_thread() {
+        let mut t = ThreadTracker::new();
+        t.apply(&m(MsgType::ThreadCreated, 1, 1));
+        let v = t.apply(&m(MsgType::ThreadDead, 1, 2)).unwrap();
+        assert!(v.dead);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn preempt_and_yield_are_runnable() {
+        let mut t = ThreadTracker::new();
+        t.apply(&m(MsgType::ThreadCreated, 1, 1));
+        assert!(
+            t.apply(&m(MsgType::ThreadPreempted, 1, 2))
+                .unwrap()
+                .runnable
+        );
+        t.mark_scheduled(Tid(1));
+        assert!(!t.get(Tid(1)).unwrap().runnable);
+        assert!(t.apply(&m(MsgType::ThreadYield, 1, 3)).unwrap().runnable);
+    }
+
+    #[test]
+    fn ticks_are_ignored() {
+        let mut t = ThreadTracker::new();
+        assert!(t.apply(&Message::tick(CpuId(2), 0)).is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn seq_is_monotone() {
+        let mut t = ThreadTracker::new();
+        t.apply(&m(MsgType::ThreadCreated, 1, 5));
+        t.apply(&m(MsgType::ThreadWakeup, 1, 3)); // Out-of-order delivery.
+        assert_eq!(t.seq(Tid(1)), 5);
+    }
+
+    trait IntoTid {
+        fn into_tid(self) -> Tid;
+    }
+    impl IntoTid for u32 {
+        fn into_tid(self) -> Tid {
+            Tid(self)
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Agent plug-in interface.
+//!
+//! ghOSt agents are ordinary threads in the top-priority Agent class; what
+//! they *do* while on CPU is delegated to an [`AgentDriver`] — implemented
+//! by `ghost-core`'s enclave runtime. The kernel invokes the driver when an
+//! agent thread lands on a CPU and whenever a scheduled agent-loop or
+//! driver timer fires.
+
+use crate::kernel::KernelState;
+use crate::thread::Tid;
+use crate::time::Nanos;
+use crate::topology::CpuId;
+
+/// How an agent activation ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AgentOutcome {
+    /// The agent blocks after `busy` nanoseconds of work (the per-CPU
+    /// model: committing a local transaction gives up the CPU, §3.2).
+    Block { busy: Nanos },
+    /// The agent yields the CPU after `busy` nanoseconds but stays
+    /// runnable (inactive agents "immediately yield, vacating their
+    /// CPUs", §3.3).
+    Yield { busy: Nanos },
+    /// The agent keeps spinning. `busy` is the work performed this
+    /// activation; if `next` is set, the kernel re-invokes the driver at
+    /// that absolute time (otherwise the next activation comes from a
+    /// message post or driver timer).
+    Spin { busy: Nanos, next: Option<Nanos> },
+}
+
+/// The userspace-scheduler runtime plugged into the kernel.
+pub trait AgentDriver {
+    /// Agent thread `tid` is running on `cpu`; perform one activation.
+    fn run_agent(&mut self, tid: Tid, cpu: CpuId, k: &mut KernelState) -> AgentOutcome;
+
+    /// A timer armed via [`KernelState::arm_driver_timer`] fired.
+    fn on_timer(&mut self, _key: u64, _k: &mut KernelState) {}
+
+    /// An agent thread was preempted or dequeued while runnable. Gives the
+    /// driver a chance to account for lost spin time.
+    fn on_agent_descheduled(&mut self, _tid: Tid, _k: &mut KernelState) {}
+
+    /// An agent thread was killed (crash injection or teardown). The
+    /// driver reacts per §3.4 of the paper: fall back to the default
+    /// scheduler or promote a staged replacement.
+    fn on_agent_killed(&mut self, _tid: Tid, _k: &mut KernelState) {}
+}
+
+/// A driver that does nothing — the default when no enclaves exist.
+pub struct NullDriver;
+
+impl AgentDriver for NullDriver {
+    fn run_agent(&mut self, _tid: Tid, _cpu: CpuId, _k: &mut KernelState) -> AgentOutcome {
+        AgentOutcome::Block { busy: 0 }
+    }
+}

@@ -1,0 +1,60 @@
+//! Workload plug-in interface.
+//!
+//! An [`App`] owns a set of workload threads and drives them: it assigns
+//! work segments, reacts to segment completion, and arms virtual timers
+//! (e.g., open-loop request arrivals). Apps are how `ghost-workloads`
+//! models RocksDB serving, Snap packet processing, Search query handling,
+//! batch antagonists, and VM compute.
+
+use crate::kernel::KernelState;
+use crate::thread::Tid;
+use crate::time::Nanos;
+
+/// Identifier of a registered [`App`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AppId(pub u32);
+
+impl AppId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a workload thread does after finishing its current segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Next {
+    /// Keep running: start another segment of `dur` nanoseconds without
+    /// leaving the CPU.
+    Run { dur: Nanos },
+    /// Sleep until the app wakes the thread again.
+    Block,
+    /// Go to the back of the runqueue (sched_yield).
+    Yield { dur: Nanos },
+    /// Exit; the thread is dead.
+    Exit,
+}
+
+/// A workload driver.
+///
+/// All hooks receive the mutable [`KernelState`] so apps can wake threads,
+/// assign work, arm timers, and read the virtual clock.
+pub trait App {
+    /// Debug name.
+    fn name(&self) -> &str;
+
+    /// A timer armed via [`KernelState::arm_app_timer`] fired.
+    fn on_timer(&mut self, key: u64, k: &mut KernelState);
+
+    /// Thread `tid` (owned by this app) finished its current work segment.
+    /// Decide what it does next.
+    fn on_segment_end(&mut self, tid: Tid, k: &mut KernelState) -> Next;
+
+    /// Thread `tid` exited (after this app returned [`Next::Exit`]).
+    fn on_thread_exit(&mut self, _tid: Tid, _k: &mut KernelState) {}
+
+    /// Downcasting support, so harnesses can extract app-owned results
+    /// (histograms, completion counts) after a run. Implement as
+    /// `fn as_any(&mut self) -> &mut dyn std::any::Any { self }`.
+    fn as_any(&mut self) -> &mut dyn std::any::Any;
+}

@@ -1,0 +1,450 @@
+//! A model of Linux's Completely Fair Scheduler.
+//!
+//! This is not a line-for-line port, but it reproduces the behaviours the
+//! paper's evaluation depends on:
+//!
+//! * weighted fair sharing through per-thread **vruntime** and the kernel's
+//!   nice→weight table (Fig. 6c compares against a nice-19 batch app),
+//! * slice-based tick preemption (`sched_latency` / `min_granularity`),
+//! * wakeup preemption with `wakeup_granularity`,
+//! * wakeup placement preferring the previous CPU and idle CPUs,
+//! * **millisecond-scale** periodic and idle load balancing — the property
+//!   §4.4 highlights ("CFS only rebalances threads across CPUs at periodic
+//!   intervals on the order of milliseconds, harming query tail latencies").
+
+use crate::class::SchedClass;
+use crate::kernel::KernelState;
+use crate::thread::Tid;
+use crate::time::{Nanos, MILLIS};
+use crate::topology::CpuId;
+use std::collections::{BTreeSet, HashMap};
+
+/// Kernel nice→weight table (`sched_prio_to_weight`), nice −20 at index 0.
+pub const NICE_TO_WEIGHT: [u32; 40] = [
+    88761, 71755, 56483, 46273, 36291, // −20 … −16
+    29154, 23254, 18705, 14949, 11916, // −15 … −11
+    9548, 7620, 6100, 4904, 3906, // −10 … −6
+    3121, 2501, 1991, 1586, 1277, // −5 … −1
+    1024, 820, 655, 526, 423, // 0 … 4
+    335, 272, 215, 172, 137, // 5 … 9
+    110, 87, 70, 56, 45, // 10 … 14
+    36, 29, 23, 18, 15, // 15 … 19
+];
+
+/// Weight of nice 0.
+pub const NICE_0_WEIGHT: u64 = 1024;
+
+/// Weight for a nice value.
+pub fn weight_of(nice: i8) -> u32 {
+    NICE_TO_WEIGHT[(nice as i32 + 20).clamp(0, 39) as usize]
+}
+
+/// Tunables mirroring the kernel's CFS knobs.
+#[derive(Debug, Clone)]
+pub struct CfsTunables {
+    /// Target latency for every runnable thread to run once.
+    pub sched_latency: Nanos,
+    /// Minimum slice regardless of runqueue length.
+    pub min_granularity: Nanos,
+    /// A waking thread preempts only if it beats current by this much.
+    pub wakeup_granularity: Nanos,
+    /// Periodic load-balance interval per CPU.
+    pub balance_interval: Nanos,
+}
+
+impl Default for CfsTunables {
+    fn default() -> Self {
+        Self {
+            sched_latency: 6 * MILLIS,
+            min_granularity: 750_000,
+            wakeup_granularity: MILLIS,
+            balance_interval: 4 * MILLIS,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CfsTask {
+    vruntime: u64,
+    weight: u32,
+    /// CPU whose runqueue holds the task when queued.
+    cpu: CpuId,
+    on_rq: bool,
+}
+
+#[derive(Debug, Default)]
+struct CfsRq {
+    /// Runnable (not running) tasks ordered by (vruntime, tid).
+    queue: BTreeSet<(u64, Tid)>,
+    /// Monotonic floor for entering tasks.
+    min_vruntime: u64,
+    /// Includes the running task of this class, if any.
+    nr_running: u32,
+}
+
+/// The CFS scheduling-class implementation.
+pub struct CfsClass {
+    tun: CfsTunables,
+    tasks: HashMap<Tid, CfsTask>,
+    rqs: Vec<CfsRq>,
+    last_balance: Vec<Nanos>,
+}
+
+impl CfsClass {
+    /// Creates the class for a machine with `num_cpus` CPUs.
+    pub fn new(num_cpus: usize) -> Self {
+        Self::with_tunables(num_cpus, CfsTunables::default())
+    }
+
+    /// Creates the class with explicit tunables.
+    pub fn with_tunables(num_cpus: usize, tun: CfsTunables) -> Self {
+        Self {
+            tun,
+            tasks: HashMap::new(),
+            rqs: (0..num_cpus).map(|_| CfsRq::default()).collect(),
+            last_balance: vec![0; num_cpus],
+        }
+    }
+
+    /// Number of runnable CFS tasks associated with `cpu` (queued +
+    /// running), mirrored into `CpuState::cfs_queued` for observers.
+    pub fn nr_running(&self, cpu: CpuId) -> u32 {
+        self.rqs[cpu.index()].nr_running
+    }
+
+    fn sync_cpu_counter(&self, cpu: CpuId, k: &mut KernelState) {
+        k.cpus[cpu.index()].cfs_queued = self.rqs[cpu.index()].queue.len() as u32;
+    }
+
+    fn vdelta(wall: Nanos, weight: u32) -> u64 {
+        wall * NICE_0_WEIGHT / weight as u64
+    }
+
+    /// Time slice for a runqueue with `nr` runnable threads.
+    fn slice(&self, nr: u32) -> Nanos {
+        (self.tun.sched_latency / nr.max(1) as u64).max(self.tun.min_granularity)
+    }
+
+    fn select_cpu(&self, tid: Tid, k: &KernelState) -> CpuId {
+        let t = &k.threads[tid.index()];
+        // 1. Previous CPU if it is idle and its sibling is free too (a
+        //    warm idle core beats everything).
+        if let Some(prev) = t.last_cpu {
+            if t.affinity.contains(prev)
+                && k.cpus[prev.index()].is_idle()
+                && !k
+                    .topo
+                    .sibling(prev)
+                    .is_some_and(|s| k.cpus[s.index()].is_occupied())
+            {
+                return prev;
+            }
+        }
+        // 2. Like Linux's select_idle_sibling: search for an idle CPU
+        //    only within the previous CPU's LLC domain (idle cores before
+        //    idle SMT siblings). CFS does NOT scan the whole machine on
+        //    wakeup — that myopia is what §4.4's global agent exploits.
+        let llc = t
+            .last_cpu
+            .map(|p| k.topo.ccx_cpus(k.topo.info(p).ccx))
+            .unwrap_or_else(|| t.affinity);
+        let mut best_idle: Option<(bool, u8, CpuId)> = None;
+        // 3. A CPU running only lower-class work (e.g. a ghOSt thread),
+        //    which CFS will preempt.
+        let mut best_lower: Option<CpuId> = None;
+        // 4. Least-loaded CFS runqueue in the LLC.
+        let mut least: Option<(u32, CpuId)> = None;
+        for c in llc.and(&t.affinity).iter() {
+            let cs = &k.cpus[c.index()];
+            if cs.is_idle() {
+                let sibling_busy = k
+                    .topo
+                    .sibling(c)
+                    .is_some_and(|s| k.cpus[s.index()].is_occupied());
+                let d = t.last_cpu.map_or(2, |p| k.topo.distance(p, c));
+                if best_idle.map_or(true, |(bb, bd, _)| (sibling_busy, d) < (bb, bd)) {
+                    best_idle = Some((sibling_busy, d, c));
+                }
+            } else if best_idle.is_none() {
+                if let Some(cur) = cs.current {
+                    let cur_class = k.threads[cur.index()].class;
+                    if cur_class > crate::class::CLASS_CFS && best_lower.is_none() {
+                        best_lower = Some(c);
+                    }
+                }
+                let nr = self.rqs[c.index()].nr_running;
+                if least.map_or(true, |(bn, _)| nr < bn) {
+                    least = Some((nr, c));
+                }
+            }
+        }
+        if let Some((_, _, c)) = best_idle {
+            return c;
+        }
+        if let Some(c) = best_lower {
+            return c;
+        }
+        if let Some((_, c)) = least {
+            return c;
+        }
+        // LLC fully outside the affinity mask (e.g. after an affinity
+        // change): fall back to any allowed CPU, idle first.
+        t.affinity
+            .iter()
+            .find(|&c| k.cpus[c.index()].is_idle())
+            .or_else(|| t.affinity.first())
+            .expect("thread must have a non-empty affinity")
+    }
+
+    fn enqueue_on(&mut self, tid: Tid, cpu: CpuId, k: &mut KernelState) {
+        let rq_min = self.rqs[cpu.index()].min_vruntime;
+        let latency = self.tun.sched_latency;
+        let task = self.tasks.get_mut(&tid).expect("task attached");
+        // Sleeper fairness: place no earlier than min_vruntime − latency.
+        task.vruntime = task.vruntime.max(rq_min.saturating_sub(latency));
+        task.cpu = cpu;
+        task.on_rq = true;
+        let key = (task.vruntime, tid);
+        let rq = &mut self.rqs[cpu.index()];
+        rq.queue.insert(key);
+        rq.nr_running += 1;
+        self.sync_cpu_counter(cpu, k);
+    }
+
+    fn remove_queued(&mut self, tid: Tid, k: &mut KernelState) -> bool {
+        let Some(task) = self.tasks.get_mut(&tid) else {
+            return false;
+        };
+        if !task.on_rq {
+            return false;
+        }
+        task.on_rq = false;
+        let cpu = task.cpu;
+        let key = (task.vruntime, tid);
+        let rq = &mut self.rqs[cpu.index()];
+        let removed = rq.queue.remove(&key);
+        debug_assert!(removed, "queued task must be present in its rq");
+        rq.nr_running = rq.nr_running.saturating_sub(1);
+        self.sync_cpu_counter(cpu, k);
+        true
+    }
+
+    /// Steals the highest-vruntime task from the busiest runqueue that the
+    /// thief CPU may run; used for idle balancing.
+    fn steal_for(&mut self, thief: CpuId, k: &mut KernelState) -> Option<Tid> {
+        let busiest = (0..self.rqs.len())
+            .filter(|&i| i != thief.index() && self.rqs[i].queue.len() >= 1)
+            .max_by_key(|&i| self.rqs[i].queue.len())?;
+        // Take from the back (largest vruntime → least cache-hot loss).
+        let cand = self.rqs[busiest]
+            .queue
+            .iter()
+            .rev()
+            .find(|(_, t)| k.threads[t.index()].affinity.contains(thief))
+            .copied()?;
+        let (_, tid) = cand;
+        self.rqs[busiest].queue.remove(&cand);
+        self.rqs[busiest].nr_running -= 1;
+        self.sync_cpu_counter(CpuId(busiest as u16), k);
+        // vruntimes live on one global clock (all runqueues start from the
+        // same epoch), so migration needs no renormalization; the floor in
+        // `enqueue_on` handles rqs that have run ahead. Renormalizing by
+        // (to_min - from_min) here would compound across migrations.
+        let task = self.tasks.get_mut(&tid).expect("stolen task attached");
+        task.on_rq = false;
+        Some(tid)
+    }
+
+    /// Periodic balance: pull one task toward `cpu` if a remote runqueue is
+    /// at least two tasks longer.
+    fn periodic_balance(&mut self, cpu: CpuId, k: &mut KernelState) {
+        let here = self.rqs[cpu.index()].nr_running;
+        let Some(busiest) = (0..self.rqs.len())
+            .filter(|&i| i != cpu.index())
+            .max_by_key(|&i| self.rqs[i].nr_running)
+        else {
+            return;
+        };
+        if self.rqs[busiest].nr_running < here + 2 || self.rqs[busiest].queue.is_empty() {
+            return;
+        }
+        let cand = self.rqs[busiest]
+            .queue
+            .iter()
+            .rev()
+            .find(|(_, t)| k.threads[t.index()].affinity.contains(cpu))
+            .copied();
+        if let Some(key @ (_, tid)) = cand {
+            self.rqs[busiest].queue.remove(&key);
+            self.rqs[busiest].nr_running -= 1;
+            self.sync_cpu_counter(CpuId(busiest as u16), k);
+            // Same global-clock argument as `steal_for`: no renorm.
+            let task = self.tasks.get_mut(&tid).expect("balanced task attached");
+            task.on_rq = false;
+            self.enqueue_on(tid, cpu, k);
+            if k.cpus[cpu.index()].is_idle() {
+                k.request_resched(cpu);
+            }
+        }
+    }
+}
+
+impl SchedClass for CfsClass {
+    fn name(&self) -> &'static str {
+        "cfs"
+    }
+
+    fn enqueue(&mut self, tid: Tid, k: &mut KernelState) -> Option<CpuId> {
+        let cpu = self.select_cpu(tid, k);
+        self.enqueue_on(tid, cpu, k);
+        Some(cpu)
+    }
+
+    fn dequeue(&mut self, tid: Tid, k: &mut KernelState) {
+        self.remove_queued(tid, k);
+    }
+
+    fn pick_next(&mut self, cpu: CpuId, k: &mut KernelState) -> Option<Tid> {
+        let rq = &mut self.rqs[cpu.index()];
+        if let Some(&key @ (vr, tid)) = rq.queue.iter().next() {
+            rq.queue.remove(&key);
+            rq.min_vruntime = rq.min_vruntime.max(vr);
+            let task = self.tasks.get_mut(&tid).expect("picked task attached");
+            task.on_rq = false;
+            // nr_running keeps counting it: it is now current.
+            self.sync_cpu_counter(cpu, k);
+            return Some(tid);
+        }
+        // Idle balance: steal from the busiest runqueue.
+        if let Some(tid) = self.steal_for(cpu, k) {
+            let rq = &mut self.rqs[cpu.index()];
+            rq.nr_running += 1;
+            self.sync_cpu_counter(cpu, k);
+            return Some(tid);
+        }
+        None
+    }
+
+    fn put_prev(&mut self, tid: Tid, cpu: CpuId, still_runnable: bool, k: &mut KernelState) {
+        let wall = k.threads[tid.index()].last_stint_wall;
+        let rq = &mut self.rqs[cpu.index()];
+        rq.nr_running = rq.nr_running.saturating_sub(1);
+        let task = self.tasks.get_mut(&tid).expect("prev task attached");
+        debug_assert!(
+            task.vruntime < 1 << 62 && wall < 1 << 50,
+            "CFS accounting out of range: vruntime={} wall={wall}",
+            task.vruntime,
+        );
+        task.vruntime += Self::vdelta(wall, task.weight);
+        if still_runnable {
+            self.enqueue_on(tid, cpu, k);
+        } else {
+            self.sync_cpu_counter(cpu, k);
+        }
+    }
+
+    fn on_tick(&mut self, cpu: CpuId, current: Tid, k: &mut KernelState) -> bool {
+        let rq = &self.rqs[cpu.index()];
+        let t = &k.threads[current.index()];
+        let ran = k.now.saturating_sub(t.stint_start);
+        let resched = !rq.queue.is_empty() && ran >= self.slice(rq.nr_running);
+        resched
+    }
+
+    fn on_tick_all(&mut self, cpu: CpuId, k: &mut KernelState) {
+        if k.now.saturating_sub(self.last_balance[cpu.index()]) >= self.tun.balance_interval {
+            self.last_balance[cpu.index()] = k.now;
+            self.periodic_balance(cpu, k);
+        }
+    }
+
+    fn should_preempt(&self, waking: Tid, running: Tid, _k: &KernelState) -> bool {
+        let (Some(w), Some(r)) = (self.tasks.get(&waking), self.tasks.get(&running)) else {
+            return false;
+        };
+        let gran = Self::vdelta(self.tun.wakeup_granularity, r.weight);
+        w.vruntime + gran < r.vruntime
+    }
+
+    fn has_runnable(&self, cpu: CpuId, _k: &KernelState) -> bool {
+        !self.rqs[cpu.index()].queue.is_empty()
+    }
+
+    fn on_attach(&mut self, tid: Tid, k: &mut KernelState) {
+        let t = &k.threads[tid.index()];
+        let cpu = t
+            .last_cpu
+            .or_else(|| t.affinity.first())
+            .unwrap_or(CpuId(0));
+        let vr = self.rqs[cpu.index()].min_vruntime;
+        self.tasks.insert(
+            tid,
+            CfsTask {
+                vruntime: vr,
+                weight: weight_of(t.nice),
+                cpu,
+                on_rq: false,
+            },
+        );
+    }
+
+    fn on_detach(&mut self, tid: Tid, k: &mut KernelState) {
+        self.remove_queued(tid, k);
+        self.tasks.remove(&tid);
+    }
+
+    fn on_affinity_changed(&mut self, tid: Tid, k: &mut KernelState) {
+        // Requeue a queued task if its runqueue is no longer allowed.
+        if let Some(task) = self.tasks.get(&tid) {
+            if task.on_rq && !k.threads[tid.index()].affinity.contains(task.cpu) {
+                self.remove_queued(tid, k);
+                let cpu = self.select_cpu(tid, k);
+                self.enqueue_on(tid, cpu, k);
+            }
+        }
+    }
+
+    fn on_nice_changed(&mut self, tid: Tid, k: &mut KernelState) {
+        if let Some(task) = self.tasks.get_mut(&tid) {
+            task.weight = weight_of(k.threads[tid.index()].nice);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_table_is_kernel_table() {
+        assert_eq!(weight_of(0), 1024);
+        assert_eq!(weight_of(-20), 88761);
+        assert_eq!(weight_of(19), 15);
+        // Each nice step is ~1.25x.
+        let ratio = weight_of(-1) as f64 / weight_of(0) as f64;
+        assert!((ratio - 1.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn weight_clamps_out_of_range() {
+        assert_eq!(weight_of(-128), weight_of(-20));
+        assert_eq!(weight_of(127), weight_of(19));
+    }
+
+    #[test]
+    fn vdelta_is_inverse_weighted() {
+        // Nice 0 advances 1:1; heavier weight advances slower.
+        assert_eq!(CfsClass::vdelta(1000, 1024), 1000);
+        assert!(CfsClass::vdelta(1000, weight_of(-20)) < 100);
+        assert!(CfsClass::vdelta(1000, weight_of(19)) > 60_000);
+    }
+
+    #[test]
+    fn slice_scales_with_runqueue() {
+        let c = CfsClass::new(1);
+        assert_eq!(c.slice(1), 6 * MILLIS);
+        assert_eq!(c.slice(3), 2 * MILLIS);
+        // Floored at min_granularity.
+        assert_eq!(c.slice(100), 750_000);
+    }
+}

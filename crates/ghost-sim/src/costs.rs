@@ -1,0 +1,256 @@
+//! Operation cost model, calibrated against Table 3 of the paper.
+//!
+//! The paper measured these on a 2-socket Skylake (Xeon Platinum 8173M):
+//!
+//! | # | Operation | Paper |
+//! |---|---|---|
+//! | 1 | Message delivery to local agent | 725 ns |
+//! | 2 | Message delivery to global agent | 265 ns |
+//! | 3 | Local schedule (1 txn) | 888 ns |
+//! | 4 | Remote schedule, agent overhead | 668 ns |
+//! | 5 | Remote schedule, target CPU overhead | 1064 ns |
+//! | 6 | Remote schedule, end-to-end | 1772 ns |
+//! | 7 | Group remote (10), agent overhead | 3964 ns |
+//! | 8 | Group remote (10), target overhead | 1821 ns |
+//! | 9 | Group remote (10), end-to-end | 5688 ns |
+//! | 10 | Syscall | 72 ns |
+//! | 11 | pthread minimal context switch | 410 ns |
+//! | 12 | CFS context switch | 599 ns |
+//!
+//! The constants below are component costs chosen so the derived quantities
+//! land on (or within ~1% of) the paper's rows; the derivations are spelled
+//! out on each accessor. `ghost-bench`'s `table3_microbench` harness
+//! recomputes every row through the simulator and prints paper-vs-measured.
+
+use crate::time::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Component costs (nanoseconds) of kernel and ghOSt operations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Bare syscall entry/exit (Table 3 line 10).
+    pub syscall: Nanos,
+    /// Minimal context switch between pthreads (Table 3 line 11).
+    pub ctx_switch_min: Nanos,
+    /// CFS context switch, including runqueue bookkeeping (Table 3 line 12).
+    pub ctx_switch_cfs: Nanos,
+    /// Producing one message into a shared-memory queue.
+    pub msg_enqueue: Nanos,
+    /// Consuming one message from a shared-memory queue.
+    pub msg_dequeue: Nanos,
+    /// Waking a blocked agent: mark runnable + switch into the agent.
+    pub agent_wakeup: Nanos,
+    /// Kernel-side commit work for a transaction targeting the local CPU.
+    pub txn_local_commit: Nanos,
+    /// Kernel-side validation work per transaction (seqnum + state checks).
+    pub txn_validate: Nanos,
+    /// Programming and sending an IPI to the first remote target.
+    pub ipi_send: Nanos,
+    /// Incremental cost per additional target in a batch IPI.
+    pub ipi_send_extra: Nanos,
+    /// IPI propagation through the interconnect (same socket).
+    pub ipi_propagation: Nanos,
+    /// Extra propagation when crossing sockets.
+    pub ipi_propagation_cross_socket: Nanos,
+    /// Target-side IPI reception and handler entry.
+    pub ipi_receive: Nanos,
+    /// Extra target-side cost under group commit (shared-structure
+    /// contention among simultaneously-woken targets).
+    pub group_target_contention: Nanos,
+    /// Multiplier (per mille) on agent-side costs when the agent's SMT
+    /// sibling is busy: 1250 = 1.25x (drives Fig. 5's drop ❷).
+    pub smt_contention_permille: u32,
+    /// Multiplier (per mille) on message/validate/IPI costs when the
+    /// remote party is on the other socket (queue slots, status words,
+    /// and runqueue lines all cross the interconnect): 2200 = 2.2x
+    /// (drives Fig. 5's decline ❸).
+    pub cross_socket_permille: u32,
+    /// Work-rate multiplier (per mille) for a workload thread whose SMT
+    /// sibling is also busy: 650 = both siblings run at 65% of a lone core.
+    pub smt_work_rate_permille: u32,
+    /// Dispatcher-to-worker handoff in the Shinjuku dataplane baseline
+    /// (shared-memory descriptor passing; no kernel involvement).
+    pub dataplane_handoff: Nanos,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            syscall: 72,
+            ctx_switch_min: 410,
+            ctx_switch_cfs: 599,
+            msg_enqueue: 160,
+            msg_dequeue: 105,
+            agent_wakeup: 460,
+            txn_local_commit: 289,
+            txn_validate: 229,
+            ipi_send: 370,
+            ipi_send_extra: 137,
+            ipi_propagation: 40,
+            ipi_propagation_cross_socket: 260,
+            ipi_receive: 465,
+            group_target_contention: 757,
+            smt_contention_permille: 1250,
+            cross_socket_permille: 2200,
+            smt_work_rate_permille: 650,
+            dataplane_handoff: 150,
+        }
+    }
+}
+
+impl CostModel {
+    /// Table 3 line 1: message delivery to a *local* (blocked, per-CPU)
+    /// agent = enqueue + agent wakeup + dequeue = 160+460+105 = 725 ns.
+    pub fn message_delivery_local(&self) -> Nanos {
+        self.msg_enqueue + self.agent_wakeup + self.msg_dequeue
+    }
+
+    /// Table 3 line 2: message delivery to the *global* (spinning) agent
+    /// = enqueue + dequeue = 160+105 = 265 ns.
+    pub fn message_delivery_global(&self) -> Nanos {
+        self.msg_enqueue + self.msg_dequeue
+    }
+
+    /// Table 3 line 3: local schedule (commit of one transaction targeting
+    /// the agent's own CPU, through to the target thread running)
+    /// = local commit + CFS-grade context switch = 289+599 = 888 ns.
+    pub fn local_schedule(&self) -> Nanos {
+        self.txn_local_commit + self.ctx_switch_cfs
+    }
+
+    /// Table 3 line 4: remote schedule agent-side overhead
+    /// = syscall + validate + IPI send = 72+229+370 = 671 ns (paper: 668).
+    pub fn remote_schedule_agent(&self) -> Nanos {
+        self.syscall + self.txn_validate + self.ipi_send
+    }
+
+    /// Table 3 line 5: remote schedule target-side overhead
+    /// = IPI receive + context switch = 465+599 = 1064 ns.
+    pub fn remote_schedule_target(&self) -> Nanos {
+        self.ipi_receive + self.ctx_switch_cfs
+    }
+
+    /// Table 3 line 6: remote schedule end-to-end
+    /// = agent side + propagation + target side = 671+40+1064 = 1775 ns
+    /// (paper: 1772; the two sides overlap slightly on real hardware).
+    pub fn remote_schedule_e2e(&self) -> Nanos {
+        self.remote_schedule_agent() + self.ipi_propagation + self.remote_schedule_target()
+    }
+
+    /// Table 3 line 7: agent-side overhead of a group commit of `n`
+    /// transactions for `n` distinct CPUs
+    /// = syscall + n·validate + batch IPI
+    /// (n=10: 72 + 2290 + 370 + 9·137 = 3965 ns; paper: 3964).
+    pub fn group_schedule_agent(&self, n: u64) -> Nanos {
+        if n == 0 {
+            return self.syscall;
+        }
+        self.syscall + n * self.txn_validate + self.ipi_send + (n - 1) * self.ipi_send_extra
+    }
+
+    /// Table 3 line 8: per-target overhead under group commit
+    /// = IPI receive + contention + context switch = 465+757+599 = 1821 ns.
+    pub fn group_schedule_target(&self) -> Nanos {
+        self.ipi_receive + self.group_target_contention + self.ctx_switch_cfs
+    }
+
+    /// Table 3 line 9: group end-to-end latency until the *last* target
+    /// runs its thread. The batch IPI is dispatched after all validations;
+    /// targets then proceed in parallel but contend (line 8):
+    /// n=10: 3965 + 40 + 1821 = 5826 ns. The paper measured 5688 ns —
+    /// about 2.4% less — because target-side work partially overlaps the
+    /// tail of the agent's batch dispatch on real hardware; we accept the
+    /// small overshoot rather than hand-tune an overlap term.
+    pub fn group_schedule_e2e(&self, n: u64) -> Nanos {
+        self.group_schedule_agent(n) + self.ipi_propagation + self.group_schedule_target()
+    }
+
+    /// Applies the SMT-contention multiplier to an agent-side cost.
+    pub fn smt_scaled(&self, cost: Nanos) -> Nanos {
+        cost * self.smt_contention_permille as u64 / 1000
+    }
+
+    /// Applies the cross-socket multiplier to a memory-traffic cost.
+    pub fn cross_socket_scaled(&self, cost: Nanos) -> Nanos {
+        cost * self.cross_socket_permille as u64 / 1000
+    }
+
+    /// Execution rate (0.0–1.0) of a workload thread given whether its SMT
+    /// sibling is busy.
+    pub fn work_rate(&self, sibling_busy: bool) -> f64 {
+        if sibling_busy {
+            self.smt_work_rate_permille as f64 / 1000.0
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_row1_local_delivery() {
+        assert_eq!(CostModel::default().message_delivery_local(), 725);
+    }
+
+    #[test]
+    fn table3_row2_global_delivery() {
+        assert_eq!(CostModel::default().message_delivery_global(), 265);
+    }
+
+    #[test]
+    fn table3_row3_local_schedule() {
+        assert_eq!(CostModel::default().local_schedule(), 888);
+    }
+
+    #[test]
+    fn table3_rows4to6_remote_schedule_within_1pct() {
+        let c = CostModel::default();
+        let within =
+            |got: Nanos, paper: Nanos| (got as f64 - paper as f64).abs() / (paper as f64) < 0.01;
+        assert!(within(c.remote_schedule_agent(), 668));
+        assert_eq!(c.remote_schedule_target(), 1064);
+        assert!(within(c.remote_schedule_e2e(), 1772));
+    }
+
+    #[test]
+    fn table3_rows7to9_group_schedule_within_3pct() {
+        let c = CostModel::default();
+        let within = |got: Nanos, paper: Nanos, tol: f64| {
+            (got as f64 - paper as f64).abs() / (paper as f64) < tol
+        };
+        assert!(within(c.group_schedule_agent(10), 3964, 0.01));
+        assert_eq!(c.group_schedule_target(), 1821);
+        assert!(within(c.group_schedule_e2e(10), 5688, 0.03));
+    }
+
+    #[test]
+    fn group_agent_amortizes_ipis() {
+        let c = CostModel::default();
+        // Per-txn cost of a 10-group is well below 10 single remote commits.
+        assert!(c.group_schedule_agent(10) < 10 * c.remote_schedule_agent());
+        // Theoretical throughput claims from §4.1: 1/668ns ≈ 1.5M/s single,
+        // 10/3964ns ≈ 2.5M/s grouped.
+        let single = 1e9 / c.remote_schedule_agent() as f64;
+        let grouped = 10e9 / c.group_schedule_agent(10) as f64;
+        assert!(single > 1.4e6 && single < 1.6e6);
+        assert!(grouped > 2.4e6 && grouped < 2.6e6);
+    }
+
+    #[test]
+    fn multipliers() {
+        let c = CostModel::default();
+        assert_eq!(c.smt_scaled(1000), 1250);
+        assert_eq!(c.cross_socket_scaled(1000), 2200);
+        assert_eq!(c.work_rate(false), 1.0);
+        assert!((c.work_rate(true) - 0.65).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_group_costs_a_syscall() {
+        let c = CostModel::default();
+        assert_eq!(c.group_schedule_agent(0), c.syscall);
+    }
+}

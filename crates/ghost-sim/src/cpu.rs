@@ -1,0 +1,101 @@
+//! Per-CPU runtime state.
+
+use crate::thread::Tid;
+use crate::time::Nanos;
+
+/// What a CPU is doing right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuRunState {
+    /// Nothing to run.
+    Idle,
+    /// Executing `current`.
+    Busy,
+    /// In the middle of a context switch.
+    Switching,
+}
+
+/// Mutable per-CPU state.
+#[derive(Debug, Clone)]
+pub struct CpuState {
+    /// Thread currently on this CPU (valid when `run_state != Idle`;
+    /// during a switch it is the *incoming* thread, already moved off its
+    /// runqueue).
+    pub current: Option<Tid>,
+    /// Coarse run state.
+    pub run_state: CpuRunState,
+    /// Generation for in-flight context switches; a `CtxSwitchDone` event
+    /// with a stale seq is ignored.
+    pub switch_seq: u64,
+    /// Set while switching if another resched request arrived; the kernel
+    /// re-runs the scheduler when the switch completes.
+    pub resched_after_switch: bool,
+    /// Set when a resched for this CPU is already queued in the deferred
+    /// batch, to coalesce duplicates.
+    pub resched_pending: bool,
+    /// Total busy (non-idle) wall time.
+    pub busy_ns: Nanos,
+    /// When the current busy period started (valid when busy/switching).
+    pub busy_since: Nanos,
+    /// When this CPU last became idle.
+    pub idle_since: Nanos,
+    /// Context switches performed.
+    pub switches: u64,
+    /// IPIs received.
+    pub ipis: u64,
+    /// Number of CFS threads queued (not running) on this CPU, maintained
+    /// by the CFS class so agents can detect CFS threads waiting behind
+    /// them (the hot-handoff trigger of §3.3).
+    pub cfs_queued: u32,
+}
+
+impl Default for CpuState {
+    fn default() -> Self {
+        Self {
+            current: None,
+            run_state: CpuRunState::Idle,
+            switch_seq: 0,
+            resched_after_switch: false,
+            resched_pending: false,
+            busy_ns: 0,
+            busy_since: 0,
+            idle_since: 0,
+            switches: 0,
+            ipis: 0,
+            cfs_queued: 0,
+        }
+    }
+}
+
+impl CpuState {
+    /// True if nothing is running or switching in.
+    pub fn is_idle(&self) -> bool {
+        self.run_state == CpuRunState::Idle
+    }
+
+    /// True if the CPU is occupied (busy or mid-switch).
+    pub fn is_occupied(&self) -> bool {
+        !self.is_idle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cpu_is_idle() {
+        let c = CpuState::default();
+        assert!(c.is_idle());
+        assert!(!c.is_occupied());
+        assert_eq!(c.current, None);
+    }
+
+    #[test]
+    fn occupancy_tracks_run_state() {
+        let mut c = CpuState::default();
+        c.run_state = CpuRunState::Busy;
+        assert!(c.is_occupied());
+        c.run_state = CpuRunState::Switching;
+        assert!(c.is_occupied());
+    }
+}

@@ -1,0 +1,159 @@
+//! The discrete-event queue driving the simulation.
+
+use crate::app::AppId;
+use crate::thread::Tid;
+use crate::time::Nanos;
+use crate::topology::CpuId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A simulation event.
+///
+/// Events that can become stale (because the thing they refer to changed
+/// state in the meantime) carry a generation counter checked at dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ev {
+    /// A running thread's current work segment completes.
+    SegmentEnd { tid: Tid, stint: u64 },
+    /// Periodic timer tick on a CPU.
+    Tick { cpu: CpuId },
+    /// A context switch on `cpu` finishes.
+    CtxSwitchDone { cpu: CpuId, seq: u64 },
+    /// Re-run the scheduler on `cpu` (e.g., IPI arrival).
+    Resched { cpu: CpuId },
+    /// Re-activate a spinning agent thread.
+    AgentLoop { tid: Tid, gen: u64 },
+    /// An agent finishes its work and leaves the CPU: blocking
+    /// (`block = true`) or yielding while staying runnable.
+    AgentPark { tid: Tid, gen: u64, block: bool },
+    /// Wake a thread at a future time.
+    Wake { tid: Tid },
+    /// A timer armed by an [`crate::app::App`].
+    AppTimer { app: AppId, key: u64 },
+    /// A timer armed by the [`crate::agent::AgentDriver`].
+    DriverTimer { key: u64 },
+}
+
+#[derive(Debug)]
+struct Entry {
+    at: Nanos,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first, with the
+        // insertion sequence as a deterministic tiebreak.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Earliest-first event queue with deterministic FIFO tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use ghost_sim::event::{Ev, EventQueue};
+/// use ghost_sim::topology::CpuId;
+///
+/// let mut q = EventQueue::new();
+/// q.push(20, Ev::Resched { cpu: CpuId(1) });
+/// q.push(10, Ev::Resched { cpu: CpuId(0) });
+/// let (t, ev) = q.pop().unwrap();
+/// assert_eq!(t, 10);
+/// assert_eq!(ev, Ev::Resched { cpu: CpuId(0) });
+/// ```
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `ev` at absolute time `at`.
+    pub fn push(&mut self, at: Nanos, ev: Ev) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, ev });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(Nanos, Ev)> {
+        self.heap.pop().map(|e| (e.at, e.ev))
+    }
+
+    /// Time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, Ev::Wake { tid: Tid(3) });
+        q.push(10, Ev::Wake { tid: Tid(1) });
+        q.push(20, Ev::Wake { tid: Tid(2) });
+        let order: Vec<Nanos> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.push(5, Ev::Wake { tid: Tid(1) });
+        q.push(5, Ev::Wake { tid: Tid(2) });
+        q.push(5, Ev::Wake { tid: Tid(3) });
+        let order: Vec<Tid> = std::iter::from_fn(|| {
+            q.pop().map(|(_, ev)| match ev {
+                Ev::Wake { tid } => tid,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(order, vec![Tid(1), Tid(2), Tid(3)]);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(7, Ev::Tick { cpu: CpuId(0) });
+        assert_eq!(q.peek_time(), Some(7));
+        assert_eq!(q.len(), 1);
+    }
+}

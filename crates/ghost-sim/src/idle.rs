@@ -1,0 +1,4 @@
+//! The idle class. It never has runnable threads; a CPU whose higher
+//! classes all return `None` from `pick_next` simply idles.
+
+pub use crate::class::NullClass as IdleClass;

@@ -1,0 +1,38 @@
+//! Virtual time. The whole simulation runs on integer nanoseconds.
+
+/// Virtual time or duration in nanoseconds.
+pub type Nanos = u64;
+
+/// One microsecond in [`Nanos`].
+pub const MICROS: Nanos = 1_000;
+/// One millisecond in [`Nanos`].
+pub const MILLIS: Nanos = 1_000_000;
+/// One second in [`Nanos`].
+pub const SECS: Nanos = 1_000_000_000;
+
+/// Converts microseconds to [`Nanos`].
+pub const fn us(n: u64) -> Nanos {
+    n * MICROS
+}
+
+/// Converts milliseconds to [`Nanos`].
+pub const fn ms(n: u64) -> Nanos {
+    n * MILLIS
+}
+
+/// Converts seconds to [`Nanos`].
+pub const fn secs(n: u64) -> Nanos {
+    n * SECS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(us(3), 3_000);
+        assert_eq!(ms(2), 2_000_000);
+        assert_eq!(secs(1), 1_000_000_000);
+    }
+}

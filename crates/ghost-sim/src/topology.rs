@@ -1,0 +1,345 @@
+//! Machine topology: sockets, physical cores, SMT siblings, CCXs, NUMA.
+//!
+//! The presets correspond to the machines used in the paper's evaluation:
+//!
+//! * [`Topology::skylake_112`] — 2-socket Intel Xeon Platinum 8173M, 28
+//!   physical cores per socket, 2 hyperthreads each (microbenchmarks, Fig. 5,
+//!   Snap §4.3, VM scheduling §4.5).
+//! * [`Topology::haswell_72`] — 2-socket Haswell, 18 cores per socket
+//!   (Fig. 5's second line).
+//! * [`Topology::e5_single_socket_24`] — one socket of a 2-socket Xeon
+//!   E5-2658, 12 physical cores, 24 logical CPUs (Shinjuku comparison §4.2).
+//! * [`Topology::rome_256`] — 2-socket AMD Zen "Rome", 64 cores per socket,
+//!   grouped in 4-core CCXs with a shared L3 (Google Search §4.4).
+
+use crate::cpuset::CpuSet;
+use serde::{Deserialize, Serialize};
+
+/// A logical CPU (hyperthread) identifier.
+///
+/// The paper: "We refer to logical execution units as CPUs."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CpuId(pub u16);
+
+impl CpuId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for CpuId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+/// Static per-CPU placement information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuInfo {
+    /// NUMA node / socket index.
+    pub socket: u16,
+    /// Physical core index (global, across sockets).
+    pub core: u16,
+    /// SMT thread index within the core (0 or 1).
+    pub smt: u8,
+    /// CCX (L3 complex) index; on Intel presets each socket is one "CCX".
+    pub ccx: u16,
+}
+
+/// A machine topology.
+///
+/// CPU numbering follows the common Linux enumeration: all thread-0 siblings
+/// of socket 0, then socket 1, ..., then all thread-1 siblings in the same
+/// order. So on a 2-socket, 28-core/socket machine, CPU 0 and CPU 56 are
+/// hyperthread siblings sharing physical core 0.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    name: String,
+    cpus: Vec<CpuInfo>,
+    sockets: u16,
+    cores_per_socket: u16,
+    threads_per_core: u8,
+    cores_per_ccx: u16,
+}
+
+impl Topology {
+    /// Builds a topology with the given shape.
+    ///
+    /// `cores_per_ccx` groups physical cores into L3 complexes; pass the
+    /// core count per socket for monolithic-L3 (Intel-style) sockets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total logical CPU count exceeds [`crate::cpuset::MAX_CPUS`]
+    /// or any dimension is zero.
+    pub fn new(
+        name: &str,
+        sockets: u16,
+        cores_per_socket: u16,
+        threads_per_core: u8,
+        cores_per_ccx: u16,
+    ) -> Self {
+        assert!(sockets > 0 && cores_per_socket > 0 && threads_per_core > 0 && cores_per_ccx > 0);
+        let total = sockets as usize * cores_per_socket as usize * threads_per_core as usize;
+        assert!(
+            total <= crate::cpuset::MAX_CPUS,
+            "topology exceeds MAX_CPUS"
+        );
+        let mut cpus = Vec::with_capacity(total);
+        let ccx_per_socket = cores_per_socket.div_ceil(cores_per_ccx);
+        for smt in 0..threads_per_core {
+            for socket in 0..sockets {
+                for core_in_socket in 0..cores_per_socket {
+                    let core = socket * cores_per_socket + core_in_socket;
+                    let ccx = socket * ccx_per_socket + core_in_socket / cores_per_ccx;
+                    cpus.push(CpuInfo {
+                        socket,
+                        core,
+                        smt,
+                        ccx,
+                    });
+                }
+            }
+        }
+        Self {
+            name: name.to_string(),
+            cpus,
+            sockets,
+            cores_per_socket,
+            threads_per_core,
+            cores_per_ccx,
+        }
+    }
+
+    /// 2-socket Intel Xeon Platinum 8173M: 28 cores/socket, SMT2 → 112 CPUs.
+    pub fn skylake_112() -> Self {
+        Self::new("skylake-112", 2, 28, 2, 28)
+    }
+
+    /// 2-socket Haswell: 18 cores/socket, SMT2 → 72 CPUs.
+    pub fn haswell_72() -> Self {
+        Self::new("haswell-72", 2, 18, 2, 18)
+    }
+
+    /// One socket of an Intel Xeon E5-2658: 12 cores, SMT2 → 24 CPUs.
+    pub fn e5_single_socket_24() -> Self {
+        Self::new("e5-24", 1, 12, 2, 12)
+    }
+
+    /// 2-socket AMD Zen Rome: 64 cores/socket in 4-core CCXs, SMT2 → 256 CPUs.
+    pub fn rome_256() -> Self {
+        Self::new("rome-256", 2, 64, 2, 4)
+    }
+
+    /// A small single-socket machine for unit tests.
+    pub fn test_small(cores: u16) -> Self {
+        Self::new("test-small", 1, cores, 2, cores)
+    }
+
+    /// Human-readable topology name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of logical CPUs.
+    pub fn num_cpus(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Number of sockets.
+    pub fn num_sockets(&self) -> u16 {
+        self.sockets
+    }
+
+    /// Physical cores per socket.
+    pub fn cores_per_socket(&self) -> u16 {
+        self.cores_per_socket
+    }
+
+    /// SMT threads per core.
+    pub fn threads_per_core(&self) -> u8 {
+        self.threads_per_core
+    }
+
+    /// Placement info for one CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn info(&self, cpu: CpuId) -> CpuInfo {
+        self.cpus[cpu.index()]
+    }
+
+    /// All CPU ids.
+    pub fn all_cpus(&self) -> impl Iterator<Item = CpuId> + '_ {
+        (0..self.cpus.len()).map(|i| CpuId(i as u16))
+    }
+
+    /// A [`CpuSet`] of every CPU.
+    pub fn all_cpus_set(&self) -> CpuSet {
+        CpuSet::first_n(self.num_cpus())
+    }
+
+    /// The SMT sibling of `cpu`, if the machine has SMT2.
+    pub fn sibling(&self, cpu: CpuId) -> Option<CpuId> {
+        if self.threads_per_core < 2 {
+            return None;
+        }
+        let per_thread = self.sockets as usize * self.cores_per_socket as usize;
+        let i = cpu.index();
+        Some(CpuId(if i < per_thread {
+            (i + per_thread) as u16
+        } else {
+            (i - per_thread) as u16
+        }))
+    }
+
+    /// All CPUs on the same socket as `cpu` (including itself).
+    pub fn socket_cpus(&self, socket: u16) -> CpuSet {
+        self.all_cpus()
+            .filter(|&c| self.cpus[c.index()].socket == socket)
+            .collect()
+    }
+
+    /// All CPUs in the same CCX as `cpu` (including itself).
+    pub fn ccx_cpus(&self, ccx: u16) -> CpuSet {
+        self.all_cpus()
+            .filter(|&c| self.cpus[c.index()].ccx == ccx)
+            .collect()
+    }
+
+    /// All CPUs sharing the physical core of `cpu` (itself + sibling).
+    pub fn core_cpus(&self, cpu: CpuId) -> CpuSet {
+        let mut s = CpuSet::empty();
+        s.add(cpu);
+        if let Some(sib) = self.sibling(cpu) {
+            s.add(sib);
+        }
+        s
+    }
+
+    /// True if `a` and `b` are on the same socket.
+    pub fn same_socket(&self, a: CpuId, b: CpuId) -> bool {
+        self.cpus[a.index()].socket == self.cpus[b.index()].socket
+    }
+
+    /// True if `a` and `b` share a CCX (L3).
+    pub fn same_ccx(&self, a: CpuId, b: CpuId) -> bool {
+        self.cpus[a.index()].ccx == self.cpus[b.index()].ccx
+    }
+
+    /// True if `a` and `b` share a physical core.
+    pub fn same_core(&self, a: CpuId, b: CpuId) -> bool {
+        self.cpus[a.index()].core == self.cpus[b.index()].core
+    }
+
+    /// A coarse inter-CPU distance used for migration-cost heuristics:
+    /// 0 = same CPU, 1 = SMT sibling, 2 = same CCX, 3 = same socket,
+    /// 4 = cross socket.
+    pub fn distance(&self, a: CpuId, b: CpuId) -> u8 {
+        if a == b {
+            0
+        } else if self.same_core(a, b) {
+            1
+        } else if self.same_ccx(a, b) {
+            2
+        } else if self.same_socket(a, b) {
+            3
+        } else {
+            4
+        }
+    }
+
+    /// CCX ids adjacent to `ccx`, nearest first (same socket, then remote).
+    pub fn ccx_neighbors(&self, ccx: u16) -> Vec<u16> {
+        let ccx_per_socket = self.cores_per_socket.div_ceil(self.cores_per_ccx);
+        let total_ccx = self.sockets * ccx_per_socket;
+        let socket = ccx / ccx_per_socket;
+        let mut out: Vec<u16> = (0..total_ccx).filter(|&c| c != ccx).collect();
+        out.sort_by_key(|&c| {
+            let same = (c / ccx_per_socket) == socket;
+            let dist = c.abs_diff(ccx);
+            (!same, dist)
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skylake_shape() {
+        let t = Topology::skylake_112();
+        assert_eq!(t.num_cpus(), 112);
+        assert_eq!(t.num_sockets(), 2);
+        // Sibling pairing: CPU 0's sibling is CPU 56.
+        assert_eq!(t.sibling(CpuId(0)), Some(CpuId(56)));
+        assert_eq!(t.sibling(CpuId(56)), Some(CpuId(0)));
+        assert!(t.same_core(CpuId(0), CpuId(56)));
+        assert_eq!(t.info(CpuId(0)).socket, 0);
+        assert_eq!(t.info(CpuId(28)).socket, 1);
+    }
+
+    #[test]
+    fn rome_ccx_grouping() {
+        let t = Topology::rome_256();
+        assert_eq!(t.num_cpus(), 256);
+        // Cores 0..3 share CCX 0; core 4 starts CCX 1.
+        assert!(t.same_ccx(CpuId(0), CpuId(3)));
+        assert!(!t.same_ccx(CpuId(0), CpuId(4)));
+        // A core's SMT sibling is in the same CCX.
+        let sib = t.sibling(CpuId(0)).unwrap();
+        assert!(t.same_ccx(CpuId(0), sib));
+        // 16 CCXs per socket, 32 total.
+        let n0 = t.ccx_cpus(0);
+        assert_eq!(n0.count(), 8);
+    }
+
+    #[test]
+    fn distance_ordering() {
+        let t = Topology::rome_256();
+        let a = CpuId(0);
+        assert_eq!(t.distance(a, a), 0);
+        assert_eq!(t.distance(a, t.sibling(a).unwrap()), 1);
+        assert_eq!(t.distance(a, CpuId(1)), 2); // same CCX, different core
+        assert_eq!(t.distance(a, CpuId(10)), 3); // same socket, other CCX
+        assert_eq!(t.distance(a, CpuId(64)), 4); // other socket
+    }
+
+    #[test]
+    fn socket_cpus_partition_machine() {
+        let t = Topology::haswell_72();
+        let s0 = t.socket_cpus(0);
+        let s1 = t.socket_cpus(1);
+        assert_eq!(s0.count() + s1.count(), 72);
+        assert!(s0.and(&s1).is_empty());
+    }
+
+    #[test]
+    fn ccx_neighbors_prefer_same_socket() {
+        let t = Topology::rome_256();
+        let n = t.ccx_neighbors(0);
+        // First neighbors are on socket 0 (ccx 1..15), remote socket last.
+        assert_eq!(n[0], 1);
+        assert!(n[..15].iter().all(|&c| c < 16));
+        assert!(n[15..].iter().all(|&c| c >= 16));
+    }
+
+    #[test]
+    fn no_smt_machine_has_no_siblings() {
+        let t = Topology::new("uniproc", 1, 4, 1, 4);
+        assert_eq!(t.sibling(CpuId(0)), None);
+        assert_eq!(t.core_cpus(CpuId(0)).count(), 1);
+    }
+
+    #[test]
+    fn e5_socket_is_single_numa() {
+        let t = Topology::e5_single_socket_24();
+        assert_eq!(t.num_cpus(), 24);
+        assert!(t.same_socket(CpuId(0), CpuId(23)));
+        assert_eq!(t.sibling(CpuId(0)), Some(CpuId(12)));
+    }
+}

@@ -1,0 +1,180 @@
+//! Open-loop arrival processes and service-time distributions.
+
+use ghost_sim::time::Nanos;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Poisson arrival process with exponentially distributed gaps.
+///
+/// # Examples
+///
+/// ```
+/// use ghost_workloads::Poisson;
+///
+/// let mut p = Poisson::new(100_000.0, 42); // 100k arrivals/s.
+/// let t1 = p.next_after(0);
+/// let t2 = p.next_after(t1);
+/// assert!(t2 > t1);
+/// ```
+pub struct Poisson {
+    rng: StdRng,
+    /// Mean gap between arrivals, ns.
+    mean_gap: f64,
+}
+
+impl Poisson {
+    /// Creates a process with `rate` arrivals per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        assert!(rate > 0.0, "arrival rate must be positive");
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            mean_gap: 1e9 / rate,
+        }
+    }
+
+    /// The next arrival time strictly after `now`.
+    pub fn next_after(&mut self, now: Nanos) -> Nanos {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let gap = (-u.ln() * self.mean_gap).max(1.0);
+        now + gap as Nanos
+    }
+
+    /// Generates all arrivals in `[0, horizon)` as a sorted vector.
+    pub fn generate(&mut self, horizon: Nanos) -> Vec<Nanos> {
+        let mut out = Vec::new();
+        let mut t = self.next_after(0);
+        while t < horizon {
+            out.push(t);
+            t = self.next_after(t);
+        }
+        out
+    }
+}
+
+/// Service-time distributions used in the paper's experiments.
+#[derive(Debug, Clone)]
+pub enum ServiceDist {
+    /// Constant service time.
+    Fixed(Nanos),
+    /// Two-point distribution: with probability `p_long`, `long`;
+    /// otherwise `short`. The §4.2 dispersive workload is
+    /// `Bimodal { short: 4 µs, long: 10 ms, p_long: 0.005 }`.
+    Bimodal {
+        /// Common-case service time.
+        short: Nanos,
+        /// Rare long service time.
+        long: Nanos,
+        /// Probability of the long case.
+        p_long: f64,
+    },
+    /// Exponential with the given mean.
+    Exponential(Nanos),
+    /// Uniform in `[lo, hi]`.
+    Uniform(Nanos, Nanos),
+}
+
+impl ServiceDist {
+    /// Samples one service time.
+    pub fn sample(&self, rng: &mut StdRng) -> Nanos {
+        match *self {
+            ServiceDist::Fixed(v) => v,
+            ServiceDist::Bimodal {
+                short,
+                long,
+                p_long,
+            } => {
+                if rng.gen_bool(p_long) {
+                    long
+                } else {
+                    short
+                }
+            }
+            ServiceDist::Exponential(mean) => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                ((-u.ln()) * mean as f64).max(1.0) as Nanos
+            }
+            ServiceDist::Uniform(lo, hi) => rng.gen_range(lo..=hi),
+        }
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            ServiceDist::Fixed(v) => v as f64,
+            ServiceDist::Bimodal {
+                short,
+                long,
+                p_long,
+            } => short as f64 * (1.0 - p_long) + long as f64 * p_long,
+            ServiceDist::Exponential(mean) => mean as f64,
+            ServiceDist::Uniform(lo, hi) => (lo + hi) as f64 / 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let mut p = Poisson::new(1_000_000.0, 7); // 1M/s → mean gap 1 µs.
+        let arrivals = p.generate(100_000_000); // 100 ms.
+        let n = arrivals.len() as f64;
+        assert!((90_000.0..110_000.0).contains(&n), "n = {n}");
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        let _ = Poisson::new(0.0, 1);
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let a = Poisson::new(10_000.0, 9).generate(10_000_000);
+        let b = Poisson::new(10_000.0, 9).generate(10_000_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bimodal_matches_probabilities() {
+        let d = ServiceDist::Bimodal {
+            short: 4_000,
+            long: 10_000_000,
+            p_long: 0.005,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let longs = (0..n).filter(|_| d.sample(&mut rng) == 10_000_000).count() as f64;
+        let frac = longs / n as f64;
+        assert!((0.003..0.007).contains(&frac), "long fraction {frac}");
+        // Mean: 0.995·4 µs + 0.005·10 ms ≈ 53.98 µs.
+        assert!((d.mean() - 53_980.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = ServiceDist::Exponential(10_000);
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 200_000;
+        let sum: u64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((9_800.0..10_200.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let d = ServiceDist::Uniform(100, 200);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v = d.sample(&mut rng);
+            assert!((100..=200).contains(&v));
+        }
+    }
+}

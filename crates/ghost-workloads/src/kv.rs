@@ -1,0 +1,59 @@
+//! A small in-memory key-value store standing in for RocksDB (§4.2).
+//!
+//! The evaluation only depends on GET service times, but the store is
+//! real: the request-serving app executes actual lookups so the data
+//! path is exercised, and the per-GET cost model (~6 µs in the paper's
+//! setup) feeds the simulated service time.
+
+use ghost_sim::time::Nanos;
+use std::collections::HashMap;
+
+/// An in-memory KV store with a modelled per-operation cost.
+pub struct KvStore {
+    map: HashMap<u64, u64>,
+    /// Simulated cost of one GET (paper: "about 6 µs").
+    pub get_cost: Nanos,
+}
+
+impl KvStore {
+    /// Builds a store with `n` keys (key `i` → value `i * 2654435761`).
+    pub fn with_keys(n: u64, get_cost: Nanos) -> Self {
+        let mut map = HashMap::with_capacity(n as usize);
+        for i in 0..n {
+            map.insert(i, i.wrapping_mul(2_654_435_761));
+        }
+        Self { map, get_cost }
+    }
+
+    /// Executes a GET; returns `(value, simulated_cost)`.
+    pub fn get(&self, key: u64) -> (Option<u64>, Nanos) {
+        (self.map.get(&key).copied(), self.get_cost)
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if the store has no keys.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gets_return_stored_values() {
+        let kv = KvStore::with_keys(1000, 6_000);
+        let (v, cost) = kv.get(7);
+        assert_eq!(v, Some(7u64.wrapping_mul(2_654_435_761)));
+        assert_eq!(cost, 6_000);
+        let (missing, _) = kv.get(99_999);
+        assert_eq!(missing, None);
+        assert_eq!(kv.len(), 1000);
+        assert!(!kv.is_empty());
+    }
+}

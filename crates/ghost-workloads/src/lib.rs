@@ -1,0 +1,34 @@
+//! # ghost-workloads — workload models for the ghOSt evaluation
+//!
+//! Each workload implements [`ghost_sim::App`] and drives native threads
+//! on the simulated kernel; which scheduler manages those threads (CFS,
+//! MicroQuanta, or a ghOSt policy) is decided by the harness that wires
+//! the experiment together.
+//!
+//! * [`arrivals`] — open-loop Poisson arrival processes and the service
+//!   time distributions used across the evaluation.
+//! * [`kv`] — a small in-memory key-value store standing in for RocksDB.
+//! * [`rocksdb`] — the §4.2 request-serving app: a worker pool serving
+//!   GET+compute requests with highly dispersive service times.
+//! * [`batch`] — CPU-hungry batch/antagonist threads (§4.2, §4.3).
+//! * [`snap`] — the §4.3 packet-processing workload: 6 streams of 10k
+//!   messages/s with 64 B and 64 kB payloads.
+//! * [`search`] — the §4.4 Google Search workload: query types A/B/C
+//!   with NUMA-affine data and cache-warmth effects.
+//! * [`vm`] — the §4.5 bwaves-like VM compute workload.
+
+pub mod arrivals;
+pub mod batch;
+pub mod kv;
+pub mod rocksdb;
+pub mod search;
+pub mod snap;
+pub mod vm;
+
+pub use arrivals::{Poisson, ServiceDist};
+pub use batch::BatchApp;
+pub use kv::KvStore;
+pub use rocksdb::{RocksDbApp, RocksDbConfig, RocksDbResults};
+pub use search::{SearchApp, SearchWorkloadConfig};
+pub use snap::{SnapApp, SnapConfig};
+pub use vm::{VmApp, VmConfig};

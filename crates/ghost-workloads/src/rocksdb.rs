@@ -1,0 +1,240 @@
+//! The §4.2 request-serving workload: "each request includes a GET query
+//! to an in-memory RocksDB key-value store (about 6 µs) and performs a
+//! small amount of processing. We assigned the following processing
+//! times: 99.5% of requests - 4 µs, 0.5% of requests - 10 ms."
+//!
+//! The app owns a pool of worker threads (200 in the ghOSt-Shinjuku
+//! setup). The load generator assigns each arriving request to a free
+//! worker and wakes it; the scheduler under test (ghOSt policy or CFS)
+//! decides when and where workers run. Request latency is measured from
+//! arrival to completion.
+
+use crate::arrivals::{Poisson, ServiceDist};
+use crate::kv::KvStore;
+use ghost_metrics::LogHistogram;
+use ghost_sim::app::{App, AppId, Next};
+use ghost_sim::kernel::KernelState;
+use ghost_sim::thread::{ThreadState, Tid};
+use ghost_sim::time::Nanos;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, VecDeque};
+
+/// Workload configuration.
+#[derive(Debug, Clone)]
+pub struct RocksDbConfig {
+    /// Offered load, requests per second.
+    pub rate: f64,
+    /// Processing-time distribution (on top of the GET cost).
+    pub processing: ServiceDist,
+    /// GET cost (paper: ~6 µs).
+    pub get_cost: Nanos,
+    /// Keys in the store.
+    pub keys: u64,
+    /// RNG seed (arrivals and service times).
+    pub seed: u64,
+    /// Latencies of requests arriving before this time are discarded.
+    pub warmup: Nanos,
+}
+
+impl RocksDbConfig {
+    /// The paper's dispersive workload at the given offered load.
+    pub fn dispersive(rate: f64, seed: u64) -> Self {
+        Self {
+            rate,
+            processing: ServiceDist::Bimodal {
+                short: 4_000,
+                long: 10_000_000,
+                p_long: 0.005,
+            },
+            get_cost: 2_000,
+            keys: 10_000,
+            seed,
+            warmup: 50_000_000,
+        }
+    }
+
+    /// Generates the full arrival trace `(arrival, total_service)` up to
+    /// `horizon` — shared with the Shinjuku-dataplane baseline so every
+    /// system serves the *identical* request stream.
+    pub fn trace(&self, horizon: Nanos) -> Vec<(Nanos, Nanos)> {
+        let mut poisson = Poisson::new(self.rate, self.seed);
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
+        poisson
+            .generate(horizon)
+            .into_iter()
+            .map(|t| (t, self.get_cost + self.processing.sample(&mut rng)))
+            .collect()
+    }
+}
+
+/// Measurements extracted after a run.
+#[derive(Debug)]
+pub struct RocksDbResults {
+    /// Request latency (arrival → completion), warmup excluded.
+    pub latency: LogHistogram,
+    /// Completed requests (including warmup).
+    pub completed: u64,
+    /// Generated requests.
+    pub generated: u64,
+    /// Maximum backlog (requests waiting for a free worker).
+    pub max_backlog: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    arrival: Nanos,
+    service: Nanos,
+}
+
+/// The request-serving app.
+pub struct RocksDbApp {
+    cfg: RocksDbConfig,
+    kv: KvStore,
+    trace: Vec<(Nanos, Nanos)>,
+    next_arrival: usize,
+    free: Vec<Tid>,
+    active: HashMap<Tid, Request>,
+    backlog: VecDeque<Request>,
+    latency: LogHistogram,
+    completed: u64,
+    max_backlog: usize,
+    app_id: AppId,
+}
+
+impl RocksDbApp {
+    /// Builds the app with a pregenerated trace up to `horizon`.
+    pub fn new(cfg: RocksDbConfig, app_id: AppId, horizon: Nanos) -> Self {
+        let trace = cfg.trace(horizon);
+        let kv = KvStore::with_keys(cfg.keys, cfg.get_cost);
+        Self {
+            cfg,
+            kv,
+            trace,
+            next_arrival: 0,
+            free: Vec::new(),
+            active: HashMap::new(),
+            backlog: VecDeque::new(),
+            latency: LogHistogram::new(),
+            completed: 0,
+            max_backlog: 0,
+            app_id,
+        }
+    }
+
+    /// Registers a worker thread (spawned by the harness, scheduled by
+    /// whatever class the harness chose).
+    pub fn add_worker(&mut self, tid: Tid) {
+        self.free.push(tid);
+    }
+
+    /// Arms the first arrival timer.
+    pub fn start(&self, k: &mut KernelState) {
+        if let Some(&(t, _)) = self.trace.first() {
+            k.arm_app_timer(t, self.app_id, 0);
+        }
+    }
+
+    /// Extracts results.
+    pub fn results(&self) -> RocksDbResults {
+        RocksDbResults {
+            latency: self.latency.clone(),
+            completed: self.completed,
+            generated: self.next_arrival as u64,
+            max_backlog: self.max_backlog,
+        }
+    }
+
+    fn assign(&mut self, tid: Tid, req: Request, k: &mut KernelState) {
+        // Execute the actual GET against the store (real data path).
+        let key = req.arrival % self.cfg.keys;
+        let (_value, _) = self.kv.get(key);
+        self.active.insert(tid, req);
+        k.thread_mut(tid).remaining = req.service;
+        k.wake(tid);
+    }
+}
+
+impl App for RocksDbApp {
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &str {
+        "rocksdb"
+    }
+
+    fn on_timer(&mut self, _key: u64, k: &mut KernelState) {
+        // Consume every arrival due now (timers coalesce at high rates).
+        while let Some(&(t, service)) = self.trace.get(self.next_arrival) {
+            if t > k.now {
+                k.arm_app_timer(t, self.app_id, 0);
+                break;
+            }
+            self.next_arrival += 1;
+            let req = Request {
+                arrival: t,
+                service,
+            };
+            match self.free.pop() {
+                Some(w) if k.threads[w.index()].state == ThreadState::Blocked => {
+                    self.assign(w, req, k)
+                }
+                Some(w) => {
+                    // Worker still draining a previous stint; treat as busy.
+                    self.free.push(w);
+                    self.backlog.push_back(req);
+                }
+                None => self.backlog.push_back(req),
+            }
+            self.max_backlog = self.max_backlog.max(self.backlog.len());
+        }
+    }
+
+    fn on_segment_end(&mut self, tid: Tid, k: &mut KernelState) -> Next {
+        let Some(req) = self.active.remove(&tid) else {
+            return Next::Block;
+        };
+        self.completed += 1;
+        if req.arrival >= self.cfg.warmup {
+            self.latency.record(k.now - req.arrival);
+        }
+        // Pull the next request directly if any are waiting.
+        if let Some(next) = self.backlog.pop_front() {
+            let key = next.arrival % self.cfg.keys;
+            let (_value, _) = self.kv.get(key);
+            self.active.insert(tid, next);
+            return Next::Run { dur: next.service };
+        }
+        self.free.push(tid);
+        Next::Block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghost_sim::time::{MILLIS, SECS};
+
+    #[test]
+    fn trace_is_sorted_and_deterministic() {
+        let cfg = RocksDbConfig::dispersive(100_000.0, 11);
+        let a = cfg.trace(100 * MILLIS);
+        let b = cfg.trace(100 * MILLIS);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].0 <= w[1].0));
+        // ~10k arrivals in 100 ms at 100k/s.
+        assert!((9_000..11_000).contains(&a.len()));
+    }
+
+    #[test]
+    fn trace_services_are_bimodal() {
+        let cfg = RocksDbConfig::dispersive(500_000.0, 3);
+        let trace = cfg.trace(SECS);
+        let long = trace.iter().filter(|&&(_, s)| s > 1_000_000).count() as f64;
+        let frac = long / trace.len() as f64;
+        assert!((0.003..0.007).contains(&frac), "long fraction {frac}");
+        // Short requests are GET (2 µs) + 4 µs.
+        assert!(trace.iter().any(|&(_, s)| s == 6_000));
+    }
+}

@@ -1,0 +1,335 @@
+//! The §4.3 Snap packet-processing workload: "six client threads,
+//! sending 10k messages/second to six server threads on the other
+//! machine and receiving a symmetrically sized reply. ... One client
+//! thread sends 64-byte messages ... Each of the other five client
+//! threads sends 64kB messages."
+//!
+//! We model the server machine's scheduling problem: per-stream polling
+//! *worker* threads (Snap engines) process arriving messages — 64 B
+//! messages need little compute, 64 kB messages pay for copying — then
+//! hand replies to per-stream *server* threads running under CFS (which
+//! is what preempts ghOSt workers in quiet mode). Round-trip latency is
+//! wire time plus every scheduling and processing delay on the server.
+
+use ghost_metrics::LogHistogram;
+use ghost_sim::app::{App, AppId, Next};
+use ghost_sim::kernel::KernelState;
+use ghost_sim::thread::{ThreadState, Tid};
+use ghost_sim::time::{Nanos, MICROS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+
+/// Snap workload configuration.
+#[derive(Debug, Clone)]
+pub struct SnapConfig {
+    /// Message streams (paper: 6 — one 64 B, five 64 kB).
+    pub streams: usize,
+    /// Messages per second per stream.
+    pub rate_per_stream: f64,
+    /// Worker processing time for a 64 B message.
+    pub proc_64b: Nanos,
+    /// Worker processing time for a 64 kB message (data copying).
+    pub proc_64kb: Nanos,
+    /// Server-thread (CFS) reply handling time.
+    pub server_time: Nanos,
+    /// Fixed wire + NIC time added to every recorded RTT.
+    pub wire_time: Nanos,
+    /// RNG seed.
+    pub seed: u64,
+    /// Messages arriving before this are not recorded.
+    pub warmup: Nanos,
+    /// Mean interval between traffic bursts per stream (`None` disables
+    /// bursts). "As bursts of networking load arrive, Snap may wake up
+    /// ... additional worker threads" — bursts are what push a worker
+    /// past its MicroQuanta quanta into a blackout.
+    pub burst_every: Option<Nanos>,
+    /// Messages per burst.
+    pub burst_len: usize,
+}
+
+impl Default for SnapConfig {
+    fn default() -> Self {
+        Self {
+            streams: 6,
+            rate_per_stream: 10_000.0,
+            proc_64b: 1 * MICROS,
+            proc_64kb: 15 * MICROS,
+            server_time: 3 * MICROS,
+            wire_time: 20 * MICROS,
+            seed: 1,
+            warmup: 100_000_000,
+            burst_every: Some(40 * 1_000_000),
+            burst_len: 170,
+        }
+    }
+}
+
+/// Per-size RTT results.
+#[derive(Debug)]
+pub struct SnapResults {
+    /// RTTs of 64 B messages (stream 0).
+    pub rtt_64b: LogHistogram,
+    /// RTTs of 64 kB messages (streams 1+).
+    pub rtt_64kb: LogHistogram,
+    /// Messages completed.
+    pub completed: u64,
+}
+
+struct Stream {
+    worker: Tid,
+    server: Tid,
+    /// Pending message arrival timestamps.
+    queue: VecDeque<Nanos>,
+    /// Message the worker is processing.
+    processing: Option<Nanos>,
+    /// Replies waiting on the server thread: (arrival of original msg).
+    replies: VecDeque<Nanos>,
+    is_64b: bool,
+}
+
+const BURST_KEY_BASE: u64 = 1_000;
+
+/// The Snap packet-processing app.
+pub struct SnapApp {
+    cfg: SnapConfig,
+    app_id: AppId,
+    streams: Vec<Stream>,
+    worker_of: HashMap<Tid, usize>,
+    server_of: HashMap<Tid, usize>,
+    rng: StdRng,
+    rtt_64b: LogHistogram,
+    rtt_64kb: LogHistogram,
+    completed: u64,
+}
+
+impl SnapApp {
+    /// Creates the app. Workers and servers are registered afterwards
+    /// with [`SnapApp::add_stream`].
+    pub fn new(cfg: SnapConfig, app_id: AppId) -> Self {
+        let seed = cfg.seed;
+        Self {
+            cfg,
+            app_id,
+            streams: Vec::new(),
+            worker_of: HashMap::new(),
+            server_of: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            rtt_64b: LogHistogram::new(),
+            rtt_64kb: LogHistogram::new(),
+            completed: 0,
+        }
+    }
+
+    /// Registers stream `i`'s worker (Snap engine, scheduled by the class
+    /// under test) and server thread (CFS). Stream 0 carries 64 B
+    /// messages; the rest 64 kB.
+    pub fn add_stream(&mut self, worker: Tid, server: Tid) {
+        let idx = self.streams.len();
+        self.worker_of.insert(worker, idx);
+        self.server_of.insert(server, idx);
+        self.streams.push(Stream {
+            worker,
+            server,
+            queue: VecDeque::new(),
+            processing: None,
+            replies: VecDeque::new(),
+            is_64b: idx == 0,
+        });
+    }
+
+    /// Arms the first arrival (and burst) timer for every stream.
+    pub fn start(&mut self, k: &mut KernelState) {
+        for i in 0..self.streams.len() {
+            let gap = self.next_gap();
+            k.arm_app_timer(k.now + gap, self.app_id, i as u64);
+            if self.cfg.burst_every.is_some() {
+                let gap = self.next_burst_gap();
+                k.arm_app_timer(k.now + gap, self.app_id, BURST_KEY_BASE + i as u64);
+            }
+        }
+    }
+
+    fn next_burst_gap(&mut self) -> Nanos {
+        let mean = self.cfg.burst_every.expect("bursts enabled") as f64;
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        ((-u.ln()) * mean).max(1.0) as Nanos
+    }
+
+    fn next_gap(&mut self) -> Nanos {
+        let mean = 1e9 / self.cfg.rate_per_stream;
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        ((-u.ln()) * mean).max(1.0) as Nanos
+    }
+
+    fn proc_time(&self, is_64b: bool) -> Nanos {
+        if is_64b {
+            self.cfg.proc_64b
+        } else {
+            self.cfg.proc_64kb
+        }
+    }
+
+    /// Extracts results.
+    pub fn results(&self) -> SnapResults {
+        SnapResults {
+            rtt_64b: self.rtt_64b.clone(),
+            rtt_64kb: self.rtt_64kb.clone(),
+            completed: self.completed,
+        }
+    }
+
+    fn feed_worker(&mut self, idx: usize, k: &mut KernelState) {
+        let proc = self.proc_time(self.streams[idx].is_64b);
+        let s = &mut self.streams[idx];
+        if s.processing.is_some() {
+            return;
+        }
+        let Some(arrival) = s.queue.pop_front() else {
+            return;
+        };
+        s.processing = Some(arrival);
+        if k.threads[s.worker.index()].state == ThreadState::Blocked {
+            k.thread_mut(s.worker).remaining = proc;
+            k.wake(s.worker);
+        }
+    }
+}
+
+impl App for SnapApp {
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &str {
+        "snap"
+    }
+
+    fn on_timer(&mut self, key: u64, k: &mut KernelState) {
+        if key >= BURST_KEY_BASE {
+            // A traffic burst lands on stream `key - BURST_KEY_BASE`.
+            let idx = (key - BURST_KEY_BASE) as usize;
+            for _ in 0..self.cfg.burst_len {
+                self.streams[idx].queue.push_back(k.now);
+            }
+            self.feed_worker(idx, k);
+            let gap = self.next_burst_gap();
+            k.arm_app_timer(k.now + gap, self.app_id, key);
+            return;
+        }
+        // Steady message arrival on stream `key`.
+        let idx = key as usize;
+        self.streams[idx].queue.push_back(k.now);
+        self.feed_worker(idx, k);
+        let gap = self.next_gap();
+        k.arm_app_timer(k.now + gap, self.app_id, key);
+    }
+
+    fn on_segment_end(&mut self, tid: Tid, k: &mut KernelState) -> Next {
+        if let Some(&idx) = self.worker_of.get(&tid) {
+            // Worker finished processing one message → hand to server.
+            let proc = self.proc_time(self.streams[idx].is_64b);
+            let s = &mut self.streams[idx];
+            if let Some(arrival) = s.processing.take() {
+                s.replies.push_back(arrival);
+                let server = s.server;
+                if k.threads[server.index()].state == ThreadState::Blocked {
+                    k.thread_mut(server).remaining = self.cfg.server_time;
+                    k.wake(server);
+                }
+            }
+            // Keep draining the stream queue without blocking.
+            let s = &mut self.streams[idx];
+            if let Some(arrival) = s.queue.pop_front() {
+                s.processing = Some(arrival);
+                return Next::Run { dur: proc };
+            }
+            return Next::Block;
+        }
+        if let Some(&idx) = self.server_of.get(&tid) {
+            // Server finished a reply → record RTT.
+            let warmup = self.cfg.warmup;
+            let wire = self.cfg.wire_time;
+            let server_time = self.cfg.server_time;
+            let s = &mut self.streams[idx];
+            if let Some(arrival) = s.replies.pop_front() {
+                self.completed += 1;
+                if arrival >= warmup {
+                    let rtt = k.now - arrival + wire;
+                    if s.is_64b {
+                        self.rtt_64b.record(rtt);
+                    } else {
+                        self.rtt_64kb.record(rtt);
+                    }
+                }
+            }
+            let s = &mut self.streams[idx];
+            if !s.replies.is_empty() {
+                return Next::Run { dur: server_time };
+            }
+            return Next::Block;
+        }
+        Next::Block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_shape() {
+        let c = SnapConfig::default();
+        assert_eq!(c.streams, 6);
+        assert_eq!(c.rate_per_stream, 10_000.0);
+        assert!(c.proc_64kb > c.proc_64b);
+    }
+}
+
+#[cfg(test)]
+mod burst_tests {
+    use super::*;
+    use ghost_sim::kernel::{Kernel, KernelConfig, ThreadSpec};
+    use ghost_sim::time::SECS;
+    use ghost_sim::topology::Topology;
+
+    /// With bursts enabled, message counts exceed the steady rate and the
+    /// worker sees queue depths greater than one.
+    #[test]
+    fn bursts_add_traffic_on_top_of_steady_rate() {
+        let run = |burst: bool| -> u64 {
+            let mut kernel = Kernel::new(Topology::test_small(4), KernelConfig::default());
+            let app_id = kernel.state.next_app_id();
+            let mut cfg = SnapConfig {
+                streams: 1,
+                warmup: 0,
+                ..SnapConfig::default()
+            };
+            if !burst {
+                cfg.burst_every = None;
+            }
+            let mut app = SnapApp::new(cfg, app_id);
+            let w = kernel.spawn(ThreadSpec::workload("w", &kernel.state.topo).app(app_id));
+            let s = kernel.spawn(ThreadSpec::workload("s", &kernel.state.topo).app(app_id));
+            app.add_stream(w, s);
+            app.start(&mut kernel.state);
+            kernel.add_app(Box::new(app));
+            kernel.run_until(SECS);
+            kernel
+                .app_mut(app_id)
+                .as_any()
+                .downcast_mut::<SnapApp>()
+                .expect("snap app")
+                .results()
+                .completed
+        };
+        let steady = run(false);
+        let bursty = run(true);
+        // Steady: ~10k msgs; bursts add ~80 * (1s / 25ms) = ~3.2k more.
+        assert!((9_000..11_500).contains(&steady), "steady {steady}");
+        assert!(
+            bursty > steady + 1_500,
+            "bursts should add traffic: {bursty} vs {steady}"
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Quickstart: delegate scheduling of a few threads to a userspace FIFO
+//! policy on a small simulated machine.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ghost::core::enclave::EnclaveConfig;
+use ghost::core::msg::MsgType;
+use ghost::core::runtime::GhostRuntime;
+use ghost::policies::CentralizedFifo;
+use ghost::sim::app::{App, Next};
+use ghost::sim::kernel::{Kernel, KernelConfig, KernelState, ThreadSpec};
+use ghost::sim::thread::Tid;
+use ghost::sim::time::{MICROS, MILLIS};
+use ghost::sim::topology::Topology;
+
+/// A toy workload: threads run 100 µs bursts, sleeping 1 ms in between.
+struct Bursts;
+
+impl App for Bursts {
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &str {
+        "bursts"
+    }
+
+    fn on_timer(&mut self, key: u64, k: &mut KernelState) {
+        let tid = Tid(key as u32);
+        if k.threads[tid.index()].state == ghost::sim::ThreadState::Blocked {
+            k.thread_mut(tid).remaining = 100 * MICROS;
+            k.wake(tid);
+        }
+        let app = k.thread(tid).app.expect("burst thread has an app");
+        k.arm_app_timer(k.now + MILLIS, app, key);
+    }
+
+    fn on_segment_end(&mut self, _tid: Tid, _k: &mut KernelState) -> Next {
+        Next::Block
+    }
+}
+
+fn main() {
+    // 1. Boot a small machine: 4 cores, 8 logical CPUs.
+    let mut kernel = Kernel::new(Topology::test_small(4), KernelConfig::default());
+
+    // 2. Install the ghOSt runtime and create an enclave over CPUs 1..7
+    //    running a centralized FIFO policy (CPU 0 stays with CFS).
+    let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
+    runtime.install(&mut kernel);
+    let cpus = (1..8u16).map(ghost::sim::topology::CpuId).collect();
+    let enclave = runtime.create_enclave(
+        cpus,
+        EnclaveConfig::centralized("quickstart"),
+        Box::new(CentralizedFifo::new()),
+    );
+    runtime.spawn_agents(&mut kernel, enclave);
+
+    // 3. Spawn workload threads and hand them to ghOSt.
+    let app_id = kernel.state.next_app_id();
+    let mut tids = Vec::new();
+    for i in 0..6 {
+        let tid = kernel
+            .spawn(ThreadSpec::workload(&format!("worker-{i}"), &kernel.state.topo).app(app_id));
+        tids.push(tid);
+    }
+    kernel.add_app(Box::new(Bursts));
+    for (i, &tid) in tids.iter().enumerate() {
+        runtime.attach_thread(&mut kernel.state, enclave, tid);
+        kernel
+            .state
+            .arm_app_timer((i as u64 + 1) * 50 * MICROS, app_id, tid.0 as u64);
+    }
+
+    // 4. Run one virtual second and report.
+    kernel.run_until(1_000 * MILLIS);
+    let stats = runtime.stats();
+    println!("ghOSt quickstart — 1 virtual second on {} CPUs", 8);
+    println!("  agent activations : {}", stats.activations);
+    println!("  txns committed    : {}", stats.txns_committed);
+    println!("  txns failed       : {}", stats.txns_failed());
+    println!(
+        "  THREAD_WAKEUPs    : {}",
+        stats.posted(MsgType::ThreadWakeup)
+    );
+    println!(
+        "  THREAD_BLOCKEDs   : {}",
+        stats.posted(MsgType::ThreadBlocked)
+    );
+    for &tid in &tids {
+        let t = kernel.state.thread(tid);
+        println!(
+            "  {:<9} ran {:>6} µs over {} stints",
+            t.name,
+            t.total_work / 1_000,
+            t.stint
+        );
+    }
+    assert!(stats.txns_committed > 5_000, "scheduling should be brisk");
+    println!("OK");
+}

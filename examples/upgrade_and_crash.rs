@@ -1,0 +1,110 @@
+//! §3.4 in action: non-disruptive policy upgrades, agent-crash fallback
+//! to CFS, and the watchdog.
+//!
+//! ```text
+//! cargo run --release --example upgrade_and_crash
+//! ```
+
+use ghost::core::enclave::EnclaveConfig;
+use ghost::core::runtime::GhostRuntime;
+use ghost::policies::CentralizedFifo;
+use ghost::sim::app::{App, Next};
+use ghost::sim::kernel::{Kernel, KernelConfig, KernelState, ThreadSpec};
+use ghost::sim::thread::Tid;
+use ghost::sim::time::{MICROS, MILLIS};
+use ghost::sim::topology::Topology;
+use ghost::sim::CLASS_CFS;
+
+struct Pulse;
+
+impl App for Pulse {
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn name(&self) -> &str {
+        "pulse"
+    }
+    fn on_timer(&mut self, key: u64, k: &mut KernelState) {
+        let tid = Tid(key as u32);
+        if k.threads[tid.index()].state == ghost::sim::ThreadState::Blocked {
+            k.thread_mut(tid).remaining = 200 * MICROS;
+            k.wake(tid);
+        }
+        let app = k.thread(tid).app.expect("app");
+        k.arm_app_timer(k.now + MILLIS, app, key);
+    }
+    fn on_segment_end(&mut self, _tid: Tid, _k: &mut KernelState) -> Next {
+        Next::Block
+    }
+}
+
+fn main() {
+    let mut kernel = Kernel::new(Topology::test_small(4), KernelConfig::default());
+    let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
+    runtime.install(&mut kernel);
+    let cpus = (1..8u16).map(ghost::sim::topology::CpuId).collect();
+    let enclave = runtime.create_enclave(
+        cpus,
+        EnclaveConfig::centralized("demo").with_watchdog(50 * MILLIS),
+        Box::new(CentralizedFifo::new()),
+    );
+    runtime.spawn_agents(&mut kernel, enclave);
+
+    let app_id = kernel.state.next_app_id();
+    let mut tids = Vec::new();
+    for i in 0..4 {
+        let tid =
+            kernel.spawn(ThreadSpec::workload(&format!("svc-{i}"), &kernel.state.topo).app(app_id));
+        tids.push(tid);
+    }
+    kernel.add_app(Box::new(Pulse));
+    for (i, &tid) in tids.iter().enumerate() {
+        runtime.attach_thread(&mut kernel.state, enclave, tid);
+        kernel
+            .state
+            .arm_app_timer((i as u64 + 1) * 100 * MICROS, app_id, tid.0 as u64);
+    }
+
+    kernel.run_until(100 * MILLIS);
+    println!(
+        "t=100ms   v1 policy scheduling; txns so far: {}",
+        runtime.stats().txns_committed
+    );
+
+    // Non-disruptive upgrade: stage v2, crash the running agent. The
+    // staged policy takes over in place; applications keep running.
+    runtime.stage_upgrade(enclave, Box::new(CentralizedFifo::new()));
+    let agent = runtime.global_agent(enclave).expect("global agent");
+    kernel.kill(agent);
+    kernel.run_until(200 * MILLIS);
+    let stats = runtime.stats();
+    println!(
+        "t=200ms   upgraded in place (upgrades: {}); enclave alive: {}",
+        stats.upgrades,
+        runtime.enclave_alive(enclave)
+    );
+    assert_eq!(stats.upgrades, 1);
+    assert!(runtime.enclave_alive(enclave));
+
+    // Crash with no standby: fault isolation moves every managed thread
+    // back to CFS; the machine keeps running.
+    let agent = runtime.global_agent(enclave).expect("global agent");
+    kernel.kill(agent);
+    kernel.run_until(300 * MILLIS);
+    let stats = runtime.stats();
+    println!(
+        "t=300ms   agent crashed with no standby (fallbacks: {}); enclave alive: {}",
+        stats.fallbacks,
+        runtime.enclave_alive(enclave)
+    );
+    assert!(stats.fallbacks >= 1);
+    assert!(!runtime.enclave_alive(enclave));
+    for &tid in &tids {
+        assert_eq!(kernel.state.thread(tid).class, CLASS_CFS);
+    }
+    let work_before = kernel.state.thread(tids[0]).total_work;
+    kernel.run_until(400 * MILLIS);
+    assert!(kernel.state.thread(tids[0]).total_work > work_before);
+    println!("t=400ms   threads keep running under CFS — no reboot, no downtime.");
+    println!("OK");
+}

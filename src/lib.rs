@@ -1,0 +1,21 @@
+//! # ghost — a reproduction of ghOSt (SOSP 2021) in Rust
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`sim`] — the discrete-event Linux-kernel scheduling simulator.
+//! * [`core`] — the ghOSt ABI: messages, queues, status words,
+//!   transactions, enclaves, agents.
+//! * [`policies`] — the scheduling policies evaluated in the paper.
+//! * [`baselines`] — the systems ghOSt is compared against.
+//! * [`workloads`] — synthetic workload models for the evaluation.
+//! * [`metrics`] — histograms and reporting.
+//!
+//! See the `examples/` directory for runnable entry points and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use ghost_baselines as baselines;
+pub use ghost_core as core;
+pub use ghost_metrics as metrics;
+pub use ghost_policies as policies;
+pub use ghost_sim as sim;
+pub use ghost_workloads as workloads;

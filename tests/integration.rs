@@ -1,0 +1,350 @@
+//! Cross-crate integration tests through the `ghost` facade: full
+//! machine + runtime + policy + workload stacks, shrunk to run quickly in
+//! debug builds. The full-scale paper reproductions live in
+//! `crates/ghost-bench/benches/`.
+
+use ghost::baselines::microquanta::{MicroQuanta, MicroQuantaConfig};
+use ghost::core::enclave::EnclaveConfig;
+use ghost::core::runtime::GhostRuntime;
+use ghost::policies::shinjuku::{ShinjukuConfig, ShinjukuPolicy};
+use ghost::policies::snap::SNAP_COOKIE;
+use ghost::policies::{CentralizedFifo, PerCpuPolicy, SnapPolicy};
+use ghost::sim::kernel::{Kernel, KernelConfig, ThreadSpec};
+use ghost::sim::thread::ThreadState;
+use ghost::sim::time::{MICROS, MILLIS, SECS};
+use ghost::sim::topology::{CpuId, Topology};
+use ghost::sim::{CpuSet, CLASS_RT};
+use ghost::workloads::rocksdb::{RocksDbApp, RocksDbConfig};
+use ghost::workloads::snap::{SnapApp, SnapConfig};
+use ghost::workloads::vm::{VmApp, VmConfig};
+
+/// The preemptive Shinjuku policy must beat non-preemptive CFS serving
+/// on p99 under a dispersive load near saturation — the heart of Fig. 6a
+/// (the full sweep lives in benches/fig6_shinjuku.rs; CFS collapses
+/// around 70% of capacity while ghOSt holds double-digit microseconds).
+#[test]
+fn shinjuku_policy_beats_cfs_on_dispersive_tail() {
+    let horizon = 200 * MILLIS;
+    let serve = |use_ghost: bool| {
+        let mut kernel = Kernel::new(Topology::e5_single_socket_24(), KernelConfig::default());
+        let mut cfg = RocksDbConfig::dispersive(250_000.0, 5);
+        cfg.warmup = 50 * MILLIS;
+        let app_id = kernel.state.next_app_id();
+        let mut app = RocksDbApp::new(cfg, app_id, horizon);
+        let mut tids = Vec::new();
+        for i in 0..200 {
+            let tid = kernel
+                .spawn(ThreadSpec::workload(&format!("w{i}"), &kernel.state.topo).app(app_id));
+            app.add_worker(tid);
+            tids.push(tid);
+        }
+        app.start(&mut kernel.state);
+        kernel.add_app(Box::new(app));
+        let cpus: CpuSet = (2..=22u16).map(CpuId).collect();
+        if use_ghost {
+            let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
+            runtime.install(&mut kernel);
+            let enclave = runtime.create_enclave(
+                cpus,
+                EnclaveConfig::centralized("sj"),
+                Box::new(ShinjukuPolicy::new(ShinjukuConfig::default())),
+            );
+            runtime.spawn_agents(&mut kernel, enclave);
+            for &tid in &tids {
+                kernel.state.set_affinity(tid, cpus);
+                runtime.attach_thread(&mut kernel.state, enclave, tid);
+            }
+        } else {
+            for &tid in &tids {
+                kernel.state.set_affinity(tid, cpus);
+            }
+        }
+        kernel.run_until(horizon);
+        kernel
+            .app_mut(app_id)
+            .as_any()
+            .downcast_mut::<RocksDbApp>()
+            .expect("app")
+            .results()
+    };
+    let ghost = serve(true);
+    let cfs = serve(false);
+    assert!(ghost.latency.count() > 1_000);
+    // At ~70% of capacity the non-preemptive CFS serving collapses into
+    // hundreds of microseconds while the 30 µs Shinjuku slice keeps the
+    // ghOSt tail double-digit (Fig. 6a's crossover).
+    let g99 = ghost.latency.percentile(99.0);
+    let c99 = cfs.latency.percentile(99.0);
+    assert!(
+        g99 * 3 < c99,
+        "preemptive ghOSt should beat CFS clearly at p99 near saturation:          ghOSt {g99} vs CFS {c99}"
+    );
+}
+
+/// Per-CPU model end to end: local agents with Aseq-guarded local
+/// commits schedule threads on their own CPUs.
+#[test]
+fn per_cpu_policy_schedules_locally() {
+    let mut kernel = Kernel::new(Topology::test_small(2), KernelConfig::default());
+    let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
+    runtime.install(&mut kernel);
+    let cpus: CpuSet = (0..4u16).map(CpuId).collect();
+    let enclave = runtime.create_enclave(
+        cpus,
+        EnclaveConfig::per_cpu("percpu"),
+        Box::new(PerCpuPolicy::new()),
+    );
+    runtime.spawn_agents(&mut kernel, enclave);
+    let app_id = kernel.state.next_app_id();
+    let mut tids = Vec::new();
+    for i in 0..4 {
+        let tid =
+            kernel.spawn(ThreadSpec::workload(&format!("w{i}"), &kernel.state.topo).app(app_id));
+        tids.push(tid);
+    }
+    kernel.add_app(Box::new(PulseApp::new(200 * MICROS, 2 * MILLIS)));
+    for (i, &tid) in tids.iter().enumerate() {
+        runtime.attach_thread(&mut kernel.state, enclave, tid);
+        kernel
+            .state
+            .arm_app_timer((i as u64 + 1) * 100 * MICROS, app_id, tid.0 as u64);
+    }
+    kernel.run_until(100 * MILLIS);
+    let stats = runtime.stats();
+    assert!(
+        stats.txns_committed >= 150,
+        "commits: {}",
+        stats.txns_committed
+    );
+    for &tid in &tids {
+        assert!(
+            kernel.state.thread(tid).total_work >= 8 * MILLIS,
+            "thread starved under the per-CPU policy"
+        );
+    }
+}
+
+/// Snap policy vs MicroQuanta: both keep workers responsive; the ghOSt
+/// policy must not be grossly worse on the p99 while never starving CFS.
+#[test]
+fn snap_policy_and_microquanta_both_serve() {
+    let horizon = 800 * MILLIS;
+    let run = |use_ghost: bool| {
+        let mut kernel = Kernel::new(Topology::test_small(8), KernelConfig::default());
+        if !use_ghost {
+            let n = kernel.state.topo.num_cpus();
+            kernel.install_class(
+                CLASS_RT,
+                Box::new(MicroQuanta::new(n, MicroQuantaConfig::default())),
+            );
+        }
+        let app_id = kernel.state.next_app_id();
+        let mut cfg = SnapConfig::default();
+        cfg.warmup = 100 * MILLIS;
+        let mut app = SnapApp::new(cfg, app_id);
+        let mut workers = Vec::new();
+        for i in 0..6 {
+            let w = kernel.spawn(
+                ThreadSpec::workload(&format!("w{i}"), &kernel.state.topo)
+                    .app(app_id)
+                    .cookie(SNAP_COOKIE),
+            );
+            let s = kernel
+                .spawn(ThreadSpec::workload(&format!("s{i}"), &kernel.state.topo).app(app_id));
+            app.add_stream(w, s);
+            workers.push(w);
+        }
+        app.start(&mut kernel.state);
+        kernel.add_app(Box::new(app));
+        if use_ghost {
+            let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
+            runtime.install(&mut kernel);
+            let enclave = runtime.create_enclave(
+                kernel.state.topo.all_cpus_set(),
+                EnclaveConfig::centralized("snap"),
+                Box::new(SnapPolicy::new()),
+            );
+            runtime.spawn_agents(&mut kernel, enclave);
+            for &w in &workers {
+                runtime.attach_thread(&mut kernel.state, enclave, w);
+            }
+        } else {
+            for &w in &workers {
+                kernel.state.move_to_class(w, CLASS_RT);
+            }
+        }
+        kernel.run_until(horizon);
+        kernel
+            .app_mut(app_id)
+            .as_any()
+            .downcast_mut::<SnapApp>()
+            .expect("app")
+            .results()
+    };
+    let gh = run(true);
+    let mq = run(false);
+    assert!(gh.completed > 20_000 && mq.completed > 20_000);
+    let g99 = gh.rtt_64kb.percentile(99.0);
+    let m99 = mq.rtt_64kb.percentile(99.0);
+    assert!(
+        (g99 as f64) < (m99 as f64) * 2.0,
+        "ghOSt snap p99 {g99} should be in MicroQuanta's league {m99}"
+    );
+}
+
+/// Core scheduling isolation invariant on a live VM workload: under the
+/// ghOSt per-core policy, sibling hyperthreads never run vCPUs of
+/// different VMs.
+#[test]
+fn core_sched_isolation_holds_under_load() {
+    use ghost::policies::core_sched::{CoreSchedConfig, CoreSchedPolicy};
+    let mut kernel = Kernel::new(Topology::new("vm8", 1, 4, 2, 4), KernelConfig::default());
+    let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
+    runtime.install(&mut kernel);
+    let enclave = runtime.create_enclave(
+        kernel.state.topo.all_cpus_set(),
+        EnclaveConfig::per_core("vm").with_ticks(true),
+        Box::new(CoreSchedPolicy::new(CoreSchedConfig::default())),
+    );
+    runtime.spawn_agents(&mut kernel, enclave);
+    let app_id = kernel.state.next_app_id();
+    let cfg = VmConfig {
+        vms: 2,
+        vcpus_per_vm: 3,
+        work_per_vcpu: 400 * MILLIS,
+        ..VmConfig::default()
+    };
+    let mut app = VmApp::new(cfg, app_id);
+    let mut vcpus = Vec::new();
+    for vm in 0..2u64 {
+        for v in 0..3 {
+            let tid = kernel.spawn(
+                ThreadSpec::workload(&format!("vm{vm}-{v}"), &kernel.state.topo)
+                    .app(app_id)
+                    .cookie(vm + 1),
+            );
+            app.add_vcpu(tid);
+            vcpus.push(tid);
+        }
+    }
+    app.start(&mut kernel.state);
+    kernel.add_app(Box::new(app));
+    for &v in &vcpus {
+        runtime.attach_thread(&mut kernel.state, enclave, v);
+    }
+    // Audit at fine grain while the workload runs.
+    let mut violations = 0;
+    for _ in 0..600 {
+        kernel.run_for(MILLIS);
+        let k = &kernel.state;
+        for cpu in k.topo.all_cpus() {
+            let Some(sib) = k.topo.sibling(cpu) else {
+                continue;
+            };
+            if sib < cpu {
+                continue;
+            }
+            let cookie = |c: CpuId| -> Option<u64> {
+                let cur = k.cpus[c.index()].current?;
+                let t = &k.threads[cur.index()];
+                (t.cookie != 0).then_some(t.cookie)
+            };
+            if let (Some(a), Some(b)) = (cookie(cpu), cookie(sib)) {
+                if a != b {
+                    violations += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(violations, 0, "cross-VM SMT co-residency detected");
+    // And the workload made real progress under the secure policy.
+    let done: u64 = vcpus
+        .iter()
+        .map(|&v| kernel.state.thread(v).total_work)
+        .sum();
+    assert!(done > 1_500 * MILLIS, "vCPUs starved: {done}");
+}
+
+/// The centralized FIFO keeps a machine of blocking threads busy and the
+/// run is deterministic across repeats.
+#[test]
+fn centralized_fifo_is_deterministic() {
+    let run = || {
+        let mut kernel = Kernel::new(Topology::test_small(4), KernelConfig::default());
+        let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
+        runtime.install(&mut kernel);
+        let cpus: CpuSet = (1..8u16).map(CpuId).collect();
+        let enclave = runtime.create_enclave(
+            cpus,
+            EnclaveConfig::centralized("det"),
+            Box::new(CentralizedFifo::new()),
+        );
+        runtime.spawn_agents(&mut kernel, enclave);
+        let app_id = kernel.state.next_app_id();
+        let mut tids = Vec::new();
+        for i in 0..6 {
+            let tid = kernel
+                .spawn(ThreadSpec::workload(&format!("w{i}"), &kernel.state.topo).app(app_id));
+            tids.push(tid);
+        }
+        kernel.add_app(Box::new(PulseApp::new(150 * MICROS, MILLIS)));
+        for (i, &tid) in tids.iter().enumerate() {
+            runtime.attach_thread(&mut kernel.state, enclave, tid);
+            kernel
+                .state
+                .arm_app_timer((i as u64 + 1) * 37 * MICROS, app_id, tid.0 as u64);
+        }
+        kernel.run_until(200 * MILLIS);
+        (
+            runtime.stats().txns_committed,
+            kernel.state.stats.ctx_switches,
+            kernel.state.stats.events,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+/// Minimal pulse app shared by the integration tests.
+struct PulseApp {
+    work: u64,
+    period: u64,
+}
+
+impl PulseApp {
+    fn new(work: u64, period: u64) -> Self {
+        Self { work, period }
+    }
+}
+
+impl ghost::sim::App for PulseApp {
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn name(&self) -> &str {
+        "pulse"
+    }
+    fn on_timer(&mut self, key: u64, k: &mut ghost::sim::KernelState) {
+        let tid = ghost::sim::Tid(key as u32);
+        if k.threads[tid.index()].state == ThreadState::Blocked {
+            k.thread_mut(tid).remaining = self.work;
+            k.wake(tid);
+        }
+        let app = k.thread(tid).app.expect("app");
+        k.arm_app_timer(k.now + self.period, app, key);
+    }
+    fn on_segment_end(
+        &mut self,
+        _tid: ghost::sim::Tid,
+        _k: &mut ghost::sim::KernelState,
+    ) -> ghost::sim::Next {
+        ghost::sim::Next::Block
+    }
+}
+
+// Re-export check: the facade exposes a coherent API surface.
+#[test]
+fn facade_exposes_workspace() {
+    let _ = ghost::sim::CostModel::default();
+    let _ = ghost::metrics::LogHistogram::new();
+    let _ = SECS;
+}
