@@ -83,7 +83,7 @@ impl SchedClass for KernelCoreSched {
             let th = &k.threads[t.index()];
             th.affinity.contains(cpu)
                 && th.state == ThreadState::Runnable
-                && constraint.map_or(true, |c| th.cookie == c)
+                && constraint.is_none_or(|c| th.cookie == c)
         });
         match pos {
             Some(i) => self.rq.remove(i),

@@ -207,7 +207,7 @@ impl SchedClass for MicroQuanta {
         let any_eligible = self.rq[cpu.index()].iter().any(|&t| {
             self.accounts
                 .get(&t)
-                .map_or(true, |a| a.period_idx != idx || !a.throttled)
+                .is_none_or(|a| a.period_idx != idx || !a.throttled)
         });
         if any_eligible {
             k.request_resched(cpu);

@@ -213,7 +213,7 @@ fn probe(local: bool, batch: usize) -> ProbeRun {
     let starts = &p.run_starts;
     let per_commit = if local { 1 } else { batch };
     for (i, &pre) in p.pre_commit.iter().enumerate() {
-        let lo = i * per_commit / if local { 1 } else { 1 };
+        let lo = i * per_commit;
         let hi = lo + per_commit;
         if hi <= starts.len() {
             let last = starts[lo..hi].iter().max().copied().unwrap_or(0);

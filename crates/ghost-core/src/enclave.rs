@@ -232,4 +232,15 @@ impl Enclave {
             .copied()
             .unwrap_or(self.default_queue)
     }
+
+    /// Total messages dropped across every live queue of the enclave
+    /// (the per-queue counters behind the `ghost_queue_overflow`
+    /// tracepoint).
+    pub fn dropped_msgs(&self) -> u64 {
+        self.queues
+            .iter()
+            .flatten()
+            .map(|qs| qs.queue.dropped())
+            .sum()
+    }
 }

@@ -25,6 +25,9 @@ pub struct PntRings {
     pub picks: u64,
     /// Push attempts rejected because the ring was full.
     pub overflows: u64,
+    /// Kernel-side pops that found every ring empty (the fast path had
+    /// nothing to offer an idling CPU — the `ghost_pnt_miss` tracepoint).
+    pub misses: u64,
 }
 
 impl PntRings {
@@ -35,6 +38,7 @@ impl PntRings {
             capacity: capacity.max(1),
             picks: 0,
             overflows: 0,
+            misses: 0,
         }
     }
 
@@ -80,6 +84,7 @@ impl PntRings {
                 return Some(tid);
             }
         }
+        self.misses += 1;
         None
     }
 
@@ -107,6 +112,7 @@ mod tests {
         assert_eq!(r.pop_for(1), Some(Tid(2)));
         assert_eq!(r.pop_for(0), None);
         assert_eq!(r.picks, 2);
+        assert_eq!(r.misses, 1);
     }
 
     #[test]

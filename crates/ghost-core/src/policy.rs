@@ -191,7 +191,7 @@ impl<'a> PolicyCtx<'a> {
             .enclave
             .queues
             .get(queue.0 as usize)
-            .map_or(true, Option::is_none)
+            .is_none_or(Option::is_none)
         {
             return false;
         }

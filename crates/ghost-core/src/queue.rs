@@ -50,6 +50,10 @@ pub struct MessageQueue {
     mask: u64,
     head: AtomicU64,
     tail: AtomicU64,
+    /// Messages rejected because the ring was full, cumulative over the
+    /// queue's lifetime (the overflow signal the watchdog and the
+    /// `ghost_queue_overflow` tracepoint report).
+    dropped: AtomicU64,
 }
 
 // SAFETY: `MessageQueue` synchronizes all access to slot values through
@@ -76,6 +80,7 @@ impl MessageQueue {
             mask: (cap - 1) as u64,
             head: AtomicU64::new(0),
             tail: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -112,12 +117,21 @@ impl MessageQueue {
                         Err(actual) => pos = actual,
                     }
                 }
-                std::cmp::Ordering::Less => return Err(QueueFull),
+                std::cmp::Ordering::Less => {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    return Err(QueueFull);
+                }
                 std::cmp::Ordering::Greater => {
                     pos = self.tail.load(Ordering::Relaxed);
                 }
             }
         }
+    }
+
+    /// Cumulative count of messages rejected by [`MessageQueue::push`]
+    /// because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Consumes the oldest message, if any.
@@ -221,6 +235,21 @@ mod tests {
     }
 
     #[test]
+    fn drop_counter_tracks_rejections() {
+        let q = MessageQueue::new(2);
+        assert_eq!(q.dropped(), 0);
+        q.push(msg(0)).unwrap();
+        q.push(msg(1)).unwrap();
+        assert_eq!(q.push(msg(2)), Err(QueueFull));
+        assert_eq!(q.push(msg(3)), Err(QueueFull));
+        assert_eq!(q.dropped(), 2);
+        // Draining frees space; the counter keeps its history.
+        q.drain();
+        q.push(msg(4)).unwrap();
+        assert_eq!(q.dropped(), 2);
+    }
+
+    #[test]
     fn wraps_many_rounds() {
         let q = MessageQueue::new(4);
         for round in 0..100u32 {
@@ -264,7 +293,7 @@ mod tests {
         let consumer = {
             let q = Arc::clone(&q);
             std::thread::spawn(move || {
-                let mut seen = vec![0u32; 4];
+                let mut seen = [0u32; 4];
                 let mut total = 0;
                 while total < 40_000 {
                     if let Some(m) = q.pop() {

@@ -30,6 +30,7 @@ use ghost_sim::kernel::{Kernel, KernelState, ThreadSpec};
 use ghost_sim::thread::{ThreadState, Tid};
 use ghost_sim::time::Nanos;
 use ghost_sim::topology::CpuId;
+use ghost_trace::TraceEvent;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -169,6 +170,14 @@ impl Core {
         };
         if qs.queue.push(msg).is_err() {
             self.stats.msgs_dropped += 1;
+            k.cfg
+                .trace
+                .emit(k.now, cpu.0, || TraceEvent::QueueOverflow {
+                    queue: qid.0,
+                    ty: GhostStats::msg_idx(ty) as u8,
+                    tid: msg.tid.0,
+                    dropped_total: qs.queue.dropped(),
+                });
             if let Some(t) = tid {
                 if let Some(info) = enclave.threads.get_mut(&t) {
                     info.pending_msgs = info.pending_msgs.saturating_sub(1);
@@ -177,6 +186,12 @@ impl Core {
             return;
         }
         self.stats.msgs_posted[GhostStats::msg_idx(ty)] += 1;
+        k.cfg.trace.emit(k.now, cpu.0, || TraceEvent::MsgEnqueued {
+            queue: qid.0,
+            ty: GhostStats::msg_idx(ty) as u8,
+            tid: msg.tid.0,
+            seq: msg.seq,
+        });
         let wake = qs.wake;
         let enqueue_done = k.now + k.costs.msg_enqueue;
         match wake {
@@ -213,11 +228,9 @@ impl Core {
                         }
                     }
                     match k.threads[global.index()].state {
-                        ThreadState::Running => {
-                            if !enclave.loop_armed {
-                                enclave.loop_armed = true;
-                                k.schedule_agent_loop(enqueue_done, global);
-                            }
+                        ThreadState::Running if !enclave.loop_armed => {
+                            enclave.loop_armed = true;
+                            k.schedule_agent_loop(enqueue_done, global);
                         }
                         ThreadState::Blocked => k.wake_at(enqueue_done, global),
                         _ => {}
@@ -252,6 +265,9 @@ impl Core {
             k.kill(agent);
         }
         self.stats.enclave_destroys += 1;
+        k.cfg
+            .trace
+            .emit(k.now, 0, || TraceEvent::EnclaveDestroyed { enclave: eid.0 });
     }
 }
 
@@ -663,6 +679,7 @@ impl<'a> PolicyCtx<'a> {
         let mut provisional: Vec<usize> = Vec::new();
         for i in 0..txns.len() {
             let mut status = self.validate(&txns[i]);
+            let (t_cpu, t_tid) = (txns[i].cpu.0, txns[i].tid.0);
             // A per-txn validation charge, dearer across sockets. Local
             // transactions are charged via `txn_local_commit` in the
             // effect pass instead (Table 3 line 3 subsumes validation).
@@ -675,6 +692,13 @@ impl<'a> PolicyCtx<'a> {
                 self.busy += self.scaled(vcost);
             }
             if status == TxnStatus::Committed {
+                self.k
+                    .cfg
+                    .trace
+                    .emit(self.k.now, t_cpu, || TraceEvent::TxnArmed {
+                        cpu: t_cpu,
+                        tid: t_tid,
+                    });
                 // Reserve target CPU and thread against duplicates.
                 self.enclave.committed.insert(
                     txns[i].cpu,
@@ -694,11 +718,20 @@ impl<'a> PolicyCtx<'a> {
                     if let Some(info) = self.enclave.threads.get_mut(&txns[j].tid) {
                         info.picked = false;
                     }
+                    let (j_cpu, j_tid) = (txns[j].cpu.0, txns[j].tid.0);
+                    self.k
+                        .cfg
+                        .trace
+                        .emit(self.k.now, j_cpu, || TraceEvent::TxnCommitRace {
+                            cpu: j_cpu,
+                            tid: j_tid,
+                        });
                     txns[j].status = TxnStatus::Aborted;
                     self.stats.txns_aborted += 1;
                 }
                 txns[i].status = status;
                 self.count_failure(status);
+                self.trace_failure(status, t_cpu, t_tid);
                 // Remaining txns are aborted unexamined.
                 for t in txns[i + 1..].iter_mut() {
                     t.status = TxnStatus::Aborted;
@@ -708,6 +741,7 @@ impl<'a> PolicyCtx<'a> {
             }
             if status != TxnStatus::Committed {
                 self.count_failure(status);
+                self.trace_failure(status, t_cpu, t_tid);
             }
             txns[i].status = status;
             let _ = &mut status;
@@ -785,6 +819,16 @@ impl<'a> PolicyCtx<'a> {
                 self.k.send_ipi(txns[i].cpu, arm_all);
             }
         }
+        for &i in &provisional {
+            let (t_cpu, t_tid) = (txns[i].cpu.0, txns[i].tid.0);
+            self.k
+                .cfg
+                .trace
+                .emit(self.k.now, t_cpu, || TraceEvent::TxnCommitOk {
+                    cpu: t_cpu,
+                    tid: t_tid,
+                });
+        }
         self.stats.txns_committed += provisional.len() as u64;
     }
 
@@ -795,6 +839,29 @@ impl<'a> PolicyCtx<'a> {
             TxnStatus::CpuBusy => self.stats.txns_cpu_busy += 1,
             TxnStatus::CpuUnavailable => self.stats.txns_cpu_unavailable += 1,
             TxnStatus::Aborted => self.stats.txns_aborted += 1,
+            TxnStatus::Committed | TxnStatus::Pending => {}
+        }
+    }
+
+    /// Traces a failed commit: `ESTALE` keeps its own tracepoint (the
+    /// paper's headline failure mode); every other loss is a commit race.
+    fn trace_failure(&mut self, status: TxnStatus, cpu: u16, tid: u32) {
+        match status {
+            TxnStatus::Stale => {
+                self.k
+                    .cfg
+                    .trace
+                    .emit(self.k.now, cpu, || TraceEvent::TxnCommitEstale { cpu, tid });
+            }
+            TxnStatus::TargetNotRunnable
+            | TxnStatus::CpuBusy
+            | TxnStatus::CpuUnavailable
+            | TxnStatus::Aborted => {
+                self.k
+                    .cfg
+                    .trace
+                    .emit(self.k.now, cpu, || TraceEvent::TxnCommitRace { cpu, tid });
+            }
             TxnStatus::Committed | TxnStatus::Pending => {}
         }
     }
@@ -882,7 +949,12 @@ impl SchedClass for GhostClass {
         // BPF pick_next_task fast path.
         if enclave.pnt.is_some() {
             loop {
-                let cand = enclave.pnt.as_mut().and_then(|p| p.pop_for(node))?;
+                let Some(cand) = enclave.pnt.as_mut().and_then(|p| p.pop_for(node)) else {
+                    k.cfg
+                        .trace
+                        .emit(now, cpu.0, || TraceEvent::PntMiss { cpu: cpu.0 });
+                    return None;
+                };
                 let ok = enclave.threads.get(&cand).is_some_and(|i| !i.picked)
                     && k.threads[cand.index()].state == ThreadState::Runnable
                     && k.threads[cand.index()].affinity.contains(cpu);
@@ -892,6 +964,10 @@ impl SchedClass for GhostClass {
                             .publish(|s, f| (s, (f | SW_ONCPU) & !SW_RUNNABLE));
                     }
                     core.stats.pnt_picks += 1;
+                    k.cfg.trace.emit(now, cpu.0, || TraceEvent::PntHit {
+                        cpu: cpu.0,
+                        tid: cand.0,
+                    });
                     return Some(cand);
                 }
             }
@@ -1076,9 +1152,30 @@ impl GhostDriver {
             return AgentOutcome::Block { busy: 0 };
         };
         enclave.loop_armed = false;
+        let aseq = enclave.agents.get(&agent_cpu).map_or(0, |a| a.status.seq());
+        k.cfg
+            .trace
+            .emit(k.now, agent_cpu.0, || TraceEvent::AgentActivationBegin {
+                cpu: agent_cpu.0,
+                agent_tid: agent_tid.0,
+                aseq,
+            });
         let mut msgs = Vec::new();
         for &qid in qids {
+            let start = msgs.len();
             msgs.extend(enclave.drain_queue(qid));
+            if k.cfg.trace.is_enabled() {
+                for m in &msgs[start..] {
+                    k.cfg
+                        .trace
+                        .emit(k.now, agent_cpu.0, || TraceEvent::MsgDequeued {
+                            queue: qid.0,
+                            ty: GhostStats::msg_idx(m.ty) as u8,
+                            tid: m.tid.0,
+                            seq: m.seq,
+                        });
+                }
+            }
         }
         let smt_scale = k.sibling_busy(agent_cpu);
         let mut ctx = PolicyCtx {
@@ -1113,6 +1210,13 @@ impl GhostDriver {
         let wakeup = ctx.wakeup_request;
         ctx.stats.agent_busy_ns += busy;
         core.policies[eid.0 as usize] = Some(policy);
+        k.cfg.trace.emit(k.now + busy, agent_cpu.0, || {
+            TraceEvent::AgentActivationEnd {
+                cpu: agent_cpu.0,
+                agent_tid: agent_tid.0,
+                msgs: msgs.len() as u32,
+            }
+        });
         if spinning {
             let next = wakeup.map(|at| at.max(k.now + busy));
             AgentOutcome::Spin { busy, next }
@@ -1220,6 +1324,9 @@ impl AgentDriver for GhostDriver {
         });
         if starved {
             core.stats.watchdog_destroys += 1;
+            k.cfg
+                .trace
+                .emit(k.now, 0, || TraceEvent::WatchdogFired { enclave: eid.0 });
             core.destroy_enclave(k, eid);
         } else {
             k.arm_driver_timer(k.now + timeout / 2, key);

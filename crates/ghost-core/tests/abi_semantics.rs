@@ -162,7 +162,7 @@ fn atomic_group_commit_is_all_or_nothing() {
     let mut s = setup(2, EnclaveConfig::centralized("atomic"));
     let (a, b) = (s.tids[0], s.tids[1]);
     // Wake only thread `a`; leave `b` blocked so its txn must fail.
-    s.kernel.assign_and_wake(a, 1 * MILLIS);
+    s.kernel.assign_and_wake(a, MILLIS);
     let statuses = Rc::new(RefCell::new(Vec::new()));
     {
         let statuses = Rc::clone(&statuses);
@@ -191,7 +191,7 @@ fn atomic_group_commit_is_all_or_nothing() {
 fn affinity_change_invalidates_pending_commit() {
     let mut s = setup(1, EnclaveConfig::centralized("affinity"));
     let t = s.tids[0];
-    s.kernel.assign_and_wake(t, 1 * MILLIS);
+    s.kernel.assign_and_wake(t, MILLIS);
     let status = Rc::new(RefCell::new(None));
     {
         let status = Rc::clone(&status);
@@ -236,7 +236,7 @@ fn status_words_reflect_thread_lifecycle() {
     let mut s = setup(1, EnclaveConfig::centralized("sw"));
     let t = s.tids[0];
     // Blocked at attach: not runnable.
-    s.kernel.run_until(1 * MILLIS);
+    s.kernel.run_until(MILLIS);
     // Wake: the WAKEUP message carries an increasing seq, and the policy
     // sees monotonically increasing seqs overall.
     s.kernel.assign_and_wake(t, 100 * MICROS);
@@ -341,7 +341,7 @@ mod ghost_policies_stub {
             let Some(pos) = self
                 .rq
                 .iter()
-                .position(|&(_, ck, _)| claimed.map_or(true, |c| c == ck))
+                .position(|&(_, ck, _)| claimed.is_none_or(|c| c == ck))
             else {
                 return;
             };
@@ -374,7 +374,7 @@ fn txns_recall_withdraws_pending_commit() {
         }));
     }
     s.kernel.run_until(10 * MILLIS);
-    let (committed, recalled, second) = outcome.borrow().clone();
+    let (committed, recalled, second) = *outcome.borrow();
     assert_eq!(committed, Some(TxnStatus::Committed));
     assert_eq!(recalled, Some(t), "recall must return the withdrawn thread");
     assert_eq!(second, Some(TxnStatus::Committed));
@@ -413,7 +413,7 @@ fn destroy_queue_semantics() {
 fn scheduling_hints_reach_the_policy() {
     let mut s = setup(1, EnclaveConfig::centralized("hints"));
     let t = s.tids[0];
-    s.kernel.run_until(1 * MILLIS);
+    s.kernel.run_until(MILLIS);
     // The workload publishes a hint (e.g. "my next request is 7 µs").
     s.runtime.set_hint(t, 7_000);
     let seen = Rc::new(RefCell::new(None));

@@ -14,6 +14,7 @@ use ghost_sim::thread::{ThreadState, Tid};
 use ghost_sim::time::{Nanos, MICROS, MILLIS};
 use ghost_sim::topology::{CpuId, Topology};
 use ghost_sim::{CpuSet, CLASS_CFS};
+use ghost_trace::{check, TraceEvent, TraceSink};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
@@ -139,9 +140,23 @@ fn centralized_setup(
     config: EnclaveConfig,
     policy: Box<dyn GhostPolicy>,
 ) -> Setup {
-    centralized_setup_opts(topo, n, seg, period, config, policy, true)
+    centralized_setup_opts(topo, n, seg, period, config, policy, true, TraceSink::Null)
 }
 
+/// Like [`centralized_setup`] but records every tracepoint into `trace`.
+fn centralized_setup_traced(
+    topo: Topology,
+    n: usize,
+    seg: Nanos,
+    period: Nanos,
+    config: EnclaveConfig,
+    policy: Box<dyn GhostPolicy>,
+    trace: TraceSink,
+) -> Setup {
+    centralized_setup_opts(topo, n, seg, period, config, policy, true, trace)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn centralized_setup_opts(
     topo: Topology,
     n: usize,
@@ -150,8 +165,15 @@ fn centralized_setup_opts(
     config: EnclaveConfig,
     policy: Box<dyn GhostPolicy>,
     stagger: bool,
+    trace: TraceSink,
 ) -> Setup {
-    let mut kernel = Kernel::new(topo, KernelConfig::default());
+    let mut kernel = Kernel::new(
+        topo,
+        KernelConfig {
+            trace,
+            ..KernelConfig::default()
+        },
+    );
     let ncpus = kernel.state.topo.num_cpus();
     let runtime = GhostRuntime::new(ncpus);
     runtime.install(&mut kernel);
@@ -272,6 +294,7 @@ fn group_commit_schedules_multiple_cpus() {
         EnclaveConfig::centralized("test"),
         Box::new(FifoPolicy::default()),
         false,
+        TraceSink::Null,
     );
     s.kernel.run_until(30 * MILLIS);
     let stats = s.runtime.stats();
@@ -346,13 +369,15 @@ fn watchdog_destroys_enclave_and_falls_back_to_cfs() {
         fn on_msg(&mut self, _msg: &Message, _ctx: &mut PolicyCtx<'_>) {}
         fn schedule(&mut self, _ctx: &mut PolicyCtx<'_>) {}
     }
-    let mut s = centralized_setup(
+    let sink = TraceSink::recording(1, 1 << 17);
+    let mut s = centralized_setup_traced(
         Topology::test_small(4),
         2,
         100 * MICROS,
         MILLIS,
         EnclaveConfig::centralized("test").with_watchdog(20 * MILLIS),
         Box::new(DeadPolicy),
+        sink.clone(),
     );
     s.kernel.run_until(200 * MILLIS);
     let stats = s.runtime.stats();
@@ -366,6 +391,21 @@ fn watchdog_destroys_enclave_and_falls_back_to_cfs() {
             "thread {t} should run under CFS after the fallback"
         );
     }
+    // The trace shows the watchdog firing and tearing the enclave down,
+    // and the checker excuses the pre-blackout stranded wakeups.
+    assert_eq!(sink.dropped(), 0, "trace ring overflowed");
+    let records = sink.snapshot();
+    let fired = records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::WatchdogFired { .. }))
+        .count();
+    let torn_down = records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::EnclaveDestroyed { .. }))
+        .count();
+    assert_eq!(fired, 1, "exactly one watchdog firing");
+    assert_eq!(torn_down, 1, "exactly one enclave teardown");
+    check::assert_clean(&records);
 }
 
 #[test]
@@ -616,4 +656,133 @@ fn enclaves_are_isolated_from_each_other() {
     let a_before = completions.borrow()[&a_tids[0]];
     kernel.run_until(180 * MILLIS);
     assert!(completions.borrow()[&a_tids[0]] > a_before + 30);
+}
+
+/// The Fig. 4 FIFO scenario replayed through the tracer: the recorded
+/// stream is lossless, contains every event family the runtime emits on
+/// the happy path, and satisfies all checker invariants.
+#[test]
+fn traced_centralized_run_passes_invariant_checker() {
+    let sink = TraceSink::recording(1, 1 << 19);
+    let mut s = centralized_setup_traced(
+        Topology::test_small(4),
+        4,
+        100 * MICROS,
+        MILLIS,
+        EnclaveConfig::centralized("test"),
+        Box::new(FifoPolicy::default()),
+        sink.clone(),
+    );
+    s.kernel.run_until(50 * MILLIS);
+    assert_eq!(sink.dropped(), 0, "trace ring overflowed");
+    let records = sink.snapshot();
+    assert!(!records.is_empty());
+    let has = |pred: fn(&TraceEvent) -> bool| records.iter().any(|r| pred(&r.event));
+    assert!(has(|e| matches!(e, TraceEvent::SchedSwitch { .. })));
+    assert!(has(|e| matches!(e, TraceEvent::SchedWakeup { .. })));
+    assert!(has(|e| matches!(e, TraceEvent::MsgEnqueued { .. })));
+    assert!(has(|e| matches!(e, TraceEvent::MsgDequeued { .. })));
+    assert!(has(|e| matches!(
+        e,
+        TraceEvent::AgentActivationBegin { .. }
+    )));
+    assert!(has(|e| matches!(e, TraceEvent::TxnArmed { .. })));
+    assert!(has(|e| matches!(e, TraceEvent::TxnCommitOk { .. })));
+    check::assert_clean(&records);
+}
+
+/// Overflowing a tiny message queue: drops are counted (runtime stats +
+/// per-queue cumulative counter), surface as `QueueOverflow` tracepoints,
+/// and Tseq keeps advancing past dropped messages so a later delivery
+/// carries the right sequence number.
+#[test]
+fn queue_overflow_is_counted_traced_and_seqnums_stay_consistent() {
+    let sink = TraceSink::recording(1, 1 << 14);
+    let mut kernel = Kernel::new(
+        Topology::test_small(4),
+        KernelConfig {
+            trace: sink.clone(),
+            ..KernelConfig::default()
+        },
+    );
+    let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
+    runtime.install(&mut kernel);
+    let cpus: CpuSet = (1..8u16).map(CpuId).collect();
+    let mut config = EnclaveConfig::centralized("tiny");
+    config.queue_capacity = 4;
+    let enclave = runtime.create_enclave(cpus, config, Box::new(FifoPolicy::default()));
+
+    // No agents yet: nothing drains the 4-slot default queue, so the 8
+    // THREAD_CREATED messages below overflow it.
+    let threads: Vec<Tid> = (0..8)
+        .map(|i| kernel.spawn(ThreadSpec::workload(&format!("w{i}"), &kernel.state.topo)))
+        .collect();
+    for &t in &threads {
+        runtime.attach_thread(&mut kernel.state, enclave, t);
+    }
+    kernel.run_until(MILLIS);
+    let stats = runtime.stats();
+    assert_eq!(stats.msgs_dropped, 4, "4 of 8 creates must overflow");
+    assert_eq!(stats.posted(MsgType::ThreadCreated), 4);
+
+    // Start the agents: the backlog drains, making room in the queue.
+    runtime.spawn_agents(&mut kernel, enclave);
+    kernel.run_until(2 * MILLIS);
+
+    // Wake a thread whose THREAD_CREATED was dropped. Its Tseq advanced
+    // despite the loss, so the wakeup must be delivered with seq 2.
+    let victim = threads[7];
+    kernel.state.thread_mut(victim).remaining = 100 * MICROS;
+    let at = kernel.state.now + 10_000;
+    kernel.state.wake_at(at, victim);
+    kernel.run_until(3 * MILLIS);
+
+    assert_eq!(sink.dropped(), 0, "trace ring must not drop records");
+    let records = sink.snapshot();
+
+    let overflows: Vec<(u32, u8, u32, u64)> = records
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::QueueOverflow {
+                queue,
+                ty,
+                tid,
+                dropped_total,
+            } => Some((queue, ty, tid, dropped_total)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(overflows.len(), 4, "one tracepoint per dropped message");
+    for (i, &(queue, ty, _, dropped_total)) in overflows.iter().enumerate() {
+        assert_eq!(queue, 0, "drops hit the default queue");
+        assert_eq!(ty, 0, "dropped messages are THREAD_CREATED");
+        assert_eq!(
+            dropped_total,
+            i as u64 + 1,
+            "per-queue drop counter is cumulative and gapless"
+        );
+    }
+    assert!(
+        overflows.iter().any(|o| o.2 == victim.0),
+        "the victim's create was among the drops"
+    );
+
+    let victim_seqs: Vec<u64> = records
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::MsgEnqueued { tid, seq, .. } if tid == victim.0 => Some(seq),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        victim_seqs.first(),
+        Some(&2),
+        "wakeup after a dropped create must carry Tseq 2, got {victim_seqs:?}"
+    );
+
+    // Global trace seqnums stay gapless even across queue overflow.
+    for w in records.windows(2) {
+        assert_eq!(w[1].seq, w[0].seq + 1);
+    }
+    check::assert_clean(&records);
 }

@@ -5,8 +5,6 @@
 //! footprint, which lets the simulation harnesses record tens of millions
 //! of samples without allocation.
 
-use serde::{Deserialize, Serialize};
-
 /// Number of linear sub-buckets per power-of-two bucket, as a bit count.
 ///
 /// With 6 bits there are 64 sub-buckets per octave, bounding relative
@@ -22,7 +20,7 @@ const OCTAVES: usize = 44;
 pub const PERCENTILES_SNAP: [f64; 6] = [50.0, 90.0, 99.0, 99.9, 99.99, 99.999];
 
 /// A named percentile extracted from a [`LogHistogram`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Percentile {
     /// Percentile rank in `[0, 100]`.
     pub p: f64,
@@ -47,7 +45,7 @@ pub struct Percentile {
 /// assert!(h.percentile(50.0) >= 200 && h.percentile(50.0) < 210);
 /// assert!(h.max() >= 10_000);
 /// ```
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct LogHistogram {
     counts: Vec<u64>,
     count: u64,

@@ -1,7 +1,5 @@
 //! Cheap scalar aggregates used by simulator accounting.
 
-use serde::{Deserialize, Serialize};
-
 /// A monotonically increasing event counter.
 ///
 /// # Examples
@@ -13,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// c.inc();
 /// assert_eq!(c.get(), 4);
 /// ```
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -39,7 +37,7 @@ impl Counter {
 }
 
 /// Streaming mean without storing samples.
-#[derive(Debug, Default, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy)]
 pub struct MeanTracker {
     sum: f64,
     n: u64,
@@ -73,7 +71,7 @@ impl MeanTracker {
 }
 
 /// Tracks minimum and maximum of a sample stream.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MinMax {
     min: u64,
     max: u64,

@@ -293,8 +293,10 @@ mod tests {
 
     #[test]
     fn nice_aware_key_prefers_high_priority() {
-        let mut cfg = SearchConfig::default();
-        cfg.nice_aware = true;
+        let cfg = SearchConfig {
+            nice_aware: true,
+            ..SearchConfig::default()
+        };
         let p = SearchPolicy::new(cfg);
         let mk = |nice: i8, runtime: Nanos| ghost_core::ThreadView {
             tid: Tid(1),

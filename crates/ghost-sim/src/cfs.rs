@@ -162,7 +162,7 @@ impl CfsClass {
                     .sibling(c)
                     .is_some_and(|s| k.cpus[s.index()].is_occupied());
                 let d = t.last_cpu.map_or(2, |p| k.topo.distance(p, c));
-                if best_idle.map_or(true, |(bb, bd, _)| (sibling_busy, d) < (bb, bd)) {
+                if best_idle.is_none_or(|(bb, bd, _)| (sibling_busy, d) < (bb, bd)) {
                     best_idle = Some((sibling_busy, d, c));
                 }
             } else if best_idle.is_none() {
@@ -173,7 +173,7 @@ impl CfsClass {
                     }
                 }
                 let nr = self.rqs[c.index()].nr_running;
-                if least.map_or(true, |(bn, _)| nr < bn) {
+                if least.is_none_or(|(bn, _)| nr < bn) {
                     least = Some((nr, c));
                 }
             }
@@ -233,7 +233,7 @@ impl CfsClass {
     /// thief CPU may run; used for idle balancing.
     fn steal_for(&mut self, thief: CpuId, k: &mut KernelState) -> Option<Tid> {
         let busiest = (0..self.rqs.len())
-            .filter(|&i| i != thief.index() && self.rqs[i].queue.len() >= 1)
+            .filter(|&i| i != thief.index() && !self.rqs[i].queue.is_empty())
             .max_by_key(|&i| self.rqs[i].queue.len())?;
         // Take from the back (largest vruntime → least cache-hot loss).
         let cand = self.rqs[busiest]
@@ -347,8 +347,8 @@ impl SchedClass for CfsClass {
         let rq = &self.rqs[cpu.index()];
         let t = &k.threads[current.index()];
         let ran = k.now.saturating_sub(t.stint_start);
-        let resched = !rq.queue.is_empty() && ran >= self.slice(rq.nr_running);
-        resched
+
+        !rq.queue.is_empty() && ran >= self.slice(rq.nr_running)
     }
 
     fn on_tick_all(&mut self, cpu: CpuId, k: &mut KernelState) {

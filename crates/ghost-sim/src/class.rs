@@ -144,3 +144,19 @@ impl SchedClass for NullClass {
         false
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `ghost-trace` sits below this crate in the dependency graph and
+    /// duplicates the class-id constants; keep the two tables in lockstep.
+    #[test]
+    fn trace_class_ids_match() {
+        assert_eq!(CLASS_AGENT, ghost_trace::CLASS_AGENT);
+        assert_eq!(CLASS_RT, ghost_trace::CLASS_RT);
+        assert_eq!(CLASS_CFS, ghost_trace::CLASS_CFS);
+        assert_eq!(CLASS_GHOST, ghost_trace::CLASS_GHOST);
+        assert_eq!(CLASS_IDLE, ghost_trace::CLASS_IDLE);
+    }
+}

@@ -23,10 +23,9 @@
 //! recomputes every row through the simulator and prints paper-vs-measured.
 
 use crate::time::Nanos;
-use serde::{Deserialize, Serialize};
 
 /// Component costs (nanoseconds) of kernel and ghOSt operations.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CostModel {
     /// Bare syscall entry/exit (Table 3 line 10).
     pub syscall: Nanos,

@@ -46,6 +46,11 @@ pub struct CpuState {
     /// by the CFS class so agents can detect CFS threads waiting behind
     /// them (the hot-handoff trigger of §3.3).
     pub cfs_queued: u32,
+    /// Tracing bookkeeping: the thread that last left this CPU as
+    /// `(tid, class, prev_state)`, pending emission of the combined
+    /// `sched_switch` tracepoint when the incoming side lands. `None`
+    /// when tracing is off or the last switch-out was already emitted.
+    pub trace_prev: Option<(u32, u8, u8)>,
 }
 
 impl Default for CpuState {
@@ -62,6 +67,7 @@ impl Default for CpuState {
             switches: 0,
             ipis: 0,
             cfs_queued: 0,
+            trace_prev: None,
         }
     }
 }
@@ -92,8 +98,10 @@ mod tests {
 
     #[test]
     fn occupancy_tracks_run_state() {
-        let mut c = CpuState::default();
-        c.run_state = CpuRunState::Busy;
+        let mut c = CpuState {
+            run_state: CpuRunState::Busy,
+            ..CpuState::default()
+        };
         assert!(c.is_occupied());
         c.run_state = CpuRunState::Switching;
         assert!(c.is_occupied());

@@ -47,15 +47,6 @@ impl CpuSet {
         s
     }
 
-    /// A set built from an iterator of CPU ids.
-    pub fn from_iter<I: IntoIterator<Item = CpuId>>(iter: I) -> Self {
-        let mut s = Self::empty();
-        for c in iter {
-            s.add(c);
-        }
-        s
-    }
-
     /// Adds a CPU to the set.
     pub fn add(&mut self, cpu: CpuId) {
         let i = cpu.0 as usize;
@@ -149,7 +140,11 @@ impl std::fmt::Debug for CpuSet {
 
 impl FromIterator<CpuId> for CpuSet {
     fn from_iter<I: IntoIterator<Item = CpuId>>(iter: I) -> Self {
-        CpuSet::from_iter(iter)
+        let mut s = Self::empty();
+        for c in iter {
+            s.add(c);
+        }
+        s
     }
 }
 

@@ -23,6 +23,7 @@ use crate::rt::{AgentClass, RtFifoClass};
 use crate::thread::{SimThread, ThreadKind, ThreadState, Tid};
 use crate::time::{Nanos, MILLIS};
 use crate::topology::{CpuId, Topology};
+use ghost_trace::{TraceEvent, TraceSink, NO_TID, PREV_BLOCKED, PREV_DEAD, PREV_RUNNABLE};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -36,6 +37,10 @@ pub struct KernelConfig {
     pub smt_model: bool,
     /// RNG seed for deterministic replay.
     pub seed: u64,
+    /// Tracepoint sink. Defaults to [`TraceSink::Null`] (off, zero cost);
+    /// set to [`TraceSink::recording`] to capture a `sched:*`-style event
+    /// stream for export, derived metrics, and invariant checking.
+    pub trace: TraceSink,
 }
 
 impl Default for KernelConfig {
@@ -44,6 +49,7 @@ impl Default for KernelConfig {
             tick_ns: MILLIS,
             smt_model: true,
             seed: 1,
+            trace: TraceSink::Null,
         }
     }
 }
@@ -181,11 +187,19 @@ impl KernelState {
     }
 
     /// Schedules a scheduler pass on `cpu` at the future time `at`,
-    /// modelling an IPI arrival.
+    /// modelling an IPI arrival. The traced `from_cpu` is `u16::MAX`
+    /// (unknown): the sim has no notion of which CPU the sending code
+    /// runs on at this point.
     pub fn send_ipi(&mut self, cpu: CpuId, at: Nanos) {
         debug_assert!(at >= self.now);
         self.stats.ipis_sent += 1;
         self.cpus[cpu.index()].ipis += 1;
+        self.cfg
+            .trace
+            .emit(self.now, cpu.0, || TraceEvent::IpiSent {
+                from_cpu: u16::MAX,
+                to_cpu: cpu.0,
+            });
         self.events.push(at, Ev::Resched { cpu });
     }
 
@@ -477,7 +491,15 @@ impl Kernel {
     fn handle(&mut self, ev: Ev) {
         match ev {
             Ev::Wake { tid } => self.state.pending_wakes.push(tid),
-            Ev::Resched { cpu } => self.state.request_resched(cpu),
+            Ev::Resched { cpu } => {
+                self.state
+                    .cfg
+                    .trace
+                    .emit(self.state.now, cpu.0, || TraceEvent::IpiReceived {
+                        cpu: cpu.0,
+                    });
+                self.state.request_resched(cpu)
+            }
             Ev::Tick { cpu } => self.handle_tick(cpu),
             Ev::CtxSwitchDone { cpu, seq } => self.handle_switch_done(cpu, seq),
             Ev::SegmentEnd { tid, stint } => self.handle_segment_end(tid, stint),
@@ -536,7 +558,18 @@ impl Kernel {
         t.state = ThreadState::Runnable;
         t.runnable_since = self.state.now;
         let class = t.class;
+        let last_cpu = t.last_cpu;
         let placed = self.classes[class as usize].enqueue(tid, &mut self.state);
+        // `cpu` is the placement target when the class picked one, else the
+        // thread's previous CPU (mirrors sched:sched_wakeup's target_cpu).
+        let wake_cpu = placed.or(last_cpu).map(|c| c.0).unwrap_or(0);
+        self.state
+            .cfg
+            .trace
+            .emit(self.state.now, wake_cpu, || TraceEvent::SchedWakeup {
+                cpu: wake_cpu,
+                tid: tid.0,
+            });
         if let Some(cpu) = placed {
             self.check_preempt(cpu, tid, class);
         }
@@ -634,6 +667,7 @@ impl Kernel {
                 if let Some(cur) = prev {
                     if self.state.threads[cur.index()].state == ThreadState::Runnable {
                         self.state.threads[cur.index()].preemptions += 1;
+                        self.record_switch_out(cpu, cur, PREV_RUNNABLE);
                         self.notify_agent_descheduled(cur);
                     }
                 }
@@ -645,11 +679,21 @@ impl Kernel {
                         // Nothing better, but current was requeued; this
                         // can only happen if its class declined to return
                         // it (e.g. throttled). Leave the CPU idle.
+                        self.record_switch_out(cpu, cur, PREV_RUNNABLE);
                         self.notify_agent_descheduled(cur);
                     }
                 }
                 self.go_idle(cpu);
             }
+        }
+    }
+
+    /// Remembers the outgoing thread for the `sched_switch` tracepoint,
+    /// emitted when the incoming side lands (`start_running` / `go_idle`).
+    fn record_switch_out(&mut self, cpu: CpuId, tid: Tid, prev_state: u8) {
+        if self.state.cfg.trace.is_enabled() {
+            let class = self.state.threads[tid.index()].class;
+            self.state.cpus[cpu.index()].trace_prev = Some((tid.0, class, prev_state));
         }
     }
 
@@ -676,6 +720,19 @@ impl Kernel {
         self.state.cpus[ci].current = None;
         self.state.cpus[ci].run_state = CpuRunState::Idle;
         self.state.cpus[ci].idle_since = self.state.now;
+        if let Some((prev_tid, prev_class, prev_state)) = self.state.cpus[ci].trace_prev.take() {
+            self.state
+                .cfg
+                .trace
+                .emit(self.state.now, cpu.0, || TraceEvent::SchedSwitch {
+                    cpu: cpu.0,
+                    prev_tid,
+                    prev_class,
+                    prev_state,
+                    next_tid: NO_TID,
+                    next_class: crate::class::CLASS_IDLE,
+                });
+        }
         if was_occupied {
             self.sibling_rate_changed(cpu);
         }
@@ -724,19 +781,47 @@ impl Kernel {
 
     fn start_running(&mut self, tid: Tid, cpu: CpuId) {
         let now = self.state.now;
-        let migrated = {
+        let (migrated, from_cpu) = {
             let t = &self.state.threads[tid.index()];
-            t.last_cpu.is_some() && t.last_cpu != Some(cpu)
+            (t.last_cpu.is_some() && t.last_cpu != Some(cpu), t.last_cpu)
         };
         if migrated {
             self.state.threads[tid.index()].migrations += 1;
             self.state.stats.migrations += 1;
+            let from = from_cpu.map(|c| c.0).unwrap_or(u16::MAX);
+            self.state
+                .cfg
+                .trace
+                .emit(now, cpu.0, || TraceEvent::SchedMigrate {
+                    tid: tid.0,
+                    from_cpu: from,
+                    to_cpu: cpu.0,
+                });
         }
-        {
+        let next_class = {
             let t = &mut self.state.threads[tid.index()];
             debug_assert_ne!(t.state, ThreadState::Dead);
             t.state = ThreadState::Running;
             t.total_wait += now - t.runnable_since;
+            t.class
+        };
+        if self.state.cfg.trace.is_enabled() {
+            // No recorded switch-out means the CPU was idle before.
+            let (prev_tid, prev_class, prev_state) = self.state.cpus[cpu.index()]
+                .trace_prev
+                .take()
+                .unwrap_or((NO_TID, crate::class::CLASS_IDLE, PREV_RUNNABLE));
+            self.state
+                .cfg
+                .trace
+                .emit(now, cpu.0, || TraceEvent::SchedSwitch {
+                    cpu: cpu.0,
+                    prev_tid,
+                    prev_class,
+                    prev_state,
+                    next_tid: tid.0,
+                    next_class,
+                });
         }
         self.begin_stint(tid, cpu);
     }
@@ -887,6 +972,15 @@ impl Kernel {
         }
         let class = t.class;
         self.state.cpus[cpu.index()].current = None;
+        self.record_switch_out(
+            cpu,
+            tid,
+            match reason {
+                OffCpuReason::Preempt | OffCpuReason::Yield => PREV_RUNNABLE,
+                OffCpuReason::Block => PREV_BLOCKED,
+                OffCpuReason::Exit => PREV_DEAD,
+            },
+        );
         self.state.offcpu_reason = reason;
         self.classes[class as usize].put_prev(tid, cpu, still_runnable, &mut self.state);
         // The CPU is logically still occupied until the next pick; resched
@@ -896,6 +990,12 @@ impl Kernel {
 
     fn handle_tick(&mut self, cpu: CpuId) {
         self.state.stats.ticks += 1;
+        self.state
+            .cfg
+            .trace
+            .emit(self.state.now, cpu.0, || TraceEvent::TickDelivered {
+                cpu: cpu.0,
+            });
         // Re-arm first so classes can rely on periodic ticks.
         if self.state.cfg.tick_ns > 0 {
             self.state

@@ -13,12 +13,11 @@
 //!   grouped in 4-core CCXs with a shared L3 (Google Search §4.4).
 
 use crate::cpuset::CpuSet;
-use serde::{Deserialize, Serialize};
 
 /// A logical CPU (hyperthread) identifier.
 ///
 /// The paper: "We refer to logical execution units as CPUs."
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CpuId(pub u16);
 
 impl CpuId {

@@ -71,7 +71,7 @@ fn single_thread_runs_and_blocks() {
     let app_id = kernel.state.next_app_id();
     let mut app = LoopApp::new();
     let t = spin_forever(&mut kernel, app_id, "worker", 0);
-    app.conf.insert(t, (100_000, 1 * MILLIS)); // 100 µs every 1 ms.
+    app.conf.insert(t, (100_000, MILLIS)); // 100 µs every 1 ms.
     let app_id2 = kernel.add_app(Box::new(app));
     assert_eq!(app_id, app_id2);
     kernel.state.arm_app_timer(0, app_id, t.0 as u64);
@@ -97,7 +97,7 @@ fn cfs_shares_cpu_between_equal_threads() {
     kernel.add_app(Box::new(app));
     kernel.assign_and_wake(a, 10 * MILLIS);
     kernel.assign_and_wake(b, 10 * MILLIS);
-    kernel.run_until(1 * SECS);
+    kernel.run_until(SECS);
     let wa = kernel.state.thread(a).total_oncpu as f64;
     let wb = kernel.state.thread(b).total_oncpu as f64;
     let ratio = wa / wb;
@@ -142,7 +142,7 @@ fn rt_class_preempts_cfs() {
             .class(CLASS_RT),
     );
     app.conf.insert(cfs, (10 * MILLIS, 0));
-    app.conf.insert(rt, (1 * MILLIS, 5 * MILLIS));
+    app.conf.insert(rt, (MILLIS, 5 * MILLIS));
     kernel.add_app(Box::new(app));
     kernel.assign_and_wake(cfs, 10 * MILLIS);
     kernel.state.arm_app_timer(10 * MILLIS, app_id, rt.0 as u64);
@@ -193,7 +193,7 @@ fn smt_siblings_run_slower() {
     kernel.add_app(Box::new(app));
     kernel.assign_and_wake(a, 10 * MILLIS);
     kernel.assign_and_wake(b, 10 * MILLIS);
-    kernel.run_until(1 * SECS);
+    kernel.run_until(SECS);
     for t in [a, b] {
         let th = kernel.state.thread(t);
         let rate = th.total_work as f64 / th.total_oncpu as f64;
@@ -244,7 +244,7 @@ fn load_spreads_across_cpus() {
     for &t in &tids {
         kernel.assign_and_wake(t, 10 * MILLIS);
     }
-    kernel.run_until(1 * SECS);
+    kernel.run_until(SECS);
     // 8 spinners on 8 logical CPUs: everyone should get a full CPU's
     // worth of wall time (modulo switches).
     for &t in &tids {
@@ -372,7 +372,7 @@ fn wait_time_is_accounted() {
     kernel.add_app(Box::new(app));
     kernel.assign_and_wake(a, 10 * MILLIS);
     kernel.assign_and_wake(b, 10 * MILLIS);
-    kernel.run_until(1 * SECS);
+    kernel.run_until(SECS);
     let wait = kernel.state.thread(a).total_wait + kernel.state.thread(b).total_wait;
     assert!(
         wait > 800 * MILLIS,

@@ -1,0 +1,440 @@
+//! Trace-driven invariant checker: replays a recorded stream and asserts
+//! cross-cutting correctness properties of the scheduler. This gives every
+//! test a one-line end-to-end oracle — run a scenario with a recording
+//! sink, then `assert_clean(&sink.snapshot())`.
+//!
+//! Checked invariants:
+//! 1. **Exclusive occupancy** — at most one thread running per CPU at any
+//!    instant, and no thread running on two CPUs at once.
+//! 2. **Runnable switch-in** — no `sched_switch` to a thread the trace has
+//!    shown to be blocked or dead (threads first seen mid-trace are
+//!    presumed runnable).
+//! 3. **Seqnum monotonicity** — Tseq strictly increases per thread across
+//!    its messages; Aseq never decreases across an agent's activations
+//!    (it bumps per posted message, so an activation with no new traffic
+//!    legitimately observes the same Aseq as the previous one).
+//! 4. **Commit pairing** — every `TxnCommitOk` is preceded by a matching
+//!    `TxnArmed` for the same (cpu, tid) that no other commit consumed.
+//! 5. **Wakeup liveness** — every wakeup is eventually followed by a
+//!    switch-in of that thread, its death, or an explicit blackout event
+//!    (watchdog / enclave destruction); wakeups within a grace window of
+//!    the end of the trace are exempt (the scenario simply ended first).
+//!
+//! The checker assumes a lossless stream. If the recording ring
+//! overflowed ([`crate::TraceSink::dropped`] > 0), gaps make ordering
+//! properties unverifiable — record with a larger capacity instead.
+
+use crate::{Nanos, TraceEvent, TraceRecord, NO_TID, PREV_DEAD, PREV_RUNNABLE};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Wakeups younger than this at end-of-trace are not liveness violations.
+pub const DEFAULT_GRACE_NS: Nanos = 50_000_000; // 50 ms of virtual time
+
+/// One invariant violation, anchored to the record that exposed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Global seq of the offending record (or the last record, for
+    /// end-of-trace liveness violations).
+    pub seq: u64,
+    pub ts: Nanos,
+    /// Short rule identifier, e.g. `"exclusive-occupancy"`.
+    pub rule: &'static str,
+    /// Human-readable description of what went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] at ts={}ns seq={}: {}",
+            self.rule, self.ts, self.seq, self.detail
+        )
+    }
+}
+
+/// Checks `records` (in `seq` order) with the default grace window.
+pub fn check(records: &[TraceRecord]) -> Vec<Violation> {
+    check_with_grace(records, DEFAULT_GRACE_NS)
+}
+
+/// Panics with a formatted report if `records` violate any invariant.
+pub fn assert_clean(records: &[TraceRecord]) {
+    let violations = check(records);
+    if !violations.is_empty() {
+        let mut report = format!(
+            "trace invariant check failed: {} violation(s) in {} records\n",
+            violations.len(),
+            records.len()
+        );
+        for v in violations.iter().take(20) {
+            report.push_str(&format!("  {v}\n"));
+        }
+        if violations.len() > 20 {
+            report.push_str(&format!("  ... and {} more\n", violations.len() - 20));
+        }
+        panic!("{report}");
+    }
+}
+
+/// Checks with an explicit end-of-trace grace window for wakeup liveness.
+pub fn check_with_grace(records: &[TraceRecord], grace_ns: Nanos) -> Vec<Violation> {
+    let mut v = Vec::new();
+    // Rule 1 state: which thread each CPU is running, and where each
+    // thread runs.
+    let mut cpu_running: BTreeMap<u16, u32> = BTreeMap::new();
+    let mut thread_cpu: BTreeMap<u32, u16> = BTreeMap::new();
+    // Rule 2 state: threads the trace has shown non-runnable, and every
+    // tid the trace has mentioned (first sightings are presumed runnable).
+    let mut not_runnable: BTreeSet<u32> = BTreeSet::new();
+    // Rule 3 state.
+    let mut tseq: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut aseq: BTreeMap<u32, u64> = BTreeMap::new();
+    // Rule 4 state: outstanding armed transactions.
+    let mut armed: BTreeSet<(u16, u32)> = BTreeSet::new();
+    // Rule 5 state: tid -> (wakeup ts, wakeup seq), pending switch-in.
+    let mut pending_wake: BTreeMap<u32, (Nanos, u64)> = BTreeMap::new();
+    let mut blackout_at: Option<Nanos> = None;
+
+    for rec in records {
+        match rec.event {
+            TraceEvent::SchedWakeup { tid, .. } => {
+                not_runnable.remove(&tid);
+                pending_wake.entry(tid).or_insert((rec.ts, rec.seq));
+            }
+            TraceEvent::SchedSwitch {
+                cpu,
+                prev_tid,
+                prev_state,
+                next_tid,
+                ..
+            } => {
+                // Rule 1: the outgoing thread must be what this CPU runs.
+                match cpu_running.get(&cpu) {
+                    Some(&running) if prev_tid != NO_TID && running != prev_tid => {
+                        v.push(Violation {
+                            seq: rec.seq,
+                            ts: rec.ts,
+                            rule: "exclusive-occupancy",
+                            detail: format!(
+                                "cpu {cpu} switches out tid {prev_tid} but was running tid {running}"
+                            ),
+                        });
+                    }
+                    None if prev_tid != NO_TID && thread_cpu.contains_key(&prev_tid) => {
+                        v.push(Violation {
+                            seq: rec.seq,
+                            ts: rec.ts,
+                            rule: "exclusive-occupancy",
+                            detail: format!(
+                                "cpu {cpu} switches out tid {prev_tid}, which runs on cpu {}",
+                                thread_cpu[&prev_tid]
+                            ),
+                        });
+                    }
+                    _ => {}
+                }
+                if prev_tid != NO_TID {
+                    if thread_cpu.get(&prev_tid) == Some(&cpu) {
+                        thread_cpu.remove(&prev_tid);
+                    }
+                    cpu_running.remove(&cpu);
+                    match prev_state {
+                        PREV_RUNNABLE => {}
+                        _ => {
+                            not_runnable.insert(prev_tid);
+                            if prev_state == PREV_DEAD {
+                                pending_wake.remove(&prev_tid);
+                            }
+                        }
+                    }
+                } else {
+                    cpu_running.remove(&cpu);
+                }
+                if next_tid != NO_TID {
+                    // Rule 1: the incoming thread must not run elsewhere.
+                    if let Some(&other) = thread_cpu.get(&next_tid) {
+                        if other != cpu {
+                            v.push(Violation {
+                                seq: rec.seq,
+                                ts: rec.ts,
+                                rule: "exclusive-occupancy",
+                                detail: format!(
+                                    "tid {next_tid} switched in on cpu {cpu} while running on cpu {other}"
+                                ),
+                            });
+                        }
+                    }
+                    // Rule 2: must be runnable (unless unseen so far).
+                    if not_runnable.contains(&next_tid) {
+                        v.push(Violation {
+                            seq: rec.seq,
+                            ts: rec.ts,
+                            rule: "runnable-switch-in",
+                            detail: format!(
+                                "cpu {cpu} switched in tid {next_tid}, last seen non-runnable with no wakeup since"
+                            ),
+                        });
+                    }
+                    cpu_running.insert(cpu, next_tid);
+                    thread_cpu.insert(next_tid, cpu);
+                    pending_wake.remove(&next_tid);
+                }
+            }
+            TraceEvent::MsgEnqueued { tid, seq, .. } if tid != NO_TID && seq != 0 => {
+                if let Some(&prev) = tseq.get(&tid) {
+                    if seq <= prev {
+                        v.push(Violation {
+                            seq: rec.seq,
+                            ts: rec.ts,
+                            rule: "tseq-monotone",
+                            detail: format!(
+                                "tid {tid} Tseq went {prev} -> {seq} (must strictly increase)"
+                            ),
+                        });
+                    }
+                }
+                tseq.insert(tid, seq);
+            }
+            TraceEvent::AgentActivationBegin {
+                agent_tid, aseq: a, ..
+            } => {
+                if let Some(&prev) = aseq.get(&agent_tid) {
+                    if a < prev {
+                        v.push(Violation {
+                            seq: rec.seq,
+                            ts: rec.ts,
+                            rule: "aseq-monotone",
+                            detail: format!(
+                                "agent {agent_tid} Aseq went {prev} -> {a} (must not decrease)"
+                            ),
+                        });
+                    }
+                }
+                aseq.insert(agent_tid, a);
+            }
+            TraceEvent::TxnArmed { cpu, tid } => {
+                armed.insert((cpu, tid));
+            }
+            TraceEvent::TxnCommitOk { cpu, tid } if !armed.remove(&(cpu, tid)) => {
+                v.push(Violation {
+                    seq: rec.seq,
+                    ts: rec.ts,
+                    rule: "commit-pairing",
+                    detail: format!(
+                        "TxnCommitOk for tid {tid} on cpu {cpu} with no outstanding TxnArmed"
+                    ),
+                });
+            }
+            TraceEvent::TxnCommitEstale { cpu, tid } | TraceEvent::TxnCommitRace { cpu, tid } => {
+                // A failed commit consumes its arm, if one was traced.
+                armed.remove(&(cpu, tid));
+            }
+            TraceEvent::WatchdogFired { .. } | TraceEvent::EnclaveDestroyed { .. } => {
+                blackout_at = Some(rec.ts);
+            }
+            _ => {}
+        }
+    }
+
+    // Rule 5: leftover wakeups must be young or explained by a blackout.
+    let end_ts = records.last().map(|r| r.ts).unwrap_or(0);
+    let end_seq = records.last().map(|r| r.seq).unwrap_or(0);
+    for (tid, (woke_ts, _)) in pending_wake {
+        let excused_by_blackout = blackout_at.is_some_and(|b| b >= woke_ts);
+        let within_grace = end_ts.saturating_sub(woke_ts) <= grace_ns;
+        if !excused_by_blackout && !within_grace {
+            v.push(Violation {
+                seq: end_seq,
+                ts: end_ts,
+                rule: "wakeup-liveness",
+                detail: format!(
+                    "tid {tid} woke at {woke_ts}ns but never ran in the remaining {}ns",
+                    end_ts.saturating_sub(woke_ts)
+                ),
+            });
+        }
+    }
+    v.sort_by_key(|x| x.seq);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceSink, CLASS_GHOST, CLASS_IDLE, PREV_BLOCKED};
+
+    fn switch(cpu: u16, prev: u32, prev_state: u8, next: u32) -> TraceEvent {
+        TraceEvent::SchedSwitch {
+            cpu,
+            prev_tid: prev,
+            prev_class: if prev == NO_TID {
+                CLASS_IDLE
+            } else {
+                CLASS_GHOST
+            },
+            prev_state,
+            next_tid: next,
+            next_class: if next == NO_TID {
+                CLASS_IDLE
+            } else {
+                CLASS_GHOST
+            },
+        }
+    }
+
+    #[test]
+    fn clean_trace_passes() {
+        let sink = TraceSink::recording(2, 64);
+        sink.emit(0, 0, || TraceEvent::SchedWakeup { cpu: 0, tid: 1 });
+        sink.emit(10, 0, || switch(0, NO_TID, PREV_RUNNABLE, 1));
+        sink.emit(50, 0, || TraceEvent::TxnArmed { cpu: 1, tid: 2 });
+        sink.emit(60, 0, || TraceEvent::TxnCommitOk { cpu: 1, tid: 2 });
+        sink.emit(70, 1, || switch(1, NO_TID, PREV_RUNNABLE, 2));
+        sink.emit(100, 0, || switch(0, 1, PREV_BLOCKED, NO_TID));
+        let records = sink.snapshot();
+        assert!(check(&records).is_empty());
+        assert_clean(&records);
+    }
+
+    #[test]
+    fn double_occupancy_is_rejected() {
+        let sink = TraceSink::recording(2, 64);
+        sink.emit(10, 0, || switch(0, NO_TID, PREV_RUNNABLE, 1));
+        // tid 1 switched in on cpu 1 while still running on cpu 0.
+        sink.emit(20, 1, || switch(1, NO_TID, PREV_RUNNABLE, 1));
+        let violations = check(&sink.snapshot());
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].rule, "exclusive-occupancy");
+        assert!(violations[0].detail.contains("tid 1"), "{}", violations[0]);
+    }
+
+    #[test]
+    fn switch_to_blocked_thread_is_rejected() {
+        let sink = TraceSink::recording(1, 64);
+        sink.emit(10, 0, || switch(0, NO_TID, PREV_RUNNABLE, 1));
+        sink.emit(20, 0, || switch(0, 1, PREV_BLOCKED, NO_TID));
+        // No wakeup in between: tid 1 is still blocked.
+        sink.emit(30, 0, || switch(0, NO_TID, PREV_RUNNABLE, 1));
+        let violations = check(&sink.snapshot());
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].rule, "runnable-switch-in");
+    }
+
+    #[test]
+    fn wakeup_clears_blocked_state() {
+        let sink = TraceSink::recording(1, 64);
+        sink.emit(10, 0, || switch(0, NO_TID, PREV_RUNNABLE, 1));
+        sink.emit(20, 0, || switch(0, 1, PREV_BLOCKED, NO_TID));
+        sink.emit(25, 0, || TraceEvent::SchedWakeup { cpu: 0, tid: 1 });
+        sink.emit(30, 0, || switch(0, NO_TID, PREV_RUNNABLE, 1));
+        assert!(check(&sink.snapshot()).is_empty());
+    }
+
+    #[test]
+    fn regressing_tseq_is_rejected() {
+        let sink = TraceSink::recording(1, 64);
+        sink.emit(10, 0, || TraceEvent::MsgEnqueued {
+            queue: 0,
+            ty: 1,
+            tid: 3,
+            seq: 5,
+        });
+        sink.emit(20, 0, || TraceEvent::MsgEnqueued {
+            queue: 0,
+            ty: 2,
+            tid: 3,
+            seq: 5,
+        });
+        let violations = check(&sink.snapshot());
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].rule, "tseq-monotone");
+    }
+
+    #[test]
+    fn regressing_aseq_is_rejected() {
+        let sink = TraceSink::recording(1, 64);
+        sink.emit(10, 0, || TraceEvent::AgentActivationBegin {
+            cpu: 0,
+            agent_tid: 9,
+            aseq: 4,
+        });
+        sink.emit(20, 0, || TraceEvent::AgentActivationBegin {
+            cpu: 0,
+            agent_tid: 9,
+            aseq: 3,
+        });
+        let violations = check(&sink.snapshot());
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].rule, "aseq-monotone");
+    }
+
+    #[test]
+    fn flat_aseq_is_accepted() {
+        // A spinning agent re-activates without new messages; its Aseq is
+        // unchanged, which is legal (it only bumps per posted message).
+        let sink = TraceSink::recording(1, 64);
+        sink.emit(10, 0, || TraceEvent::AgentActivationBegin {
+            cpu: 0,
+            agent_tid: 9,
+            aseq: 4,
+        });
+        sink.emit(20, 0, || TraceEvent::AgentActivationBegin {
+            cpu: 0,
+            agent_tid: 9,
+            aseq: 4,
+        });
+        assert!(check(&sink.snapshot()).is_empty());
+    }
+
+    #[test]
+    fn unarmed_commit_is_rejected_with_description() {
+        let sink = TraceSink::recording(1, 64);
+        sink.emit(10, 0, || TraceEvent::TxnCommitOk { cpu: 2, tid: 7 });
+        let violations = check(&sink.snapshot());
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].rule, "commit-pairing");
+        assert!(violations[0].detail.contains("tid 7"));
+        assert!(violations[0].detail.contains("cpu 2"));
+    }
+
+    #[test]
+    fn stranded_wakeup_is_rejected_beyond_grace() {
+        let sink = TraceSink::recording(1, 64);
+        sink.emit(0, 0, || TraceEvent::SchedWakeup { cpu: 0, tid: 1 });
+        sink.emit(DEFAULT_GRACE_NS + 1, 0, || TraceEvent::TickDelivered {
+            cpu: 0,
+        });
+        let violations = check(&sink.snapshot());
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].rule, "wakeup-liveness");
+    }
+
+    #[test]
+    fn recent_wakeup_is_within_grace() {
+        let sink = TraceSink::recording(1, 64);
+        sink.emit(0, 0, || TraceEvent::TickDelivered { cpu: 0 });
+        sink.emit(100, 0, || TraceEvent::SchedWakeup { cpu: 0, tid: 1 });
+        assert!(check(&sink.snapshot()).is_empty());
+    }
+
+    #[test]
+    fn blackout_excuses_stranded_wakeups() {
+        let sink = TraceSink::recording(1, 64);
+        sink.emit(0, 0, || TraceEvent::SchedWakeup { cpu: 0, tid: 1 });
+        sink.emit(10, 0, || TraceEvent::EnclaveDestroyed { enclave: 0 });
+        sink.emit(DEFAULT_GRACE_NS * 2, 0, || TraceEvent::TickDelivered {
+            cpu: 0,
+        });
+        assert!(check(&sink.snapshot()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "trace invariant check failed")]
+    fn assert_clean_panics_on_corrupt_trace() {
+        let sink = TraceSink::recording(1, 64);
+        sink.emit(10, 0, || TraceEvent::TxnCommitOk { cpu: 0, tid: 1 });
+        assert_clean(&sink.snapshot());
+    }
+}

@@ -1,0 +1,184 @@
+//! Chrome `trace_event` JSON export, loadable in Perfetto or
+//! `chrome://tracing`.
+//!
+//! Layout: each CPU is rendered as a "process" (`pid` = cpu), with one
+//! complete slice (`ph: "X"`) per scheduling stint reconstructed from
+//! `sched_switch` pairs, and every other tracepoint as an instant event
+//! (`ph: "i"`). Timestamps are virtual-time microseconds with nanosecond
+//! precision (three decimals), formatted deterministically so identical
+//! traces export to identical bytes.
+
+use crate::{json, TraceEvent, TraceRecord, NO_TID};
+
+fn class_name(class: u8) -> &'static str {
+    match class {
+        crate::CLASS_AGENT => "agent",
+        crate::CLASS_RT => "rt",
+        crate::CLASS_CFS => "cfs",
+        crate::CLASS_GHOST => "ghost",
+        crate::CLASS_IDLE => "idle",
+        _ => "unknown",
+    }
+}
+
+/// Nanoseconds → microsecond string with fixed 3 decimals ("12.345").
+fn us(ts: u64) -> String {
+    format!("{}.{:03}", ts / 1_000, ts % 1_000)
+}
+
+fn args_json(event: &TraceEvent) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in event.args().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{k}\":{v}"));
+    }
+    out.push('}');
+    out
+}
+
+/// Serializes `records` (must be in `seq` order, as returned by
+/// `TraceSink::snapshot`) into a Chrome trace-event JSON document.
+pub fn export(records: &[TraceRecord]) -> String {
+    let mut events: Vec<String> = Vec::new();
+    // (tid, class, start_ts) currently running per CPU, for slice emission.
+    let mut running: std::collections::BTreeMap<u16, (u32, u8, u64)> =
+        std::collections::BTreeMap::new();
+    let mut last_ts = 0u64;
+
+    for rec in records {
+        last_ts = last_ts.max(rec.ts);
+        if let TraceEvent::SchedSwitch {
+            cpu,
+            prev_tid,
+            next_tid,
+            next_class,
+            ..
+        } = rec.event
+        {
+            if let Some((tid, class, start)) = running.remove(&cpu) {
+                // The switch names the outgoing thread; trust the slice we
+                // opened, but only close it for a real (non-idle) thread.
+                debug_assert!(prev_tid == tid || prev_tid == NO_TID);
+                events.push(slice(cpu, tid, class, start, rec.ts));
+            }
+            if next_tid != NO_TID {
+                running.insert(cpu, (next_tid, next_class, rec.ts));
+            }
+        }
+        events.push(instant(rec));
+    }
+    // Close slices still open at the end of the trace.
+    for (&cpu, &(tid, class, start)) in &running {
+        events.push(slice(cpu, tid, class, start, last_ts.max(start)));
+    }
+
+    let mut doc = String::from("{\"traceEvents\":[\n");
+    doc.push_str(&events.join(",\n"));
+    doc.push_str("\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"producer\":\"ghost-trace\"}}\n");
+    doc
+}
+
+fn slice(cpu: u16, tid: u32, class: u8, start: u64, end: u64) -> String {
+    let dur_ns = end.saturating_sub(start);
+    format!(
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}}}",
+        json::escape(&format!("tid {tid} ({})", class_name(class))),
+        class_name(class),
+        us(start),
+        us(dur_ns),
+        cpu,
+        tid,
+    )
+}
+
+fn instant(rec: &TraceRecord) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"cat\":\"tracepoint\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{},\"tid\":0,\"args\":{}}}",
+        rec.event.name(),
+        us(rec.ts),
+        rec.cpu,
+        args_json(&rec.event),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::TraceSink;
+
+    fn sample_trace() -> Vec<TraceRecord> {
+        let sink = TraceSink::recording(2, 64);
+        sink.emit(0, 0, || TraceEvent::SchedWakeup { cpu: 0, tid: 5 });
+        sink.emit(100, 0, || TraceEvent::SchedSwitch {
+            cpu: 0,
+            prev_tid: NO_TID,
+            prev_class: crate::CLASS_IDLE,
+            prev_state: crate::PREV_RUNNABLE,
+            next_tid: 5,
+            next_class: crate::CLASS_GHOST,
+        });
+        sink.emit(2_500, 1, || TraceEvent::TickDelivered { cpu: 1 });
+        sink.emit(5_000, 0, || TraceEvent::SchedSwitch {
+            cpu: 0,
+            prev_tid: 5,
+            prev_class: crate::CLASS_GHOST,
+            prev_state: crate::PREV_BLOCKED,
+            next_tid: NO_TID,
+            next_class: crate::CLASS_IDLE,
+        });
+        sink.snapshot()
+    }
+
+    #[test]
+    fn export_is_valid_json_with_expected_events() {
+        let doc = export(&sample_trace());
+        let v = parse(&doc).expect("export must parse");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // 4 instants + 1 closed slice.
+        assert_eq!(events.len(), 5);
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name")?.as_str())
+            .collect();
+        assert!(names.contains(&"sched_wakeup"));
+        assert!(names.contains(&"tid 5 (ghost)"));
+        let slice = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .unwrap();
+        assert_eq!(slice.get("ts").unwrap().as_num(), Some(0.1));
+        assert_eq!(slice.get("dur").unwrap().as_num(), Some(4.9));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let a = export(&sample_trace());
+        let b = export(&sample_trace());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn open_slices_are_closed_at_trace_end() {
+        let sink = TraceSink::recording(1, 8);
+        sink.emit(10, 0, || TraceEvent::SchedSwitch {
+            cpu: 0,
+            prev_tid: NO_TID,
+            prev_class: crate::CLASS_IDLE,
+            prev_state: crate::PREV_RUNNABLE,
+            next_tid: 3,
+            next_class: crate::CLASS_CFS,
+        });
+        sink.emit(400, 0, || TraceEvent::TickDelivered { cpu: 0 });
+        let doc = export(&sink.snapshot());
+        let v = parse(&doc).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let slice = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .unwrap();
+        assert_eq!(slice.get("dur").unwrap().as_num(), Some(0.39));
+    }
+}

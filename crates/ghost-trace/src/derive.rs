@@ -1,0 +1,195 @@
+//! Derived-metrics pass over a recorded trace: folds the raw event stream
+//! into the quantities the paper's evaluation cares about — wakeup-to-run
+//! latency, per-CPU class occupancy, queue-depth timelines, and commit
+//! outcome rates — using `ghost-metrics` histograms.
+
+use crate::{Nanos, TraceEvent, TraceRecord, CLASS_IDLE, NO_TID};
+use ghost_metrics::LogHistogram;
+use std::collections::BTreeMap;
+
+/// Metrics folded out of one trace.
+pub struct TraceMetrics {
+    /// Latency from `sched_wakeup` to the thread's next switch-in, ns.
+    pub wakeup_to_run: LogHistogram,
+    /// Per-CPU nanoseconds spent running each scheduling class
+    /// (indexed by class id 0..=4; idle time lands in `CLASS_IDLE`).
+    pub occupancy: BTreeMap<u16, [u64; 5]>,
+    /// Per-queue (timestamp, depth-after-event) timeline.
+    pub queue_depth: BTreeMap<u32, Vec<(Nanos, u64)>>,
+    /// Per-queue peak depth.
+    pub queue_peak: BTreeMap<u32, u64>,
+    /// Commit outcomes.
+    pub txns_ok: u64,
+    pub txns_estale: u64,
+    pub txns_race: u64,
+    /// Messages lost to queue overflow.
+    pub msgs_dropped: u64,
+    /// pick_next_task fast-path outcomes.
+    pub pnt_hits: u64,
+    pub pnt_misses: u64,
+}
+
+impl TraceMetrics {
+    /// Folds `records` (in `seq` order) into metrics.
+    pub fn from_records(records: &[TraceRecord]) -> Self {
+        let mut m = TraceMetrics {
+            wakeup_to_run: LogHistogram::new(),
+            occupancy: BTreeMap::new(),
+            queue_depth: BTreeMap::new(),
+            queue_peak: BTreeMap::new(),
+            txns_ok: 0,
+            txns_estale: 0,
+            txns_race: 0,
+            msgs_dropped: 0,
+            pnt_hits: 0,
+            pnt_misses: 0,
+        };
+        // Latest un-serviced wakeup per tid.
+        let mut woken: BTreeMap<u32, Nanos> = BTreeMap::new();
+        // (class, since) currently occupying each CPU.
+        let mut running: BTreeMap<u16, (u8, Nanos)> = BTreeMap::new();
+        let mut depth: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut last_ts = 0;
+
+        for rec in records {
+            last_ts = last_ts.max(rec.ts);
+            match rec.event {
+                TraceEvent::SchedWakeup { tid, .. } => {
+                    woken.entry(tid).or_insert(rec.ts);
+                }
+                TraceEvent::SchedSwitch {
+                    cpu,
+                    next_tid,
+                    next_class,
+                    ..
+                } => {
+                    if next_tid != NO_TID {
+                        if let Some(woke_at) = woken.remove(&next_tid) {
+                            m.wakeup_to_run
+                                .record(rec.ts.saturating_sub(woke_at).max(1));
+                        }
+                    }
+                    let (class, since) = running
+                        .insert(cpu, (next_class, rec.ts))
+                        .unwrap_or((CLASS_IDLE, rec.ts));
+                    let bucket = (class as usize).min(4);
+                    m.occupancy.entry(cpu).or_insert([0; 5])[bucket] +=
+                        rec.ts.saturating_sub(since);
+                }
+                TraceEvent::MsgEnqueued { queue, .. } => {
+                    let d = depth.entry(queue).or_insert(0);
+                    *d += 1;
+                    let peak = m.queue_peak.entry(queue).or_insert(0);
+                    *peak = (*peak).max(*d);
+                    m.queue_depth.entry(queue).or_default().push((rec.ts, *d));
+                }
+                TraceEvent::MsgDequeued { queue, .. } => {
+                    let d = depth.entry(queue).or_insert(0);
+                    *d = d.saturating_sub(1);
+                    m.queue_depth.entry(queue).or_default().push((rec.ts, *d));
+                }
+                TraceEvent::QueueOverflow { .. } => m.msgs_dropped += 1,
+                TraceEvent::TxnCommitOk { .. } => m.txns_ok += 1,
+                TraceEvent::TxnCommitEstale { .. } => m.txns_estale += 1,
+                TraceEvent::TxnCommitRace { .. } => m.txns_race += 1,
+                TraceEvent::PntHit { .. } => m.pnt_hits += 1,
+                TraceEvent::PntMiss { .. } => m.pnt_misses += 1,
+                _ => {}
+            }
+        }
+        // Close out whatever is still on-CPU at trace end.
+        for (cpu, (class, since)) in running {
+            let bucket = (class as usize).min(4);
+            m.occupancy.entry(cpu).or_insert([0; 5])[bucket] += last_ts.saturating_sub(since);
+        }
+        m
+    }
+
+    /// Fraction of commit attempts that failed the seqnum check.
+    pub fn estale_rate(&self) -> f64 {
+        let total = self.txns_ok + self.txns_estale + self.txns_race;
+        if total == 0 {
+            0.0
+        } else {
+            self.txns_estale as f64 / total as f64
+        }
+    }
+
+    /// Fraction of `cpu`'s accounted time spent running `class`.
+    pub fn occupancy_frac(&self, cpu: u16, class: u8) -> f64 {
+        match self.occupancy.get(&cpu) {
+            None => 0.0,
+            Some(buckets) => {
+                let total: u64 = buckets.iter().sum();
+                if total == 0 {
+                    0.0
+                } else {
+                    buckets[(class as usize).min(4)] as f64 / total as f64
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceSink, CLASS_CFS, CLASS_GHOST, PREV_BLOCKED, PREV_RUNNABLE};
+
+    #[test]
+    fn folds_wakeup_latency_occupancy_and_queues() {
+        let sink = TraceSink::recording(1, 128);
+        sink.emit(100, 0, || TraceEvent::SchedWakeup { cpu: 0, tid: 1 });
+        sink.emit(100, 0, || TraceEvent::MsgEnqueued {
+            queue: 0,
+            ty: 1,
+            tid: 1,
+            seq: 1,
+        });
+        sink.emit(200, 0, || TraceEvent::MsgDequeued {
+            queue: 0,
+            ty: 1,
+            tid: 1,
+            seq: 1,
+        });
+        sink.emit(600, 0, || TraceEvent::SchedSwitch {
+            cpu: 0,
+            prev_tid: NO_TID,
+            prev_class: CLASS_IDLE,
+            prev_state: PREV_RUNNABLE,
+            next_tid: 1,
+            next_class: CLASS_GHOST,
+        });
+        sink.emit(1_600, 0, || TraceEvent::SchedSwitch {
+            cpu: 0,
+            prev_tid: 1,
+            prev_class: CLASS_GHOST,
+            prev_state: PREV_BLOCKED,
+            next_tid: 2,
+            next_class: CLASS_CFS,
+        });
+        sink.emit(2_100, 0, || TraceEvent::TxnCommitOk { cpu: 0, tid: 1 });
+        sink.emit(2_100, 0, || TraceEvent::TxnCommitEstale { cpu: 0, tid: 2 });
+
+        let m = TraceMetrics::from_records(&sink.snapshot());
+        assert_eq!(m.wakeup_to_run.count(), 1);
+        assert_eq!(m.wakeup_to_run.max(), 500);
+        // ghost ran 600..1600; cfs ran 1600..2100 (closed at trace end).
+        assert_eq!(m.occupancy[&0][CLASS_GHOST as usize], 1_000);
+        assert_eq!(m.occupancy[&0][CLASS_CFS as usize], 500);
+        assert!(m.occupancy_frac(0, CLASS_GHOST) > m.occupancy_frac(0, CLASS_CFS));
+        assert_eq!(m.queue_peak[&0], 1);
+        assert_eq!(m.queue_depth[&0], vec![(100, 1), (200, 0)]);
+        assert_eq!(m.txns_ok, 1);
+        assert_eq!(m.txns_estale, 1);
+        assert!((m.estale_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_folds_to_zeroes() {
+        let m = TraceMetrics::from_records(&[]);
+        assert_eq!(m.wakeup_to_run.count(), 0);
+        assert_eq!(m.estale_rate(), 0.0);
+        assert_eq!(m.occupancy_frac(3, CLASS_GHOST), 0.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Bounded per-CPU ring buffers for trace records, ftrace-style: each CPU
+//! gets its own preallocated ring, a full ring overwrites its oldest record
+//! (readers prefer recent history), and overwrites are counted so consumers
+//! know the stream is lossy. Nothing allocates after construction.
+
+use crate::{Nanos, TraceEvent, TraceRecord};
+
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<Option<TraceRecord>>,
+    /// Index of the oldest record.
+    head: usize,
+    /// Number of live records (≤ buf.len()).
+    len: usize,
+    /// Records overwritten because the ring was full.
+    dropped: u64,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        Ring {
+            buf: vec![None; capacity],
+            head: 0,
+            len: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, rec: TraceRecord) {
+        let cap = self.buf.len();
+        let tail = (self.head + self.len) % cap;
+        if self.len == cap {
+            // Overwrite the oldest record and advance the head.
+            self.buf[tail] = Some(rec);
+            self.head = (self.head + 1) % cap;
+            self.dropped += 1;
+        } else {
+            self.buf[tail] = Some(rec);
+            self.len += 1;
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &TraceRecord> + '_ {
+        let cap = self.buf.len();
+        (0..self.len).filter_map(move |i| self.buf[(self.head + i) % cap].as_ref())
+    }
+}
+
+/// Per-CPU lossy trace storage. Records are stamped with a globally
+/// monotone sequence number at record time, so the merged view is totally
+/// ordered even when virtual timestamps tie.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    rings: Vec<Ring>,
+    next_seq: u64,
+}
+
+impl TraceRecorder {
+    /// `num_cpus` rings of `capacity` records each, fully preallocated.
+    pub fn new(num_cpus: usize, capacity: usize) -> Self {
+        let num_cpus = num_cpus.max(1);
+        let capacity = capacity.max(1);
+        TraceRecorder {
+            rings: (0..num_cpus).map(|_| Ring::new(capacity)).collect(),
+            next_seq: 0,
+        }
+    }
+
+    /// Appends one event to `cpu`'s ring (clamped into range so a stray
+    /// CPU id can never panic the hot path).
+    pub fn record(&mut self, ts: Nanos, cpu: u16, event: TraceEvent) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let idx = (cpu as usize).min(self.rings.len() - 1);
+        self.rings[idx].push(TraceRecord {
+            seq,
+            ts,
+            cpu,
+            event,
+        });
+    }
+
+    /// All surviving records merged across rings, in `seq` order.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        let mut all: Vec<TraceRecord> = self.rings.iter().flat_map(|r| r.iter().copied()).collect();
+        all.sort_by_key(|r| r.seq);
+        all
+    }
+
+    /// Total records overwritten across all rings.
+    pub fn dropped(&self) -> u64 {
+        self.rings.iter().map(|r| r.dropped).sum()
+    }
+
+    /// Total records ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Discards all records (drop counters and the seq stamp survive, like
+    /// `trace_pipe` consuming the buffer).
+    pub fn clear(&mut self) {
+        for r in &mut self.rings {
+            r.head = 0;
+            r.len = 0;
+            for slot in &mut r.buf {
+                *slot = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tick(cpu: u16) -> TraceEvent {
+        TraceEvent::TickDelivered { cpu }
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let mut rec = TraceRecorder::new(1, 4);
+        for i in 0..10u64 {
+            rec.record(i, 0, tick(0));
+        }
+        assert_eq!(rec.dropped(), 6);
+        assert_eq!(rec.recorded(), 10);
+        let snap = rec.snapshot();
+        // The four youngest records survive, in order.
+        assert_eq!(
+            snap.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+        assert_eq!(
+            snap.iter().map(|r| r.ts).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn per_cpu_rings_merge_in_global_order() {
+        let mut rec = TraceRecorder::new(2, 8);
+        rec.record(1, 1, tick(1));
+        rec.record(2, 0, tick(0));
+        rec.record(3, 1, tick(1));
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(
+            snap.iter().map(|r| r.cpu).collect::<Vec<_>>(),
+            vec![1, 0, 1]
+        );
+    }
+
+    #[test]
+    fn out_of_range_cpu_is_clamped() {
+        let mut rec = TraceRecorder::new(2, 4);
+        rec.record(0, 999, tick(0));
+        assert_eq!(rec.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let mut rec = TraceRecorder::new(1, 2);
+        for i in 0..5 {
+            rec.record(i, 0, tick(0));
+        }
+        rec.clear();
+        assert!(rec.snapshot().is_empty());
+        assert_eq!(rec.dropped(), 3);
+        rec.record(9, 0, tick(0));
+        assert_eq!(rec.snapshot()[0].seq, 5);
+    }
+}

@@ -53,7 +53,7 @@ impl Default for SnapConfig {
         Self {
             streams: 6,
             rate_per_stream: 10_000.0,
-            proc_64b: 1 * MICROS,
+            proc_64b: MICROS,
             proc_64kb: 15 * MICROS,
             server_time: 3 * MICROS,
             wire_time: 20 * MICROS,

@@ -1,0 +1,219 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no registry cache, so
+//! the real `rand` cannot be fetched. This crate provides the exact API
+//! surface the workspace uses — `rngs::StdRng`, [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`], [`Rng::gen_bool`] — backed by xoshiro256++ seeded
+//! through SplitMix64. It is deterministic: the same seed always yields the
+//! same stream, which the simulator's replay guarantees depend on.
+//!
+//! The stream does **not** match upstream `rand`'s `StdRng` (ChaCha12);
+//! nothing in this workspace depends on the specific stream, only on
+//! determinism and reasonable statistical quality.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform u64 source.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable constructor, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed (SplitMix64-expanded).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A type that can be sampled uniformly from a range (subset of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Converts 64 random bits into a uniform f64 in `[0, 1)`.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                if span == 0 {
+                    // Full-width u128 wrap can only happen for a range
+                    // covering every value of a 128-bit type; unreachable
+                    // for the types we implement, but keep modulo safe.
+                    return lo.wrapping_add(rng.next_u64() as $t);
+                }
+                lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let v = self.start + unit_f64(rng.next_u64()) * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        (self.start as f64..self.end as f64).sample_from(rng) as f32
+    }
+}
+
+/// The user-facing sampling API, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for `rand`'s StdRng).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state is the one forbidden state of xoshiro.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..32).map(|_| a.gen_range(0u64..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.gen_range(0u64..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(5u64..=5);
+            assert_eq!(w, 5);
+            let f: f64 = r.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&f));
+            let i = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut r = StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| r.gen_bool(0.25)).count() as f64;
+        let frac = hits / n as f64;
+        assert!((frac - 0.25).abs() < 0.01, "frac {frac}");
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_does_not_overflow() {
+        let mut r = StdRng::seed_from_u64(3);
+        let _ = r.gen_range(0u64..=u64::MAX);
+    }
+}

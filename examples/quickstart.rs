@@ -3,7 +3,12 @@
 //!
 //! ```text
 //! cargo run --release --example quickstart
+//! cargo run --release --example quickstart -- --trace out.json
 //! ```
+//!
+//! With `--trace`, every tracepoint fired during the run is recorded and
+//! exported as a Chrome `trace_event` JSON file — open it in
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
 
 use ghost::core::enclave::EnclaveConfig;
 use ghost::core::msg::MsgType;
@@ -43,8 +48,42 @@ impl App for Bursts {
 }
 
 fn main() {
+    // 0. Parse `--trace <path>`: record tracepoints into one merged ring
+    //    (records carry their own CPU id, so one big ring beats many
+    //    per-CPU rings when a spinning agent dominates the volume).
+    let mut argv = std::env::args().skip(1);
+    let mut trace_path: Option<String> = None;
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--trace" => match argv.next() {
+                Some(path) => trace_path = Some(path),
+                None => {
+                    eprintln!("--trace needs a file path");
+                    eprintln!("usage: quickstart [--trace out.json]");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: quickstart [--trace out.json]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let sink = if trace_path.is_some() {
+        ghost::trace::TraceSink::recording(1, 1 << 21)
+    } else {
+        ghost::trace::TraceSink::Null
+    };
+
     // 1. Boot a small machine: 4 cores, 8 logical CPUs.
-    let mut kernel = Kernel::new(Topology::test_small(4), KernelConfig::default());
+    let mut kernel = Kernel::new(
+        Topology::test_small(4),
+        KernelConfig {
+            trace: sink.clone(),
+            ..KernelConfig::default()
+        },
+    );
 
     // 2. Install the ghOSt runtime and create an enclave over CPUs 1..7
     //    running a centralized FIFO policy (CPU 0 stays with CFS).
@@ -99,5 +138,23 @@ fn main() {
         );
     }
     assert!(stats.txns_committed > 5_000, "scheduling should be brisk");
+
+    // 5. Export the trace, if requested.
+    if let Some(path) = trace_path {
+        let records = sink.snapshot();
+        assert_eq!(sink.dropped(), 0, "trace ring overflowed; raise capacity");
+        ghost::trace::check::assert_clean(&records);
+        let json = ghost::trace::chrome::export(&records);
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("cannot write trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        let metrics = ghost::trace::derive::TraceMetrics::from_records(&records);
+        println!("  trace             : {} records -> {path}", records.len());
+        println!(
+            "  wakeup-to-run p99 : {} µs",
+            metrics.wakeup_to_run.percentile(99.0) / 1_000
+        );
+    }
     println!("OK");
 }

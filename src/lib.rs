@@ -9,6 +9,8 @@
 //! * [`baselines`] — the systems ghOSt is compared against.
 //! * [`workloads`] — synthetic workload models for the evaluation.
 //! * [`metrics`] — histograms and reporting.
+//! * [`trace`] — `sched:*`-style tracepoints, Chrome trace export,
+//!   derived metrics, and the trace-driven invariant checker.
 //!
 //! See the `examples/` directory for runnable entry points and
 //! `EXPERIMENTS.md` for paper-vs-measured results.
@@ -18,4 +20,5 @@ pub use ghost_core as core;
 pub use ghost_metrics as metrics;
 pub use ghost_policies as policies;
 pub use ghost_sim as sim;
+pub use ghost_trace as trace;
 pub use ghost_workloads as workloads;

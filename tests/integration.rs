@@ -14,6 +14,7 @@ use ghost::sim::thread::ThreadState;
 use ghost::sim::time::{MICROS, MILLIS, SECS};
 use ghost::sim::topology::{CpuId, Topology};
 use ghost::sim::{CpuSet, CLASS_RT};
+use ghost::trace::TraceSink;
 use ghost::workloads::rocksdb::{RocksDbApp, RocksDbConfig};
 use ghost::workloads::snap::{SnapApp, SnapConfig};
 use ghost::workloads::vm::{VmApp, VmConfig};
@@ -25,8 +26,14 @@ use ghost::workloads::vm::{VmApp, VmConfig};
 #[test]
 fn shinjuku_policy_beats_cfs_on_dispersive_tail() {
     let horizon = 200 * MILLIS;
-    let serve = |use_ghost: bool| {
-        let mut kernel = Kernel::new(Topology::e5_single_socket_24(), KernelConfig::default());
+    let serve = |use_ghost: bool, trace: TraceSink| {
+        let mut kernel = Kernel::new(
+            Topology::e5_single_socket_24(),
+            KernelConfig {
+                trace,
+                ..KernelConfig::default()
+            },
+        );
         let mut cfg = RocksDbConfig::dispersive(250_000.0, 5);
         cfg.warmup = 50 * MILLIS;
         let app_id = kernel.state.next_app_id();
@@ -67,8 +74,23 @@ fn shinjuku_policy_beats_cfs_on_dispersive_tail() {
             .expect("app")
             .results()
     };
-    let ghost = serve(true);
-    let cfs = serve(false);
+    // Record the ghOSt run and replay it through the invariant checker:
+    // the Fig. 6 scenario must produce a clean trace end to end. One
+    // merged ring (records keep their own cpu field): the centralized
+    // agent's CPU dominates the event volume, so per-CPU rings would
+    // need to be sized for the worst ring anyway.
+    let sink = TraceSink::recording(1, 1 << 21);
+    let ghost = serve(true, sink.clone());
+    let cfs = serve(false, TraceSink::Null);
+    let records = sink.snapshot();
+    assert_eq!(
+        sink.dropped(),
+        0,
+        "trace rings overflowed ({} of {} records lost); the checker needs a lossless stream",
+        sink.dropped(),
+        records.len()
+    );
+    ghost::trace::check::assert_clean(&records);
     assert!(ghost.latency.count() > 1_000);
     // At ~70% of capacity the non-preemptive CFS serving collapses into
     // hundreds of microseconds while the 30 µs Shinjuku slice keeps the
@@ -129,8 +151,14 @@ fn per_cpu_policy_schedules_locally() {
 #[test]
 fn snap_policy_and_microquanta_both_serve() {
     let horizon = 800 * MILLIS;
-    let run = |use_ghost: bool| {
-        let mut kernel = Kernel::new(Topology::test_small(8), KernelConfig::default());
+    let run = |use_ghost: bool, trace: TraceSink| {
+        let mut kernel = Kernel::new(
+            Topology::test_small(8),
+            KernelConfig {
+                trace,
+                ..KernelConfig::default()
+            },
+        );
         if !use_ghost {
             let n = kernel.state.topo.num_cpus();
             kernel.install_class(
@@ -139,8 +167,10 @@ fn snap_policy_and_microquanta_both_serve() {
             );
         }
         let app_id = kernel.state.next_app_id();
-        let mut cfg = SnapConfig::default();
-        cfg.warmup = 100 * MILLIS;
+        let cfg = SnapConfig {
+            warmup: 100 * MILLIS,
+            ..SnapConfig::default()
+        };
         let mut app = SnapApp::new(cfg, app_id);
         let mut workers = Vec::new();
         for i in 0..6 {
@@ -181,8 +211,20 @@ fn snap_policy_and_microquanta_both_serve() {
             .expect("app")
             .results()
     };
-    let gh = run(true);
-    let mq = run(false);
+    // The Fig. 7 scenario must also replay cleanly through the checker
+    // (one merged ring; see the Fig. 6 test for why).
+    let sink = TraceSink::recording(1, 1 << 20);
+    let gh = run(true, sink.clone());
+    let mq = run(false, TraceSink::Null);
+    let records = sink.snapshot();
+    assert_eq!(
+        sink.dropped(),
+        0,
+        "trace rings overflowed ({} of {} records lost); the checker needs a lossless stream",
+        sink.dropped(),
+        records.len()
+    );
+    ghost::trace::check::assert_clean(&records);
     assert!(gh.completed > 20_000 && mq.completed > 20_000);
     let g99 = gh.rtt_64kb.percentile(99.0);
     let m99 = mq.rtt_64kb.percentile(99.0);
@@ -302,6 +344,83 @@ fn centralized_fifo_is_deterministic() {
         )
     };
     assert_eq!(run(), run());
+}
+
+/// Tracing end to end: identical seeds yield byte-identical Chrome
+/// exports, the export parses as JSON with the expected structure, the
+/// invariant checker is clean, and the derived-metrics pass agrees with
+/// the runtime's own counters.
+#[test]
+fn trace_export_is_deterministic_valid_json() {
+    let run = || {
+        let sink = TraceSink::recording(8, 1 << 15);
+        let mut kernel = Kernel::new(
+            Topology::test_small(4),
+            KernelConfig {
+                trace: sink.clone(),
+                ..KernelConfig::default()
+            },
+        );
+        let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
+        runtime.install(&mut kernel);
+        let cpus: CpuSet = (1..8u16).map(CpuId).collect();
+        let enclave = runtime.create_enclave(
+            cpus,
+            EnclaveConfig::centralized("trace"),
+            Box::new(CentralizedFifo::new()),
+        );
+        runtime.spawn_agents(&mut kernel, enclave);
+        let app_id = kernel.state.next_app_id();
+        let mut tids = Vec::new();
+        for i in 0..5 {
+            let tid = kernel
+                .spawn(ThreadSpec::workload(&format!("w{i}"), &kernel.state.topo).app(app_id));
+            tids.push(tid);
+        }
+        kernel.add_app(Box::new(PulseApp::new(120 * MICROS, MILLIS)));
+        for (i, &tid) in tids.iter().enumerate() {
+            runtime.attach_thread(&mut kernel.state, enclave, tid);
+            kernel
+                .state
+                .arm_app_timer((i as u64 + 1) * 53 * MICROS, app_id, tid.0 as u64);
+        }
+        kernel.run_until(40 * MILLIS);
+        let records = sink.snapshot();
+        assert_eq!(sink.dropped(), 0);
+        (
+            ghost::trace::chrome::export(&records),
+            records,
+            runtime.stats(),
+        )
+    };
+    let (json_a, records, stats) = run();
+    let (json_b, _, _) = run();
+    // Identical RNG seeds and inputs => byte-identical traces.
+    assert_eq!(json_a, json_b, "trace export must be deterministic");
+
+    let parsed = ghost::trace::json::parse(&json_a).expect("export must be valid JSON");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    // The export contains both duration slices ("X") and instants ("i").
+    let phase = |want: &str| {
+        events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some(want))
+            .count()
+    };
+    assert!(phase("X") > 0, "no duration slices in export");
+    assert!(phase("i") > 0, "no instant events in export");
+
+    ghost::trace::check::assert_clean(&records);
+
+    // The derived-metrics pass must agree with the runtime's counters.
+    let tm = ghost::trace::derive::TraceMetrics::from_records(&records);
+    assert_eq!(tm.txns_ok, stats.txns_committed);
+    assert_eq!(tm.txns_estale, stats.txns_stale);
+    assert!(tm.wakeup_to_run.count() > 0);
 }
 
 /// Minimal pulse app shared by the integration tests.
