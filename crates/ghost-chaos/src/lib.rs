@@ -1,0 +1,88 @@
+//! # ghost-chaos — fault injection and schedule-space exploration
+//!
+//! The paper argues that delegating scheduling to userspace agents is
+//! safe because the kernel tolerates agent misbehaviour: message queues
+//! overflow and resync, stale transactions fail with `ESTALE`, the
+//! watchdog reaps wedged agents, crashes fall back to CFS, and staged
+//! policies upgrade in place (§3.1–§3.4). This crate tests those claims
+//! adversarially:
+//!
+//! * [`plan`] — seeded generation of [`ghost_sim::faults::FaultPlan`]s:
+//!   agent crashes/hangs/slowdowns, queue overflow windows, IPI
+//!   delay/loss, spurious wakeups, clock-skewed ticks, and mid-run
+//!   in-place upgrades, all at deterministic virtual times.
+//! * [`run`] — runs one `(policy × workload × fault plan × seed)` combo
+//!   on the simulated kernel with tracing enabled.
+//! * [`oracle`] — judges a finished run: the `ghost-trace` invariant
+//!   checker (Tseq/Aseq continuity, commit pairing, occupancy) plus
+//!   liveness oracles (no thread starved past the watchdog bound,
+//!   fallback-to-CFS completes, the run made progress).
+//! * [`shrink`] — greedily minimizes a failing fault plan to a
+//!   1-minimal repro.
+//! * [`repro`] — serializes a combo to `repro.json` and parses it back
+//!   for bit-identical deterministic replay.
+//!
+//! The `ghost-chaos` binary sweeps N combos across all five evaluation
+//! policies and, on failure, writes `repro.json` plus a Chrome trace of
+//! the shrunk repro.
+
+pub mod oracle;
+pub mod plan;
+pub mod repro;
+pub mod run;
+pub mod shrink;
+
+pub use oracle::Failure;
+pub use plan::generate_plan;
+pub use repro::{combo_from_json, combo_to_json};
+pub use run::{run_combo, Combo, PolicyKind, RunReport, WATCHDOG};
+pub use shrink::shrink;
+
+// Re-exported so `for_seeds!` works without the caller depending on the
+// vendored rand crate directly.
+pub use rand;
+
+/// Runs `body` once per seeded case, reporting the failing seed on panic.
+///
+/// `for_seeds!(base, cases, |rng| { ... })` constructs a fresh
+/// `StdRng::seed_from_u64(base + case)` for each case. If the body
+/// panics, the macro prints the exact seed (so the case can be rerun in
+/// isolation) and re-raises the panic.
+///
+/// # Examples
+///
+/// ```
+/// use ghost_chaos::for_seeds;
+/// use ghost_chaos::rand::{rngs::StdRng, Rng};
+///
+/// let mut cases = 0;
+/// for_seeds!(0x5EED, 8, |rng: &mut StdRng| {
+///     let x: u64 = rng.gen_range(1..100);
+///     assert!(x >= 1);
+///     cases += 1;
+/// });
+/// assert_eq!(cases, 8);
+/// ```
+#[macro_export]
+macro_rules! for_seeds {
+    ($base:expr, $cases:expr, $body:expr) => {{
+        let base: u64 = $base;
+        let cases: u64 = $cases;
+        for case in 0..cases {
+            let seed = base.wrapping_add(case);
+            let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                let mut rng: $crate::rand::rngs::StdRng =
+                    $crate::rand::SeedableRng::seed_from_u64(seed);
+                #[allow(clippy::redundant_closure_call)]
+                ($body)(&mut rng)
+            }));
+            if let Err(payload) = result {
+                eprintln!(
+                    "for_seeds!: case {case} of {cases} FAILED with seed {seed:#x} — \
+                     rerun with StdRng::seed_from_u64({seed:#x})"
+                );
+                ::std::panic::resume_unwind(payload);
+            }
+        }
+    }};
+}

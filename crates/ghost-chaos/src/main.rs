@@ -1,0 +1,198 @@
+//! The `ghost-chaos` CLI: sweep fault-injected combos across all five
+//! evaluation policies, shrink any failure to a minimal repro, and write
+//! `repro.json` + a Chrome trace for offline debugging.
+//!
+//! ```text
+//! cargo run -p ghost-chaos -- --combos 64          # the CI smoke sweep
+//! cargo run -p ghost-chaos -- --policy shinjuku    # one policy only
+//! cargo run -p ghost-chaos -- --replay repro.json  # deterministic replay
+//! ```
+
+use ghost_chaos::{combo_from_json, combo_to_json, run_combo, shrink, Combo, PolicyKind};
+use std::process::ExitCode;
+
+struct Opts {
+    combos: u64,
+    seed_base: u64,
+    out_dir: String,
+    policy: Option<PolicyKind>,
+    replay: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ghost-chaos [--combos N] [--seed-base S] [--out DIR] [--policy NAME] \
+         [--replay FILE]\n\
+         \n\
+         Sweeps N (policy x workload x fault-plan x seed) combos through the\n\
+         simulated ghOSt runtime. Failing combos are shrunk to a minimal fault\n\
+         plan; DIR receives repro-<i>.json plus trace-<i>.json (Chrome format).\n\
+         \n\
+         --combos N      number of combos to run (default 64)\n\
+         --seed-base S   first seed (default 1)\n\
+         --out DIR       output directory for repros (default chaos-out)\n\
+         --policy NAME   restrict to one policy: {}\n\
+         --replay FILE   replay one repro.json instead of sweeping",
+        PolicyKind::ALL
+            .iter()
+            .map(|p| p.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        combos: 64,
+        seed_base: 1,
+        out_dir: "chaos-out".to_string(),
+        policy: None,
+        replay: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--combos" => {
+                opts.combos = value("--combos").parse().unwrap_or_else(|_| usage());
+            }
+            "--seed-base" => {
+                opts.seed_base = value("--seed-base").parse().unwrap_or_else(|_| usage());
+            }
+            "--out" => opts.out_dir = value("--out"),
+            "--policy" => {
+                let name = value("--policy");
+                opts.policy = Some(PolicyKind::from_name(&name).unwrap_or_else(|| {
+                    eprintln!("unknown policy '{name}'");
+                    usage()
+                }));
+            }
+            "--replay" => opts.replay = Some(value("--replay")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+    opts
+}
+
+fn replay(path: &str) -> ExitCode {
+    let doc = match std::fs::read_to_string(path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let combo = match combo_from_json(&doc) {
+        Ok(combo) => combo,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "replaying {path}: policy={} seed={} faults={}",
+        combo.policy.name(),
+        combo.seed,
+        combo.plan.events.len()
+    );
+    let report = run_combo(&combo);
+    println!(
+        "  completions={} txns={} watchdog_destroys={} upgrades={}",
+        report.completions,
+        report.stats.txns_committed,
+        report.stats.watchdog_destroys,
+        report.stats.upgrades
+    );
+    if report.failures.is_empty() {
+        println!("  PASS: all oracles clean");
+        ExitCode::SUCCESS
+    } else {
+        for f in &report.failures {
+            println!("  FAIL {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn write_repro(out_dir: &str, index: u64, combo: &Combo) {
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {out_dir}: {e}");
+        return;
+    }
+    let repro_path = format!("{out_dir}/repro-{index}.json");
+    let trace_path = format!("{out_dir}/trace-{index}.json");
+    if let Err(e) = std::fs::write(&repro_path, combo_to_json(combo)) {
+        eprintln!("cannot write {repro_path}: {e}");
+    }
+    // Re-run the shrunk combo to capture the trace of the minimal repro.
+    let report = run_combo(combo);
+    if let Err(e) = std::fs::write(&trace_path, ghost_trace::chrome::export(&report.records)) {
+        eprintln!("cannot write {trace_path}: {e}");
+    }
+    println!("  wrote {repro_path} and {trace_path}");
+}
+
+fn main() -> ExitCode {
+    let opts = parse_opts();
+    if let Some(path) = &opts.replay {
+        return replay(path);
+    }
+
+    let policies: Vec<PolicyKind> = match opts.policy {
+        Some(p) => vec![p],
+        None => PolicyKind::ALL.to_vec(),
+    };
+    let mut failed = 0u64;
+    let mut per_policy = vec![0u64; policies.len()];
+    for i in 0..opts.combos {
+        let policy = policies[(i % policies.len() as u64) as usize];
+        let seed = opts.seed_base + i;
+        let combo = Combo::generated(policy, seed);
+        let report = run_combo(&combo);
+        if report.failures.is_empty() {
+            per_policy[(i % policies.len() as u64) as usize] += 1;
+            continue;
+        }
+        failed += 1;
+        println!(
+            "combo {i}: policy={} seed={} faults={} FAILED:",
+            policy.name(),
+            seed,
+            combo.plan.events.len()
+        );
+        for f in &report.failures {
+            println!("  {f}");
+        }
+        let minimal = shrink(&combo);
+        println!(
+            "  shrunk fault plan: {} -> {} event(s)",
+            combo.plan.events.len(),
+            minimal.plan.events.len()
+        );
+        write_repro(&opts.out_dir, i, &minimal);
+    }
+    println!(
+        "swept {} combos across {} policies: {} failed",
+        opts.combos,
+        policies.len(),
+        failed
+    );
+    for (j, p) in policies.iter().enumerate() {
+        println!("  {:>16}: {} clean", p.name(), per_policy[j]);
+    }
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

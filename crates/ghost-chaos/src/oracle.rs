@@ -1,0 +1,120 @@
+//! Oracles: decide whether a perturbed run still upheld the runtime's
+//! safety and liveness contracts.
+//!
+//! Safety comes from the `ghost-trace` invariant checker — exclusive CPU
+//! occupancy, runnable-at-switch-in, Tseq/Aseq monotonicity across
+//! faults, and commit pairing (every `TxnCommitOk` consumes a matching
+//! `TxnArmed`). Liveness is judged here: after every fault in the plan,
+//! either the agent recovers or the watchdog/fallback machinery must
+//! rescue the workload.
+
+use crate::run::WATCHDOG;
+use ghost_core::enclave::EnclaveId;
+use ghost_core::runtime::GhostRuntime;
+use ghost_sim::kernel::KernelState;
+use ghost_sim::thread::{ThreadState, Tid};
+use ghost_sim::time::{Nanos, MILLIS};
+use ghost_sim::CLASS_CFS;
+use ghost_trace::{check, TraceRecord};
+use std::fmt;
+
+/// A runnable thread left waiting longer than this at end of run failed
+/// liveness: the watchdog plus CFS fallback bound recovery to roughly
+/// two timeouts, with margin for scheduling latency.
+pub const STARVATION_BOUND: Nanos = 2 * WATCHDOG + 10 * MILLIS;
+
+/// One oracle violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// Which oracle fired, e.g. `"starvation"`.
+    pub oracle: &'static str,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.oracle, self.detail)
+    }
+}
+
+/// Judges a finished run. Returns every violated contract; an empty
+/// vector means the run survived its fault plan.
+pub fn evaluate(
+    records: &[TraceRecord],
+    trace_dropped: u64,
+    k: &KernelState,
+    runtime: &GhostRuntime,
+    enclave: EnclaveId,
+    workload: &[Tid],
+    completions: u64,
+) -> Vec<Failure> {
+    let mut failures = Vec::new();
+
+    // The checker needs a lossless stream to verify ordering invariants.
+    if trace_dropped > 0 {
+        failures.push(Failure {
+            oracle: "trace-lossless",
+            detail: format!("trace ring dropped {trace_dropped} records; grow the capacity"),
+        });
+    }
+
+    // Safety: the full ghost-trace invariant suite (occupancy, runnable
+    // switch-in, Tseq/Aseq continuity, commit pairing, wakeup liveness
+    // with blackout excuses for watchdog/teardown windows).
+    for v in check::check(records) {
+        failures.push(Failure {
+            oracle: "trace-invariant",
+            detail: v.to_string(),
+        });
+    }
+
+    // Liveness: no workload thread starved past the watchdog bound. The
+    // blackout excuse in the trace checker deliberately forgives wakeups
+    // stranded by an enclave teardown, so end-state starvation must be
+    // checked against the kernel directly.
+    for &tid in workload {
+        let th = k.thread(tid);
+        if th.state == ThreadState::Runnable {
+            let waited = k.now.saturating_sub(th.runnable_since);
+            if waited > STARVATION_BOUND {
+                failures.push(Failure {
+                    oracle: "starvation",
+                    detail: format!(
+                        "thread {tid} runnable and unscheduled for {waited} ns at end of run \
+                         (bound {STARVATION_BOUND} ns)"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Liveness: fallback-to-CFS completes. Once the enclave is gone,
+    // every surviving workload thread must actually be back under CFS —
+    // a thread left in the ghOSt class has no scheduler at all.
+    if !runtime.enclave_alive(enclave) {
+        for &tid in workload {
+            let th = k.thread(tid);
+            if th.state != ThreadState::Dead && th.class != CLASS_CFS {
+                failures.push(Failure {
+                    oracle: "fallback-to-cfs",
+                    detail: format!(
+                        "thread {tid} left in scheduling class {} after enclave teardown",
+                        th.class
+                    ),
+                });
+            }
+        }
+    }
+
+    // Progress: the run did some work. Even a destroyed enclave must not
+    // stop the workload (CFS picks it up).
+    if completions == 0 {
+        failures.push(Failure {
+            oracle: "progress",
+            detail: "no workload segment completed over the whole run".to_string(),
+        });
+    }
+
+    failures
+}

@@ -1,0 +1,96 @@
+//! Seeded fault-plan generation: maps a `u64` seed to a small,
+//! deterministic [`FaultPlan`] so a failing combo is reproducible from
+//! `(policy, seed)` alone.
+
+use ghost_sim::faults::{FaultEvent, FaultKind, FaultPlan};
+use ghost_sim::time::{Nanos, MICROS, MILLIS};
+use ghost_sim::topology::CpuId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a 0–3 event fault plan for a run of length `horizon` over
+/// enclave CPUs `cpus`. The same `(seed, horizon, cpus)` always yields
+/// the same plan; roughly one seed in four yields an empty plan, so
+/// unperturbed baselines stay in every sweep.
+pub fn generate_plan(seed: u64, horizon: Nanos, cpus: &[CpuId]) -> FaultPlan {
+    assert!(!cpus.is_empty(), "fault plans need at least one target CPU");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFA01_7000);
+    let n = rng.gen_range(0usize..=3);
+    // Faults land early enough that recovery (watchdog, CFS fallback) can
+    // finish inside the horizon.
+    let latest = horizon.saturating_sub(30 * MILLIS).max(2 * MILLIS);
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        let at = rng.gen_range(MILLIS..latest);
+        let cpu = cpus[rng.gen_range(0..cpus.len())];
+        let kind = match rng.gen_range(0u32..9) {
+            0 => FaultKind::AgentCrash { cpu },
+            1 => FaultKind::AgentHang {
+                cpu,
+                dur: rng.gen_range(MILLIS..30 * MILLIS),
+            },
+            2 => FaultKind::AgentSlow {
+                cpu,
+                dur: rng.gen_range(MILLIS..20 * MILLIS),
+                factor: rng.gen_range(2u32..=8),
+            },
+            3 => FaultKind::QueueOverflow {
+                dur: rng.gen_range(100 * MICROS..5 * MILLIS),
+            },
+            4 => FaultKind::IpiDelay {
+                dur: rng.gen_range(MILLIS..10 * MILLIS),
+                extra: rng.gen_range(50 * MICROS..2 * MILLIS),
+            },
+            5 => FaultKind::IpiLoss {
+                dur: rng.gen_range(100 * MICROS..3 * MILLIS),
+            },
+            6 => FaultKind::SpuriousWakeup {
+                nth: rng.gen_range(0u32..16),
+            },
+            7 => FaultKind::TickSkew {
+                dur: rng.gen_range(MILLIS..10 * MILLIS),
+                extra: rng.gen_range(100 * MICROS..MILLIS),
+            },
+            _ => FaultKind::Upgrade,
+        };
+        events.push(FaultEvent { at, kind });
+    }
+    FaultPlan { events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpus() -> Vec<CpuId> {
+        (1..8u16).map(CpuId).collect()
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        for seed in 0..32 {
+            let a = generate_plan(seed, 120 * MILLIS, &cpus());
+            let b = generate_plan(seed, 120 * MILLIS, &cpus());
+            assert_eq!(a, b, "seed {seed} not deterministic");
+        }
+    }
+
+    #[test]
+    fn plans_are_bounded_and_inside_horizon() {
+        let horizon = 120 * MILLIS;
+        let mut nonempty = 0;
+        for seed in 0..64 {
+            let plan = generate_plan(seed, horizon, &cpus());
+            assert!(plan.events.len() <= 3);
+            for fe in &plan.events {
+                assert!(fe.at >= MILLIS && fe.at < horizon);
+            }
+            if !plan.is_empty() {
+                nonempty += 1;
+            }
+        }
+        // Most seeds perturb something; some leave the baseline alone.
+        assert!(nonempty > 32, "only {nonempty}/64 plans had faults");
+        assert!(nonempty < 64, "no seed produced an empty baseline plan");
+    }
+}

@@ -1,0 +1,229 @@
+//! Replayable repros: a failing [`Combo`] serialized to `repro.json` and
+//! parsed back for bit-identical replay (the simulation is deterministic,
+//! so the combo *is* the repro).
+//!
+//! The format is hand-rolled JSON (the offline build has no serde);
+//! parsing reuses the `ghost-trace` JSON reader. The seed is encoded as a
+//! decimal string because the reader parses numbers as `f64`, which would
+//! silently round seeds above 2⁵³.
+
+use crate::run::{Combo, PolicyKind};
+use ghost_sim::faults::{FaultEvent, FaultKind, FaultPlan};
+use ghost_sim::topology::CpuId;
+use ghost_trace::json::{self, Json};
+
+/// Serializes a combo as a self-contained `repro.json` document.
+pub fn combo_to_json(combo: &Combo) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"policy\": \"{}\",\n",
+        json::escape(combo.policy.name())
+    ));
+    out.push_str(&format!("  \"seed\": \"{}\",\n", combo.seed));
+    out.push_str(&format!("  \"horizon\": {},\n", combo.horizon));
+    out.push_str(&format!("  \"threads\": {},\n", combo.threads));
+    out.push_str("  \"plan\": [");
+    for (i, fe) in combo.plan.events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&fault_to_json(fe));
+    }
+    if !combo.plan.events.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn fault_to_json(fe: &FaultEvent) -> String {
+    let body = match &fe.kind {
+        FaultKind::AgentCrash { cpu } => format!("\"kind\": \"agent-crash\", \"cpu\": {}", cpu.0),
+        FaultKind::AgentHang { cpu, dur } => {
+            format!(
+                "\"kind\": \"agent-hang\", \"cpu\": {}, \"dur\": {dur}",
+                cpu.0
+            )
+        }
+        FaultKind::AgentSlow { cpu, dur, factor } => format!(
+            "\"kind\": \"agent-slow\", \"cpu\": {}, \"dur\": {dur}, \"factor\": {factor}",
+            cpu.0
+        ),
+        FaultKind::QueueOverflow { dur } => {
+            format!("\"kind\": \"queue-overflow\", \"dur\": {dur}")
+        }
+        FaultKind::IpiDelay { dur, extra } => {
+            format!("\"kind\": \"ipi-delay\", \"dur\": {dur}, \"extra\": {extra}")
+        }
+        FaultKind::IpiLoss { dur } => format!("\"kind\": \"ipi-loss\", \"dur\": {dur}"),
+        FaultKind::SpuriousWakeup { nth } => {
+            format!("\"kind\": \"spurious-wakeup\", \"nth\": {nth}")
+        }
+        FaultKind::TickSkew { dur, extra } => {
+            format!("\"kind\": \"tick-skew\", \"dur\": {dur}, \"extra\": {extra}")
+        }
+        FaultKind::Upgrade => "\"kind\": \"upgrade\"".to_string(),
+    };
+    format!("{{\"at\": {}, {body}}}", fe.at)
+}
+
+/// Parses a `repro.json` document back into a combo.
+pub fn combo_from_json(input: &str) -> Result<Combo, String> {
+    let doc = json::parse(input)?;
+    let policy_name = doc
+        .get("policy")
+        .and_then(Json::as_str)
+        .ok_or("missing string field 'policy'")?;
+    let policy = PolicyKind::from_name(policy_name)
+        .ok_or_else(|| format!("unknown policy '{policy_name}'"))?;
+    let seed = doc
+        .get("seed")
+        .and_then(Json::as_str)
+        .ok_or("missing string field 'seed'")?
+        .parse::<u64>()
+        .map_err(|e| format!("bad seed: {e}"))?;
+    let horizon = field_u64(&doc, "horizon")?;
+    let threads = field_u64(&doc, "threads")? as usize;
+    let mut events = Vec::new();
+    for item in doc
+        .get("plan")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field 'plan'")?
+    {
+        events.push(fault_from_json(item)?);
+    }
+    Ok(Combo {
+        policy,
+        seed,
+        plan: FaultPlan { events },
+        horizon,
+        threads,
+    })
+}
+
+fn field_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_num)
+        .map(|n| n as u64)
+        .ok_or_else(|| format!("missing numeric field '{key}'"))
+}
+
+fn fault_from_json(v: &Json) -> Result<FaultEvent, String> {
+    let at = field_u64(v, "at")?;
+    let kind_name = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("fault without 'kind'")?;
+    let cpu = || field_u64(v, "cpu").map(|c| CpuId(c as u16));
+    let kind = match kind_name {
+        "agent-crash" => FaultKind::AgentCrash { cpu: cpu()? },
+        "agent-hang" => FaultKind::AgentHang {
+            cpu: cpu()?,
+            dur: field_u64(v, "dur")?,
+        },
+        "agent-slow" => FaultKind::AgentSlow {
+            cpu: cpu()?,
+            dur: field_u64(v, "dur")?,
+            factor: field_u64(v, "factor")? as u32,
+        },
+        "queue-overflow" => FaultKind::QueueOverflow {
+            dur: field_u64(v, "dur")?,
+        },
+        "ipi-delay" => FaultKind::IpiDelay {
+            dur: field_u64(v, "dur")?,
+            extra: field_u64(v, "extra")?,
+        },
+        "ipi-loss" => FaultKind::IpiLoss {
+            dur: field_u64(v, "dur")?,
+        },
+        "spurious-wakeup" => FaultKind::SpuriousWakeup {
+            nth: field_u64(v, "nth")? as u32,
+        },
+        "tick-skew" => FaultKind::TickSkew {
+            dur: field_u64(v, "dur")?,
+            extra: field_u64(v, "extra")?,
+        },
+        "upgrade" => FaultKind::Upgrade,
+        other => return Err(format!("unknown fault kind '{other}'")),
+    };
+    Ok(FaultEvent { at, kind })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghost_sim::time::MILLIS;
+
+    #[test]
+    fn every_fault_kind_round_trips() {
+        let combo = Combo {
+            policy: PolicyKind::Shinjuku,
+            seed: u64::MAX - 7, // would not survive an f64 round trip
+            plan: FaultPlan::from_events([
+                (MILLIS, FaultKind::AgentCrash { cpu: CpuId(1) }),
+                (
+                    2 * MILLIS,
+                    FaultKind::AgentHang {
+                        cpu: CpuId(2),
+                        dur: MILLIS,
+                    },
+                ),
+                (
+                    3 * MILLIS,
+                    FaultKind::AgentSlow {
+                        cpu: CpuId(3),
+                        dur: MILLIS,
+                        factor: 4,
+                    },
+                ),
+                (4 * MILLIS, FaultKind::QueueOverflow { dur: MILLIS }),
+                (
+                    5 * MILLIS,
+                    FaultKind::IpiDelay {
+                        dur: MILLIS,
+                        extra: 100,
+                    },
+                ),
+                (6 * MILLIS, FaultKind::IpiLoss { dur: MILLIS }),
+                (7 * MILLIS, FaultKind::SpuriousWakeup { nth: 3 }),
+                (
+                    8 * MILLIS,
+                    FaultKind::TickSkew {
+                        dur: MILLIS,
+                        extra: 50,
+                    },
+                ),
+                (9 * MILLIS, FaultKind::Upgrade),
+            ]),
+            horizon: 120 * MILLIS,
+            threads: 5,
+        };
+        let doc = combo_to_json(&combo);
+        let back = combo_from_json(&doc).expect("parses");
+        assert_eq!(back, combo);
+    }
+
+    #[test]
+    fn empty_plan_round_trips() {
+        let combo = Combo {
+            policy: PolicyKind::PerCpu,
+            seed: 0,
+            plan: FaultPlan::none(),
+            horizon: MILLIS,
+            threads: 1,
+        };
+        assert_eq!(combo_from_json(&combo_to_json(&combo)).unwrap(), combo);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(combo_from_json("{}").is_err());
+        assert!(combo_from_json("not json").is_err());
+        assert!(combo_from_json(
+            r#"{"policy": "nope", "seed": "1", "horizon": 1, "threads": 1, "plan": []}"#
+        )
+        .is_err());
+    }
+}

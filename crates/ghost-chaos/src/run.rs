@@ -1,0 +1,280 @@
+//! Runs one `(policy × workload × fault plan × seed)` combo on the
+//! simulated kernel and judges it with the oracles.
+
+use crate::oracle::{self, Failure};
+use crate::plan::generate_plan;
+use ghost_core::enclave::EnclaveConfig;
+use ghost_core::policy::GhostPolicy;
+use ghost_core::runtime::{GhostRuntime, GhostStats};
+use ghost_policies::core_sched::{CoreSchedConfig, CoreSchedPolicy};
+use ghost_policies::shinjuku::{ShinjukuConfig, ShinjukuPolicy};
+use ghost_policies::snap::SNAP_COOKIE;
+use ghost_policies::{CentralizedFifo, PerCpuPolicy, SnapPolicy};
+use ghost_sim::app::{App, Next};
+use ghost_sim::faults::{FaultKind, FaultPlan};
+use ghost_sim::kernel::{Kernel, KernelConfig, KernelState, ThreadSpec};
+use ghost_sim::thread::{ThreadState, Tid};
+use ghost_sim::time::{Nanos, MICROS, MILLIS};
+use ghost_sim::topology::{CpuId, Topology};
+use ghost_sim::CpuSet;
+use ghost_trace::{TraceRecord, TraceSink};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Watchdog timeout used for every chaos enclave: short enough that
+/// recovery from a wedged agent fits inside the run horizon.
+pub const WATCHDOG: Nanos = 20 * MILLIS;
+
+/// The five evaluation policies the sweep must keep alive (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// The round-robin centralized FIFO of Fig. 5.
+    CentralizedFifo,
+    /// The per-CPU example policy of §3.2 / Fig. 3.
+    PerCpu,
+    /// The Shinjuku preemptive microsecond-scale policy, §4.2.
+    Shinjuku,
+    /// The Google Snap packet-processing policy, §4.3.
+    Snap,
+    /// Secure VM core scheduling with synchronized siblings, §4.5.
+    CoreSched,
+}
+
+impl PolicyKind {
+    /// All policies, in sweep round-robin order.
+    pub const ALL: [PolicyKind; 5] = [
+        PolicyKind::CentralizedFifo,
+        PolicyKind::PerCpu,
+        PolicyKind::Shinjuku,
+        PolicyKind::Snap,
+        PolicyKind::CoreSched,
+    ];
+
+    /// Stable name used in repro files and CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::CentralizedFifo => "centralized-fifo",
+            PolicyKind::PerCpu => "per-cpu",
+            PolicyKind::Shinjuku => "shinjuku",
+            PolicyKind::Snap => "snap",
+            PolicyKind::CoreSched => "core-sched",
+        }
+    }
+
+    /// Inverse of [`PolicyKind::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// A fresh policy instance (also used for the staged upgrade copy).
+    fn build(self) -> Box<dyn GhostPolicy> {
+        match self {
+            PolicyKind::CentralizedFifo => Box::new(CentralizedFifo::new()),
+            PolicyKind::PerCpu => Box::new(PerCpuPolicy::new()),
+            PolicyKind::Shinjuku => Box::new(ShinjukuPolicy::new(ShinjukuConfig::default())),
+            PolicyKind::Snap => Box::new(SnapPolicy::new()),
+            PolicyKind::CoreSched => Box::new(CoreSchedPolicy::new(CoreSchedConfig::default())),
+        }
+    }
+
+    fn enclave_config(self) -> EnclaveConfig {
+        match self {
+            PolicyKind::CentralizedFifo => EnclaveConfig::centralized("chaos"),
+            PolicyKind::PerCpu => EnclaveConfig::per_cpu("chaos"),
+            PolicyKind::Shinjuku => EnclaveConfig::centralized("chaos"),
+            PolicyKind::Snap => EnclaveConfig::centralized("chaos"),
+            PolicyKind::CoreSched => EnclaveConfig::per_core("chaos").with_ticks(true),
+        }
+        .with_watchdog(WATCHDOG)
+    }
+
+    /// Enclave CPUs on the standard 8-CPU chaos machine. Core scheduling
+    /// needs whole physical cores, so it takes the entire machine; every
+    /// other policy leaves CPU 0 to CFS.
+    fn enclave_cpus(self, topo: &Topology) -> CpuSet {
+        match self {
+            PolicyKind::CoreSched => topo.all_cpus_set(),
+            _ => (1..topo.num_cpus() as u16).map(CpuId).collect(),
+        }
+    }
+
+    /// Cookie for the `i`-th workload thread: Snap wants its worker
+    /// marker, core scheduling wants two VM groups, the rest ignore it.
+    fn cookie_for(self, i: usize) -> u64 {
+        match self {
+            PolicyKind::Snap => SNAP_COOKIE,
+            PolicyKind::CoreSched => (i as u64 % 2) + 1,
+            _ => 0,
+        }
+    }
+}
+
+/// One point of the sweep: everything needed to reproduce a run exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Combo {
+    /// Policy under test.
+    pub policy: PolicyKind,
+    /// Seed for the kernel RNG, the workload shape, and the fault plan.
+    pub seed: u64,
+    /// Fault schedule injected into the kernel.
+    pub plan: FaultPlan,
+    /// Virtual run length.
+    pub horizon: Nanos,
+    /// Number of workload threads.
+    pub threads: usize,
+}
+
+impl Combo {
+    /// The sweep's combo for `(policy, seed)`: standard horizon and
+    /// thread count, fault plan derived from the seed.
+    pub fn generated(policy: PolicyKind, seed: u64) -> Self {
+        let horizon = 120 * MILLIS;
+        let topo = Topology::test_small(4);
+        let cpus: Vec<CpuId> = policy.enclave_cpus(&topo).iter().collect();
+        let plan = generate_plan(seed, horizon, &cpus);
+        Self {
+            policy,
+            seed,
+            plan,
+            horizon,
+            threads: 5,
+        }
+    }
+
+    /// True if the run pre-stages a second policy version: always when
+    /// the plan upgrades in place, and on even seeds when it crashes an
+    /// agent (exercising both the fallback and hot-standby paths).
+    pub fn stages_upgrade(&self) -> bool {
+        let has = |f: fn(&FaultKind) -> bool| self.plan.events.iter().any(|fe| f(&fe.kind));
+        has(|k| matches!(k, FaultKind::Upgrade))
+            || (self.seed.is_multiple_of(2) && has(|k| matches!(k, FaultKind::AgentCrash { .. })))
+    }
+}
+
+/// Everything a finished run exposes to oracles, the shrinker, and tests.
+pub struct RunReport {
+    /// Oracle verdicts; empty means the run was clean.
+    pub failures: Vec<Failure>,
+    /// Workload segments completed.
+    pub completions: u64,
+    /// Runtime counters.
+    pub stats: GhostStats,
+    /// The recorded trace (for Chrome export of failing runs).
+    pub records: Vec<TraceRecord>,
+}
+
+/// Workload app for chaos runs: each thread repeatedly runs a segment
+/// then blocks, re-armed by a periodic timer. Unlike a strict workload
+/// it tolerates fault-induced weirdness (spurious wakeups may leave a
+/// thread non-blocked when its timer fires; the timer just re-arms).
+struct ChaosApp {
+    conf: HashMap<Tid, (Nanos, Nanos)>, // (segment, period)
+    completions: Rc<RefCell<u64>>,
+}
+
+impl App for ChaosApp {
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &str {
+        "chaos-pulse"
+    }
+
+    fn on_timer(&mut self, key: u64, k: &mut KernelState) {
+        let tid = Tid(key as u32);
+        let Some(&(seg, period)) = self.conf.get(&tid) else {
+            return;
+        };
+        if k.thread(tid).state == ThreadState::Blocked {
+            k.thread_mut(tid).remaining = seg;
+            k.wake(tid);
+        }
+        let app = k.thread(tid).app.expect("chaos threads have an app");
+        k.arm_app_timer(k.now + period, app, key);
+    }
+
+    fn on_segment_end(&mut self, _tid: Tid, _k: &mut KernelState) -> Next {
+        *self.completions.borrow_mut() += 1;
+        Next::Block
+    }
+}
+
+/// Runs `combo` to its horizon and evaluates every oracle. Fully
+/// deterministic: the same combo always returns the same report.
+pub fn run_combo(combo: &Combo) -> RunReport {
+    let sink = TraceSink::recording(1, 1 << 18);
+    let mut kernel = Kernel::new(
+        Topology::test_small(4),
+        KernelConfig {
+            seed: combo.seed,
+            trace: sink.clone(),
+            faults: combo.plan.clone(),
+            ..KernelConfig::default()
+        },
+    );
+    let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
+    runtime.install(&mut kernel);
+    let cpus = combo.policy.enclave_cpus(&kernel.state.topo);
+    let enclave = runtime.create_enclave(cpus, combo.policy.enclave_config(), combo.policy.build());
+    runtime.spawn_agents(&mut kernel, enclave);
+    if combo.stages_upgrade() {
+        runtime.stage_upgrade(enclave, combo.policy.build());
+    }
+
+    // Workload: `threads` pulse threads with seed-derived segment/period.
+    // Total load stays well under capacity, so sustained starvation can
+    // only come from injected faults, never from overload.
+    let app = kernel.state.next_app_id();
+    let completions = Rc::new(RefCell::new(0u64));
+    let mut conf = HashMap::new();
+    let mut threads = Vec::new();
+    let mut rng = StdRng::seed_from_u64(combo.seed ^ 0x0C0F_FEE0);
+    for i in 0..combo.threads {
+        let tid = kernel.spawn(
+            ThreadSpec::workload(&format!("w{i}"), &kernel.state.topo)
+                .app(app)
+                .cookie(combo.policy.cookie_for(i)),
+        );
+        let seg = rng.gen_range(20 * MICROS..200 * MICROS);
+        let period = rng.gen_range(500 * MICROS..2 * MILLIS);
+        conf.insert(tid, (seg, period));
+        threads.push(tid);
+    }
+    kernel.add_app(Box::new(ChaosApp {
+        conf,
+        completions: Rc::clone(&completions),
+    }));
+    for &tid in &threads {
+        runtime.attach_thread(&mut kernel.state, enclave, tid);
+    }
+    for (i, &tid) in threads.iter().enumerate() {
+        kernel
+            .state
+            .arm_app_timer((i as u64 + 1) * 10_000, app, tid.0 as u64);
+    }
+
+    kernel.run_until(combo.horizon);
+
+    let completions = *completions.borrow();
+    let stats = runtime.stats();
+    let records = sink.snapshot();
+    let failures = oracle::evaluate(
+        &records,
+        sink.dropped(),
+        &kernel.state,
+        &runtime,
+        enclave,
+        &threads,
+        completions,
+    );
+    RunReport {
+        failures,
+        completions,
+        stats,
+        records,
+    }
+}

@@ -1,0 +1,33 @@
+//! Greedy fault-plan shrinking: reduce a failing combo to a 1-minimal
+//! repro (removing any single remaining fault makes the failure vanish).
+
+use crate::run::{run_combo, Combo};
+
+/// Shrinks `combo`'s fault plan while it keeps failing. Each round tries
+/// deleting one event at a time and keeps the first deletion that still
+/// fails, until no single deletion preserves the failure. Runs
+/// `O(events²)` simulations in the worst case — plans are ≤ 3 events in
+/// the sweep, so this is cheap.
+///
+/// A combo that does not fail is returned unchanged.
+pub fn shrink(combo: &Combo) -> Combo {
+    let mut best = combo.clone();
+    if run_combo(&best).failures.is_empty() {
+        return best;
+    }
+    loop {
+        let mut improved = false;
+        for i in 0..best.plan.events.len() {
+            let mut cand = best.clone();
+            cand.plan.events.remove(i);
+            if !run_combo(&cand).failures.is_empty() {
+                best = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}

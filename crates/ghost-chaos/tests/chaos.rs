@@ -1,0 +1,95 @@
+//! Integration tests for the chaos harness itself: the sweep is clean on
+//! healthy code, replay is deterministic, shrinking is sound, and the
+//! `for_seeds!` helper reports failing seeds.
+//!
+//! Gated off under `seeded-bug`: with the intentional teardown bug
+//! compiled in, sweeps are *supposed* to fail (that's what
+//! `tests/seeded_bug.rs` asserts), so the clean-run expectations here
+//! only hold on healthy code.
+#![cfg(not(feature = "seeded-bug"))]
+
+use ghost_chaos::rand::rngs::StdRng;
+use ghost_chaos::rand::Rng;
+use ghost_chaos::{
+    combo_from_json, combo_to_json, for_seeds, run_combo, shrink, Combo, PolicyKind,
+};
+
+/// A small sweep across every policy must pass all oracles — the
+/// runtime is expected to survive every generated fault plan.
+#[test]
+fn small_sweep_is_clean_on_all_policies() {
+    for policy in PolicyKind::ALL {
+        for seed in 1..=4 {
+            let combo = Combo::generated(policy, seed);
+            let report = run_combo(&combo);
+            assert!(
+                report.failures.is_empty(),
+                "policy={} seed={seed} faults={:?} failed: {:?}",
+                policy.name(),
+                combo.plan.events,
+                report.failures
+            );
+            assert!(report.completions > 0, "run did no work");
+        }
+    }
+}
+
+/// The same combo always produces the same report: completions, stats,
+/// and the full trace are bit-identical across runs.
+#[test]
+fn replay_is_deterministic() {
+    let combo = Combo::generated(PolicyKind::Shinjuku, 7);
+    let a = run_combo(&combo);
+    let b = run_combo(&combo);
+    assert_eq!(a.completions, b.completions);
+    assert_eq!(a.failures, b.failures);
+    assert_eq!(a.stats.txns_committed, b.stats.txns_committed);
+    assert_eq!(a.records.len(), b.records.len());
+    assert!(a.records.iter().zip(&b.records).all(|(x, y)| x == y));
+}
+
+/// A combo that passes its oracles comes back from the shrinker
+/// untouched — shrinking only applies to failures.
+#[test]
+fn shrink_returns_clean_combo_unchanged() {
+    let combo = Combo::generated(PolicyKind::CentralizedFifo, 3);
+    assert!(run_combo(&combo).failures.is_empty(), "pick a clean seed");
+    assert_eq!(shrink(&combo), combo);
+}
+
+/// Repro round trip on a generated (not hand-built) combo.
+#[test]
+fn generated_combos_round_trip_through_repro_json() {
+    for seed in 1..=10 {
+        let combo = Combo::generated(PolicyKind::CoreSched, seed);
+        let back = combo_from_json(&combo_to_json(&combo)).expect("parses");
+        assert_eq!(back, combo);
+    }
+}
+
+/// `for_seeds!` runs every case with a distinct derived seed.
+#[test]
+fn for_seeds_covers_every_case() {
+    let mut seen = Vec::new();
+    for_seeds!(0x100, 16, |rng: &mut StdRng| {
+        seen.push(rng.gen_range(0..u64::MAX));
+    });
+    assert_eq!(seen.len(), 16);
+    // Different seeds give different streams.
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(seen.len(), 16, "per-case RNG streams collided");
+}
+
+/// A panicking case propagates (after reporting the failing seed).
+#[test]
+#[should_panic(expected = "case 11 boom")]
+fn for_seeds_propagates_case_panics() {
+    let mut case = 0;
+    for_seeds!(0x200, 16, |_rng: &mut StdRng| {
+        if case == 11 {
+            panic!("case 11 boom");
+        }
+        case += 1;
+    });
+}

@@ -205,6 +205,11 @@ pub struct Enclave {
     pub destroyed: bool,
     /// An armed-activation flag to coalesce agent-loop scheduling.
     pub loop_armed: bool,
+    /// Time of the most recent in-place policy upgrade, if any. The
+    /// watchdog measures starvation from here rather than from before the
+    /// handoff, so a freshly promoted agent is not blamed for its
+    /// predecessor's backlog (and reaped a second time).
+    pub upgraded_at: Option<Nanos>,
 }
 
 impl Enclave {

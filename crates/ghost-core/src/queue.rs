@@ -134,6 +134,13 @@ impl MessageQueue {
         self.dropped.load(Ordering::Relaxed)
     }
 
+    /// Records a drop that happened outside [`MessageQueue::push`] (fault
+    /// injection rejecting a message before it reaches the ring), keeping
+    /// the cumulative counter consistent for overflow-resync logic.
+    pub fn note_dropped(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Consumes the oldest message, if any.
     pub fn pop(&self) -> Option<Message> {
         let mut pos = self.head.load(Ordering::Relaxed);

@@ -26,6 +26,7 @@ use crate::txn::{SeqConstraint, Transaction, TxnStatus};
 use ghost_sim::agent::{AgentDriver, AgentOutcome};
 use ghost_sim::class::{OffCpuReason, SchedClass, CLASS_CFS, CLASS_GHOST};
 use ghost_sim::cpuset::CpuSet;
+use ghost_sim::faults::FaultKind;
 use ghost_sim::kernel::{Kernel, KernelState, ThreadSpec};
 use ghost_sim::thread::{ThreadState, Tid};
 use ghost_sim::time::Nanos;
@@ -168,7 +169,13 @@ impl Core {
         let Some(Some(qs)) = enclave.queues.get(qid.0 as usize) else {
             return;
         };
-        if qs.queue.push(msg).is_err() {
+        // A queue-overflow fault window rejects the push as if the ring
+        // were full; otherwise try the ring for real.
+        let forced_overflow = k.cfg.faults.queue_overflow_active(k.now);
+        if forced_overflow {
+            qs.queue.note_dropped();
+        }
+        if forced_overflow || qs.queue.push(msg).is_err() {
             self.stats.msgs_dropped += 1;
             k.cfg
                 .trace
@@ -258,6 +265,13 @@ impl Core {
             self.cpu_enclave[cpu.index()] = None;
         }
         for tid in tids {
+            // Intentionally seeded bug (chaos-harness validation target):
+            // strand runnable threads in the dead enclave instead of
+            // moving them back to CFS. Never enabled in normal builds.
+            #[cfg(feature = "seeded-bug")]
+            if k.threads[tid.index()].state == ThreadState::Runnable {
+                continue;
+            }
             k.move_to_class(tid, CLASS_CFS);
         }
         for agent in agents {
@@ -356,6 +370,7 @@ impl GhostRuntime {
             hints: HashMap::new(),
             destroyed: false,
             loop_armed: false,
+            upgraded_at: None,
             config,
         };
         core.enclaves.push(Some(enclave));
@@ -487,6 +502,10 @@ impl GhostRuntime {
         let Some(enclave) = core.enclave_mut(eid) else {
             return true;
         };
+        // The watchdog excuses pre-upgrade starvation: the new policy gets
+        // a full timeout from here before it can be blamed (§3.4 — without
+        // this a hung-then-upgraded agent is double-reaped).
+        enclave.upgraded_at = Some(k.now);
         let tids: Vec<Tid> = enclave.threads.keys().copied().collect();
         for tid in tids {
             let cpu = k.threads[tid.index()].last_cpu.unwrap_or(CpuId(0));
@@ -1240,7 +1259,16 @@ impl AgentDriver for GhostDriver {
         if enclave.destroyed {
             return AgentOutcome::Block { busy: 0 };
         }
-        match enclave.config.mode {
+        // A hang fault window: the agent occupies its CPU doing no
+        // scheduling work until the window closes (a wedged agent, §3.4 —
+        // the watchdog is the backstop if the hang outlasts its timeout).
+        if let Some(until) = k.cfg.faults.agent_hang_until(cpu, k.now) {
+            return AgentOutcome::Spin {
+                busy: until.saturating_sub(k.now),
+                next: Some(until),
+            };
+        }
+        let outcome = match enclave.config.mode {
             AgentMode::Centralized => {
                 if enclave.global_agent != Some(tid) {
                     // Inactive agents immediately vacate their CPUs.
@@ -1300,29 +1328,63 @@ impl AgentDriver for GhostDriver {
                 };
                 GhostDriver::activate(core, k, eid, tid, agent_cpu, &qids, false)
             }
+        };
+        // A slow-resume fault window stretches the activation's charged
+        // time (a GC pause or fault storm in the agent process).
+        let factor = k.cfg.faults.agent_slow_factor(cpu, k.now);
+        if factor <= 1 {
+            return outcome;
+        }
+        match outcome {
+            AgentOutcome::Spin { busy, next } => AgentOutcome::Spin {
+                busy: busy.saturating_mul(factor),
+                next,
+            },
+            AgentOutcome::Block { busy } => AgentOutcome::Block {
+                busy: busy.saturating_mul(factor),
+            },
+            AgentOutcome::Yield { busy } => AgentOutcome::Yield {
+                busy: busy.saturating_mul(factor),
+            },
         }
     }
 
     fn on_timer(&mut self, key: u64, k: &mut KernelState) {
-        // Watchdog scan for enclave `key` (§3.4): destroy the enclave if
-        // a runnable ghOSt thread has been left unscheduled for longer
-        // than the configured timeout.
-        let mut core = self.shared.borrow_mut();
+        // Watchdog scan for enclave `key` (§3.4): a runnable ghOSt thread
+        // left unscheduled for longer than the timeout means the agent is
+        // misbehaving. Starvation is measured from the last in-place
+        // upgrade, if any: a freshly promoted policy inherits its
+        // predecessor's backlog and must not be reaped for it.
         let eid = EnclaveId(key as u32);
-        let Some(enclave) = core.enclaves[eid.0 as usize].as_ref() else {
-            return;
+        let (timeout, starved, has_staged) = {
+            let core = self.shared.borrow();
+            let Some(enclave) = core.enclaves[eid.0 as usize].as_ref() else {
+                return;
+            };
+            if enclave.destroyed {
+                return;
+            }
+            let Some(timeout) = enclave.config.watchdog_timeout else {
+                return;
+            };
+            let grace_from = enclave.upgraded_at.unwrap_or(0);
+            let starved = enclave.threads.keys().any(|&t| {
+                let th = &k.threads[t.index()];
+                th.state == ThreadState::Runnable
+                    && k.now.saturating_sub(th.runnable_since.max(grace_from)) > timeout
+            });
+            (timeout, starved, core.staged[eid.0 as usize].is_some())
         };
-        if enclave.destroyed {
-            return;
-        }
-        let Some(timeout) = enclave.config.watchdog_timeout else {
-            return;
-        };
-        let starved = enclave.threads.keys().any(|&t| {
-            let th = &k.threads[t.index()];
-            th.state == ThreadState::Runnable && k.now.saturating_sub(th.runnable_since) > timeout
-        });
-        if starved {
+        if starved && has_staged {
+            // A replacement is already staged: promote it in place rather
+            // than destroying the enclave the handoff is about to fix.
+            let runtime = GhostRuntime {
+                shared: Rc::clone(&self.shared),
+            };
+            runtime.upgrade_now(k, eid);
+            k.arm_driver_timer(k.now + timeout / 2, key);
+        } else if starved {
+            let mut core = self.shared.borrow_mut();
             core.stats.watchdog_destroys += 1;
             k.cfg
                 .trace
@@ -1330,6 +1392,25 @@ impl AgentDriver for GhostDriver {
             core.destroy_enclave(k, eid);
         } else {
             k.arm_driver_timer(k.now + timeout / 2, key);
+        }
+    }
+
+    fn on_fault(&mut self, fault: &FaultKind, k: &mut KernelState) {
+        // The only fault the runtime interprets itself: an in-place
+        // upgrade promotes whatever policy is staged on each enclave
+        // (no-op where nothing is staged).
+        if !matches!(fault, FaultKind::Upgrade) {
+            return;
+        }
+        let eids: Vec<EnclaveId> = {
+            let core = self.shared.borrow();
+            (0..core.enclaves.len() as u32).map(EnclaveId).collect()
+        };
+        let runtime = GhostRuntime {
+            shared: Rc::clone(&self.shared),
+        };
+        for eid in eids {
+            runtime.upgrade_now(k, eid);
         }
     }
 

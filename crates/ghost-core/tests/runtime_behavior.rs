@@ -466,6 +466,95 @@ fn staged_upgrade_survives_agent_crash() {
 }
 
 #[test]
+fn watchdog_promotes_staged_policy_instead_of_reaping() {
+    /// A hung agent: activates but never schedules anything.
+    struct HungPolicy;
+    impl GhostPolicy for HungPolicy {
+        fn name(&self) -> &str {
+            "hung"
+        }
+        fn on_msg(&mut self, _msg: &Message, _ctx: &mut PolicyCtx<'_>) {}
+        fn schedule(&mut self, _ctx: &mut PolicyCtx<'_>) {}
+    }
+    let mut s = centralized_setup(
+        Topology::test_small(4),
+        2,
+        100 * MICROS,
+        MILLIS,
+        EnclaveConfig::centralized("test").with_watchdog(20 * MILLIS),
+        Box::new(HungPolicy),
+    );
+    // A fixed policy version is staged before the watchdog trips: the
+    // watchdog must hand over to it in place instead of reaping the
+    // enclave (the mid-upgrade handoff is excused, not double-reaped).
+    s.runtime
+        .stage_upgrade(s.enclave, Box::new(FifoPolicy::default()));
+    s.kernel.run_until(200 * MILLIS);
+    let stats = s.runtime.stats();
+    assert_eq!(stats.upgrades, 1, "watchdog should promote the standby");
+    assert_eq!(
+        stats.watchdog_destroys, 0,
+        "upgraded enclave must not be reaped"
+    );
+    assert!(s.runtime.enclave_alive(s.enclave));
+    // Threads stayed under ghOSt and the new policy actually schedules.
+    for &t in &s.threads {
+        assert_ne!(s.kernel.state.thread(t).class, CLASS_CFS);
+        let done = s.completions.borrow().get(&t).copied().unwrap_or(0);
+        assert!(done > 50, "thread {t} completed only {done} pulses");
+    }
+}
+
+#[test]
+fn upgraded_agent_gets_fresh_watchdog_grace() {
+    /// Dead policy used for both the running and the staged version.
+    struct DeadPolicy;
+    impl GhostPolicy for DeadPolicy {
+        fn name(&self) -> &str {
+            "dead"
+        }
+        fn on_msg(&mut self, _msg: &Message, _ctx: &mut PolicyCtx<'_>) {}
+        fn schedule(&mut self, _ctx: &mut PolicyCtx<'_>) {}
+    }
+    let sink = TraceSink::recording(1, 1 << 17);
+    let mut s = centralized_setup_traced(
+        Topology::test_small(4),
+        2,
+        100 * MICROS,
+        MILLIS,
+        EnclaveConfig::centralized("test").with_watchdog(20 * MILLIS),
+        Box::new(DeadPolicy),
+        sink.clone(),
+    );
+    // The staged version is just as dead: the watchdog promotes it once,
+    // then must re-measure starvation from the upgrade instant — not
+    // reap the fresh agent with the stale pre-upgrade clock.
+    s.runtime.stage_upgrade(s.enclave, Box::new(DeadPolicy));
+    s.kernel.run_until(200 * MILLIS);
+    let stats = s.runtime.stats();
+    assert_eq!(stats.upgrades, 1);
+    assert_eq!(stats.watchdog_destroys, 1, "dead upgrade is finally reaped");
+    assert!(!s.runtime.enclave_alive(s.enclave));
+    for &t in &s.threads {
+        assert_eq!(s.kernel.state.thread(t).class, CLASS_CFS);
+    }
+    // Timing proves the grace: without it the destroy would land on the
+    // first watchdog check after the upgrade (~40 ms); with the clock
+    // reset it cannot fire before upgrade + a full timeout (~60 ms).
+    let records = sink.snapshot();
+    let fired_ts = records
+        .iter()
+        .find(|r| matches!(r.event, TraceEvent::WatchdogFired { .. }))
+        .map(|r| r.ts)
+        .expect("watchdog fired");
+    assert!(
+        fired_ts >= 50 * MILLIS,
+        "reaped {fired_ts} ns after boot: upgrade grace not applied"
+    );
+    check::assert_clean(&records);
+}
+
+#[test]
 fn pnt_fast_path_schedules_idle_cpus() {
     /// A policy that only offers threads to the PNT rings and never
     /// commits transactions itself.

@@ -70,6 +70,30 @@ impl ThreadTracker {
         Some(view)
     }
 
+    /// `MSG_QUEUE_OVERFLOW` recovery (§3.1): once the kernel reports that
+    /// messages were dropped, the message-derived view can no longer be
+    /// trusted, so the agent re-reads every thread's status word and
+    /// rebuilds the tracker from that ground truth. `views` is the
+    /// snapshot — `(tid, seq, runnable, last_cpu)` per live managed
+    /// thread. Threads absent from the snapshot (they died while messages
+    /// were being dropped) are forgotten; messages still in flight with
+    /// older sequence numbers cannot regress the rebuilt state because
+    /// [`ThreadTracker::apply`] keeps sequence numbers monotone.
+    pub fn resync(&mut self, views: impl IntoIterator<Item = (Tid, u64, bool, CpuId)>) {
+        self.threads.clear();
+        for (tid, seq, runnable, last_cpu) in views {
+            self.threads.insert(
+                tid,
+                TrackedThread {
+                    seq,
+                    runnable,
+                    last_cpu,
+                    dead: false,
+                },
+            );
+        }
+    }
+
     /// Marks a thread as scheduled (no longer waiting): called after a
     /// successful commit so the policy does not double-schedule it.
     pub fn mark_scheduled(&mut self, tid: Tid) {

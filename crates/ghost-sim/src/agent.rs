@@ -44,6 +44,12 @@ pub trait AgentDriver {
     /// driver reacts per §3.4 of the paper: fall back to the default
     /// scheduler or promote a staged replacement.
     fn on_agent_killed(&mut self, _tid: Tid, _k: &mut KernelState) {}
+
+    /// A one-shot fault from the configured [`crate::faults::FaultPlan`]
+    /// fired, after its kernel-level effect was applied. Lets the runtime
+    /// react to faults only it can interpret (e.g.
+    /// [`crate::faults::FaultKind::Upgrade`]).
+    fn on_fault(&mut self, _fault: &crate::faults::FaultKind, _k: &mut KernelState) {}
 }
 
 /// A driver that does nothing — the default when no enclaves exist.

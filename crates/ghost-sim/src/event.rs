@@ -32,6 +32,9 @@ pub enum Ev {
     AppTimer { app: AppId, key: u64 },
     /// A timer armed by the [`crate::agent::AgentDriver`].
     DriverTimer { key: u64 },
+    /// A one-shot fault from the configured [`crate::faults::FaultPlan`]
+    /// fires; `idx` indexes into the plan's events.
+    Fault { idx: usize },
 }
 
 #[derive(Debug)]

@@ -19,6 +19,7 @@ use crate::costs::CostModel;
 use crate::cpu::{CpuRunState, CpuState};
 use crate::cpuset::CpuSet;
 use crate::event::{Ev, EventQueue};
+use crate::faults::{FaultKind, FaultPlan, IpiFate};
 use crate::rt::{AgentClass, RtFifoClass};
 use crate::thread::{SimThread, ThreadKind, ThreadState, Tid};
 use crate::time::{Nanos, MILLIS};
@@ -41,6 +42,8 @@ pub struct KernelConfig {
     /// set to [`TraceSink::recording`] to capture a `sched:*`-style event
     /// stream for export, derived metrics, and invariant checking.
     pub trace: TraceSink,
+    /// Deterministic fault schedule; empty by default (no perturbation).
+    pub faults: FaultPlan,
 }
 
 impl Default for KernelConfig {
@@ -50,6 +53,7 @@ impl Default for KernelConfig {
             smt_model: true,
             seed: 1,
             trace: TraceSink::Null,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -200,7 +204,13 @@ impl KernelState {
                 from_cpu: u16::MAX,
                 to_cpu: cpu.0,
             });
-        self.events.push(at, Ev::Resched { cpu });
+        match self.cfg.faults.ipi_fate(self.now) {
+            IpiFate::Normal => self.events.push(at, Ev::Resched { cpu }),
+            IpiFate::Delayed(extra) => self
+                .events
+                .push(at.saturating_add(extra), Ev::Resched { cpu }),
+            IpiFate::Lost => {}
+        }
     }
 
     /// Arms a timer delivered to `app` via [`App::on_timer`].
@@ -376,6 +386,11 @@ impl Kernel {
                 );
             }
         }
+        for (idx, fe) in cfg.faults.events.iter().enumerate() {
+            if fe.kind.is_one_shot() {
+                events.push(fe.at, Ev::Fault { idx });
+            }
+        }
         let state = KernelState {
             now: 0,
             topo,
@@ -513,7 +528,50 @@ impl Kernel {
             Ev::DriverTimer { key } => {
                 self.driver.on_timer(key, &mut self.state);
             }
+            Ev::Fault { idx } => self.handle_fault(idx),
         }
+    }
+
+    /// Dispatches a one-shot fault from the configured plan: applies its
+    /// kernel-level effect, then forwards it to the agent driver so the
+    /// userspace runtime can react (e.g. [`FaultKind::Upgrade`]).
+    fn handle_fault(&mut self, idx: usize) {
+        let kind = self.state.cfg.faults.events[idx].kind.clone();
+        match kind {
+            FaultKind::AgentCrash { cpu } => {
+                let victim = self
+                    .state
+                    .threads
+                    .iter()
+                    .find(|t| {
+                        t.kind == ThreadKind::Agent
+                            && t.state != ThreadState::Dead
+                            && t.affinity.contains(cpu)
+                    })
+                    .map(|t| t.tid);
+                if let Some(tid) = victim {
+                    self.kill_now(tid);
+                }
+            }
+            FaultKind::SpuriousWakeup { nth } => {
+                let live: Vec<Tid> = self
+                    .state
+                    .threads
+                    .iter()
+                    .filter(|t| t.kind == ThreadKind::Workload && t.state != ThreadState::Dead)
+                    .map(|t| t.tid)
+                    .collect();
+                if !live.is_empty() {
+                    // `wake` is a no-op unless the thread is blocked, so a
+                    // spurious wakeup of an active thread dissolves — just
+                    // like a stray `try_to_wake_up` in the real kernel.
+                    let tid = live[nth as usize % live.len()];
+                    self.state.wake(tid);
+                }
+            }
+            _ => {}
+        }
+        self.driver.on_fault(&kind, &mut self.state);
     }
 
     /// Applies deferred operations until the machine is quiescent.
@@ -697,6 +755,24 @@ impl Kernel {
         }
     }
 
+    /// Resolves the `prev_state` for a deferred `sched_switch` record. A
+    /// wakeup can land inside the context-switch window — the thread
+    /// blocked (so `trace_prev` recorded [`PREV_BLOCKED`]) and a wake
+    /// arrived before the paired record is emitted. Linux's ttwu resets
+    /// `prev->state` to `TASK_RUNNING` in exactly this race, so the
+    /// tracepoint reports the thread runnable; mirror that here, or the
+    /// trace shows a blocked switch-out *after* the wakeup and the
+    /// invariant checker sees a non-runnable switch-in.
+    fn resolve_prev_state(&self, prev_tid: u32, stored: u8) -> u8 {
+        if stored == PREV_BLOCKED {
+            let st = self.state.threads[Tid(prev_tid).index()].state;
+            if matches!(st, ThreadState::Runnable | ThreadState::Running) {
+                return PREV_RUNNABLE;
+            }
+        }
+        stored
+    }
+
     fn notify_agent_descheduled(&mut self, tid: Tid) {
         if self.state.threads[tid.index()].kind == ThreadKind::Agent {
             self.driver.on_agent_descheduled(tid, &mut self.state);
@@ -721,6 +797,7 @@ impl Kernel {
         self.state.cpus[ci].run_state = CpuRunState::Idle;
         self.state.cpus[ci].idle_since = self.state.now;
         if let Some((prev_tid, prev_class, prev_state)) = self.state.cpus[ci].trace_prev.take() {
+            let prev_state = self.resolve_prev_state(prev_tid, prev_state);
             self.state
                 .cfg
                 .trace
@@ -811,6 +888,11 @@ impl Kernel {
                 .trace_prev
                 .take()
                 .unwrap_or((NO_TID, crate::class::CLASS_IDLE, PREV_RUNNABLE));
+            let prev_state = if prev_tid != NO_TID {
+                self.resolve_prev_state(prev_tid, prev_state)
+            } else {
+                prev_state
+            };
             self.state
                 .cfg
                 .trace
@@ -996,11 +1078,14 @@ impl Kernel {
             .emit(self.state.now, cpu.0, || TraceEvent::TickDelivered {
                 cpu: cpu.0,
             });
-        // Re-arm first so classes can rely on periodic ticks.
+        // Re-arm first so classes can rely on periodic ticks. A tick-skew
+        // fault window stretches the period (clock drift between CPUs).
         if self.state.cfg.tick_ns > 0 {
-            self.state
-                .events
-                .push(self.state.now + self.state.cfg.tick_ns, Ev::Tick { cpu });
+            let skew = self.state.cfg.faults.tick_extra(self.state.now);
+            self.state.events.push(
+                self.state.now + self.state.cfg.tick_ns + skew,
+                Ev::Tick { cpu },
+            );
         }
         let current = self.state.cpus[cpu.index()].current;
         let mut resched = false;

@@ -36,6 +36,7 @@ pub mod costs;
 pub mod cpu;
 pub mod cpuset;
 pub mod event;
+pub mod faults;
 pub mod idle;
 pub mod kernel;
 pub mod rt;
@@ -49,6 +50,7 @@ pub use class::{ClassId, SchedClass, CLASS_AGENT, CLASS_CFS, CLASS_GHOST, CLASS_
 pub use costs::CostModel;
 pub use cpu::CpuState;
 pub use cpuset::CpuSet;
+pub use faults::{FaultEvent, FaultKind, FaultPlan, IpiFate};
 pub use kernel::{Kernel, KernelConfig, KernelState};
 pub use thread::{SimThread, ThreadKind, ThreadState, Tid};
 pub use time::{Nanos, MICROS, MILLIS, SECS};

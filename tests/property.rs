@@ -5,8 +5,9 @@
 //! message-driven thread tracker against a reference state machine.
 //!
 //! These were originally proptest suites; the offline build environment
-//! cannot fetch proptest, so each property is now exercised over a few
-//! hundred seeded-RNG cases. Same coverage style, fully deterministic.
+//! cannot fetch proptest, so each property runs over a few hundred cases
+//! through `ghost_chaos::for_seeds!`, which derives one RNG per case and
+//! reports the failing seed on panic so any case reruns in isolation.
 
 use ghost::core::msg::{Message, MsgType};
 use ghost::core::queue::MessageQueue;
@@ -16,8 +17,9 @@ use ghost::sim::cpuset::CpuSet;
 use ghost::sim::event::{Ev, EventQueue};
 use ghost::sim::thread::Tid;
 use ghost::sim::topology::CpuId;
+use ghost_chaos::for_seeds;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use std::collections::{BTreeSet, VecDeque};
 
 fn rand_vec(rng: &mut StdRng, len_max: usize, lo: u64, hi: u64) -> Vec<u64> {
@@ -28,8 +30,7 @@ fn rand_vec(rng: &mut StdRng, len_max: usize, lo: u64, hi: u64) -> Vec<u64> {
 /// CpuSet behaves exactly like a set of u16 < 256.
 #[test]
 fn cpuset_matches_btreeset() {
-    let mut rng = StdRng::seed_from_u64(0xC9u64);
-    for _ in 0..256 {
+    for_seeds!(0xC9, 256, |rng: &mut StdRng| {
         let ids: Vec<u16> = (0..rng.gen_range(0usize..64))
             .map(|_| rng.gen_range(0u16..256))
             .collect();
@@ -51,16 +52,15 @@ fn cpuset_matches_btreeset() {
         let rminus: Vec<u16> = ra.difference(&rb).copied().collect();
         assert_eq!(minus, rminus);
         assert_eq!(a.first().map(|c| c.0), ra.first().copied());
-    }
+    });
 }
 
 /// Histogram percentiles stay within the documented ~1.6% relative
 /// error of exact order statistics.
 #[test]
 fn histogram_percentiles_bound_error() {
-    let mut rng = StdRng::seed_from_u64(0x4157u64);
-    for _ in 0..200 {
-        let mut values = rand_vec(&mut rng, 500, 1, 10_000_000);
+    for_seeds!(0x4157, 200, |rng: &mut StdRng| {
+        let mut values = rand_vec(rng, 500, 1, 10_000_000);
         let mut h = LogHistogram::new();
         for &v in &values {
             h.record(v);
@@ -77,15 +77,14 @@ fn histogram_percentiles_bound_error() {
         assert_eq!(h.max(), *values.last().unwrap());
         assert_eq!(h.min(), *values.first().unwrap());
         assert_eq!(h.count(), values.len() as u64);
-    }
+    });
 }
 
 /// The lock-free message queue is FIFO and loss-free under any
 /// push/pop interleaving (single-threaded model check).
 #[test]
 fn message_queue_matches_vecdeque() {
-    let mut rng = StdRng::seed_from_u64(0x9E5Bu64);
-    for _ in 0..200 {
+    for_seeds!(0x9E5B, 200, |rng: &mut StdRng| {
         let q = MessageQueue::new(64);
         let mut model: VecDeque<u32> = VecDeque::new();
         let mut next = 0u32;
@@ -105,15 +104,14 @@ fn message_queue_matches_vecdeque() {
             }
         }
         assert_eq!(q.len(), model.len());
-    }
+    });
 }
 
 /// The event queue pops in (time, insertion) order.
 #[test]
 fn event_queue_is_stable_priority_queue() {
-    let mut rng = StdRng::seed_from_u64(0xE7u64);
-    for _ in 0..200 {
-        let times = rand_vec(&mut rng, 200, 0, 1000);
+    for_seeds!(0xE7, 200, |rng: &mut StdRng| {
+        let times = rand_vec(rng, 200, 0, 1000);
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(t, Ev::Wake { tid: Tid(i as u32) });
@@ -133,15 +131,14 @@ fn event_queue_is_stable_priority_queue() {
             }
         }
         assert!(q.is_empty());
-    }
+    });
 }
 
 /// The thread tracker never reports a blocked/dead thread as
 /// runnable, whatever the message order.
 #[test]
 fn tracker_state_machine() {
-    let mut rng = StdRng::seed_from_u64(0x7Au64);
-    for _ in 0..200 {
+    for_seeds!(0x7A, 200, |rng: &mut StdRng| {
         let mut tracker = ThreadTracker::new();
         let mut seqs = [0u64; 4];
         for _ in 0..rng.gen_range(1usize..300) {
@@ -171,7 +168,7 @@ fn tracker_state_machine() {
                 assert_eq!(tracker.seq(Tid(tid)), seqs[tid as usize]);
             }
         }
-    }
+    });
 }
 
 /// Topology invariants over arbitrary machine shapes: sibling is an
@@ -180,18 +177,11 @@ fn tracker_state_machine() {
 #[test]
 fn topology_invariants() {
     use ghost::sim::topology::Topology;
-    let mut rng = StdRng::seed_from_u64(0x70B0u64);
-    let mut checked = 0;
-    while checked < 24 {
+    for_seeds!(0x70B0, 24, |rng: &mut StdRng| {
         let sockets = rng.gen_range(1u16..3);
         let cores = rng.gen_range(1u16..9);
         let smt = rng.gen_range(1u8..3);
-        let ccx = rng.gen_range(1u16..5);
-        if (sockets as usize) * (cores as usize) * (smt as usize) > 256 {
-            continue;
-        }
-        checked += 1;
-        let ccx = ccx.min(cores);
+        let ccx = rng.gen_range(1u16..5).min(cores);
         let t = Topology::new("prop", sockets, cores, smt, ccx);
         for a in t.all_cpus() {
             // Sibling is a fixed-point-free involution under SMT2.
@@ -219,7 +209,7 @@ fn topology_invariants() {
             total += t.socket_cpus(s).count();
         }
         assert_eq!(total, t.num_cpus());
-    }
+    });
 }
 
 /// Cost-model identities hold for any plausible constant perturbation:
@@ -228,8 +218,7 @@ fn topology_invariants() {
 #[test]
 fn cost_model_amortization() {
     use ghost::sim::CostModel;
-    let mut rng = StdRng::seed_from_u64(0xC057u64);
-    for _ in 0..100 {
+    for_seeds!(0xC057, 100, |rng: &mut StdRng| {
         let scale = rng.gen_range(1u64..5);
         let n = rng.gen_range(2u64..32);
         let mut c = CostModel::default();
@@ -247,17 +236,16 @@ fn cost_model_amortization() {
         assert!(bigger <= group + 1.0);
         assert!(c.local_schedule() > 0);
         assert!(c.group_schedule_e2e(n) >= c.group_schedule_agent(n));
-    }
+    });
 }
 
 /// Histogram merge is commutative and order-insensitive for the
 /// statistics we report.
 #[test]
 fn histogram_merge_is_commutative() {
-    let mut rng = StdRng::seed_from_u64(0x33u64);
-    for _ in 0..200 {
-        let a = rand_vec(&mut rng, 200, 1, 1_000_000);
-        let b = rand_vec(&mut rng, 200, 1, 1_000_000);
+    for_seeds!(0x33, 200, |rng: &mut StdRng| {
+        let a = rand_vec(rng, 200, 1, 1_000_000);
+        let b = rand_vec(rng, 200, 1, 1_000_000);
         let mk = |v: &[u64]| {
             let mut h = LogHistogram::new();
             for &x in v {
@@ -275,7 +263,7 @@ fn histogram_merge_is_commutative() {
         for p in [50.0, 90.0, 99.0, 99.9] {
             assert_eq!(ab.percentile(p), ba.percentile(p));
         }
-    }
+    });
 }
 
 /// PNT rings preserve per-node FIFO order and never lose or duplicate
@@ -283,8 +271,7 @@ fn histogram_merge_is_commutative() {
 #[test]
 fn pnt_rings_are_lossless() {
     use ghost::core::pnt::PntRings;
-    let mut rng = StdRng::seed_from_u64(0x917u64);
-    for _ in 0..200 {
+    for_seeds!(0x917, 200, |rng: &mut StdRng| {
         let mut rings = PntRings::new(2, 8);
         let mut model: [VecDeque<u32>; 2] = [VecDeque::new(), VecDeque::new()];
         for _ in 0..rng.gen_range(1usize..300) {
@@ -327,5 +314,5 @@ fn pnt_rings_are_lossless() {
             }
         }
         assert_eq!(rings.len(), model[0].len() + model[1].len());
-    }
+    });
 }
