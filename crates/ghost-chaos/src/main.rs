@@ -17,6 +17,7 @@ struct Opts {
     out_dir: String,
     policy: Option<PolicyKind>,
     replay: Option<String>,
+    recovery: bool,
 }
 
 fn usage() -> ! {
@@ -32,7 +33,10 @@ fn usage() -> ! {
          --seed-base S   first seed (default 1)\n\
          --out DIR       output directory for repros (default chaos-out)\n\
          --policy NAME   restrict to one policy: {}\n\
-         --replay FILE   replay one repro.json instead of sweeping",
+         --replay FILE   replay one repro.json instead of sweeping\n\
+         --recovery      recovery sweep: every plan crashes an agent or\n\
+                         upgrades in place; odd crash seeds arm a hot\n\
+                         standby judged by the bounded-recovery oracle",
         PolicyKind::ALL
             .iter()
             .map(|p| p.name())
@@ -49,6 +53,7 @@ fn parse_opts() -> Opts {
         out_dir: "chaos-out".to_string(),
         policy: None,
         replay: None,
+        recovery: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -74,6 +79,7 @@ fn parse_opts() -> Opts {
                 }));
             }
             "--replay" => opts.replay = Some(value("--replay")),
+            "--recovery" => opts.recovery = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument '{other}'");
@@ -157,7 +163,11 @@ fn main() -> ExitCode {
     for i in 0..opts.combos {
         let policy = policies[(i % policies.len() as u64) as usize];
         let seed = opts.seed_base + i;
-        let combo = Combo::generated(policy, seed);
+        let combo = if opts.recovery {
+            Combo::generated_recovery(policy, seed)
+        } else {
+            Combo::generated(policy, seed)
+        };
         let report = run_combo(&combo);
         if report.failures.is_empty() {
             per_policy[(i % policies.len() as u64) as usize] += 1;

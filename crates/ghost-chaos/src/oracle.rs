@@ -15,7 +15,7 @@ use ghost_sim::kernel::KernelState;
 use ghost_sim::thread::{ThreadState, Tid};
 use ghost_sim::time::{Nanos, MILLIS};
 use ghost_sim::CLASS_CFS;
-use ghost_trace::{check, TraceRecord};
+use ghost_trace::{check, TraceEvent, TraceRecord};
 use std::fmt;
 
 /// A runnable thread left waiting longer than this at end of run failed
@@ -39,7 +39,10 @@ impl fmt::Display for Failure {
 }
 
 /// Judges a finished run. Returns every violated contract; an empty
-/// vector means the run survived its fault plan.
+/// vector means the run survived its fault plan. When the run armed a
+/// hot standby, `recovery_slo` carries its bound and enables the
+/// bounded-time recovery oracle.
+#[allow(clippy::too_many_arguments)]
 pub fn evaluate(
     records: &[TraceRecord],
     trace_dropped: u64,
@@ -48,6 +51,7 @@ pub fn evaluate(
     enclave: EnclaveId,
     workload: &[Tid],
     completions: u64,
+    recovery_slo: Option<Nanos>,
 ) -> Vec<Failure> {
     let mut failures = Vec::new();
 
@@ -103,6 +107,68 @@ pub fn evaluate(
                         th.class
                     ),
                 });
+            }
+        }
+    }
+
+    // Bounded-time recovery: every degraded-mode failover the standby
+    // machinery started must finish — a status-word reconstruction scan
+    // completing within the SLO — unless the respawn budget ran out and
+    // the enclave was (legitimately) destroyed, which the fallback
+    // oracle above covers.
+    if let Some(slo) = recovery_slo {
+        let starts: Vec<Nanos> = records
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::RecoveryStart { .. }))
+            .map(|r| r.ts)
+            .collect();
+        let dones: Vec<Nanos> = records
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::ReconstructDone { .. }))
+            .map(|r| r.ts)
+            .collect();
+        for &start in &starts {
+            match dones.iter().find(|&&d| d >= start) {
+                Some(&done) if done.saturating_sub(start) > slo => {
+                    failures.push(Failure {
+                        oracle: "recovery-slo",
+                        detail: format!(
+                            "recovery started at {start} ns completed only at {done} ns \
+                             ({} ns > SLO {slo} ns)",
+                            done - start
+                        ),
+                    });
+                }
+                Some(_) => {}
+                None if runtime.enclave_alive(enclave) => {
+                    failures.push(Failure {
+                        oracle: "recovery-slo",
+                        detail: format!(
+                            "recovery started at {start} ns never reconstructed \
+                             and the enclave is still alive"
+                        ),
+                    });
+                }
+                None => {} // Budget exhausted: fallback oracle judges it.
+            }
+        }
+        // Re-absorption: once recovery ran and the enclave survived,
+        // every surviving workload thread must be scheduled by ghOSt
+        // again — none left stranded on the transient CFS excursion.
+        // Threads the commit governor shed to CFS are exempt (shedding
+        // is deliberate), so only shed-free runs are checked.
+        if !starts.is_empty() && runtime.enclave_alive(enclave) && runtime.stats().estale_sheds == 0
+        {
+            for &tid in workload {
+                let th = k.thread(tid);
+                if th.state != ThreadState::Dead && th.class == CLASS_CFS {
+                    failures.push(Failure {
+                        oracle: "recovery-reclaim",
+                        detail: format!(
+                            "thread {tid} still under CFS after degraded-mode recovery"
+                        ),
+                    });
+                }
             }
         }
     }

@@ -58,6 +58,30 @@ pub fn generate_plan(seed: u64, horizon: Nanos, cpus: &[CpuId]) -> FaultPlan {
     FaultPlan { events }
 }
 
+/// Generates a crash/upgrade-focused plan for the recovery sweep: every
+/// seed injects at least one agent crash or in-place upgrade, so each
+/// combo exercises reconstruction, degraded-mode failover, or both.
+/// Deterministic in `(seed, horizon, cpus)` like [`generate_plan`].
+pub fn generate_recovery_plan(seed: u64, horizon: Nanos, cpus: &[CpuId]) -> FaultPlan {
+    assert!(!cpus.is_empty(), "fault plans need at least one target CPU");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EC0_7E11);
+    let n = rng.gen_range(1usize..=2);
+    // Leave enough tail for respawn backoff + reconstruction + the SLO.
+    let latest = horizon.saturating_sub(40 * MILLIS).max(2 * MILLIS);
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        let at = rng.gen_range(MILLIS..latest);
+        let cpu = cpus[rng.gen_range(0..cpus.len())];
+        let kind = if rng.gen_range(0u32..4) < 3 {
+            FaultKind::AgentCrash { cpu }
+        } else {
+            FaultKind::Upgrade
+        };
+        events.push(FaultEvent { at, kind });
+    }
+    FaultPlan { events }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,5 +116,19 @@ mod tests {
         // Most seeds perturb something; some leave the baseline alone.
         assert!(nonempty > 32, "only {nonempty}/64 plans had faults");
         assert!(nonempty < 64, "no seed produced an empty baseline plan");
+    }
+
+    #[test]
+    fn recovery_plans_always_crash_or_upgrade() {
+        for seed in 0..64 {
+            let plan = generate_recovery_plan(seed, 120 * MILLIS, &cpus());
+            let b = generate_recovery_plan(seed, 120 * MILLIS, &cpus());
+            assert_eq!(plan, b, "seed {seed} not deterministic");
+            assert!(!plan.is_empty() && plan.events.len() <= 2);
+            assert!(plan
+                .events
+                .iter()
+                .all(|fe| matches!(fe.kind, FaultKind::AgentCrash { .. } | FaultKind::Upgrade)));
+        }
     }
 }

@@ -2,10 +2,11 @@
 //! simulated kernel and judges it with the oracles.
 
 use crate::oracle::{self, Failure};
-use crate::plan::generate_plan;
+use crate::plan::{generate_plan, generate_recovery_plan};
 use ghost_core::enclave::EnclaveConfig;
 use ghost_core::policy::GhostPolicy;
 use ghost_core::runtime::{GhostRuntime, GhostStats};
+use ghost_core::StandbyConfig;
 use ghost_policies::core_sched::{CoreSchedConfig, CoreSchedPolicy};
 use ghost_policies::shinjuku::{ShinjukuConfig, ShinjukuPolicy};
 use ghost_policies::snap::SNAP_COOKIE;
@@ -144,6 +145,25 @@ impl Combo {
         }
     }
 
+    /// The recovery sweep's combo for `(policy, seed)`: like
+    /// [`Combo::generated`] but every plan injects at least one agent
+    /// crash or in-place upgrade, so reconstruction and failover run on
+    /// every single combo instead of whenever the generic generator
+    /// happens to roll one.
+    pub fn generated_recovery(policy: PolicyKind, seed: u64) -> Self {
+        let horizon = 120 * MILLIS;
+        let topo = Topology::test_small(4);
+        let cpus: Vec<CpuId> = policy.enclave_cpus(&topo).iter().collect();
+        let plan = generate_recovery_plan(seed, horizon, &cpus);
+        Self {
+            policy,
+            seed,
+            plan,
+            horizon,
+            threads: 5,
+        }
+    }
+
     /// True if the run pre-stages a second policy version: always when
     /// the plan upgrades in place, and on even seeds when it crashes an
     /// agent (exercising both the fallback and hot-standby paths).
@@ -151,6 +171,20 @@ impl Combo {
         let has = |f: fn(&FaultKind) -> bool| self.plan.events.iter().any(|fe| f(&fe.kind));
         has(|k| matches!(k, FaultKind::Upgrade))
             || (self.seed.is_multiple_of(2) && has(|k| matches!(k, FaultKind::AgentCrash { .. })))
+    }
+
+    /// True if the run arms a hot standby (degraded-mode failover): odd
+    /// seeds whose plan crashes an agent. Even crash seeds stage an
+    /// upgrade instead ([`Combo::stages_upgrade`]), so both §3.4 rescue
+    /// paths stay covered. Derived from `(seed, plan)` alone — never
+    /// stored — so replaying a `repro.json` rebuilds the same setup.
+    pub fn plans_standby(&self) -> bool {
+        !self.seed.is_multiple_of(2)
+            && self
+                .plan
+                .events
+                .iter()
+                .any(|fe| matches!(fe.kind, FaultKind::AgentCrash { .. }))
     }
 }
 
@@ -219,10 +253,19 @@ pub fn run_combo(combo: &Combo) -> RunReport {
     let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
     runtime.install(&mut kernel);
     let cpus = combo.policy.enclave_cpus(&kernel.state.topo);
-    let enclave = runtime.create_enclave(cpus, combo.policy.enclave_config(), combo.policy.build());
+    let standby = combo.plans_standby().then(StandbyConfig::default);
+    let mut config = combo.policy.enclave_config();
+    if let Some(sb) = standby {
+        config = config.with_standby(sb);
+    }
+    let enclave = runtime.create_enclave(cpus, config, combo.policy.build());
     runtime.spawn_agents(&mut kernel, enclave);
     if combo.stages_upgrade() {
         runtime.stage_upgrade(enclave, combo.policy.build());
+    }
+    if standby.is_some() {
+        let policy = combo.policy;
+        runtime.set_standby_policy(enclave, move || policy.build());
     }
 
     // Workload: `threads` pulse threads with seed-derived segment/period.
@@ -270,6 +313,7 @@ pub fn run_combo(combo: &Combo) -> RunReport {
         enclave,
         &threads,
         completions,
+        standby.map(|sb| sb.recovery_slo),
     );
     RunReport {
         failures,

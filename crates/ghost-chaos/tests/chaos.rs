@@ -93,3 +93,71 @@ fn for_seeds_propagates_case_panics() {
         case += 1;
     });
 }
+
+/// The recovery sweep actually exercises the standby machinery: across
+/// a modest seed range, some combos respawn a standby agent and complete
+/// a bounded-time recovery — and every one of them passes the recovery
+/// oracles.
+#[test]
+fn recovery_sweep_exercises_standby_failover() {
+    let mut standby_runs = 0u64;
+    let mut respawns = 0u64;
+    let mut recoveries = 0u64;
+    let mut reconstructions = 0u64;
+    for policy in PolicyKind::ALL {
+        for seed in 1..=8 {
+            let combo = Combo::generated_recovery(policy, seed);
+            let report = run_combo(&combo);
+            assert!(
+                report.failures.is_empty(),
+                "policy={} seed={seed} faults={:?} failed: {:?}",
+                policy.name(),
+                combo.plan.events,
+                report.failures
+            );
+            if combo.plans_standby() {
+                standby_runs += 1;
+            }
+            respawns += report.stats.respawns;
+            recoveries += report.stats.recoveries;
+            reconstructions += report.stats.reconstructions;
+        }
+    }
+    assert!(
+        standby_runs > 0,
+        "no seed armed a standby — sweep is vacuous"
+    );
+    assert!(respawns > 0, "no standby agent ever respawned");
+    assert!(recoveries > 0, "no degraded-mode recovery ever completed");
+    assert!(reconstructions > 0, "no status-word scan ever ran");
+}
+
+/// A standby-armed combo replays bit-identically, including through the
+/// repro.json round trip (the standby setup is derived from the seed and
+/// plan, never stored — the combo alone must reproduce it).
+#[test]
+fn standby_combo_replays_deterministically() {
+    // Not every standby-armed combo respawns (a crash aimed at an
+    // inactive satellite agent is non-fatal), so hunt for one that does.
+    let (combo, a) = (1..64)
+        .flat_map(|seed| {
+            PolicyKind::ALL
+                .into_iter()
+                .map(move |p| Combo::generated_recovery(p, seed))
+        })
+        .filter(|c| c.plans_standby())
+        .map(|c| {
+            let report = run_combo(&c);
+            (c, report)
+        })
+        .find(|(_, r)| r.stats.respawns > 0)
+        .expect("some recovery combo respawns a standby");
+    let parsed = combo_from_json(&combo_to_json(&combo)).expect("repro round trip");
+    assert!(parsed.plans_standby(), "standby derivation survives replay");
+    let b = run_combo(&parsed);
+    assert_eq!(a.completions, b.completions);
+    assert_eq!(a.stats.respawns, b.stats.respawns);
+    assert_eq!(a.stats.recoveries, b.stats.recoveries);
+    assert_eq!(a.records.len(), b.records.len());
+    assert!(a.records.iter().zip(&b.records).all(|(x, y)| x == y));
+}

@@ -53,6 +53,11 @@ pub struct EnclaveConfig {
     /// Enable the BPF `pick_next_task` fast path with this per-node ring
     /// capacity (§3.2/§5). `None` disables it.
     pub pnt_ring_capacity: Option<usize>,
+    /// Degraded-mode failover (§3.4): when an agent crashes with no staged
+    /// policy, threads transiently fall back to CFS while a standby agent
+    /// respawns and reconstructs from status words. `None` keeps the
+    /// crash-destroys-the-enclave behaviour.
+    pub standby: Option<crate::recovery::StandbyConfig>,
 }
 
 impl EnclaveConfig {
@@ -65,6 +70,7 @@ impl EnclaveConfig {
             deliver_ticks: false,
             watchdog_timeout: None,
             pnt_ring_capacity: None,
+            standby: None,
         }
     }
 
@@ -77,6 +83,7 @@ impl EnclaveConfig {
             deliver_ticks: true,
             watchdog_timeout: None,
             pnt_ring_capacity: None,
+            standby: None,
         }
     }
 
@@ -89,6 +96,7 @@ impl EnclaveConfig {
             deliver_ticks: false,
             watchdog_timeout: None,
             pnt_ring_capacity: None,
+            standby: None,
         }
     }
 
@@ -107,6 +115,12 @@ impl EnclaveConfig {
     /// Enables or disables tick delivery.
     pub fn with_ticks(mut self, deliver: bool) -> Self {
         self.deliver_ticks = deliver;
+        self
+    }
+
+    /// Enables degraded-mode failover with a standby agent.
+    pub fn with_standby(mut self, standby: crate::recovery::StandbyConfig) -> Self {
+        self.standby = Some(standby);
         self
     }
 }
@@ -210,6 +224,18 @@ pub struct Enclave {
     /// handoff, so a freshly promoted agent is not blamed for its
     /// predecessor's backlog (and reaped a second time).
     pub upgraded_at: Option<Nanos>,
+    /// Set when an incoming agent (staged upgrade or respawned standby)
+    /// must rebuild its view with a status-word scan before its next
+    /// activation consumes messages (§3.4).
+    pub needs_reconstruct: bool,
+    /// Degraded-mode failover in flight (crash happened, standby not yet
+    /// re-absorbed every thread). `None` when healthy.
+    pub recovery: Option<crate::recovery::RecoveryState>,
+    /// Standby respawns consumed over the enclave's lifetime. The budget
+    /// is never replenished — an enclave whose agents keep dying is
+    /// destroyed after `max_respawns` total, even if each individual
+    /// recovery completed in between.
+    pub respawn_attempts: u32,
 }
 
 impl Enclave {

@@ -46,6 +46,7 @@ pub mod msg;
 pub mod pnt;
 pub mod policy;
 pub mod queue;
+pub mod recovery;
 pub mod runtime;
 pub mod status;
 pub mod txn;
@@ -54,6 +55,7 @@ pub use enclave::{AgentMode, EnclaveConfig, EnclaveId, QueueId};
 pub use msg::{Message, MsgType};
 pub use policy::{GhostPolicy, PolicyCtx, ThreadView};
 pub use queue::MessageQueue;
+pub use recovery::{CommitGovernor, StaleVerdict, StandbyConfig, ThreadSnapshot};
 pub use runtime::{GhostHandle, GhostRuntime, GhostStats};
 pub use status::StatusWord;
 pub use txn::{SeqConstraint, Transaction, TxnStatus};

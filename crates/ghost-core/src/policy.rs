@@ -312,6 +312,23 @@ impl<'a> PolicyCtx<'a> {
     pub fn rng(&mut self) -> &mut rand::rngs::StdRng {
         &mut self.k.rng
     }
+
+    /// Sheds a thread out of ghOSt back to CFS. The escape hatch of the
+    /// bounded-retry path ([`crate::recovery::CommitGovernor`]): a thread
+    /// whose commits persistently fail `ESTALE` is handed to the default
+    /// scheduler instead of livelocking the agent. The detach is organic —
+    /// the kernel posts `THREAD_DEAD` so every consumer of the message
+    /// stream forgets the thread. Returns `false` if the thread is not
+    /// managed by this enclave.
+    pub fn shed_to_cfs(&mut self, tid: Tid) -> bool {
+        if !self.enclave.threads.contains_key(&tid) {
+            return false;
+        }
+        self.charge(self.k.costs.syscall);
+        self.stats.estale_sheds += 1;
+        self.k.move_to_class(tid, ghost_sim::class::CLASS_CFS);
+        true
+    }
 }
 
 /// A userspace scheduling policy.
@@ -328,4 +345,20 @@ pub trait GhostPolicy {
 
     /// Make scheduling decisions (inspect idle CPUs, commit transactions).
     fn schedule(&mut self, ctx: &mut PolicyCtx<'_>);
+
+    /// State reconstruction (§3.4): called once, before any message of the
+    /// activation, when this policy takes over an enclave that already has
+    /// threads — after an in-place upgrade, or when a respawned standby
+    /// agent reclaims degraded threads. `snapshot` is the status-word scan
+    /// (one entry per managed thread, sorted by tid); the policy must
+    /// rebuild its runqueues/trackers from it and treat later messages
+    /// with sequence numbers below the scanned `seq` as stale. The default
+    /// ignores the scan, which is only correct for stateless policies.
+    fn on_reconstruct(
+        &mut self,
+        snapshot: &[crate::recovery::ThreadSnapshot],
+        ctx: &mut PolicyCtx<'_>,
+    ) {
+        let _ = (snapshot, ctx);
+    }
 }

@@ -21,6 +21,7 @@ use crate::msg::{Message, MsgType};
 use crate::pnt::PntRings;
 use crate::policy::{GhostPolicy, PolicyCtx};
 use crate::queue::MessageQueue;
+use crate::recovery::{RecoveryState, StandbyConfig, ThreadSnapshot, RESPAWN_TIMER_FLAG};
 use crate::status::{StatusWord, SW_ATTACHED, SW_ONCPU, SW_RUNNABLE};
 use crate::txn::{SeqConstraint, Transaction, TxnStatus};
 use ghost_sim::agent::{AgentDriver, AgentOutcome};
@@ -77,6 +78,15 @@ pub struct GhostStats {
     pub upgrades: u64,
     /// Agent crashes that fell back to CFS.
     pub fallbacks: u64,
+    /// Status-word reconstruction scans run by incoming agents (§3.4).
+    pub reconstructions: u64,
+    /// Standby agents respawned during degraded-mode failover.
+    pub respawns: u64,
+    /// Degraded-mode failovers that completed: every stashed thread was
+    /// reclaimed (or died) and the standby finished reconstructing.
+    pub recoveries: u64,
+    /// Threads shed to CFS by a policy's bounded `ESTALE` retry governor.
+    pub estale_sheds: u64,
 }
 
 impl GhostStats {
@@ -108,10 +118,14 @@ impl GhostStats {
     }
 }
 
+/// Builds a fresh policy instance for a standby agent respawn.
+type PolicyFactory = Box<dyn Fn() -> Box<dyn GhostPolicy>>;
+
 struct Core {
     enclaves: Vec<Option<Enclave>>,
     policies: Vec<Option<Box<dyn GhostPolicy>>>,
     staged: Vec<Option<Box<dyn GhostPolicy>>>,
+    standby_factories: Vec<Option<PolicyFactory>>,
     thread_enclave: HashMap<Tid, EnclaveId>,
     pending_attach: HashMap<Tid, EnclaveId>,
     agent_enclave: HashMap<Tid, (EnclaveId, CpuId)>,
@@ -283,6 +297,159 @@ impl Core {
             .trace
             .emit(k.now, 0, || TraceEvent::EnclaveDestroyed { enclave: eid.0 });
     }
+
+    /// Kicks the enclave's agents so the incoming policy runs promptly
+    /// even with no fresh messages — right after an upgrade or respawn,
+    /// the status-word reconstruction must happen before organic traffic
+    /// would next wake an agent.
+    fn notify_agents(&mut self, k: &mut KernelState, eid: EnclaveId) {
+        let Some(enclave) = self.enclaves[eid.0 as usize].as_mut() else {
+            return;
+        };
+        if enclave.destroyed {
+            return;
+        }
+        let at = k.now + k.costs.msg_enqueue;
+        match enclave.config.mode {
+            AgentMode::Centralized => {
+                if let Some(global) = enclave.global_agent {
+                    match k.threads[global.index()].state {
+                        ThreadState::Running if !enclave.loop_armed => {
+                            enclave.loop_armed = true;
+                            k.schedule_agent_loop(at, global);
+                        }
+                        ThreadState::Blocked => k.wake_at(at, global),
+                        _ => {}
+                    }
+                }
+            }
+            AgentMode::PerCpu => {
+                let mut agents: Vec<Tid> = enclave.agents.values().map(|a| a.tid).collect();
+                agents.sort_by_key(|t| t.0);
+                for a in agents {
+                    if k.threads[a.index()].state == ThreadState::Blocked {
+                        k.wake_at(at, a);
+                    }
+                }
+            }
+            AgentMode::PerCore => {
+                let mut slots: Vec<(CpuId, Tid)> =
+                    enclave.agents.values().map(|a| (a.cpu, a.tid)).collect();
+                slots.sort_by_key(|&(c, _)| c.0);
+                for (cpu, tid) in slots {
+                    let key = core_key_of(k, cpu);
+                    let active = *enclave.core_active.entry(key).or_insert(tid);
+                    if active == tid && k.threads[tid.index()].state == ThreadState::Blocked {
+                        k.wake_at(at, tid);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Starts (or extends) degraded-mode failover after an agent crash
+    /// (§3.4): the affected threads transiently fall back to CFS — with
+    /// their kernel-side `ThreadInfo` stashed, so `Tseq` stays monotone
+    /// and the status word survives the excursion — while a standby
+    /// respawn is scheduled with exponential backoff. Destruction becomes
+    /// the last resort, once `max_respawns` attempts are consumed.
+    fn begin_degraded_failover(
+        &mut self,
+        k: &mut KernelState,
+        eid: EnclaveId,
+        cpu: CpuId,
+        standby: StandbyConfig,
+        victims: Vec<Tid>,
+    ) {
+        let now = k.now;
+        let Some(enclave) = self.enclaves[eid.0 as usize].as_mut() else {
+            return;
+        };
+        let (mut stashed, mut pending_cpus, started_at) = match enclave.recovery.take() {
+            Some(r) => (r.stashed, r.pending_cpus, r.started_at),
+            None => (HashMap::new(), Vec::new(), now),
+        };
+        let attempts = enclave.respawn_attempts;
+        if attempts >= standby.max_respawns {
+            // The standby itself keeps dying: give up and destroy.
+            self.stats.fallbacks += 1;
+            self.destroy_enclave(k, eid);
+            return;
+        }
+        k.cfg
+            .trace
+            .emit(now, cpu.0, || TraceEvent::RecoveryStart { enclave: eid.0 });
+        enclave.loop_armed = false;
+        for tid in victims {
+            let Some(mut info) = enclave.threads.remove(&tid) else {
+                continue;
+            };
+            enclave.committed.retain(|_, slot| slot.tid != tid);
+            if let Some(pnt) = &mut enclave.pnt {
+                pnt.revoke(tid);
+            }
+            info.picked = false;
+            stashed.insert(tid, info);
+            // With the registry entry gone, the class move below posts no
+            // THREAD_DEAD — the thread is expected back.
+            self.thread_enclave.remove(&tid);
+            k.move_to_class(tid, CLASS_CFS);
+        }
+        if !pending_cpus.contains(&cpu) {
+            pending_cpus.push(cpu);
+        }
+        enclave.recovery = Some(RecoveryState {
+            stashed,
+            pending_cpus,
+            started_at,
+        });
+        let backoff = standby.respawn_backoff << attempts.min(16);
+        k.arm_driver_timer(now + backoff, RESPAWN_TIMER_FLAG | eid.0 as u64);
+    }
+
+    /// Per-CPU fault granularity without a standby (§3.4): only the dead
+    /// agent's CPU leaves the enclave, and only the threads it served
+    /// fall back to CFS. Peers keep scheduling theirs — the crash is
+    /// contained to the slice of the enclave the dead agent managed.
+    fn partial_fallback(
+        &mut self,
+        k: &mut KernelState,
+        eid: EnclaveId,
+        cpu: CpuId,
+        dead_agent: Tid,
+        victims: Vec<Tid>,
+    ) {
+        self.stats.fallbacks += 1;
+        let Some(enclave) = self.enclaves[eid.0 as usize].as_mut() else {
+            return;
+        };
+        self.cpu_enclave[cpu.index()] = None;
+        enclave.cpus.remove(cpu);
+        enclave.cpu_queues.remove(&cpu);
+        if let Some(slot) = enclave.committed.remove(&cpu) {
+            if let Some(info) = enclave.threads.get_mut(&slot.tid) {
+                info.picked = false;
+            }
+        }
+        // Hand the default queue to the lowest-CPU survivor if the dead
+        // agent owned its wakeups.
+        let mut survivors: Vec<(CpuId, Tid)> =
+            enclave.agents.values().map(|a| (a.cpu, a.tid)).collect();
+        survivors.sort_by_key(|&(c, _)| c.0);
+        let dq = enclave.default_queue;
+        if let Some(Some(qs)) = enclave.queues.get_mut(dq.0 as usize) {
+            if qs.wake == WakeMode::WakeAgent(dead_agent) {
+                if let Some(&(_, succ)) = survivors.first() {
+                    qs.wake = WakeMode::WakeAgent(succ);
+                }
+            }
+        }
+        // Organic departure: the class move posts THREAD_DEAD, so the
+        // surviving agents forget the victims.
+        for t in victims {
+            k.move_to_class(t, CLASS_CFS);
+        }
+    }
 }
 
 /// The shared-everything runtime; clone freely (all clones are views of
@@ -303,6 +470,7 @@ impl GhostRuntime {
                 enclaves: Vec::new(),
                 policies: Vec::new(),
                 staged: Vec::new(),
+                standby_factories: Vec::new(),
                 thread_enclave: HashMap::new(),
                 pending_attach: HashMap::new(),
                 agent_enclave: HashMap::new(),
@@ -371,11 +539,15 @@ impl GhostRuntime {
             destroyed: false,
             loop_armed: false,
             upgraded_at: None,
+            needs_reconstruct: false,
+            recovery: None,
+            respawn_attempts: 0,
             config,
         };
         core.enclaves.push(Some(enclave));
         core.policies.push(Some(policy));
         core.staged.push(None);
+        core.standby_factories.push(None);
         id
     }
 
@@ -488,10 +660,12 @@ impl GhostRuntime {
         self.shared.borrow_mut().staged[eid.0 as usize] = Some(policy);
     }
 
-    /// Performs an in-place upgrade right now: the staged policy takes
-    /// over and re-extracts thread state from the kernel via synthetic
-    /// `THREAD_CREATED`/`THREAD_WAKEUP` messages. Returns false if no
-    /// policy was staged.
+    /// Performs an in-place upgrade right now (§3.4): the staged policy
+    /// takes over and rebuilds its view by scanning the status words of
+    /// the enclave's threads at its next activation — no synthetic
+    /// message replay. An `Aseq` barrier is raised on every agent so
+    /// commits prepared against the old policy's view fail `ESTALE`.
+    /// Returns false if no policy was staged.
     pub fn upgrade_now(&self, k: &mut KernelState, eid: EnclaveId) -> bool {
         let mut core = self.shared.borrow_mut();
         let Some(staged) = core.staged[eid.0 as usize].take() else {
@@ -506,15 +680,27 @@ impl GhostRuntime {
         // a full timeout from here before it can be blamed (§3.4 — without
         // this a hung-then-upgraded agent is double-reaped).
         enclave.upgraded_at = Some(k.now);
-        let tids: Vec<Tid> = enclave.threads.keys().copied().collect();
-        for tid in tids {
-            let cpu = k.threads[tid.index()].last_cpu.unwrap_or(CpuId(0));
-            core.post(k, eid, MsgType::ThreadCreated, Some(tid), cpu);
-            if k.threads[tid.index()].state == ThreadState::Runnable {
-                core.post(k, eid, MsgType::ThreadWakeup, Some(tid), cpu);
-            }
+        enclave.needs_reconstruct = true;
+        // Aseq barrier: in-flight commits that captured a pre-upgrade
+        // agent sequence number must not land under the new policy.
+        for slot in enclave.agents.values() {
+            slot.status.bump_seq();
         }
+        core.notify_agents(k, eid);
         true
+    }
+
+    /// Registers a policy factory for standby respawns in `eid`'s
+    /// degraded-mode failover: each respawned agent starts from a fresh
+    /// policy instance and rebuilds purely from the status-word scan.
+    /// Without a factory the surviving in-memory policy object is
+    /// re-seeded in place (the reconstruction still runs).
+    pub fn set_standby_policy(
+        &self,
+        eid: EnclaveId,
+        factory: impl Fn() -> Box<dyn GhostPolicy> + 'static,
+    ) {
+        self.shared.borrow_mut().standby_factories[eid.0 as usize] = Some(Box::new(factory));
     }
 
     /// Destroys an enclave: threads fall back to CFS, agents die.
@@ -529,6 +715,16 @@ impl GhostRuntime {
             .as_ref()
             .map(|e| e.agents.values().map(|a| a.tid).collect())
             .unwrap_or_default()
+    }
+
+    /// The agent pthread attached to `cpu`, if the enclave owns that CPU
+    /// (for targeted crash injection in tests and the chaos harness).
+    pub fn agent_on(&self, eid: EnclaveId, cpu: CpuId) -> Option<Tid> {
+        let core = self.shared.borrow();
+        core.enclaves[eid.0 as usize]
+            .as_ref()
+            .and_then(|e| e.agents.get(&cpu))
+            .map(|a| a.tid)
     }
 
     /// The current global agent of a centralized enclave.
@@ -1078,6 +1274,40 @@ impl SchedClass for GhostClass {
         let Some(enclave) = core.enclave_mut(eid) else {
             return;
         };
+        if enclave.destroyed {
+            // The enclave died between the attach request and the class
+            // move landing: send the thread straight back to CFS.
+            core.thread_enclave.remove(&tid);
+            k.move_to_class(tid, CLASS_CFS);
+            return;
+        }
+        // Reclaim path: a degraded thread returning from its transient
+        // CFS excursion gets its preserved `ThreadInfo` back — `Tseq`
+        // stays monotone, the status word survives — and posts no
+        // `THREAD_CREATED`: the standby's status-word scan absorbs it.
+        if let Some(rec) = enclave.recovery.as_mut() {
+            if let Some(info) = rec.stashed.remove(&tid) {
+                let state = k.threads[tid.index()].state;
+                info.status.publish(|s, f| {
+                    let mut f = f & !(SW_ONCPU | SW_RUNNABLE);
+                    match state {
+                        ThreadState::Runnable => f |= SW_RUNNABLE,
+                        ThreadState::Running => f |= SW_ONCPU,
+                        _ => {}
+                    }
+                    (s, f)
+                });
+                enclave.threads.insert(tid, info);
+                let cpu = k.threads[tid.index()].last_cpu.unwrap_or(CpuId(0));
+                k.cfg
+                    .trace
+                    .emit(k.now, cpu.0, || TraceEvent::ThreadReclaimed {
+                        enclave: eid.0,
+                        tid: tid.0,
+                    });
+                return;
+            }
+        }
         let status = StatusWord::new();
         status.set_flags(SW_ATTACHED);
         let default_q = enclave.default_queue;
@@ -1196,6 +1426,35 @@ impl GhostDriver {
                 }
             }
         }
+        // §3.4 state reconstruction: an incoming agent (staged upgrade or
+        // respawned standby) rebuilds its view by scanning the enclave's
+        // status-word table before consuming any message. The scan runs
+        // under the Aseq barrier raised at promotion time, so commits
+        // prepared against the predecessor's view fail `ESTALE`; stale
+        // in-flight messages are discarded downstream by seqnum.
+        let scan: Option<Vec<ThreadSnapshot>> = if enclave.needs_reconstruct {
+            enclave.needs_reconstruct = false;
+            let mut snaps: Vec<ThreadSnapshot> = enclave
+                .threads
+                .iter()
+                .map(|(&t, info)| {
+                    let th = &k.threads[t.index()];
+                    ThreadSnapshot {
+                        tid: t,
+                        seq: info.status.seq(),
+                        runnable: info.status.has_flags(SW_RUNNABLE),
+                        on_cpu: info.status.has_flags(SW_ONCPU),
+                        last_cpu: th.last_cpu.unwrap_or(CpuId(0)),
+                        cookie: th.cookie,
+                    }
+                })
+                .collect();
+            // Deterministic scan order (the thread table is a HashMap).
+            snaps.sort_by_key(|s| s.tid.0);
+            Some(snaps)
+        } else {
+            None
+        };
         let smt_scale = k.sibling_busy(agent_cpu);
         let mut ctx = PolicyCtx {
             k,
@@ -1210,6 +1469,22 @@ impl GhostDriver {
         ctx.stats.activations += 1;
         if msgs.is_empty() {
             ctx.stats.empty_activations += 1;
+        }
+        if let Some(snaps) = &scan {
+            let cost = ctx.k.costs.reconstruction_scan(snaps.len() as u64);
+            ctx.charge(cost);
+            policy.on_reconstruct(snaps, &mut ctx);
+            ctx.stats.reconstructions += 1;
+            let threads = snaps.len() as u32;
+            let at = ctx.k.now + ctx.busy;
+            ctx.k
+                .cfg
+                .trace
+                .emit(at, agent_cpu.0, || TraceEvent::ReconstructDone {
+                    enclave: eid.0,
+                    threads,
+                    agent_tid: agent_tid.0,
+                });
         }
         let dequeue = ctx.k.costs.msg_dequeue;
         for m in &msgs {
@@ -1229,6 +1504,20 @@ impl GhostDriver {
         let wakeup = ctx.wakeup_request;
         ctx.stats.agent_busy_ns += busy;
         core.policies[eid.0 as usize] = Some(policy);
+        if scan.is_some() {
+            // A reconstruction just ran; if no stashed thread or pending
+            // respawn remains, the degraded-mode failover is complete.
+            if let Some(e) = core.enclaves[eid.0 as usize].as_mut() {
+                let finished = e
+                    .recovery
+                    .as_ref()
+                    .is_some_and(|r| r.stashed.is_empty() && r.pending_cpus.is_empty());
+                if finished {
+                    e.recovery = None;
+                    core.stats.recoveries += 1;
+                }
+            }
+        }
         k.cfg.trace.emit(k.now + busy, agent_cpu.0, || {
             TraceEvent::AgentActivationEnd {
                 cpu: agent_cpu.0,
@@ -1242,6 +1531,99 @@ impl GhostDriver {
         } else {
             AgentOutcome::Block { busy }
         }
+    }
+
+    /// Fires when a degraded enclave's respawn backoff expires: spawn a
+    /// standby agent pthread on the dead agent's CPU, wire it in for the
+    /// enclave's mode, flag a status-word reconstruction, and reclaim the
+    /// stashed threads from their transient CFS excursion.
+    fn handle_respawn(&mut self, eid: EnclaveId, k: &mut KernelState) {
+        let mut core = self.shared.borrow_mut();
+        let core = &mut *core;
+        let Some(enclave) = core.enclaves[eid.0 as usize].as_mut() else {
+            return;
+        };
+        if enclave.destroyed {
+            return;
+        }
+        let Some(cpu) = enclave.recovery.as_mut().and_then(|r| {
+            if r.pending_cpus.is_empty() {
+                None
+            } else {
+                Some(r.pending_cpus.remove(0))
+            }
+        }) else {
+            return;
+        };
+        enclave.respawn_attempts += 1;
+        core.stats.respawns += 1;
+        let tid = k.spawn_agent_thread(
+            ThreadSpec::workload(&format!("ghost-standby-e{}-c{}", eid.0, cpu.0), &k.topo)
+                .affinity(CpuSet::from_iter([cpu]))
+                .agent(),
+        );
+        core.agent_enclave.insert(tid, (eid, cpu));
+        let status = StatusWord::new();
+        status.set_flags(SW_ATTACHED);
+        enclave.agents.insert(cpu, AgentSlot { tid, cpu, status });
+        match enclave.config.mode {
+            AgentMode::Centralized => {
+                if enclave.global_agent.is_none() {
+                    enclave.global_agent = Some(tid);
+                }
+            }
+            AgentMode::PerCpu => {
+                // The respawned agent serves its CPU's queue again — and
+                // adopts the default queue if its owner died with it.
+                if let Some(&qid) = enclave.cpu_queues.get(&cpu) {
+                    if let Some(Some(qs)) = enclave.queues.get_mut(qid.0 as usize) {
+                        qs.wake = WakeMode::WakeAgent(tid);
+                    }
+                }
+                let dq = enclave.default_queue;
+                if let Some(Some(qs)) = enclave.queues.get_mut(dq.0 as usize) {
+                    if let WakeMode::WakeAgent(owner) = qs.wake {
+                        if !core.agent_enclave.contains_key(&owner) {
+                            qs.wake = WakeMode::WakeAgent(tid);
+                        }
+                    }
+                }
+            }
+            AgentMode::PerCore => {
+                enclave.core_active.insert(core_key_of(k, cpu), tid);
+            }
+        }
+        // A fresh policy process, when a factory is registered; either way
+        // the incoming agent reconstructs from status words and gets
+        // watchdog grace for the backlog it inherits.
+        if let Some(factory) = core.standby_factories[eid.0 as usize].as_ref() {
+            core.policies[eid.0 as usize] = Some(factory());
+        }
+        enclave.needs_reconstruct = true;
+        enclave.upgraded_at = Some(k.now);
+        // Aseq barrier, as in an in-place upgrade.
+        for slot in enclave.agents.values() {
+            slot.status.bump_seq();
+        }
+        // Reclaim: re-attach every surviving stashed thread; `on_attach`
+        // restores its preserved state. Sorted for deterministic replay.
+        let mut tids: Vec<Tid> = enclave
+            .recovery
+            .as_ref()
+            .map(|r| r.stashed.keys().copied().collect())
+            .unwrap_or_default();
+        tids.sort_by_key(|t| t.0);
+        for t in tids {
+            if k.threads[t.index()].state == ThreadState::Dead {
+                if let Some(r) = enclave.recovery.as_mut() {
+                    r.stashed.remove(&t);
+                }
+                continue;
+            }
+            core.pending_attach.insert(t, eid);
+            k.move_to_class(t, CLASS_GHOST);
+        }
+        k.wake(tid);
     }
 }
 
@@ -1350,6 +1732,11 @@ impl AgentDriver for GhostDriver {
     }
 
     fn on_timer(&mut self, key: u64, k: &mut KernelState) {
+        if key & RESPAWN_TIMER_FLAG != 0 {
+            // A standby-respawn timer from degraded-mode failover.
+            self.handle_respawn(EnclaveId((key & !RESPAWN_TIMER_FLAG) as u32), k);
+            return;
+        }
         // Watchdog scan for enclave `key` (§3.4): a runnable ghOSt thread
         // left unscheduled for longer than the timeout means the agent is
         // misbehaving. Starvation is measured from the last in-place
@@ -1415,8 +1802,11 @@ impl AgentDriver for GhostDriver {
     }
 
     fn on_agent_killed(&mut self, tid: Tid, k: &mut KernelState) {
-        // Agent crash (§3.4): promote a staged policy in place, or fall
-        // back to CFS by destroying the enclave.
+        // Agent crash (§3.4). In order of preference: promote a staged
+        // policy in place; run degraded-mode failover if a standby is
+        // configured; fall back to CFS — for the whole enclave only when
+        // the crash actually takes out its scheduling capacity, at
+        // per-CPU granularity when peers survive.
         let (eid, cpu) = {
             let mut core = self.shared.borrow_mut();
             let Some((eid, cpu)) = core.agent_enclave.remove(&tid) else {
@@ -1446,15 +1836,79 @@ impl AgentDriver for GhostDriver {
             }
         } else {
             let mut core = self.shared.borrow_mut();
-            if let Some(enclave) = core.enclave_mut(eid) {
-                enclave.agents.remove(&cpu);
-                let was_global = enclave.global_agent == Some(tid);
-                let any_left = !enclave.agents.is_empty();
-                if was_global || !any_left || enclave.config.mode != AgentMode::Centralized {
-                    // Fault isolation: fall back to CFS.
-                    core.stats.fallbacks += 1;
-                    core.destroy_enclave(k, eid);
+            let core = &mut *core;
+            let Some(enclave) = core.enclaves[eid.0 as usize].as_mut() else {
+                return;
+            };
+            if enclave.destroyed {
+                return;
+            }
+            enclave.agents.remove(&cpu);
+            let was_global = enclave.global_agent == Some(tid);
+            if was_global {
+                enclave.global_agent = None;
+                enclave.loop_armed = false;
+            }
+            let any_left = !enclave.agents.is_empty();
+            let mode = enclave.config.mode;
+            let standby = enclave.config.standby;
+            if mode == AgentMode::Centralized && !was_global && any_left {
+                // An inactive hot standby died; the global spinner is
+                // intact and loses nothing.
+                return;
+            }
+            if mode == AgentMode::PerCore && any_left {
+                let key = core_key_of(k, cpu);
+                if enclave.core_active.get(&key) == Some(&tid) {
+                    enclave.core_active.remove(&key);
                 }
+                let sibling_alive = k
+                    .topo
+                    .core_cpus(cpu)
+                    .iter()
+                    .any(|c| c != cpu && enclave.agents.contains_key(&c));
+                if sibling_alive {
+                    // The SMT sibling's agent serves the whole core.
+                    return;
+                }
+            }
+            let whole = mode == AgentMode::Centralized || !any_left;
+            let victims: Vec<Tid> = if whole {
+                let mut v: Vec<Tid> = enclave.threads.keys().copied().collect();
+                v.sort_by_key(|t| t.0);
+                v
+            } else {
+                // Threads homed to a queue the dead agent consumed: its
+                // own CPU's queue, or any queue explicitly waking it (the
+                // default queue, when the dead agent owned new-thread
+                // traffic).
+                let dead_qs: Vec<QueueId> = enclave
+                    .queues
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, q)| match q {
+                        Some(qs) if qs.wake == WakeMode::WakeAgent(tid) => Some(QueueId(i as u32)),
+                        _ => None,
+                    })
+                    .collect();
+                let cpu_q = enclave.cpu_queues.get(&cpu).copied();
+                let mut v: Vec<Tid> = enclave
+                    .threads
+                    .iter()
+                    .filter(|(_, info)| Some(info.queue) == cpu_q || dead_qs.contains(&info.queue))
+                    .map(|(&t, _)| t)
+                    .collect();
+                v.sort_by_key(|t| t.0);
+                v
+            };
+            if let Some(sc) = standby {
+                core.begin_degraded_failover(k, eid, cpu, sc, victims);
+            } else if whole {
+                // Fault isolation: the whole enclave falls back to CFS.
+                core.stats.fallbacks += 1;
+                core.destroy_enclave(k, eid);
+            } else {
+                core.partial_fallback(k, eid, cpu, tid, victims);
             }
         }
     }

@@ -39,6 +39,10 @@ pub struct StatusWord {
     /// Packed as two u64s to keep reads cheap and tear-free.
     seq: AtomicU64,
     flags: AtomicU64,
+    /// Debug-build guard enforcing the single-publisher contract of
+    /// [`StatusWord::publish`]. Absent in release builds.
+    #[cfg(debug_assertions)]
+    publishing: AtomicU64,
 }
 
 /// Shared handle to a status word.
@@ -68,12 +72,34 @@ impl StatusWord {
     /// Kernel-side update: applies `f` to `(seq, flags)` and publishes the
     /// result with release ordering (flags first, then seq, so an agent
     /// that observes the new seq also observes the new flags).
+    ///
+    /// # Single-writer contract
+    ///
+    /// The relaxed load → modify → release store is **not** an atomic RMW:
+    /// two concurrent publishers can interleave and lose an update. That is
+    /// by design — like the real ghOSt ABI, a status word has exactly one
+    /// writer (the kernel), and readers (agents) only ever poll. Keeping
+    /// the write path free of CAS loops is what makes status words cheap
+    /// enough to update on every context switch. Callers that need a
+    /// multi-writer counter must use [`StatusWord::bump_seq`] /
+    /// [`StatusWord::set_flags`] / [`StatusWord::clear_flags`], which are
+    /// genuine atomic RMWs. Debug builds enforce the contract: a second
+    /// publisher entering while one is in flight panics.
     pub fn publish<F: FnOnce(u64, u64) -> (u64, u64)>(&self, f: F) {
+        #[cfg(debug_assertions)]
+        assert_eq!(
+            self.publishing.swap(1, Ordering::AcqRel),
+            0,
+            "StatusWord::publish: concurrent publishers — the kernel must be \
+             the only writer (see the single-writer contract)"
+        );
         let seq = self.seq.load(Ordering::Relaxed);
         let flags = self.flags.load(Ordering::Relaxed);
         let (nseq, nflags) = f(seq, flags);
         self.flags.store(nflags, Ordering::Release);
         self.seq.store(nseq, Ordering::Release);
+        #[cfg(debug_assertions)]
+        self.publishing.store(0, Ordering::Release);
     }
 
     /// Increments the sequence number, returning the new value.
@@ -142,5 +168,36 @@ mod tests {
         }
         h.join().unwrap();
         assert_eq!(sw.seq(), 10_000);
+    }
+
+    /// Loom-style interleaving probe for the single-writer contract: one
+    /// publisher parks *inside* `publish` (its closure blocks on a
+    /// barrier), a second publisher then enters and must be rejected.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn publish_detects_second_publisher() {
+        use std::sync::Barrier;
+
+        let sw = StatusWord::new();
+        let barrier = Arc::new(Barrier::new(2));
+        let (sw_hold, b_hold) = (Arc::clone(&sw), Arc::clone(&barrier));
+        let holder = std::thread::spawn(move || {
+            sw_hold.publish(|s, f| {
+                b_hold.wait(); // publisher is now mid-publish
+                b_hold.wait(); // held open until the intruder has panicked
+                (s + 1, f)
+            });
+        });
+        barrier.wait();
+        let sw_intruder = Arc::clone(&sw);
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep the expected panic quiet
+        let intruder = std::thread::spawn(move || sw_intruder.publish(|s, f| (s + 1, f)));
+        let outcome = intruder.join();
+        std::panic::set_hook(prev_hook);
+        assert!(outcome.is_err(), "second concurrent publisher must panic");
+        barrier.wait();
+        holder.join().unwrap();
+        assert_eq!(sw.seq(), 1);
     }
 }

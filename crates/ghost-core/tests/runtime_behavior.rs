@@ -61,6 +61,22 @@ impl GhostPolicy for FifoPolicy {
         }
     }
 
+    fn on_reconstruct(
+        &mut self,
+        snapshot: &[ghost_core::ThreadSnapshot],
+        _ctx: &mut PolicyCtx<'_>,
+    ) {
+        self.rq.clear();
+        self.queued.clear();
+        self.seqs.clear();
+        for s in snapshot {
+            self.seqs.insert(s.tid, s.seq);
+            if s.runnable && !s.on_cpu {
+                self.enqueue(s.tid);
+            }
+        }
+    }
+
     fn schedule(&mut self, ctx: &mut PolicyCtx<'_>) {
         let idle = ctx.idle_cpus();
         let mut txns = Vec::new();
@@ -874,4 +890,245 @@ fn queue_overflow_is_counted_traced_and_seqnums_stay_consistent() {
         assert_eq!(w[1].seq, w[0].seq + 1);
     }
     check::assert_clean(&records);
+}
+
+// ---------------------------------------------------------------------------
+// Failover & bounded-time recovery (§3.4 + the rejoin experiment, Fig. 9).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn upgrade_reconstructs_without_synthetic_messages() {
+    let mut s = centralized_setup(
+        Topology::test_small(4),
+        3,
+        100 * MICROS,
+        MILLIS,
+        EnclaveConfig::centralized("test"),
+        Box::new(FifoPolicy::default()),
+    );
+    s.kernel.run_until(20 * MILLIS);
+    let created_before = s.runtime.stats().posted(MsgType::ThreadCreated);
+    s.runtime
+        .stage_upgrade(s.enclave, Box::new(FifoPolicy::default()));
+    assert!(s.runtime.upgrade_now(&mut s.kernel.state, s.enclave));
+    s.kernel.run_until(100 * MILLIS);
+    let stats = s.runtime.stats();
+    // The incoming agent seeds itself from the status-word scan: no
+    // synthetic THREAD_CREATED replay (the pre-reconstruction hack).
+    assert_eq!(
+        stats.posted(MsgType::ThreadCreated),
+        created_before,
+        "upgrade must not post synthetic creation messages"
+    );
+    assert_eq!(stats.reconstructions, 1);
+    assert_eq!(stats.upgrades, 1);
+    assert!(s.runtime.enclave_alive(s.enclave));
+    // The reconstructed policy actually schedules.
+    let before = s.completions.borrow()[&s.threads[0]];
+    s.kernel.run_until(200 * MILLIS);
+    assert!(s.completions.borrow()[&s.threads[0]] > before + 50);
+    assert_ne!(s.kernel.state.thread(s.threads[0]).class, CLASS_CFS);
+}
+
+#[test]
+fn standby_failover_recovers_within_slo() {
+    let standby = ghost_core::StandbyConfig::default();
+    let sink = TraceSink::recording(1, 1 << 17);
+    let mut s = centralized_setup_traced(
+        Topology::test_small(4),
+        3,
+        100 * MICROS,
+        MILLIS,
+        EnclaveConfig::centralized("test").with_standby(standby),
+        Box::new(FifoPolicy::default()),
+        sink.clone(),
+    );
+    s.runtime
+        .set_standby_policy(s.enclave, || Box::new(FifoPolicy::default()));
+    s.kernel.run_until(20 * MILLIS);
+    let global = s.runtime.global_agent(s.enclave).expect("global agent");
+    s.kernel.kill(global);
+    s.kernel.run_until(60 * MILLIS);
+    let stats = s.runtime.stats();
+    assert!(s.runtime.enclave_alive(s.enclave), "enclave survives crash");
+    assert_eq!(stats.respawns, 1, "one standby respawn");
+    assert_eq!(stats.recoveries, 1, "recovery completed");
+    assert_eq!(stats.reconstructions, 1);
+    assert_eq!(stats.fallbacks, 0, "degraded mode is not a fallback");
+    // Every managed thread is back under ghOSt.
+    for &t in &s.threads {
+        assert_ne!(s.kernel.state.thread(t).class, CLASS_CFS);
+    }
+    // And still makes progress under the respawned agent.
+    let before = s.completions.borrow()[&s.threads[0]];
+    s.kernel.run_until(160 * MILLIS);
+    assert!(s.completions.borrow()[&s.threads[0]] > before + 50);
+
+    // The trace proves the bound: crash → reconstruction-done within the
+    // recovery SLO, with every thread reclaimed in between.
+    let records = sink.snapshot();
+    let start = records
+        .iter()
+        .find(|r| matches!(r.event, TraceEvent::RecoveryStart { .. }))
+        .map(|r| r.ts)
+        .expect("recovery start traced");
+    let done = records
+        .iter()
+        .find(|r| matches!(r.event, TraceEvent::ReconstructDone { .. }))
+        .map(|r| r.ts)
+        .expect("reconstruction traced");
+    assert!(
+        done >= start && done - start <= standby.recovery_slo,
+        "recovery took {} ns, SLO is {} ns",
+        done - start,
+        standby.recovery_slo
+    );
+    let reclaimed = records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::ThreadReclaimed { .. }))
+        .count();
+    assert_eq!(reclaimed, s.threads.len(), "every thread reclaimed");
+    check::assert_clean(&records);
+}
+
+#[test]
+fn respawn_exhaustion_destroys_enclave() {
+    let standby = ghost_core::StandbyConfig::default();
+    let mut s = centralized_setup(
+        Topology::test_small(4),
+        2,
+        100 * MICROS,
+        MILLIS,
+        EnclaveConfig::centralized("test").with_standby(standby),
+        Box::new(FifoPolicy::default()),
+    );
+    s.runtime
+        .set_standby_policy(s.enclave, || Box::new(FifoPolicy::default()));
+    s.kernel.run_until(20 * MILLIS);
+    // Keep killing whichever agent is in charge: the respawn budget is
+    // finite, so the enclave is eventually torn down for good.
+    for round in 0..=standby.max_respawns {
+        let global = s
+            .runtime
+            .global_agent(s.enclave)
+            .unwrap_or_else(|| panic!("agent alive before crash {round}"));
+        s.kernel.kill(global);
+        s.kernel.run_until(s.kernel.state.now + 20 * MILLIS);
+    }
+    let stats = s.runtime.stats();
+    assert_eq!(stats.respawns, standby.max_respawns as u64);
+    assert!(!s.runtime.enclave_alive(s.enclave), "budget exhausted");
+    assert!(stats.fallbacks >= 1, "final crash is a CFS fallback");
+    for &t in &s.threads {
+        assert_eq!(s.kernel.state.thread(t).class, CLASS_CFS);
+    }
+    // CFS keeps the workload alive after the enclave is gone.
+    let before = s.completions.borrow()[&s.threads[0]];
+    s.kernel.run_until(s.kernel.state.now + 100 * MILLIS);
+    assert!(s.completions.borrow()[&s.threads[0]] > before);
+}
+
+#[test]
+fn per_cpu_agent_crash_falls_back_only_its_own_threads() {
+    let mut s = centralized_setup(
+        Topology::test_small(4),
+        3,
+        100 * MICROS,
+        MILLIS,
+        EnclaveConfig::per_cpu("test"),
+        Box::new(FifoPolicy::default()),
+    );
+    s.kernel.run_until(20 * MILLIS);
+    // The test policy never re-associates queues, so all threads ride the
+    // default queue owned by the first CPU's agent. Killing a *different*
+    // CPU's agent must not take the whole enclave down, and no thread is
+    // routed through the dead queue, so none leave ghOSt.
+    let bystander = s
+        .runtime
+        .agent_on(s.enclave, CpuId(2))
+        .expect("agent on cpu 2");
+    s.kernel.kill(bystander);
+    s.kernel.run_until(60 * MILLIS);
+    let stats = s.runtime.stats();
+    assert!(
+        s.runtime.enclave_alive(s.enclave),
+        "peer agents keep the enclave alive"
+    );
+    assert_eq!(stats.fallbacks, 1, "per-CPU crash is a scoped fallback");
+    for &t in &s.threads {
+        assert_ne!(
+            s.kernel.state.thread(t).class,
+            CLASS_CFS,
+            "threads of surviving queues stay in ghOSt"
+        );
+    }
+    let before = s.completions.borrow()[&s.threads[0]];
+    s.kernel.run_until(120 * MILLIS);
+    assert!(s.completions.borrow()[&s.threads[0]] > before);
+}
+
+#[test]
+fn per_cpu_default_queue_owner_crash_sheds_its_threads() {
+    let mut s = centralized_setup(
+        Topology::test_small(4),
+        3,
+        100 * MICROS,
+        MILLIS,
+        EnclaveConfig::per_cpu("test"),
+        Box::new(FifoPolicy::default()),
+    );
+    s.kernel.run_until(20 * MILLIS);
+    // All threads ride the default queue, owned by the first CPU's agent:
+    // killing it sheds exactly those threads to CFS — but the enclave
+    // itself survives on its remaining agents.
+    let owner = s
+        .runtime
+        .agent_on(s.enclave, CpuId(1))
+        .expect("agent on cpu 1");
+    s.kernel.kill(owner);
+    s.kernel.run_until(60 * MILLIS);
+    let stats = s.runtime.stats();
+    assert!(s.runtime.enclave_alive(s.enclave));
+    assert_eq!(stats.fallbacks, 1);
+    for &t in &s.threads {
+        assert_eq!(s.kernel.state.thread(t).class, CLASS_CFS);
+    }
+    let before = s.completions.borrow()[&s.threads[0]];
+    s.kernel.run_until(120 * MILLIS);
+    assert!(s.completions.borrow()[&s.threads[0]] > before);
+}
+
+#[test]
+fn centralized_non_global_agent_crash_keeps_enclave() {
+    let mut s = centralized_setup(
+        Topology::test_small(4),
+        3,
+        100 * MICROS,
+        MILLIS,
+        EnclaveConfig::centralized("test"),
+        Box::new(FifoPolicy::default()),
+    );
+    s.kernel.run_until(20 * MILLIS);
+    let global = s.runtime.global_agent(s.enclave).expect("global agent");
+    let satellite = s
+        .runtime
+        .agent_tids(s.enclave)
+        .into_iter()
+        .find(|&t| t != global)
+        .expect("inactive satellite agent");
+    s.kernel.kill(satellite);
+    s.kernel.run_until(60 * MILLIS);
+    let stats = s.runtime.stats();
+    assert!(
+        s.runtime.enclave_alive(s.enclave),
+        "losing an inactive satellite is not fatal"
+    );
+    assert_eq!(stats.fallbacks, 0);
+    assert_eq!(stats.enclave_destroys, 0);
+    for &t in &s.threads {
+        assert_ne!(s.kernel.state.thread(t).class, CLASS_CFS);
+    }
+    let before = s.completions.borrow()[&s.threads[0]];
+    s.kernel.run_until(120 * MILLIS);
+    assert!(s.completions.borrow()[&s.threads[0]] > before);
 }

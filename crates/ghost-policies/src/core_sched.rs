@@ -405,6 +405,28 @@ impl GhostPolicy for CoreSchedPolicy {
         }
     }
 
+    fn on_reconstruct(&mut self, snapshot: &[ghost_core::ThreadSnapshot], ctx: &mut PolicyCtx<'_>) {
+        self.tracker.resync(
+            snapshot
+                .iter()
+                .map(|s| (s.tid, s.seq, s.runnable, s.last_cpu)),
+        );
+        self.vms.clear();
+        self.queued.clear();
+        self.cookie_of.clear();
+        self.core_vm.clear();
+        // VM membership is the cookie, so the scan rebuilds the runqueues
+        // and deadlines completely; every VM restarts its period at `now`.
+        let now = ctx.now();
+        let period = self.config.period;
+        for s in snapshot {
+            self.cookie_of.insert(s.tid, s.cookie);
+            if s.runnable && !s.on_cpu {
+                self.enqueue(s.tid, s.cookie, now, period);
+            }
+        }
+    }
+
     fn schedule(&mut self, ctx: &mut PolicyCtx<'_>) {
         self.schedule_core(ctx);
         // Work remains but this core cannot take it: hand it to peer

@@ -7,7 +7,8 @@
 use crate::tracker::ThreadTracker;
 use ghost_core::msg::Message;
 use ghost_core::policy::{GhostPolicy, PolicyCtx};
-use ghost_core::txn::Transaction;
+use ghost_core::txn::{Transaction, TxnStatus};
+use ghost_core::{CommitGovernor, StaleVerdict, ThreadSnapshot};
 use ghost_sim::thread::Tid;
 use std::collections::{HashSet, VecDeque};
 
@@ -17,6 +18,9 @@ pub struct CentralizedFifo {
     tracker: ThreadTracker,
     rq: VecDeque<Tid>,
     queued: HashSet<Tid>,
+    /// Bounded `ESTALE` retry: persistent-overflow threads are shed to
+    /// CFS instead of livelocking the agent.
+    pub governor: CommitGovernor,
     /// Per-decision compute cost charged to the agent (ns); models the
     /// policy's own bookkeeping.
     pub decision_cost: u64,
@@ -24,6 +28,8 @@ pub struct CentralizedFifo {
     pub commits: u64,
     /// Commit failures (requeued).
     pub failures: u64,
+    /// Threads shed to CFS after exhausting their stale-retry budget.
+    pub sheds: u64,
 }
 
 impl CentralizedFifo {
@@ -113,13 +119,51 @@ impl GhostPolicy for CentralizedFifo {
             return;
         }
         ctx.commit(&mut txns);
+        let mut next_retry: Option<u64> = None;
         for txn in &txns {
             if txn.status.committed() {
                 self.commits += 1;
                 self.tracker.mark_scheduled(txn.tid);
+                self.governor.on_committed(txn.tid);
+            } else if txn.status == TxnStatus::Stale {
+                self.failures += 1;
+                match self.governor.on_stale(txn.tid) {
+                    StaleVerdict::Retry { backoff } => {
+                        self.enqueue(txn.tid);
+                        let at = ctx.now() + backoff;
+                        next_retry = Some(next_retry.map_or(at, |cur| cur.min(at)));
+                    }
+                    StaleVerdict::Shed => {
+                        // Persistent overflow: this thread's state churns
+                        // faster than the agent observes it. CFS takes it
+                        // (the THREAD_DEAD from the departure cleans up
+                        // the tracker organically).
+                        self.sheds += 1;
+                        ctx.shed_to_cfs(txn.tid);
+                    }
+                }
             } else {
                 self.failures += 1;
                 self.enqueue(txn.tid);
+            }
+        }
+        if let Some(at) = next_retry {
+            ctx.request_wakeup_at(at);
+        }
+    }
+
+    fn on_reconstruct(&mut self, snapshot: &[ThreadSnapshot], _ctx: &mut PolicyCtx<'_>) {
+        self.tracker.resync(
+            snapshot
+                .iter()
+                .map(|s| (s.tid, s.seq, s.runnable, s.last_cpu)),
+        );
+        self.rq.clear();
+        self.queued.clear();
+        self.governor.reset();
+        for s in snapshot {
+            if s.runnable && !s.on_cpu {
+                self.enqueue(s.tid);
             }
         }
     }

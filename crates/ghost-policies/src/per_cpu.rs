@@ -146,6 +146,32 @@ impl GhostPolicy for PerCpuPolicy {
             self.rq(cpu).push_back(next);
         }
     }
+
+    fn on_reconstruct(&mut self, snapshot: &[ghost_core::ThreadSnapshot], ctx: &mut PolicyCtx<'_>) {
+        self.tracker.resync(
+            snapshot
+                .iter()
+                .map(|s| (s.tid, s.seq, s.runnable, s.last_cpu)),
+        );
+        self.rqs.clear();
+        self.home.clear();
+        let cpus = ctx.enclave_cpus();
+        for s in snapshot {
+            // Keep locality: re-home each thread to the CPU it last ran
+            // on when the enclave still owns it, else place it fresh.
+            let home = if cpus.contains(s.last_cpu) {
+                self.home.insert(s.tid, s.last_cpu);
+                let q = ctx.queue_of_cpu(s.last_cpu);
+                ctx.associate_queue(s.tid, q);
+                s.last_cpu
+            } else {
+                self.place_new_thread(s.tid, ctx)
+            };
+            if s.runnable && !s.on_cpu {
+                self.rq(home).push_back(s.tid);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

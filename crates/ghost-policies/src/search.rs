@@ -191,6 +191,28 @@ impl GhostPolicy for SearchPolicy {
         }
     }
 
+    fn on_reconstruct(&mut self, snapshot: &[ghost_core::ThreadSnapshot], ctx: &mut PolicyCtx<'_>) {
+        self.tracker.resync(
+            snapshot
+                .iter()
+                .map(|s| (s.tid, s.seq, s.runnable, s.last_cpu)),
+        );
+        self.heap.clear();
+        self.queued.clear();
+        self.pending_since.clear();
+        for s in snapshot {
+            if s.runnable && !s.on_cpu {
+                // Elapsed runtime survives the crash in the kernel, so
+                // the least-runtime-first ordering is rebuilt exactly.
+                let runtime = ctx
+                    .thread_view(s.tid)
+                    .map(|v| self.heap_key(&v))
+                    .unwrap_or(0);
+                self.push(s.tid, runtime);
+            }
+        }
+    }
+
     fn schedule(&mut self, ctx: &mut PolicyCtx<'_>) {
         let now = ctx.now();
         let mut idle = ctx.idle_cpus();

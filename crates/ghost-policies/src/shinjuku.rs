@@ -179,6 +179,34 @@ impl ShinjukuPolicy {
         }
     }
 
+    /// Reseeds the policy from a status-word scan (§3.4): the tracker is
+    /// resynced over the whole snapshot, then queues and slice bookkeeping
+    /// are rebuilt for the threads `lc` claims for this policy (wrappers
+    /// like Shinjuku+Shenango filter out their batch-tier threads).
+    pub(crate) fn reseed_from<F: Fn(&ghost_core::ThreadSnapshot) -> bool>(
+        &mut self,
+        snapshot: &[ghost_core::ThreadSnapshot],
+        now: Nanos,
+        lc: F,
+    ) {
+        self.tracker.resync(
+            snapshot
+                .iter()
+                .map(|s| (s.tid, s.seq, s.runnable, s.last_cpu)),
+        );
+        self.rq.clear();
+        self.queued.clear();
+        self.running_since.clear();
+        for s in snapshot.iter().filter(|s| lc(s)) {
+            if s.on_cpu {
+                // Already running: give it a fresh slice from now.
+                self.running_since.insert(s.tid, now);
+            } else if s.runnable {
+                self.enqueue(s.tid);
+            }
+        }
+    }
+
     /// Asks for a wakeup at the earliest upcoming slice expiry so
     /// preemption happens on time even without new messages. Expiries
     /// already in the past (a victim that could not be preempted this
@@ -219,6 +247,11 @@ impl GhostPolicy for ShinjukuPolicy {
         self.fill_idle(ctx);
         self.preempt_expired(ctx);
         self.arm_slice_timer(ctx);
+    }
+
+    fn on_reconstruct(&mut self, snapshot: &[ghost_core::ThreadSnapshot], ctx: &mut PolicyCtx<'_>) {
+        let now = ctx.now();
+        self.reseed_from(snapshot, now, |_| true);
     }
 }
 

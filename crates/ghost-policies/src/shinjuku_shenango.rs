@@ -138,6 +138,26 @@ impl GhostPolicy for ShinjukuShenangoPolicy {
             }
         }
     }
+
+    fn on_reconstruct(&mut self, snapshot: &[ghost_core::ThreadSnapshot], ctx: &mut PolicyCtx<'_>) {
+        // Tier membership is the cookie, so the scan rebuilds both the
+        // LC and batch halves without message history.
+        self.batch_threads = snapshot
+            .iter()
+            .filter(|s| s.cookie == BATCH_COOKIE)
+            .map(|s| s.tid)
+            .collect();
+        self.batch_rq.clear();
+        self.batch_queued.clear();
+        let now = ctx.now();
+        self.lc
+            .reseed_from(snapshot, now, |s| s.cookie != BATCH_COOKIE);
+        for s in snapshot.iter().filter(|s| s.cookie == BATCH_COOKIE) {
+            if s.runnable && !s.on_cpu && self.batch_queued.insert(s.tid) {
+                self.batch_rq.push_back(s.tid);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

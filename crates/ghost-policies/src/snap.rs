@@ -163,6 +163,33 @@ impl GhostPolicy for SnapPolicy {
             }
         }
     }
+
+    fn on_reconstruct(
+        &mut self,
+        snapshot: &[ghost_core::ThreadSnapshot],
+        _ctx: &mut PolicyCtx<'_>,
+    ) {
+        self.tracker.resync(
+            snapshot
+                .iter()
+                .map(|s| (s.tid, s.seq, s.runnable, s.last_cpu)),
+        );
+        self.snap_rq.clear();
+        self.batch_rq.clear();
+        self.queued.clear();
+        // The Snap/antagonist split comes from the cookie, not message
+        // history, so the scan recovers it completely.
+        self.snap_threads = snapshot
+            .iter()
+            .filter(|s| s.cookie == SNAP_COOKIE)
+            .map(|s| s.tid)
+            .collect();
+        for s in snapshot {
+            if s.runnable && !s.on_cpu {
+                self.enqueue(s.tid);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

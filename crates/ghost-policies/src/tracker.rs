@@ -35,10 +35,16 @@ impl ThreadTracker {
         Self::default()
     }
 
-    /// Applies one message; returns the updated view.
+    /// Applies one message; returns the updated view, or `None` if the
+    /// message carried no thread state (a tick) or was stale.
     ///
     /// `THREAD_CREATED` inserts a non-runnable entry (the wakeup follows
-    /// separately if the thread is runnable).
+    /// separately if the thread is runnable). A message whose `seq` is
+    /// below the tracked sequence number is *discarded entirely*: it is an
+    /// out-of-order or pre-reconstruction leftover describing state the
+    /// tracker has already superseded, and applying its transition would
+    /// regress the view (e.g. a stale WAKEUP resurrecting a thread the
+    /// status-word scan saw as blocked).
     pub fn apply(&mut self, msg: &Message) -> Option<TrackedThread> {
         if !msg.ty.is_thread_msg() {
             return None;
@@ -49,7 +55,10 @@ impl ThreadTracker {
             last_cpu: msg.cpu,
             dead: false,
         });
-        entry.seq = entry.seq.max(msg.seq);
+        if msg.seq < entry.seq {
+            return None;
+        }
+        entry.seq = msg.seq;
         entry.last_cpu = msg.cpu;
         match msg.ty {
             MsgType::ThreadWakeup | MsgType::ThreadPreempted | MsgType::ThreadYield => {
@@ -78,7 +87,7 @@ impl ThreadTracker {
     /// thread. Threads absent from the snapshot (they died while messages
     /// were being dropped) are forgotten; messages still in flight with
     /// older sequence numbers cannot regress the rebuilt state because
-    /// [`ThreadTracker::apply`] keeps sequence numbers monotone.
+    /// [`ThreadTracker::apply`] discards them outright.
     pub fn resync(&mut self, views: impl IntoIterator<Item = (Tid, u64, bool, CpuId)>) {
         self.threads.clear();
         for (tid, seq, runnable, last_cpu) in views {
@@ -196,6 +205,27 @@ mod tests {
         t.apply(&m(MsgType::ThreadCreated, 1, 5));
         t.apply(&m(MsgType::ThreadWakeup, 1, 3)); // Out-of-order delivery.
         assert_eq!(t.seq(Tid(1)), 5);
+    }
+
+    /// Regression: a stale message must not apply its state transition.
+    /// Previously only the seq was clamped — the out-of-order WAKEUP below
+    /// still flipped `runnable`, resurrecting a thread the tracker (or a
+    /// status-word resync) already knew had moved on.
+    #[test]
+    fn stale_message_transition_is_discarded() {
+        let mut t = ThreadTracker::new();
+        t.resync([(Tid(1), 10, false, CpuId(3))]);
+        assert!(t.apply(&m(MsgType::ThreadWakeup, 1, 4)).is_none());
+        let v = *t.get(Tid(1)).unwrap();
+        assert!(
+            !v.runnable,
+            "stale wakeup must not make the thread runnable"
+        );
+        assert_eq!(v.seq, 10);
+        assert_eq!(v.last_cpu, CpuId(3), "stale message must not move last_cpu");
+
+        // A genuinely newer message still applies.
+        assert!(t.apply(&m(MsgType::ThreadWakeup, 1, 11)).unwrap().runnable);
     }
 
     trait IntoTid {

@@ -70,6 +70,11 @@ pub struct CostModel {
     /// Dispatcher-to-worker handoff in the Shinjuku dataplane baseline
     /// (shared-memory descriptor passing; no kernel involvement).
     pub dataplane_handoff: Nanos,
+    /// Per-thread cost of the status-word scan a joining or upgraded
+    /// agent performs to rebuild its view of the enclave (§3.4): read the
+    /// status word, classify the thread, seed the tracker. Calibrated so
+    /// 50k threads reconstruct in ~105 ms (Fig. 9).
+    pub reconstruct_per_thread: Nanos,
 }
 
 impl Default for CostModel {
@@ -93,6 +98,7 @@ impl Default for CostModel {
             cross_socket_permille: 2200,
             smt_work_rate_permille: 650,
             dataplane_handoff: 150,
+            reconstruct_per_thread: 2_100,
         }
     }
 }
@@ -183,6 +189,15 @@ impl CostModel {
             1.0
         }
     }
+
+    /// Total agent-side cost of reconstructing state for `n` threads by
+    /// scanning their status words (Fig. 9's rejoin latency): one syscall
+    /// to enter the scan plus a per-thread read/classify/seed step.
+    /// n=50_000: 72 + 50_000·2_100 = 105.0 ms, matching the paper's
+    /// "~105 ms to absorb 50k threads".
+    pub fn reconstruction_scan(&self, n: u64) -> Nanos {
+        self.syscall + n * self.reconstruct_per_thread
+    }
 }
 
 #[cfg(test)]
@@ -251,5 +266,16 @@ mod tests {
     fn empty_group_costs_a_syscall() {
         let c = CostModel::default();
         assert_eq!(c.group_schedule_agent(0), c.syscall);
+    }
+
+    #[test]
+    fn fig9_reconstruction_scan() {
+        let c = CostModel::default();
+        // Paper §3.4 / Fig. 9: a new agent absorbs 50k threads in ~105 ms.
+        let ms = |n| c.reconstruction_scan(n) as f64 / 1e6;
+        assert!((ms(50_000) - 105.0).abs() < 1.0);
+        // And the curve is linear in thread count.
+        assert!(c.reconstruction_scan(10_000) < c.reconstruction_scan(50_000));
+        assert!((ms(10_000) - 21.0).abs() < 1.0);
     }
 }

@@ -251,6 +251,34 @@ impl KernelState {
         AppId(self.next_app)
     }
 
+    /// Spawns an agent thread from driver context, where the full
+    /// [`Kernel`] is not reachable. The agent class has no `on_attach`
+    /// hook, so pushing the thread directly is equivalent to
+    /// [`Kernel::spawn`]; the ghOSt runtime uses this to respawn standby
+    /// agents during crash recovery. The thread starts
+    /// [`ThreadState::Blocked`]; wake it to run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is not an agent: other classes may rely on
+    /// their `on_attach` hook, which this path skips.
+    pub fn spawn_agent_thread(&mut self, spec: ThreadSpec) -> Tid {
+        assert_eq!(
+            spec.kind,
+            ThreadKind::Agent,
+            "only agent threads can be spawned from driver context"
+        );
+        assert!(!spec.affinity.is_empty(), "affinity mask must not be empty");
+        let tid = Tid(self.threads.len() as u32);
+        let mut t = SimThread::new(tid, spec.name, spec.class, spec.affinity);
+        t.nice = spec.nice;
+        t.app = spec.app;
+        t.kind = spec.kind;
+        t.cookie = spec.cookie;
+        self.threads.push(t);
+        tid
+    }
+
     /// Accrues the in-progress stint of a running thread up to `now`,
     /// without taking the thread off CPU. Lets observers (agents) read
     /// up-to-date `total_work`.

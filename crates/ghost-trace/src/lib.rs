@@ -124,6 +124,18 @@ pub enum TraceEvent {
     WatchdogFired { enclave: u32 },
     /// Enclave torn down; its threads fall back to CFS.
     EnclaveDestroyed { enclave: u32 },
+    /// Agent failover began: threads are transiently degraded to CFS while
+    /// a standby agent respawns and rebuilds state (§3.4).
+    RecoveryStart { enclave: u32 },
+    /// A joining/upgraded agent finished its status-word scan; `threads` is
+    /// how many status words it read.
+    ReconstructDone {
+        enclave: u32,
+        threads: u32,
+        agent_tid: u32,
+    },
+    /// A degraded thread was pulled back from CFS into ghOSt after recovery.
+    ThreadReclaimed { enclave: u32, tid: u32 },
 }
 
 impl TraceEvent {
@@ -149,6 +161,9 @@ impl TraceEvent {
             TraceEvent::PntMiss { .. } => "ghost_pnt_miss",
             TraceEvent::WatchdogFired { .. } => "ghost_watchdog_fired",
             TraceEvent::EnclaveDestroyed { .. } => "ghost_enclave_destroyed",
+            TraceEvent::RecoveryStart { .. } => "ghost_recovery_start",
+            TraceEvent::ReconstructDone { .. } => "ghost_reconstruct_done",
+            TraceEvent::ThreadReclaimed { .. } => "ghost_thread_reclaimed",
         }
     }
 
@@ -244,8 +259,22 @@ impl TraceEvent {
                 vec![("cpu", cpu as u64), ("tid", tid as u64)]
             }
             TraceEvent::PntMiss { cpu } => vec![("cpu", cpu as u64)],
-            TraceEvent::WatchdogFired { enclave } | TraceEvent::EnclaveDestroyed { enclave } => {
+            TraceEvent::WatchdogFired { enclave }
+            | TraceEvent::EnclaveDestroyed { enclave }
+            | TraceEvent::RecoveryStart { enclave } => {
                 vec![("enclave", enclave as u64)]
+            }
+            TraceEvent::ReconstructDone {
+                enclave,
+                threads,
+                agent_tid,
+            } => vec![
+                ("enclave", enclave as u64),
+                ("threads", threads as u64),
+                ("agent_tid", agent_tid as u64),
+            ],
+            TraceEvent::ThreadReclaimed { enclave, tid } => {
+                vec![("enclave", enclave as u64), ("tid", tid as u64)]
             }
         }
     }
