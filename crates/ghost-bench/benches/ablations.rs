@@ -149,7 +149,6 @@ fn pnt_ablation() {
         let topo = Topology::skylake_112();
         let mut kernel = Kernel::new(topo, KernelConfig::default());
         let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
-        runtime.install(&mut kernel);
         let cpus: CpuSet = (0..=8u16).map(CpuId).collect();
         let config = if pnt {
             EnclaveConfig::centralized("pnt").with_pnt(256)
@@ -161,8 +160,7 @@ fn pnt_ablation() {
         } else {
             Box::new(CentralizedFifo::new())
         };
-        let enclave = runtime.create_enclave(cpus, config, policy);
-        runtime.spawn_agents(&mut kernel, enclave);
+        let enclave = runtime.launch_enclave(&mut kernel, cpus, config, policy);
         let app_id = kernel.state.next_app_id();
         // Exact saturation: 16 pulsing threads over 8 worker CPUs, so a
         // blocking thread almost always has a successor waiting — the
@@ -184,7 +182,7 @@ fn pnt_ablation() {
             completions: 0,
         }));
         for (i, &tid) in tids.iter().enumerate() {
-            runtime.attach_thread(&mut kernel.state, enclave, tid);
+            enclave.attach_thread(&mut kernel.state, tid);
             kernel
                 .state
                 .arm_app_timer((i as u64 + 1) * 7 * MICROS, app_id, tid.0 as u64);
@@ -290,14 +288,13 @@ fn tickless_ablation() {
         };
         let mut kernel = Kernel::new(topo, cfg);
         let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
-        runtime.install(&mut kernel);
         let cpus = kernel.state.topo.all_cpus_set();
-        let enclave = runtime.create_enclave(
+        let enclave = runtime.launch_enclave(
+            &mut kernel,
             cpus,
             EnclaveConfig::centralized("tickless").with_ticks(deliver),
             Box::new(CentralizedFifo::new()),
         );
-        runtime.spawn_agents(&mut kernel, enclave);
         let app_id = kernel.state.next_app_id();
         let mut tids = Vec::new();
         for i in 0..8 {
@@ -312,7 +309,7 @@ fn tickless_ablation() {
             completions: 0,
         }));
         for (i, &tid) in tids.iter().enumerate() {
-            runtime.attach_thread(&mut kernel.state, enclave, tid);
+            enclave.attach_thread(&mut kernel.state, tid);
             kernel
                 .state
                 .arm_app_timer((i as u64 + 1) * 50 * MICROS, app_id, tid.0 as u64);

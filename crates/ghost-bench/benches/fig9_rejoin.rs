@@ -33,28 +33,27 @@ fn rejoin_latency(n: usize) -> (u64, u64) {
         },
     );
     let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
-    runtime.install(&mut kernel);
     let cpus: CpuSet = (1..kernel.state.topo.num_cpus() as u16)
         .map(CpuId)
         .collect();
     let mut config = EnclaveConfig::centralized("fig9");
     config.queue_capacity = 1 << 17; // Room for n creation messages at once.
-    let enclave = runtime.create_enclave(cpus, config, Box::new(CentralizedFifo::new()));
-    runtime.spawn_agents(&mut kernel, enclave);
+    let enclave =
+        runtime.launch_enclave(&mut kernel, cpus, config, Box::new(CentralizedFifo::new()));
 
     // The thread pool the new agent must absorb. Threads spawn blocked —
     // the paper's rejoin experiment measures takeover of an existing
     // population, not a storm of runnable work.
     for i in 0..n {
         let tid = kernel.spawn(ThreadSpec::workload(&format!("t{i}"), &kernel.state.topo));
-        runtime.attach_thread(&mut kernel.state, enclave, tid);
+        enclave.attach_thread(&mut kernel.state, tid);
     }
     // Let the outgoing agent drain every creation message.
     kernel.run_until(50 * MILLIS);
 
-    runtime.stage_upgrade(enclave, Box::new(CentralizedFifo::new()));
+    enclave.stage_upgrade(Box::new(CentralizedFifo::new()));
     let t0 = kernel.state.now;
-    assert!(runtime.upgrade_now(&mut kernel.state, enclave));
+    assert!(enclave.upgrade_now(&mut kernel.state));
     kernel.run_until(t0 + 300 * MILLIS);
 
     assert_eq!(sink.dropped(), 0, "trace ring too small for n={n}");

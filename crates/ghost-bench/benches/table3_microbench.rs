@@ -18,8 +18,7 @@ use ghost_sim::thread::Tid;
 use ghost_sim::time::{Nanos, MICROS, MILLIS};
 use ghost_sim::topology::{CpuId, Topology};
 use ghost_sim::{CostModel, CpuSet};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// How long each probe thread runs per scheduling (kept fixed so run
 /// starts can be derived from segment ends).
@@ -39,7 +38,7 @@ struct Probe {
     run_starts: Vec<Nanos>,
 }
 
-type Shared = Rc<RefCell<Probe>>;
+type Shared = Arc<Mutex<Probe>>;
 
 /// App: threads run WORK then block; run starts = segment end − WORK.
 struct ProbeApp {
@@ -63,7 +62,7 @@ impl App for ProbeApp {
     }
 
     fn on_segment_end(&mut self, _tid: Tid, k: &mut KernelState) -> Next {
-        self.shared.borrow_mut().run_starts.push(k.now - WORK);
+        self.shared.lock().unwrap().run_starts.push(k.now - WORK);
         Next::Block
     }
 }
@@ -85,7 +84,8 @@ impl GhostPolicy for ProbePolicy {
     fn on_msg(&mut self, msg: &Message, ctx: &mut PolicyCtx<'_>) {
         let observed = ctx.now() + ctx.busy_so_far();
         self.shared
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .delivery
             .record((observed - msg.produced_at) as f64);
         if msg.ty == MsgType::ThreadWakeup {
@@ -107,7 +107,7 @@ impl GhostPolicy for ProbePolicy {
         if self.group {
             ctx.commit(&mut txns);
             let post = ctx.now() + ctx.busy_so_far();
-            let mut p = self.shared.borrow_mut();
+            let mut p = self.shared.lock().unwrap();
             p.agent_overhead.record((post - pre) as f64);
             p.pre_commit.push(pre);
         } else {
@@ -117,7 +117,7 @@ impl GhostPolicy for ProbePolicy {
                 ctx.commit_one(&mut t);
                 let post = ctx.now() + ctx.busy_so_far();
                 assert!(t.status.committed(), "probe commit failed: {:?}", t.status);
-                let mut p = self.shared.borrow_mut();
+                let mut p = self.shared.lock().unwrap();
                 p.agent_overhead.record((post - pre) as f64);
                 p.pre_commit.push(pre);
             }
@@ -146,8 +146,7 @@ fn probe(local: bool, batch: usize) -> ProbeRun {
     };
     let mut kernel = Kernel::new(topo, cfg);
     let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
-    runtime.install(&mut kernel);
-    let shared: Shared = Rc::new(RefCell::new(Probe::default()));
+    let shared: Shared = Arc::new(Mutex::new(Probe::default()));
 
     let (enclave_cpus, targets, econf) = if local {
         // One-CPU enclave: the agent and the scheduled thread share cpu 1.
@@ -167,13 +166,12 @@ fn probe(local: bool, batch: usize) -> ProbeRun {
         (cpus, targets, EnclaveConfig::centralized("t3-remote"))
     };
     let policy = ProbePolicy {
-        shared: Rc::clone(&shared),
+        shared: Arc::clone(&shared),
         pending: Vec::new(),
         group: !local,
         targets: targets.clone(),
     };
-    let enclave = runtime.create_enclave(enclave_cpus, econf, Box::new(policy));
-    runtime.spawn_agents(&mut kernel, enclave);
+    let enclave = runtime.launch_enclave(&mut kernel, enclave_cpus, econf, Box::new(policy));
 
     let app_id = kernel.state.next_app_id();
     let mut tids = Vec::new();
@@ -186,10 +184,10 @@ fn probe(local: bool, batch: usize) -> ProbeRun {
         tids.push(tid);
     }
     kernel.add_app(Box::new(ProbeApp {
-        shared: Rc::clone(&shared),
+        shared: Arc::clone(&shared),
     }));
     for &tid in &tids {
-        runtime.attach_thread(&mut kernel.state, enclave, tid);
+        enclave.attach_thread(&mut kernel.state, tid);
     }
     // Wake all probe threads together every 100 µs, REPS times.
     for rep in 0..REPS {
@@ -200,7 +198,7 @@ fn probe(local: bool, batch: usize) -> ProbeRun {
     }
     kernel.run_until((REPS + 2) * 100 * MICROS + 10 * MILLIS);
 
-    let p = shared.borrow();
+    let p = shared.lock().unwrap();
     assert!(
         p.run_starts.len() >= (REPS as usize - 2) * batch,
         "probe lost wakeups: {} of {}",

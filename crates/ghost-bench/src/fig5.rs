@@ -100,7 +100,6 @@ pub fn run_point(
     };
     let mut kernel = Kernel::new(topo, cfg);
     let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
-    runtime.install(&mut kernel);
     let mut policy = CentralizedFifo::new();
     policy.decision_cost = 20;
     let single_commit = !group_commit;
@@ -109,8 +108,12 @@ pub fn run_point(
     } else {
         Box::new(policy)
     };
-    let enclave = runtime.create_enclave(cpus, EnclaveConfig::centralized("fig5"), policy);
-    runtime.spawn_agents(&mut kernel, enclave);
+    let enclave = runtime.launch_enclave(
+        &mut kernel,
+        cpus,
+        EnclaveConfig::centralized("fig5"),
+        policy,
+    );
 
     let app_id = kernel.state.next_app_id();
     let mut tids = Vec::new();
@@ -126,7 +129,7 @@ pub fn run_point(
     // Stagger initial phases: identical synchronized segments would
     // lock the cohort into giant batched commits with idle gaps.
     for (i, &tid) in tids.iter().enumerate() {
-        runtime.attach_thread(&mut kernel.state, enclave, tid);
+        enclave.attach_thread(&mut kernel.state, tid);
         let phase = work * (i as u64 + 1) / (tids.len() as u64 + 1);
         kernel.state.thread_mut(tid).remaining = phase.max(1_000);
     }

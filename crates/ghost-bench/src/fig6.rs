@@ -145,21 +145,20 @@ fn enclave_cpus() -> CpuSet {
 fn run_ghost(cfg: RocksDbConfig, with_batch: bool, horizon: Nanos) -> Fig6Point {
     let (mut kernel, app_id, tids) = build_machine(&cfg, horizon, GHOST_WORKERS);
     let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
-    runtime.install(&mut kernel);
     let policy: Box<dyn ghost_core::GhostPolicy> = if with_batch {
         Box::new(ShinjukuShenangoPolicy::new(ShinjukuConfig::default()))
     } else {
         Box::new(ShinjukuPolicy::new(ShinjukuConfig::default()))
     };
-    let enclave = runtime.create_enclave(
+    let enclave = runtime.launch_enclave(
+        &mut kernel,
         enclave_cpus(),
         EnclaveConfig::centralized("shinjuku"),
         policy,
     );
-    runtime.spawn_agents(&mut kernel, enclave);
     for &tid in &tids {
         kernel.state.set_affinity(tid, enclave_cpus());
-        runtime.attach_thread(&mut kernel.state, enclave, tid);
+        enclave.attach_thread(&mut kernel.state, tid);
     }
     let mut batch_tids = Vec::new();
     if with_batch {
@@ -178,7 +177,7 @@ fn run_ghost(cfg: RocksDbConfig, with_batch: bool, horizon: Nanos) -> Fig6Point 
         batch.start(&mut kernel.state);
         kernel.add_app(Box::new(batch));
         for &tid in &batch_tids {
-            runtime.attach_thread(&mut kernel.state, enclave, tid);
+            enclave.attach_thread(&mut kernel.state, tid);
         }
     }
     kernel.run_until(horizon);

@@ -103,18 +103,18 @@ pub fn run(sched: SnapSched, loaded: bool, cfg: SnapConfig, horizon: Nanos) -> F
             // Enclave over the whole socket; the policy manages workers
             // AND antagonists (strict priority), per §4.3.
             let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
-            runtime.install(&mut kernel);
-            let enclave = runtime.create_enclave(
-                kernel.state.topo.all_cpus_set(),
+            let cpus = kernel.state.topo.all_cpus_set();
+            let enclave = runtime.launch_enclave(
+                &mut kernel,
+                cpus,
                 EnclaveConfig::centralized("snap"),
                 Box::new(SnapPolicy::new()),
             );
-            runtime.spawn_agents(&mut kernel, enclave);
             for &w in &workers {
-                runtime.attach_thread(&mut kernel.state, enclave, w);
+                enclave.attach_thread(&mut kernel.state, w);
             }
             for &a in &antagonists {
-                runtime.attach_thread(&mut kernel.state, enclave, a);
+                enclave.attach_thread(&mut kernel.state, a);
             }
         }
     }

@@ -86,16 +86,15 @@ pub fn run(sched: SearchSched, wl: SearchWorkloadConfig, duration: Nanos) -> Sea
 
     if let SearchSched::Ghost(policy_cfg) = &sched {
         let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
-        runtime.install(&mut kernel);
         let cpus: CpuSet = kernel.state.topo.all_cpus_set();
-        let enclave = runtime.create_enclave(
+        let enclave = runtime.launch_enclave(
+            &mut kernel,
             cpus,
             EnclaveConfig::centralized("search"),
             Box::new(SearchPolicy::new(policy_cfg.clone())),
         );
-        runtime.spawn_agents(&mut kernel, enclave);
         for &w in &workers {
-            runtime.attach_thread(&mut kernel.state, enclave, w);
+            enclave.attach_thread(&mut kernel.state, w);
         }
     }
 

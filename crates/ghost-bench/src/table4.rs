@@ -77,15 +77,15 @@ pub fn run(sched: VmSched, cfg: VmConfig) -> Table4Row {
 
     let runtime = if sched == VmSched::GhostCoreSched {
         let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
-        runtime.install(&mut kernel);
-        let enclave = runtime.create_enclave(
-            kernel.state.topo.all_cpus_set(),
+        let cpus = kernel.state.topo.all_cpus_set();
+        let enclave = runtime.launch_enclave(
+            &mut kernel,
+            cpus,
             EnclaveConfig::per_core("secure-vm").with_ticks(true),
             Box::new(CoreSchedPolicy::new(CoreSchedConfig::default())),
         );
-        runtime.spawn_agents(&mut kernel, enclave);
         for &v in &vcpus {
-            runtime.attach_thread(&mut kernel.state, enclave, v);
+            enclave.attach_thread(&mut kernel.state, v);
         }
         Some(runtime)
     } else {

@@ -35,11 +35,12 @@ pub mod shrink;
 pub use oracle::Failure;
 pub use plan::generate_plan;
 pub use repro::{combo_from_json, combo_to_json};
-pub use run::{run_combo, Combo, PolicyKind, RunReport, WATCHDOG};
+pub use run::{run_combo, Combo, ComboExperiment, PolicyKind, RunReport, WATCHDOG};
 pub use shrink::shrink;
 
 // Re-exported so `for_seeds!` works without the caller depending on the
-// vendored rand crate directly.
+// vendored rand crate or the engine crate directly.
+pub use ghost_lab as lab;
 pub use rand;
 
 /// Runs `body` once per seeded case, reporting the failing seed on panic.
@@ -66,23 +67,13 @@ pub use rand;
 #[macro_export]
 macro_rules! for_seeds {
     ($base:expr, $cases:expr, $body:expr) => {{
-        let base: u64 = $base;
-        let cases: u64 = $cases;
-        for case in 0..cases {
-            let seed = base.wrapping_add(case);
-            let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
-                let mut rng: $crate::rand::rngs::StdRng =
-                    $crate::rand::SeedableRng::seed_from_u64(seed);
-                #[allow(clippy::redundant_closure_call)]
-                ($body)(&mut rng)
-            }));
-            if let Err(payload) = result {
-                eprintln!(
-                    "for_seeds!: case {case} of {cases} FAILED with seed {seed:#x} — \
-                     rerun with StdRng::seed_from_u64({seed:#x})"
-                );
-                ::std::panic::resume_unwind(payload);
-            }
-        }
+        // Case execution lives in the experiment engine; this macro only
+        // adds the per-case RNG construction.
+        $crate::lab::run_cases($base, $cases, |seed| {
+            let mut rng: $crate::rand::rngs::StdRng =
+                $crate::rand::SeedableRng::seed_from_u64(seed);
+            #[allow(clippy::redundant_closure_call)]
+            ($body)(&mut rng)
+        })
     }};
 }

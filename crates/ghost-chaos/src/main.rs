@@ -2,14 +2,27 @@
 //! evaluation policies, shrink any failure to a minimal repro, and write
 //! `repro.json` + a Chrome trace for offline debugging.
 //!
+//! The sweep runs on the `ghost-lab` parallel experiment engine: each
+//! combo is a deterministic single-threaded simulation, so `--jobs N`
+//! changes wall-clock time and nothing else — per-combo result hashes
+//! (and any repro/trace files) are byte-identical to a serial run. CI
+//! diffs the `--digest` output of a `--jobs 1` and a `--jobs 4` run to
+//! enforce exactly that. Shrinking happens serially after the sweep,
+//! so repro files never depend on worker scheduling either.
+//!
 //! ```text
-//! cargo run -p ghost-chaos -- --combos 64          # the CI smoke sweep
-//! cargo run -p ghost-chaos -- --policy shinjuku    # one policy only
-//! cargo run -p ghost-chaos -- --replay repro.json  # deterministic replay
+//! cargo run -p ghost-chaos -- --combos 64           # the CI smoke sweep
+//! cargo run -p ghost-chaos -- --combos 64 --jobs 4  # same results, faster
+//! cargo run -p ghost-chaos -- --policy shinjuku     # one policy only
+//! cargo run -p ghost-chaos -- --replay repro.json   # deterministic replay
 //! ```
 
-use ghost_chaos::{combo_from_json, combo_to_json, run_combo, shrink, Combo, PolicyKind};
+use ghost_chaos::{
+    combo_from_json, combo_to_json, run_combo, shrink, Combo, ComboExperiment, PolicyKind,
+};
+use ghost_lab::{run_sweep, Cache};
 use std::process::ExitCode;
+use std::time::Instant;
 
 struct Opts {
     combos: u64,
@@ -18,12 +31,15 @@ struct Opts {
     policy: Option<PolicyKind>,
     replay: Option<String>,
     recovery: bool,
+    jobs: usize,
+    cache: Option<String>,
+    digest: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: ghost-chaos [--combos N] [--seed-base S] [--out DIR] [--policy NAME] \
-         [--replay FILE]\n\
+         [--replay FILE] [--jobs N] [--cache DIR] [--digest FILE]\n\
          \n\
          Sweeps N (policy x workload x fault-plan x seed) combos through the\n\
          simulated ghOSt runtime. Failing combos are shrunk to a minimal fault\n\
@@ -36,7 +52,13 @@ fn usage() -> ! {
          --replay FILE   replay one repro.json instead of sweeping\n\
          --recovery      recovery sweep: every plan crashes an agent or\n\
                          upgrades in place; odd crash seeds arm a hot\n\
-                         standby judged by the bounded-recovery oracle",
+                         standby judged by the bounded-recovery oracle\n\
+         --jobs N        worker threads for the sweep (default 1); results\n\
+                         are byte-identical for every N\n\
+         --cache DIR     ghost-lab result cache: unchanged combos are not\n\
+                         re-simulated\n\
+         --digest FILE   write 'label hash' lines for serial-vs-parallel\n\
+                         comparison",
         PolicyKind::ALL
             .iter()
             .map(|p| p.name())
@@ -54,6 +76,9 @@ fn parse_opts() -> Opts {
         policy: None,
         replay: None,
         recovery: false,
+        jobs: 1,
+        cache: None,
+        digest: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -80,6 +105,9 @@ fn parse_opts() -> Opts {
             }
             "--replay" => opts.replay = Some(value("--replay")),
             "--recovery" => opts.recovery = true,
+            "--jobs" => opts.jobs = value("--jobs").parse().unwrap_or_else(|_| usage()),
+            "--cache" => opts.cache = Some(value("--cache")),
+            "--digest" => opts.digest = Some(value("--digest")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument '{other}'");
@@ -158,47 +186,83 @@ fn main() -> ExitCode {
         Some(p) => vec![p],
         None => PolicyKind::ALL.to_vec(),
     };
+    let exps: Vec<ComboExperiment> = (0..opts.combos)
+        .map(|i| {
+            let policy = policies[(i % policies.len() as u64) as usize];
+            let seed = opts.seed_base + i;
+            ComboExperiment(if opts.recovery {
+                Combo::generated_recovery(policy, seed)
+            } else {
+                Combo::generated(policy, seed)
+            })
+        })
+        .collect();
+
+    let cache = match &opts.cache {
+        Some(dir) => match Cache::open(dir) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                eprintln!("cannot open cache {dir}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+
+    let started = Instant::now();
+    let report = run_sweep(&exps, opts.jobs, cache.as_ref());
+    let elapsed = started.elapsed();
+
+    // Failing combos are shrunk serially, after the parallel sweep, so
+    // repro files are independent of worker count and scheduling.
     let mut failed = 0u64;
     let mut per_policy = vec![0u64; policies.len()];
-    for i in 0..opts.combos {
-        let policy = policies[(i % policies.len() as u64) as usize];
-        let seed = opts.seed_base + i;
-        let combo = if opts.recovery {
-            Combo::generated_recovery(policy, seed)
-        } else {
-            Combo::generated(policy, seed)
-        };
-        let report = run_combo(&combo);
-        if report.failures.is_empty() {
-            per_policy[(i % policies.len() as u64) as usize] += 1;
+    for (i, item) in report.items.iter().enumerate() {
+        if item.result.pass {
+            per_policy[i % policies.len()] += 1;
             continue;
         }
         failed += 1;
+        let combo = &exps[i].0;
         println!(
             "combo {i}: policy={} seed={} faults={} FAILED:",
-            policy.name(),
-            seed,
+            combo.policy.name(),
+            combo.seed,
             combo.plan.events.len()
         );
-        for f in &report.failures {
-            println!("  {f}");
+        for line in item.result.lines.iter() {
+            if let Some(f) = line.strip_prefix("failure ") {
+                println!("  {f}");
+            }
         }
-        let minimal = shrink(&combo);
+        let minimal = shrink(combo);
         println!(
             "  shrunk fault plan: {} -> {} event(s)",
             combo.plan.events.len(),
             minimal.plan.events.len()
         );
-        write_repro(&opts.out_dir, i, &minimal);
+        write_repro(&opts.out_dir, i as u64, &minimal);
     }
     println!(
-        "swept {} combos across {} policies: {} failed",
+        "swept {} combos across {} policies with {} job(s) in {:.2?} \
+         ({} executed, {} cached): {} failed",
         opts.combos,
         policies.len(),
+        opts.jobs,
+        elapsed,
+        report.executed,
+        report.cached,
         failed
     );
     for (j, p) in policies.iter().enumerate() {
         println!("  {:>16}: {} clean", p.name(), per_policy[j]);
+    }
+    if let Some(path) = &opts.digest {
+        if let Err(e) = std::fs::write(path, report.digest()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote digest to {path}");
     }
     if failed == 0 {
         ExitCode::SUCCESS

@@ -1,117 +1,28 @@
 //! Runs one `(policy × workload × fault plan × seed)` combo on the
 //! simulated kernel and judges it with the oracles.
+//!
+//! Since the `ghost-lab` experiment engine landed, a combo is just a
+//! thin wrapper over a [`Scenario`]: [`Combo::scenario`] maps the sweep
+//! point onto the declarative spec, [`run_combo`] launches it through
+//! the canonical builder path and layers the chaos oracles on top.
+//! [`PolicyKind`] itself moved into `ghost-lab` and is re-exported here
+//! so `repro.json` files and downstream callers are unaffected.
 
 use crate::oracle::{self, Failure};
 use crate::plan::{generate_plan, generate_recovery_plan};
-use ghost_core::enclave::EnclaveConfig;
-use ghost_core::policy::GhostPolicy;
-use ghost_core::runtime::{GhostRuntime, GhostStats};
-use ghost_core::StandbyConfig;
-use ghost_policies::core_sched::{CoreSchedConfig, CoreSchedPolicy};
-use ghost_policies::shinjuku::{ShinjukuConfig, ShinjukuPolicy};
-use ghost_policies::snap::SNAP_COOKIE;
-use ghost_policies::{CentralizedFifo, PerCpuPolicy, SnapPolicy};
-use ghost_sim::app::{App, Next};
+use ghost_core::runtime::GhostStats;
+use ghost_lab::engine::{Experiment, ExperimentResult};
+use ghost_lab::fnv64_lines;
+pub use ghost_lab::scenario::PolicyKind;
+use ghost_lab::scenario::{Scenario, TopologySpec, WorkloadSpec};
 use ghost_sim::faults::{FaultKind, FaultPlan};
-use ghost_sim::kernel::{Kernel, KernelConfig, KernelState, ThreadSpec};
-use ghost_sim::thread::{ThreadState, Tid};
-use ghost_sim::time::{Nanos, MICROS, MILLIS};
+use ghost_sim::time::{Nanos, MILLIS};
 use ghost_sim::topology::{CpuId, Topology};
-use ghost_sim::CpuSet;
-use ghost_trace::{TraceRecord, TraceSink};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::rc::Rc;
+use ghost_trace::TraceRecord;
 
 /// Watchdog timeout used for every chaos enclave: short enough that
 /// recovery from a wedged agent fits inside the run horizon.
 pub const WATCHDOG: Nanos = 20 * MILLIS;
-
-/// The five evaluation policies the sweep must keep alive (§4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PolicyKind {
-    /// The round-robin centralized FIFO of Fig. 5.
-    CentralizedFifo,
-    /// The per-CPU example policy of §3.2 / Fig. 3.
-    PerCpu,
-    /// The Shinjuku preemptive microsecond-scale policy, §4.2.
-    Shinjuku,
-    /// The Google Snap packet-processing policy, §4.3.
-    Snap,
-    /// Secure VM core scheduling with synchronized siblings, §4.5.
-    CoreSched,
-}
-
-impl PolicyKind {
-    /// All policies, in sweep round-robin order.
-    pub const ALL: [PolicyKind; 5] = [
-        PolicyKind::CentralizedFifo,
-        PolicyKind::PerCpu,
-        PolicyKind::Shinjuku,
-        PolicyKind::Snap,
-        PolicyKind::CoreSched,
-    ];
-
-    /// Stable name used in repro files and CLI output.
-    pub fn name(self) -> &'static str {
-        match self {
-            PolicyKind::CentralizedFifo => "centralized-fifo",
-            PolicyKind::PerCpu => "per-cpu",
-            PolicyKind::Shinjuku => "shinjuku",
-            PolicyKind::Snap => "snap",
-            PolicyKind::CoreSched => "core-sched",
-        }
-    }
-
-    /// Inverse of [`PolicyKind::name`].
-    pub fn from_name(name: &str) -> Option<Self> {
-        Self::ALL.into_iter().find(|p| p.name() == name)
-    }
-
-    /// A fresh policy instance (also used for the staged upgrade copy).
-    fn build(self) -> Box<dyn GhostPolicy> {
-        match self {
-            PolicyKind::CentralizedFifo => Box::new(CentralizedFifo::new()),
-            PolicyKind::PerCpu => Box::new(PerCpuPolicy::new()),
-            PolicyKind::Shinjuku => Box::new(ShinjukuPolicy::new(ShinjukuConfig::default())),
-            PolicyKind::Snap => Box::new(SnapPolicy::new()),
-            PolicyKind::CoreSched => Box::new(CoreSchedPolicy::new(CoreSchedConfig::default())),
-        }
-    }
-
-    fn enclave_config(self) -> EnclaveConfig {
-        match self {
-            PolicyKind::CentralizedFifo => EnclaveConfig::centralized("chaos"),
-            PolicyKind::PerCpu => EnclaveConfig::per_cpu("chaos"),
-            PolicyKind::Shinjuku => EnclaveConfig::centralized("chaos"),
-            PolicyKind::Snap => EnclaveConfig::centralized("chaos"),
-            PolicyKind::CoreSched => EnclaveConfig::per_core("chaos").with_ticks(true),
-        }
-        .with_watchdog(WATCHDOG)
-    }
-
-    /// Enclave CPUs on the standard 8-CPU chaos machine. Core scheduling
-    /// needs whole physical cores, so it takes the entire machine; every
-    /// other policy leaves CPU 0 to CFS.
-    fn enclave_cpus(self, topo: &Topology) -> CpuSet {
-        match self {
-            PolicyKind::CoreSched => topo.all_cpus_set(),
-            _ => (1..topo.num_cpus() as u16).map(CpuId).collect(),
-        }
-    }
-
-    /// Cookie for the `i`-th workload thread: Snap wants its worker
-    /// marker, core scheduling wants two VM groups, the rest ignore it.
-    fn cookie_for(self, i: usize) -> u64 {
-        match self {
-            PolicyKind::Snap => SNAP_COOKIE,
-            PolicyKind::CoreSched => (i as u64 % 2) + 1,
-            _ => 0,
-        }
-    }
-}
 
 /// One point of the sweep: everything needed to reproduce a run exactly.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -186,6 +97,26 @@ impl Combo {
                 .iter()
                 .any(|fe| matches!(fe.kind, FaultKind::AgentCrash { .. }))
     }
+
+    /// The combo as a declarative `ghost-lab` scenario. Everything the
+    /// run needs — machine, enclave shape, upgrade/standby staging,
+    /// pulse workload, trace knobs — is in the returned value, so its
+    /// spec string doubles as the combo's cache key.
+    pub fn scenario(&self) -> Scenario {
+        Scenario::builder()
+            .name(format!("{}/seed={}", self.policy.name(), self.seed))
+            .topology(TopologySpec::Small { cores: 4 })
+            .policy(self.policy)
+            .workload(WorkloadSpec::pulse(self.threads))
+            .seed(self.seed)
+            .horizon(self.horizon)
+            .faults(self.plan.clone())
+            .watchdog(WATCHDOG)
+            .stage_upgrade(self.stages_upgrade())
+            .standby(self.plans_standby())
+            .trace_capacity(1 << 18)
+            .build()
+    }
 }
 
 /// Everything a finished run exposes to oracles, the shrinker, and tests.
@@ -200,125 +131,67 @@ pub struct RunReport {
     pub records: Vec<TraceRecord>,
 }
 
-/// Workload app for chaos runs: each thread repeatedly runs a segment
-/// then blocks, re-armed by a periodic timer. Unlike a strict workload
-/// it tolerates fault-induced weirdness (spurious wakeups may leave a
-/// thread non-blocked when its timer fires; the timer just re-arms).
-struct ChaosApp {
-    conf: HashMap<Tid, (Nanos, Nanos)>, // (segment, period)
-    completions: Rc<RefCell<u64>>,
-}
-
-impl App for ChaosApp {
-    fn as_any(&mut self) -> &mut dyn std::any::Any {
-        self
-    }
-
-    fn name(&self) -> &str {
-        "chaos-pulse"
-    }
-
-    fn on_timer(&mut self, key: u64, k: &mut KernelState) {
-        let tid = Tid(key as u32);
-        let Some(&(seg, period)) = self.conf.get(&tid) else {
-            return;
-        };
-        if k.thread(tid).state == ThreadState::Blocked {
-            k.thread_mut(tid).remaining = seg;
-            k.wake(tid);
-        }
-        let app = k.thread(tid).app.expect("chaos threads have an app");
-        k.arm_app_timer(k.now + period, app, key);
-    }
-
-    fn on_segment_end(&mut self, _tid: Tid, _k: &mut KernelState) -> Next {
-        *self.completions.borrow_mut() += 1;
-        Next::Block
-    }
+/// Evaluates every oracle against a finished run of `combo`.
+fn judge(combo: &Combo, run: &ghost_lab::LabRun) -> Vec<Failure> {
+    let records = run.sim.sink.snapshot();
+    let recovery_slo = combo
+        .plans_standby()
+        .then(|| ghost_core::StandbyConfig::default().recovery_slo);
+    oracle::evaluate(
+        &records,
+        run.sim.sink.dropped(),
+        &run.sim.kernel.state,
+        &run.sim.runtime,
+        run.sim.enclave.id(),
+        &run.threads,
+        run.completions(),
+        recovery_slo,
+    )
 }
 
 /// Runs `combo` to its horizon and evaluates every oracle. Fully
 /// deterministic: the same combo always returns the same report.
 pub fn run_combo(combo: &Combo) -> RunReport {
-    let sink = TraceSink::recording(1, 1 << 18);
-    let mut kernel = Kernel::new(
-        Topology::test_small(4),
-        KernelConfig {
-            seed: combo.seed,
-            trace: sink.clone(),
-            faults: combo.plan.clone(),
-            ..KernelConfig::default()
-        },
-    );
-    let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
-    runtime.install(&mut kernel);
-    let cpus = combo.policy.enclave_cpus(&kernel.state.topo);
-    let standby = combo.plans_standby().then(StandbyConfig::default);
-    let mut config = combo.policy.enclave_config();
-    if let Some(sb) = standby {
-        config = config.with_standby(sb);
-    }
-    let enclave = runtime.create_enclave(cpus, config, combo.policy.build());
-    runtime.spawn_agents(&mut kernel, enclave);
-    if combo.stages_upgrade() {
-        runtime.stage_upgrade(enclave, combo.policy.build());
-    }
-    if standby.is_some() {
-        let policy = combo.policy;
-        runtime.set_standby_policy(enclave, move || policy.build());
-    }
-
-    // Workload: `threads` pulse threads with seed-derived segment/period.
-    // Total load stays well under capacity, so sustained starvation can
-    // only come from injected faults, never from overload.
-    let app = kernel.state.next_app_id();
-    let completions = Rc::new(RefCell::new(0u64));
-    let mut conf = HashMap::new();
-    let mut threads = Vec::new();
-    let mut rng = StdRng::seed_from_u64(combo.seed ^ 0x0C0F_FEE0);
-    for i in 0..combo.threads {
-        let tid = kernel.spawn(
-            ThreadSpec::workload(&format!("w{i}"), &kernel.state.topo)
-                .app(app)
-                .cookie(combo.policy.cookie_for(i)),
-        );
-        let seg = rng.gen_range(20 * MICROS..200 * MICROS);
-        let period = rng.gen_range(500 * MICROS..2 * MILLIS);
-        conf.insert(tid, (seg, period));
-        threads.push(tid);
-    }
-    kernel.add_app(Box::new(ChaosApp {
-        conf,
-        completions: Rc::clone(&completions),
-    }));
-    for &tid in &threads {
-        runtime.attach_thread(&mut kernel.state, enclave, tid);
-    }
-    for (i, &tid) in threads.iter().enumerate() {
-        kernel
-            .state
-            .arm_app_timer((i as u64 + 1) * 10_000, app, tid.0 as u64);
-    }
-
-    kernel.run_until(combo.horizon);
-
-    let completions = *completions.borrow();
-    let stats = runtime.stats();
-    let records = sink.snapshot();
-    let failures = oracle::evaluate(
-        &records,
-        sink.dropped(),
-        &kernel.state,
-        &runtime,
-        enclave,
-        &threads,
-        completions,
-        standby.map(|sb| sb.recovery_slo),
-    );
+    let mut run = combo.scenario().launch();
+    run.run_to_horizon();
+    let failures = judge(combo, &run);
     RunReport {
+        completions: run.completions(),
+        stats: run.sim.runtime.stats(),
+        records: run.sim.sink.snapshot(),
         failures,
-        completions,
-        stats,
-        records,
+    }
+}
+
+/// A combo as a `ghost-lab` [`Experiment`], so the chaos sweep can run
+/// on the parallel engine. The spec is the underlying scenario's spec
+/// string (making sweep results content-addressed and cacheable); the
+/// result is the scenario's hashable summary plus one `failure ...`
+/// line per oracle violation; `pass` means no oracle fired.
+pub struct ComboExperiment(pub Combo);
+
+impl Experiment for ComboExperiment {
+    fn label(&self) -> String {
+        format!("{}/seed={}", self.0.policy.name(), self.0.seed)
+    }
+
+    fn spec(&self) -> String {
+        self.0.scenario().spec_string()
+    }
+
+    fn execute(&self) -> ExperimentResult {
+        let mut run = self.0.scenario().launch();
+        run.run_to_horizon();
+        let failures = judge(&self.0, &run);
+        let mut lines = run.summary().lines;
+        for f in &failures {
+            lines.push(format!("failure {f}"));
+        }
+        let hash = fnv64_lines(&lines);
+        ExperimentResult {
+            pass: failures.is_empty(),
+            hash,
+            lines,
+        }
     }
 }

@@ -8,29 +8,40 @@
 //! only hold on healthy code.
 #![cfg(not(feature = "seeded-bug"))]
 
+use ghost_chaos::lab::run_sweep;
 use ghost_chaos::rand::rngs::StdRng;
 use ghost_chaos::rand::Rng;
 use ghost_chaos::{
-    combo_from_json, combo_to_json, for_seeds, run_combo, shrink, Combo, PolicyKind,
+    combo_from_json, combo_to_json, for_seeds, run_combo, shrink, Combo, ComboExperiment,
+    PolicyKind,
 };
 
 /// A small sweep across every policy must pass all oracles — the
-/// runtime is expected to survive every generated fault plan.
+/// runtime is expected to survive every generated fault plan. Runs
+/// through the ghost-lab engine with two workers, the same path the
+/// `ghost-chaos` binary takes with `--jobs`.
 #[test]
 fn small_sweep_is_clean_on_all_policies() {
-    for policy in PolicyKind::ALL {
-        for seed in 1..=4 {
-            let combo = Combo::generated(policy, seed);
-            let report = run_combo(&combo);
-            assert!(
-                report.failures.is_empty(),
-                "policy={} seed={seed} faults={:?} failed: {:?}",
-                policy.name(),
-                combo.plan.events,
-                report.failures
-            );
-            assert!(report.completions > 0, "run did no work");
-        }
+    let exps: Vec<ComboExperiment> = PolicyKind::ALL
+        .into_iter()
+        .flat_map(|policy| (1..=4).map(move |seed| ComboExperiment(Combo::generated(policy, seed))))
+        .collect();
+    let report = run_sweep(&exps, 2, None);
+    for item in &report.items {
+        assert!(
+            item.result.pass,
+            "{} failed: {:?}",
+            item.label, item.result.lines
+        );
+        let completions: u64 = item
+            .result
+            .lines
+            .iter()
+            .find_map(|l| l.strip_prefix("completions "))
+            .expect("summary has a completions line")
+            .parse()
+            .expect("completions is a count");
+        assert!(completions > 0, "{} did no work", item.label);
     }
 }
 

@@ -56,6 +56,6 @@ pub use msg::{Message, MsgType};
 pub use policy::{GhostPolicy, PolicyCtx, ThreadView};
 pub use queue::MessageQueue;
 pub use recovery::{CommitGovernor, StaleVerdict, StandbyConfig, ThreadSnapshot};
-pub use runtime::{GhostHandle, GhostRuntime, GhostStats};
+pub use runtime::{EnclaveHandle, GhostHandle, GhostRuntime, GhostStats};
 pub use status::StatusWord;
 pub use txn::{SeqConstraint, Transaction, TxnStatus};

@@ -336,7 +336,7 @@ impl<'a> PolicyCtx<'a> {
 /// One activation = drain the agent's queue (the harness calls
 /// [`GhostPolicy::on_msg`] per message, charging dequeue costs), then
 /// [`GhostPolicy::schedule`] to make decisions.
-pub trait GhostPolicy {
+pub trait GhostPolicy: Send {
     /// Debug name.
     fn name(&self) -> &str;
 

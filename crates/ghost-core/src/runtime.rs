@@ -33,9 +33,8 @@ use ghost_sim::thread::{ThreadState, Tid};
 use ghost_sim::time::Nanos;
 use ghost_sim::topology::CpuId;
 use ghost_trace::TraceEvent;
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Counters describing everything the runtime did.
 #[derive(Debug, Default, Clone)]
@@ -119,7 +118,7 @@ impl GhostStats {
 }
 
 /// Builds a fresh policy instance for a standby agent respawn.
-type PolicyFactory = Box<dyn Fn() -> Box<dyn GhostPolicy>>;
+type PolicyFactory = Box<dyn Fn() -> Box<dyn GhostPolicy> + Send>;
 
 struct Core {
     enclaves: Vec<Option<Enclave>>,
@@ -130,6 +129,7 @@ struct Core {
     pending_attach: HashMap<Tid, EnclaveId>,
     agent_enclave: HashMap<Tid, (EnclaveId, CpuId)>,
     cpu_enclave: Vec<Option<EnclaveId>>,
+    installed: bool,
     stats: GhostStats,
 }
 
@@ -272,8 +272,12 @@ impl Core {
         }
         enclave.destroyed = true;
         enclave.committed.clear();
-        let tids: Vec<Tid> = enclave.threads.keys().copied().collect();
-        let agents: Vec<Tid> = enclave.agents.values().map(|a| a.tid).collect();
+        // Sorted: the map iteration order must not leak into the CFS
+        // runqueue (or the kill order), or replays diverge.
+        let mut tids: Vec<Tid> = enclave.threads.keys().copied().collect();
+        tids.sort_by_key(|t| t.0);
+        let mut agents: Vec<Tid> = enclave.agents.values().map(|a| a.tid).collect();
+        agents.sort_by_key(|t| t.0);
         let cpus: Vec<CpuId> = enclave.cpus.iter().collect();
         for cpu in cpus {
             self.cpu_enclave[cpu.index()] = None;
@@ -454,19 +458,104 @@ impl Core {
 
 /// The shared-everything runtime; clone freely (all clones are views of
 /// the same state).
+///
+/// `Send + Sync`: the shared state sits behind `Arc<Mutex<..>>` so an
+/// entire wired simulation can run on a `ghost-lab` worker thread. Each
+/// simulation is single-threaded, so the lock is never contended; all
+/// cross-context side effects go through `KernelState`'s deferred-op
+/// buffers, so the lock is never taken re-entrantly either.
 #[derive(Clone)]
 pub struct GhostRuntime {
-    shared: Rc<RefCell<Core>>,
+    shared: Arc<Mutex<Core>>,
 }
 
 /// The userspace control handle (same object as the runtime).
 pub type GhostHandle = GhostRuntime;
 
+/// A typed handle to one live enclave: the runtime plus the enclave's id.
+///
+/// [`GhostRuntime::launch_enclave`] returns one after installing the
+/// class (if needed), creating the enclave, and spawning its agents — so
+/// holding an `EnclaveHandle` means the enclave is fully wired and a
+/// scenario cannot forget a setup step. All per-enclave follow-up calls
+/// (attach, upgrade, standby, crash injection, teardown) live here
+/// instead of taking a bare [`EnclaveId`].
+#[derive(Clone)]
+pub struct EnclaveHandle {
+    runtime: GhostRuntime,
+    id: EnclaveId,
+}
+
+impl EnclaveHandle {
+    /// The raw enclave id (for trace matching and low-level calls).
+    pub fn id(&self) -> EnclaveId {
+        self.id
+    }
+
+    /// The runtime this enclave belongs to.
+    pub fn runtime(&self) -> &GhostRuntime {
+        &self.runtime
+    }
+
+    /// Attaches a native thread to this enclave (moves it into the ghOSt
+    /// scheduling class, generating `THREAD_CREATED`/`THREAD_WAKEUP`).
+    pub fn attach_thread(&self, k: &mut KernelState, tid: Tid) {
+        self.runtime.attach_thread(k, self.id, tid);
+    }
+
+    /// Stages a new policy version for an in-place upgrade (§3.4).
+    pub fn stage_upgrade(&self, policy: Box<dyn GhostPolicy>) {
+        self.runtime.stage_upgrade(self.id, policy);
+    }
+
+    /// Promotes the staged policy right now (§3.4); false if none staged.
+    pub fn upgrade_now(&self, k: &mut KernelState) -> bool {
+        self.runtime.upgrade_now(k, self.id)
+    }
+
+    /// Registers a policy factory for standby respawns (§3.4 degraded-mode
+    /// failover).
+    pub fn set_standby_policy(&self, factory: impl Fn() -> Box<dyn GhostPolicy> + Send + 'static) {
+        self.runtime.set_standby_policy(self.id, factory);
+    }
+
+    /// Destroys the enclave: threads fall back to CFS, agents die.
+    pub fn destroy(&self, k: &mut KernelState) {
+        self.runtime.destroy_enclave(k, self.id);
+    }
+
+    /// Agent pthreads of the enclave (for crash injection in tests).
+    pub fn agent_tids(&self) -> Vec<Tid> {
+        self.runtime.agent_tids(self.id)
+    }
+
+    /// The agent pthread pinned to `cpu`, if the enclave owns that CPU.
+    pub fn agent_on(&self, cpu: CpuId) -> Option<Tid> {
+        self.runtime.agent_on(self.id, cpu)
+    }
+
+    /// The current global agent of a centralized enclave.
+    pub fn global_agent(&self) -> Option<Tid> {
+        self.runtime.global_agent(self.id)
+    }
+
+    /// True while the enclave exists and has not been destroyed.
+    pub fn alive(&self) -> bool {
+        self.runtime.enclave_alive(self.id)
+    }
+
+    /// Runs `f` against the enclave's policy (to extract policy-internal
+    /// results after a run).
+    pub fn with_policy<R>(&self, f: impl FnOnce(&mut dyn GhostPolicy) -> R) -> Option<R> {
+        self.runtime.with_policy(self.id, f)
+    }
+}
+
 impl GhostRuntime {
     /// Creates a runtime for a machine with `num_cpus` CPUs.
     pub fn new(num_cpus: usize) -> Self {
         Self {
-            shared: Rc::new(RefCell::new(Core {
+            shared: Arc::new(Mutex::new(Core {
                 enclaves: Vec::new(),
                 policies: Vec::new(),
                 staged: Vec::new(),
@@ -475,25 +564,63 @@ impl GhostRuntime {
                 pending_attach: HashMap::new(),
                 agent_enclave: HashMap::new(),
                 cpu_enclave: vec![None; num_cpus],
+                installed: false,
                 stats: GhostStats::default(),
             })),
         }
     }
 
-    /// Installs the ghOSt class and driver into the kernel.
+    /// Installs the ghOSt class and driver into the kernel. Idempotent —
+    /// [`GhostRuntime::launch_enclave`] calls it on first use, so the
+    /// canonical setup path cannot forget it.
     pub fn install(&self, kernel: &mut Kernel) {
         kernel.install_class(
             CLASS_GHOST,
             Box::new(GhostClass {
-                shared: Rc::clone(&self.shared),
+                shared: Arc::clone(&self.shared),
             }),
         );
         kernel.set_driver(Box::new(GhostDriver {
-            shared: Rc::clone(&self.shared),
+            shared: Arc::clone(&self.shared),
         }));
+        self.shared.lock().unwrap().installed = true;
     }
 
-    /// Creates an enclave over `cpus` with the given policy.
+    /// The canonical enclave setup path: installs the class and driver if
+    /// no one did yet, creates the enclave, spawns its pinned agents, and
+    /// returns a typed [`EnclaveHandle`] — so a scenario cannot forget to
+    /// install or spawn. The id-based [`GhostRuntime::create_enclave`] /
+    /// [`GhostRuntime::spawn_agents`] pair stays available for tests that
+    /// need to observe the half-constructed states in between.
+    pub fn launch_enclave(
+        &self,
+        kernel: &mut Kernel,
+        cpus: CpuSet,
+        config: EnclaveConfig,
+        policy: Box<dyn GhostPolicy>,
+    ) -> EnclaveHandle {
+        if !self.shared.lock().unwrap().installed {
+            self.install(kernel);
+        }
+        let id = self.create_enclave(cpus, config, policy);
+        self.spawn_agents(kernel, id);
+        EnclaveHandle {
+            runtime: self.clone(),
+            id,
+        }
+    }
+
+    /// Wraps an already-created enclave id in a typed handle.
+    pub fn handle(&self, id: EnclaveId) -> EnclaveHandle {
+        EnclaveHandle {
+            runtime: self.clone(),
+            id,
+        }
+    }
+
+    /// Creates an enclave over `cpus` with the given policy (low level:
+    /// agents are not spawned yet — prefer
+    /// [`GhostRuntime::launch_enclave`]).
     ///
     /// # Panics
     ///
@@ -505,7 +632,7 @@ impl GhostRuntime {
         policy: Box<dyn GhostPolicy>,
     ) -> EnclaveId {
         assert!(!cpus.is_empty(), "enclave must own at least one CPU");
-        let mut core = self.shared.borrow_mut();
+        let mut core = self.shared.lock().unwrap();
         for c in cpus.iter() {
             assert!(
                 core.cpu_enclave[c.index()].is_none(),
@@ -556,7 +683,7 @@ impl GhostRuntime {
     /// centralized), and arms the watchdog.
     pub fn spawn_agents(&self, kernel: &mut Kernel, eid: EnclaveId) {
         let cpus: Vec<CpuId> = {
-            let core = self.shared.borrow();
+            let core = self.shared.lock().unwrap();
             core.enclaves[eid.0 as usize]
                 .as_ref()
                 .expect("enclave exists")
@@ -579,7 +706,7 @@ impl GhostRuntime {
         }
         let mut to_wake = Vec::new();
         {
-            let mut core = self.shared.borrow_mut();
+            let mut core = self.shared.lock().unwrap();
             for &(cpu, tid) in &slots {
                 core.agent_enclave.insert(tid, (eid, cpu));
             }
@@ -649,7 +776,7 @@ impl GhostRuntime {
     /// scheduling class, generating `THREAD_CREATED` (and `THREAD_WAKEUP`
     /// if it is runnable).
     pub fn attach_thread(&self, k: &mut KernelState, eid: EnclaveId, tid: Tid) {
-        self.shared.borrow_mut().pending_attach.insert(tid, eid);
+        self.shared.lock().unwrap().pending_attach.insert(tid, eid);
         k.move_to_class(tid, CLASS_GHOST);
     }
 
@@ -657,7 +784,7 @@ impl GhostRuntime {
     /// new agent blocks until the old agent crashes or exits", then takes
     /// over.
     pub fn stage_upgrade(&self, eid: EnclaveId, policy: Box<dyn GhostPolicy>) {
-        self.shared.borrow_mut().staged[eid.0 as usize] = Some(policy);
+        self.shared.lock().unwrap().staged[eid.0 as usize] = Some(policy);
     }
 
     /// Performs an in-place upgrade right now (§3.4): the staged policy
@@ -667,7 +794,7 @@ impl GhostRuntime {
     /// commits prepared against the old policy's view fail `ESTALE`.
     /// Returns false if no policy was staged.
     pub fn upgrade_now(&self, k: &mut KernelState, eid: EnclaveId) -> bool {
-        let mut core = self.shared.borrow_mut();
+        let mut core = self.shared.lock().unwrap();
         let Some(staged) = core.staged[eid.0 as usize].take() else {
             return false;
         };
@@ -698,29 +825,36 @@ impl GhostRuntime {
     pub fn set_standby_policy(
         &self,
         eid: EnclaveId,
-        factory: impl Fn() -> Box<dyn GhostPolicy> + 'static,
+        factory: impl Fn() -> Box<dyn GhostPolicy> + Send + 'static,
     ) {
-        self.shared.borrow_mut().standby_factories[eid.0 as usize] = Some(Box::new(factory));
+        self.shared.lock().unwrap().standby_factories[eid.0 as usize] = Some(Box::new(factory));
     }
 
     /// Destroys an enclave: threads fall back to CFS, agents die.
     pub fn destroy_enclave(&self, k: &mut KernelState, eid: EnclaveId) {
-        self.shared.borrow_mut().destroy_enclave(k, eid);
+        self.shared.lock().unwrap().destroy_enclave(k, eid);
     }
 
-    /// Agent pthreads of an enclave (for crash injection in tests).
+    /// Agent pthreads of an enclave, in agent-CPU order (for crash
+    /// injection in tests — a deterministic order keeps "kill the first
+    /// satellite" reproducible).
     pub fn agent_tids(&self, eid: EnclaveId) -> Vec<Tid> {
-        let core = self.shared.borrow();
+        let core = self.shared.lock().unwrap();
         core.enclaves[eid.0 as usize]
             .as_ref()
-            .map(|e| e.agents.values().map(|a| a.tid).collect())
+            .map(|e| {
+                let mut slots: Vec<(CpuId, Tid)> =
+                    e.agents.values().map(|a| (a.cpu, a.tid)).collect();
+                slots.sort_by_key(|&(c, _)| c.0);
+                slots.into_iter().map(|(_, t)| t).collect()
+            })
             .unwrap_or_default()
     }
 
     /// The agent pthread attached to `cpu`, if the enclave owns that CPU
     /// (for targeted crash injection in tests and the chaos harness).
     pub fn agent_on(&self, eid: EnclaveId, cpu: CpuId) -> Option<Tid> {
-        let core = self.shared.borrow();
+        let core = self.shared.lock().unwrap();
         core.enclaves[eid.0 as usize]
             .as_ref()
             .and_then(|e| e.agents.get(&cpu))
@@ -729,7 +863,7 @@ impl GhostRuntime {
 
     /// The current global agent of a centralized enclave.
     pub fn global_agent(&self, eid: EnclaveId) -> Option<Tid> {
-        let core = self.shared.borrow();
+        let core = self.shared.lock().unwrap();
         core.enclaves[eid.0 as usize]
             .as_ref()
             .and_then(|e| e.global_agent)
@@ -737,7 +871,7 @@ impl GhostRuntime {
 
     /// True if the enclave exists and has not been destroyed.
     pub fn enclave_alive(&self, eid: EnclaveId) -> bool {
-        let core = self.shared.borrow();
+        let core = self.shared.lock().unwrap();
         core.enclaves[eid.0 as usize]
             .as_ref()
             .is_some_and(|e| !e.destroyed)
@@ -747,7 +881,7 @@ impl GhostRuntime {
     /// side of Fig. 1's "optional scheduling hints" arrow). The next
     /// agent activation can read it via `PolicyCtx::hint`.
     pub fn set_hint(&self, tid: Tid, hint: u64) {
-        let mut core = self.shared.borrow_mut();
+        let mut core = self.shared.lock().unwrap();
         if let Some(&eid) = core.thread_enclave.get(&tid) {
             if let Some(enclave) = core.enclave_mut(eid) {
                 enclave.hints.insert(tid, hint);
@@ -757,7 +891,7 @@ impl GhostRuntime {
 
     /// Snapshot of runtime statistics.
     pub fn stats(&self) -> GhostStats {
-        self.shared.borrow().stats.clone()
+        self.shared.lock().unwrap().stats.clone()
     }
 
     /// Runs `f` against the enclave's policy (to extract policy-internal
@@ -767,7 +901,7 @@ impl GhostRuntime {
         eid: EnclaveId,
         f: impl FnOnce(&mut dyn GhostPolicy) -> R,
     ) -> Option<R> {
-        let mut core = self.shared.borrow_mut();
+        let mut core = self.shared.lock().unwrap();
         core.policies[eid.0 as usize]
             .as_mut()
             .map(|p| f(p.as_mut()))
@@ -813,9 +947,12 @@ impl<'a> PolicyCtx<'a> {
         self.enclave.queue_for_cpu(cpu)
     }
 
-    /// Tids of all threads managed by this enclave.
+    /// Tids of all threads managed by this enclave, in Tid order (the
+    /// map's iteration order must not steer a policy's decisions).
     pub fn managed_threads(&self) -> Vec<Tid> {
-        self.enclave.threads.keys().copied().collect()
+        let mut tids: Vec<Tid> = self.enclave.threads.keys().copied().collect();
+        tids.sort_by_key(|t| t.0);
+        tids
     }
 
     fn scaled(&self, cost: Nanos) -> Nanos {
@@ -1088,7 +1225,7 @@ impl<'a> PolicyCtx<'a> {
 
 /// The ghOSt scheduling class (kernel side).
 pub struct GhostClass {
-    shared: Rc<RefCell<Core>>,
+    shared: Arc<Mutex<Core>>,
 }
 
 impl SchedClass for GhostClass {
@@ -1099,7 +1236,7 @@ impl SchedClass for GhostClass {
     fn enqueue(&mut self, tid: Tid, k: &mut KernelState) -> Option<CpuId> {
         // A ghOSt thread became runnable: no kernel runqueue — tell the
         // agent instead (THREAD_WAKEUP).
-        let mut core = self.shared.borrow_mut();
+        let mut core = self.shared.lock().unwrap();
         if let Some(&eid) = core.thread_enclave.get(&tid) {
             let cpu = k.threads[tid.index()].last_cpu.unwrap_or(CpuId(0));
             if let Some(enclave) = core.enclave_mut(eid) {
@@ -1115,7 +1252,7 @@ impl SchedClass for GhostClass {
     fn dequeue(&mut self, tid: Tid, _k: &mut KernelState) {
         // Runnable thread leaving the class (kill or class move): drop
         // any committed slot or PNT offer referencing it.
-        let mut core = self.shared.borrow_mut();
+        let mut core = self.shared.lock().unwrap();
         if let Some(&eid) = core.thread_enclave.get(&tid) {
             if let Some(enclave) = core.enclave_mut(eid) {
                 enclave.committed.retain(|_, slot| slot.tid != tid);
@@ -1130,7 +1267,7 @@ impl SchedClass for GhostClass {
     }
 
     fn pick_next(&mut self, cpu: CpuId, k: &mut KernelState) -> Option<Tid> {
-        let mut core = self.shared.borrow_mut();
+        let mut core = self.shared.lock().unwrap();
         let eid = core.enclave_of_cpu(cpu)?;
         let now = k.now;
         let node = k.topo.info(cpu).socket as usize;
@@ -1192,7 +1329,7 @@ impl SchedClass for GhostClass {
 
     fn put_prev(&mut self, tid: Tid, cpu: CpuId, _still_runnable: bool, k: &mut KernelState) {
         let reason = k.offcpu_reason;
-        let mut core = self.shared.borrow_mut();
+        let mut core = self.shared.lock().unwrap();
         let Some(&eid) = core.thread_enclave.get(&tid) else {
             return;
         };
@@ -1236,7 +1373,7 @@ impl SchedClass for GhostClass {
     }
 
     fn on_tick_all(&mut self, cpu: CpuId, k: &mut KernelState) {
-        let mut core = self.shared.borrow_mut();
+        let mut core = self.shared.lock().unwrap();
         let Some(eid) = core.enclave_of_cpu(cpu) else {
             return;
         };
@@ -1249,7 +1386,7 @@ impl SchedClass for GhostClass {
     }
 
     fn has_runnable(&self, cpu: CpuId, k: &KernelState) -> bool {
-        let core = self.shared.borrow();
+        let core = self.shared.lock().unwrap();
         let Some(eid) = core.cpu_enclave[cpu.index()] else {
             return false;
         };
@@ -1263,7 +1400,7 @@ impl SchedClass for GhostClass {
     }
 
     fn on_attach(&mut self, tid: Tid, k: &mut KernelState) {
-        let mut core = self.shared.borrow_mut();
+        let mut core = self.shared.lock().unwrap();
         let Some(eid) = core.pending_attach.remove(&tid) else {
             panic!(
                 "thread {tid} moved into the ghOSt class without an enclave; \
@@ -1326,7 +1463,7 @@ impl SchedClass for GhostClass {
     }
 
     fn on_detach(&mut self, tid: Tid, k: &mut KernelState) {
-        let mut core = self.shared.borrow_mut();
+        let mut core = self.shared.lock().unwrap();
         let Some(eid) = core.thread_enclave.remove(&tid) else {
             return; // Already cleaned (death path).
         };
@@ -1346,7 +1483,7 @@ impl SchedClass for GhostClass {
     }
 
     fn on_affinity_changed(&mut self, tid: Tid, k: &mut KernelState) {
-        let mut core = self.shared.borrow_mut();
+        let mut core = self.shared.lock().unwrap();
         let Some(&eid) = core.thread_enclave.get(&tid) else {
             return;
         };
@@ -1377,7 +1514,7 @@ impl SchedClass for GhostClass {
 
 /// Runs agent activations (the `AgentDriver` plugged into the kernel).
 pub struct GhostDriver {
-    shared: Rc<RefCell<Core>>,
+    shared: Arc<Mutex<Core>>,
 }
 
 impl GhostDriver {
@@ -1538,7 +1675,7 @@ impl GhostDriver {
     /// enclave's mode, flag a status-word reconstruction, and reclaim the
     /// stashed threads from their transient CFS excursion.
     fn handle_respawn(&mut self, eid: EnclaveId, k: &mut KernelState) {
-        let mut core = self.shared.borrow_mut();
+        let mut core = self.shared.lock().unwrap();
         let core = &mut *core;
         let Some(enclave) = core.enclaves[eid.0 as usize].as_mut() else {
             return;
@@ -1629,7 +1766,7 @@ impl GhostDriver {
 
 impl AgentDriver for GhostDriver {
     fn run_agent(&mut self, tid: Tid, cpu: CpuId, k: &mut KernelState) -> AgentOutcome {
-        let mut core = self.shared.borrow_mut();
+        let mut core = self.shared.lock().unwrap();
         let core = &mut *core;
         let Some(&(eid, agent_cpu)) = core.agent_enclave.get(&tid) else {
             return AgentOutcome::Block { busy: 0 };
@@ -1744,7 +1881,7 @@ impl AgentDriver for GhostDriver {
         // predecessor's backlog and must not be reaped for it.
         let eid = EnclaveId(key as u32);
         let (timeout, starved, has_staged) = {
-            let core = self.shared.borrow();
+            let core = self.shared.lock().unwrap();
             let Some(enclave) = core.enclaves[eid.0 as usize].as_ref() else {
                 return;
             };
@@ -1766,12 +1903,12 @@ impl AgentDriver for GhostDriver {
             // A replacement is already staged: promote it in place rather
             // than destroying the enclave the handoff is about to fix.
             let runtime = GhostRuntime {
-                shared: Rc::clone(&self.shared),
+                shared: Arc::clone(&self.shared),
             };
             runtime.upgrade_now(k, eid);
             k.arm_driver_timer(k.now + timeout / 2, key);
         } else if starved {
-            let mut core = self.shared.borrow_mut();
+            let mut core = self.shared.lock().unwrap();
             core.stats.watchdog_destroys += 1;
             k.cfg
                 .trace
@@ -1790,11 +1927,11 @@ impl AgentDriver for GhostDriver {
             return;
         }
         let eids: Vec<EnclaveId> = {
-            let core = self.shared.borrow();
+            let core = self.shared.lock().unwrap();
             (0..core.enclaves.len() as u32).map(EnclaveId).collect()
         };
         let runtime = GhostRuntime {
-            shared: Rc::clone(&self.shared),
+            shared: Arc::clone(&self.shared),
         };
         for eid in eids {
             runtime.upgrade_now(k, eid);
@@ -1808,26 +1945,32 @@ impl AgentDriver for GhostDriver {
         // the crash actually takes out its scheduling capacity, at
         // per-CPU granularity when peers survive.
         let (eid, cpu) = {
-            let mut core = self.shared.borrow_mut();
+            let mut core = self.shared.lock().unwrap();
             let Some((eid, cpu)) = core.agent_enclave.remove(&tid) else {
                 return;
             };
             (eid, cpu)
         };
-        let has_staged = self.shared.borrow().staged[eid.0 as usize].is_some();
+        let has_staged = self.shared.lock().unwrap().staged[eid.0 as usize].is_some();
         if has_staged {
             // In-place upgrade: the staged policy takes over; the dead
             // agent's pthread is respawned by reusing a surviving agent
             // as global (centralized) or leaving per-CPU peers in place.
             let runtime = GhostRuntime {
-                shared: Rc::clone(&self.shared),
+                shared: Arc::clone(&self.shared),
             };
             runtime.upgrade_now(k, eid);
-            let mut core = self.shared.borrow_mut();
+            let mut core = self.shared.lock().unwrap();
             if let Some(enclave) = core.enclave_mut(eid) {
                 enclave.agents.remove(&cpu);
                 if enclave.global_agent == Some(tid) {
-                    let succ = enclave.agents.values().next().map(|a| a.tid);
+                    // Deterministic successor: the lowest-CPU survivor,
+                    // not whatever the agent map yields first.
+                    let succ = enclave
+                        .agents
+                        .values()
+                        .min_by_key(|a| a.cpu.0)
+                        .map(|a| a.tid);
                     enclave.global_agent = succ;
                     if let Some(s) = succ {
                         k.wake(s);
@@ -1835,7 +1978,7 @@ impl AgentDriver for GhostDriver {
                 }
             }
         } else {
-            let mut core = self.shared.borrow_mut();
+            let mut core = self.shared.lock().unwrap();
             let core = &mut *core;
             let Some(enclave) = core.enclaves[eid.0 as usize].as_mut() else {
                 return;

@@ -14,15 +14,14 @@ use ghost_sim::thread::{ThreadState, Tid};
 use ghost_sim::time::{MICROS, MILLIS};
 use ghost_sim::topology::{CpuId, Topology};
 use ghost_sim::CpuSet;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Scriptable policy: runs closures the test injects.
-type Script = Rc<RefCell<Vec<Box<dyn FnMut(&mut PolicyCtx<'_>)>>>>;
+type Script = Arc<Mutex<Vec<Box<dyn FnMut(&mut PolicyCtx<'_>) + Send>>>>;
 
 struct Scripted {
     script: Script,
-    log: Rc<RefCell<Vec<Message>>>,
+    log: Arc<Mutex<Vec<Message>>>,
 }
 
 impl GhostPolicy for Scripted {
@@ -31,11 +30,11 @@ impl GhostPolicy for Scripted {
     }
 
     fn on_msg(&mut self, msg: &Message, _ctx: &mut PolicyCtx<'_>) {
-        self.log.borrow_mut().push(*msg);
+        self.log.lock().unwrap().push(*msg);
     }
 
     fn schedule(&mut self, ctx: &mut PolicyCtx<'_>) {
-        let mut steps = self.script.borrow_mut();
+        let mut steps = self.script.lock().unwrap();
         for step in steps.iter_mut() {
             step(ctx);
         }
@@ -67,28 +66,27 @@ impl App for Sleeper {
 struct Setup {
     kernel: Kernel,
     runtime: GhostRuntime,
-    enclave: ghost_core::enclave::EnclaveId,
+    enclave: ghost_core::runtime::EnclaveHandle,
     tids: Vec<Tid>,
     script: Script,
-    log: Rc<RefCell<Vec<Message>>>,
+    log: Arc<Mutex<Vec<Message>>>,
 }
 
 fn setup(n_threads: usize, config: EnclaveConfig) -> Setup {
     let mut kernel = Kernel::new(Topology::test_small(4), KernelConfig::default());
     let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
-    runtime.install(&mut kernel);
     let cpus: CpuSet = (1..8u16).map(CpuId).collect();
-    let script: Script = Rc::new(RefCell::new(Vec::new()));
-    let log = Rc::new(RefCell::new(Vec::new()));
-    let enclave = runtime.create_enclave(
+    let script: Script = Arc::new(Mutex::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let enclave = runtime.launch_enclave(
+        &mut kernel,
         cpus,
         config,
         Box::new(Scripted {
-            script: Rc::clone(&script),
-            log: Rc::clone(&log),
+            script: Arc::clone(&script),
+            log: Arc::clone(&log),
         }),
     );
-    runtime.spawn_agents(&mut kernel, enclave);
     let app_id = kernel.state.next_app_id();
     let mut tids = Vec::new();
     for i in 0..n_threads {
@@ -98,7 +96,7 @@ fn setup(n_threads: usize, config: EnclaveConfig) -> Setup {
     }
     kernel.add_app(Box::new(Sleeper));
     for &tid in &tids {
-        runtime.attach_thread(&mut kernel.state, enclave, tid);
+        enclave.attach_thread(&mut kernel.state, tid);
     }
     Setup {
         kernel,
@@ -116,19 +114,23 @@ fn associate_queue_fails_with_pending_messages() {
     let t = s.tids[0];
     let other = s.tids[1];
     // Step 1: create a queue and reroute the (message-free) thread: OK.
-    let ok = Rc::new(RefCell::new(None));
-    let new_q = Rc::new(RefCell::new(QueueId(0)));
+    let ok = Arc::new(Mutex::new(None));
+    let new_q = Arc::new(Mutex::new(QueueId(0)));
     {
-        let ok = Rc::clone(&ok);
-        let new_q = Rc::clone(&new_q);
-        s.script.borrow_mut().push(Box::new(move |ctx| {
+        let ok = Arc::clone(&ok);
+        let new_q = Arc::clone(&new_q);
+        s.script.lock().unwrap().push(Box::new(move |ctx| {
             let q = ctx.create_queue();
-            *new_q.borrow_mut() = q;
-            *ok.borrow_mut() = Some(ctx.associate_queue(t, q));
+            *new_q.lock().unwrap() = q;
+            *ok.lock().unwrap() = Some(ctx.associate_queue(t, q));
         }));
     }
     s.kernel.run_until(5 * MILLIS);
-    assert_eq!(*ok.borrow(), Some(true), "clean association must succeed");
+    assert_eq!(
+        *ok.lock().unwrap(),
+        Some(true),
+        "clean association must succeed"
+    );
 
     // Step 2: make the thread post a message into its NEW queue; nobody
     // drains that queue, so a second association must fail (§3.1: "If a
@@ -139,11 +141,11 @@ fn associate_queue_fails_with_pending_messages() {
         .state
         .arm_app_timer(6 * MILLIS, ghost_sim::app::AppId(0), t.0 as u64);
     s.kernel.run_until(8 * MILLIS);
-    let fail = Rc::new(RefCell::new(None));
+    let fail = Arc::new(Mutex::new(None));
     {
-        let fail = Rc::clone(&fail);
-        s.script.borrow_mut().push(Box::new(move |ctx| {
-            *fail.borrow_mut() = Some(ctx.associate_queue(t, QueueId(0)));
+        let fail = Arc::clone(&fail);
+        s.script.lock().unwrap().push(Box::new(move |ctx| {
+            *fail.lock().unwrap() = Some(ctx.associate_queue(t, QueueId(0)));
         }));
     }
     // Trigger an activation via the OTHER thread (whose messages go to
@@ -151,7 +153,7 @@ fn associate_queue_fails_with_pending_messages() {
     s.kernel.assign_and_wake(other, 10 * MICROS);
     s.kernel.run_until(20 * MILLIS);
     assert_eq!(
-        *fail.borrow(),
+        *fail.lock().unwrap(),
         Some(false),
         "association with pending messages must fail"
     );
@@ -163,20 +165,23 @@ fn atomic_group_commit_is_all_or_nothing() {
     let (a, b) = (s.tids[0], s.tids[1]);
     // Wake only thread `a`; leave `b` blocked so its txn must fail.
     s.kernel.assign_and_wake(a, MILLIS);
-    let statuses = Rc::new(RefCell::new(Vec::new()));
+    let statuses = Arc::new(Mutex::new(Vec::new()));
     {
-        let statuses = Rc::clone(&statuses);
-        s.script.borrow_mut().push(Box::new(move |ctx| {
+        let statuses = Arc::clone(&statuses);
+        s.script.lock().unwrap().push(Box::new(move |ctx| {
             let mut txns = vec![
                 Transaction::new(a, CpuId(2)),
                 Transaction::new(b, CpuId(3)), // b is blocked: TargetNotRunnable.
             ];
             ctx.commit_atomic(&mut txns);
-            statuses.borrow_mut().extend(txns.iter().map(|t| t.status));
+            statuses
+                .lock()
+                .unwrap()
+                .extend(txns.iter().map(|t| t.status));
         }));
     }
     s.kernel.run_until(10 * MILLIS);
-    let st = statuses.borrow();
+    let st = statuses.lock().unwrap();
     assert_eq!(st.len(), 2);
     // The would-have-succeeded txn for `a` must be rolled back.
     assert_eq!(st[0], TxnStatus::Aborted);
@@ -192,17 +197,17 @@ fn affinity_change_invalidates_pending_commit() {
     let mut s = setup(1, EnclaveConfig::centralized("affinity"));
     let t = s.tids[0];
     s.kernel.assign_and_wake(t, MILLIS);
-    let status = Rc::new(RefCell::new(None));
+    let status = Arc::new(Mutex::new(None));
     {
-        let status = Rc::clone(&status);
-        s.script.borrow_mut().push(Box::new(move |ctx| {
+        let status = Arc::clone(&status);
+        s.script.lock().unwrap().push(Box::new(move |ctx| {
             let mut txn = Transaction::new(t, CpuId(5));
-            *status.borrow_mut() = Some(ctx.commit_one(&mut txn));
+            *status.lock().unwrap() = Some(ctx.commit_one(&mut txn));
         }));
     }
     // Let the commit land and the thread run.
     s.kernel.run_until(500 * MICROS);
-    assert_eq!(*status.borrow(), Some(TxnStatus::Committed));
+    assert_eq!(*status.lock().unwrap(), Some(TxnStatus::Committed));
     // While it runs on CPU 5, forbid CPU 5: the kernel reschedules it off.
     s.kernel
         .state
@@ -213,7 +218,8 @@ fn affinity_change_invalidates_pending_commit() {
     // The policy got the THREAD_AFFINITY message.
     assert!(s
         .log
-        .borrow()
+        .lock()
+        .unwrap()
         .iter()
         .any(|m| m.ty == MsgType::ThreadAffinity && m.tid == t));
 }
@@ -228,7 +234,7 @@ fn queue_overflow_is_counted_not_fatal() {
     s.kernel.run_until(2 * MILLIS);
     let stats = s.runtime.stats();
     assert!(stats.msgs_dropped > 0, "expected drops on a 4-slot queue");
-    assert!(s.runtime.enclave_alive(s.enclave));
+    assert!(s.enclave.alive());
 }
 
 #[test]
@@ -241,7 +247,7 @@ fn status_words_reflect_thread_lifecycle() {
     // sees monotonically increasing seqs overall.
     s.kernel.assign_and_wake(t, 100 * MICROS);
     s.kernel.run_until(2 * MILLIS);
-    let log = s.log.borrow();
+    let log = s.log.lock().unwrap();
     let seqs: Vec<u64> = log.iter().filter(|m| m.tid == t).map(|m| m.seq).collect();
     assert!(seqs.len() >= 2, "expected CREATED + WAKEUP at least");
     assert!(
@@ -255,13 +261,13 @@ fn per_core_mode_schedules_same_cookie_siblings() {
     // 4 cores / 8 CPUs; enclave over all; two VMs with 2 threads each.
     let mut kernel = Kernel::new(Topology::test_small(4), KernelConfig::default());
     let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
-    runtime.install(&mut kernel);
-    let enclave = runtime.create_enclave(
-        kernel.state.topo.all_cpus_set(),
+    let cpus = kernel.state.topo.all_cpus_set();
+    let enclave = runtime.launch_enclave(
+        &mut kernel,
+        cpus,
         EnclaveConfig::per_core("percore").with_ticks(true),
         Box::new(ghost_policies_stub::CoreStub::default()),
     );
-    runtime.spawn_agents(&mut kernel, enclave);
     let app_id = kernel.state.next_app_id();
     let mut tids = Vec::new();
     for vm in 0..2u64 {
@@ -276,7 +282,7 @@ fn per_core_mode_schedules_same_cookie_siblings() {
     }
     kernel.add_app(Box::new(Sleeper));
     for &tid in &tids {
-        runtime.attach_thread(&mut kernel.state, enclave, tid);
+        enclave.attach_thread(&mut kernel.state, tid);
         kernel.state.thread_mut(tid).remaining = 200 * MICROS;
     }
     for &tid in &tids {
@@ -359,10 +365,10 @@ fn txns_recall_withdraws_pending_commit() {
     let mut s = setup(1, EnclaveConfig::centralized("recall"));
     let t = s.tids[0];
     s.kernel.assign_and_wake(t, 5 * MILLIS);
-    let outcome = Rc::new(RefCell::new((None, None, None)));
+    let outcome = Arc::new(Mutex::new((None, None, None)));
     {
-        let outcome = Rc::clone(&outcome);
-        s.script.borrow_mut().push(Box::new(move |ctx| {
+        let outcome = Arc::clone(&outcome);
+        s.script.lock().unwrap().push(Box::new(move |ctx| {
             let mut txn = Transaction::new(t, CpuId(4));
             let committed = ctx.commit_one(&mut txn);
             // Recall it before the target CPU acts on it.
@@ -370,11 +376,11 @@ fn txns_recall_withdraws_pending_commit() {
             // The thread is schedulable again: a second commit succeeds.
             let mut txn2 = Transaction::new(t, CpuId(5));
             let second = ctx.commit_one(&mut txn2);
-            *outcome.borrow_mut() = (Some(committed), recalled, Some(second));
+            *outcome.lock().unwrap() = (Some(committed), recalled, Some(second));
         }));
     }
     s.kernel.run_until(10 * MILLIS);
-    let (committed, recalled, second) = *outcome.borrow();
+    let (committed, recalled, second) = *outcome.lock().unwrap();
     assert_eq!(committed, Some(TxnStatus::Committed));
     assert_eq!(recalled, Some(t), "recall must return the withdrawn thread");
     assert_eq!(second, Some(TxnStatus::Committed));
@@ -388,25 +394,25 @@ fn txns_recall_withdraws_pending_commit() {
 fn destroy_queue_semantics() {
     let mut s = setup(1, EnclaveConfig::centralized("destroyq"));
     let t = s.tids[0];
-    let results = Rc::new(RefCell::new(Vec::new()));
+    let results = Arc::new(Mutex::new(Vec::new()));
     {
-        let results = Rc::clone(&results);
-        s.script.borrow_mut().push(Box::new(move |ctx| {
+        let results = Arc::clone(&results);
+        s.script.lock().unwrap().push(Box::new(move |ctx| {
             let q = ctx.create_queue();
             // Destroying the default queue must fail.
-            results.borrow_mut().push(ctx.destroy_queue(QueueId(0)));
+            results.lock().unwrap().push(ctx.destroy_queue(QueueId(0)));
             // Destroying an unused fresh queue succeeds.
-            results.borrow_mut().push(ctx.destroy_queue(q));
+            results.lock().unwrap().push(ctx.destroy_queue(q));
             // Destroying it twice fails.
-            results.borrow_mut().push(ctx.destroy_queue(q));
+            results.lock().unwrap().push(ctx.destroy_queue(q));
             // A queue with an associated thread cannot be destroyed.
             let q2 = ctx.create_queue();
             assert!(ctx.associate_queue(t, q2));
-            results.borrow_mut().push(ctx.destroy_queue(q2));
+            results.lock().unwrap().push(ctx.destroy_queue(q2));
         }));
     }
     s.kernel.run_until(5 * MILLIS);
-    assert_eq!(*results.borrow(), vec![false, true, false, false]);
+    assert_eq!(*results.lock().unwrap(), vec![false, true, false, false]);
 }
 
 #[test]
@@ -416,14 +422,14 @@ fn scheduling_hints_reach_the_policy() {
     s.kernel.run_until(MILLIS);
     // The workload publishes a hint (e.g. "my next request is 7 µs").
     s.runtime.set_hint(t, 7_000);
-    let seen = Rc::new(RefCell::new(None));
+    let seen = Arc::new(Mutex::new(None));
     {
-        let seen = Rc::clone(&seen);
-        s.script.borrow_mut().push(Box::new(move |ctx| {
-            *seen.borrow_mut() = ctx.hint(t);
+        let seen = Arc::clone(&seen);
+        s.script.lock().unwrap().push(Box::new(move |ctx| {
+            *seen.lock().unwrap() = ctx.hint(t);
         }));
     }
     s.kernel.assign_and_wake(t, 100 * MICROS);
     s.kernel.run_until(5 * MILLIS);
-    assert_eq!(*seen.borrow(), Some(7_000));
+    assert_eq!(*seen.lock().unwrap(), Some(7_000));
 }

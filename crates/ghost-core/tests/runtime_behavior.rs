@@ -15,9 +15,8 @@ use ghost_sim::time::{Nanos, MICROS, MILLIS};
 use ghost_sim::topology::{CpuId, Topology};
 use ghost_sim::{CpuSet, CLASS_CFS};
 use ghost_trace::{check, TraceEvent, TraceSink};
-use std::cell::RefCell;
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A centralized FIFO policy (the paper's Fig. 4 example).
 #[derive(Default)]
@@ -106,7 +105,7 @@ impl GhostPolicy for FifoPolicy {
 /// Workload app: each thread runs `seg` then blocks; timers re-arm work.
 struct PulseApp {
     conf: HashMap<Tid, (Nanos, Nanos)>, // (segment, period)
-    completions: Rc<RefCell<HashMap<Tid, u64>>>,
+    completions: Arc<Mutex<HashMap<Tid, u64>>>,
 }
 
 impl App for PulseApp {
@@ -132,7 +131,7 @@ impl App for PulseApp {
     }
 
     fn on_segment_end(&mut self, tid: Tid, _k: &mut KernelState) -> Next {
-        *self.completions.borrow_mut().entry(tid).or_insert(0) += 1;
+        *self.completions.lock().unwrap().entry(tid).or_insert(0) += 1;
         Next::Block
     }
 }
@@ -140,10 +139,10 @@ impl App for PulseApp {
 struct Setup {
     kernel: Kernel,
     runtime: GhostRuntime,
-    enclave: ghost_core::enclave::EnclaveId,
+    enclave: ghost_core::runtime::EnclaveHandle,
     app: AppId,
     threads: Vec<Tid>,
-    completions: Rc<RefCell<HashMap<Tid, u64>>>,
+    completions: Arc<Mutex<HashMap<Tid, u64>>>,
 }
 
 /// Builds: a machine, a centralized enclave over all but CPU 0, `n`
@@ -192,13 +191,11 @@ fn centralized_setup_opts(
     );
     let ncpus = kernel.state.topo.num_cpus();
     let runtime = GhostRuntime::new(ncpus);
-    runtime.install(&mut kernel);
     let cpus: CpuSet = (1..ncpus as u16).map(CpuId).collect();
-    let enclave = runtime.create_enclave(cpus, config, policy);
-    runtime.spawn_agents(&mut kernel, enclave);
+    let enclave = runtime.launch_enclave(&mut kernel, cpus, config, policy);
 
     let app = kernel.state.next_app_id();
-    let completions = Rc::new(RefCell::new(HashMap::new()));
+    let completions = Arc::new(Mutex::new(HashMap::new()));
     let mut conf = HashMap::new();
     let mut threads = Vec::new();
     for i in 0..n {
@@ -208,10 +205,10 @@ fn centralized_setup_opts(
     }
     kernel.add_app(Box::new(PulseApp {
         conf,
-        completions: Rc::clone(&completions),
+        completions: Arc::clone(&completions),
     }));
     for &tid in &threads {
-        runtime.attach_thread(&mut kernel.state, enclave, tid);
+        enclave.attach_thread(&mut kernel.state, tid);
     }
     for (i, &tid) in threads.iter().enumerate() {
         let at = if stagger {
@@ -252,7 +249,7 @@ fn centralized_fifo_schedules_threads() {
     assert!(stats.posted(MsgType::ThreadBlocked) >= 100);
     assert!(stats.posted(MsgType::ThreadCreated) == 4);
     for &t in &s.threads {
-        let done = s.completions.borrow()[&t];
+        let done = s.completions.lock().unwrap()[&t];
         assert!(done >= 40, "thread {t} completed only {done} pulses");
     }
     // The agent spent real virtual time working.
@@ -279,12 +276,12 @@ fn ghost_threads_are_preempted_by_cfs() {
             .app(hog_app_id)
             .affinity(CpuSet::from_iter([CpuId(2)])),
     );
-    let hog_completions = Rc::new(RefCell::new(HashMap::new()));
+    let hog_completions = Arc::new(Mutex::new(HashMap::new()));
     let mut conf = HashMap::new();
     conf.insert(hog, (2 * MILLIS, 10 * MILLIS));
     s.kernel.add_app(Box::new(PulseApp {
         conf,
-        completions: Rc::clone(&hog_completions),
+        completions: Arc::clone(&hog_completions),
     }));
     s.kernel
         .state
@@ -296,7 +293,7 @@ fn ghost_threads_are_preempted_by_cfs() {
         "CFS hog must preempt ghOSt threads"
     );
     // The ghOSt thread still made progress afterwards.
-    assert!(s.completions.borrow()[&s.threads[0]] >= 10);
+    assert!(s.completions.lock().unwrap()[&s.threads[0]] >= 10);
 }
 
 #[test]
@@ -325,7 +322,7 @@ fn stale_thread_seq_fails_with_estale() {
     struct StalePolicy {
         inner: FifoPolicy,
         sabotaged: bool,
-        stale_seen: Rc<RefCell<bool>>,
+        stale_seen: Arc<Mutex<bool>>,
     }
     impl GhostPolicy for StalePolicy {
         fn name(&self) -> &str {
@@ -346,7 +343,7 @@ fn stale_thread_seq_fails_with_estale() {
                             let mut txn = Transaction::new(tid, cpu).with_thread_seq(seq - 1);
                             let status = ctx.commit_one(&mut txn);
                             assert_eq!(status, TxnStatus::Stale);
-                            *self.stale_seen.borrow_mut() = true;
+                            *self.stale_seen.lock().unwrap() = true;
                         }
                     }
                 }
@@ -354,9 +351,9 @@ fn stale_thread_seq_fails_with_estale() {
             self.inner.schedule(ctx);
         }
     }
-    let stale_seen = Rc::new(RefCell::new(false));
+    let stale_seen = Arc::new(Mutex::new(false));
     let policy = StalePolicy {
-        stale_seen: Rc::clone(&stale_seen),
+        stale_seen: Arc::clone(&stale_seen),
         ..Default::default()
     };
     let mut s = centralized_setup(
@@ -368,10 +365,10 @@ fn stale_thread_seq_fails_with_estale() {
         Box::new(policy),
     );
     s.kernel.run_until(50 * MILLIS);
-    assert!(*stale_seen.borrow(), "ESTALE path never exercised");
+    assert!(*stale_seen.lock().unwrap(), "ESTALE path never exercised");
     assert!(s.runtime.stats().txns_stale >= 1);
     // Despite the sabotage, scheduling continued.
-    assert!(s.completions.borrow()[&s.threads[0]] > 10);
+    assert!(s.completions.lock().unwrap()[&s.threads[0]] > 10);
 }
 
 #[test]
@@ -398,12 +395,12 @@ fn watchdog_destroys_enclave_and_falls_back_to_cfs() {
     s.kernel.run_until(200 * MILLIS);
     let stats = s.runtime.stats();
     assert_eq!(stats.watchdog_destroys, 1);
-    assert!(!s.runtime.enclave_alive(s.enclave));
+    assert!(!s.enclave.alive());
     // Threads fell back to CFS and resumed making progress.
     for &t in &s.threads {
         assert_eq!(s.kernel.state.thread(t).class, CLASS_CFS);
         assert!(
-            s.completions.borrow().get(&t).copied().unwrap_or(0) > 50,
+            s.completions.lock().unwrap().get(&t).copied().unwrap_or(0) > 50,
             "thread {t} should run under CFS after the fallback"
         );
     }
@@ -435,20 +432,20 @@ fn agent_crash_without_standby_falls_back_to_cfs() {
         Box::new(FifoPolicy::default()),
     );
     s.kernel.run_until(20 * MILLIS);
-    assert!(s.runtime.enclave_alive(s.enclave));
-    let global = s.runtime.global_agent(s.enclave).expect("global agent");
+    assert!(s.enclave.alive());
+    let global = s.enclave.global_agent().expect("global agent");
     s.kernel.kill(global);
     s.kernel.run_until(60 * MILLIS);
     let stats = s.runtime.stats();
     assert!(stats.fallbacks >= 1);
-    assert!(!s.runtime.enclave_alive(s.enclave));
+    assert!(!s.enclave.alive());
     for &t in &s.threads {
         assert_eq!(s.kernel.state.thread(t).class, CLASS_CFS);
     }
     // And they keep running under CFS.
-    let before = s.completions.borrow()[&s.threads[0]];
+    let before = s.completions.lock().unwrap()[&s.threads[0]];
     s.kernel.run_until(120 * MILLIS);
-    assert!(s.completions.borrow()[&s.threads[0]] > before);
+    assert!(s.completions.lock().unwrap()[&s.threads[0]] > before);
 }
 
 #[test]
@@ -463,21 +460,17 @@ fn staged_upgrade_survives_agent_crash() {
     );
     s.kernel.run_until(20 * MILLIS);
     // Stage a new policy version, then crash the running agent.
-    s.runtime
-        .stage_upgrade(s.enclave, Box::new(FifoPolicy::default()));
-    let global = s.runtime.global_agent(s.enclave).expect("global agent");
+    s.enclave.stage_upgrade(Box::new(FifoPolicy::default()));
+    let global = s.enclave.global_agent().expect("global agent");
     s.kernel.kill(global);
     s.kernel.run_until(100 * MILLIS);
     let stats = s.runtime.stats();
     assert_eq!(stats.upgrades, 1);
-    assert!(
-        s.runtime.enclave_alive(s.enclave),
-        "enclave survives upgrade"
-    );
+    assert!(s.enclave.alive(), "enclave survives upgrade");
     // The new policy schedules: threads still make ghOSt progress.
-    let before = s.completions.borrow()[&s.threads[0]];
+    let before = s.completions.lock().unwrap()[&s.threads[0]];
     s.kernel.run_until(200 * MILLIS);
-    assert!(s.completions.borrow()[&s.threads[0]] > before + 50);
+    assert!(s.completions.lock().unwrap()[&s.threads[0]] > before + 50);
     assert_ne!(s.kernel.state.thread(s.threads[0]).class, CLASS_CFS);
 }
 
@@ -503,8 +496,7 @@ fn watchdog_promotes_staged_policy_instead_of_reaping() {
     // A fixed policy version is staged before the watchdog trips: the
     // watchdog must hand over to it in place instead of reaping the
     // enclave (the mid-upgrade handoff is excused, not double-reaped).
-    s.runtime
-        .stage_upgrade(s.enclave, Box::new(FifoPolicy::default()));
+    s.enclave.stage_upgrade(Box::new(FifoPolicy::default()));
     s.kernel.run_until(200 * MILLIS);
     let stats = s.runtime.stats();
     assert_eq!(stats.upgrades, 1, "watchdog should promote the standby");
@@ -512,11 +504,11 @@ fn watchdog_promotes_staged_policy_instead_of_reaping() {
         stats.watchdog_destroys, 0,
         "upgraded enclave must not be reaped"
     );
-    assert!(s.runtime.enclave_alive(s.enclave));
+    assert!(s.enclave.alive());
     // Threads stayed under ghOSt and the new policy actually schedules.
     for &t in &s.threads {
         assert_ne!(s.kernel.state.thread(t).class, CLASS_CFS);
-        let done = s.completions.borrow().get(&t).copied().unwrap_or(0);
+        let done = s.completions.lock().unwrap().get(&t).copied().unwrap_or(0);
         assert!(done > 50, "thread {t} completed only {done} pulses");
     }
 }
@@ -545,12 +537,12 @@ fn upgraded_agent_gets_fresh_watchdog_grace() {
     // The staged version is just as dead: the watchdog promotes it once,
     // then must re-measure starvation from the upgrade instant — not
     // reap the fresh agent with the stale pre-upgrade clock.
-    s.runtime.stage_upgrade(s.enclave, Box::new(DeadPolicy));
+    s.enclave.stage_upgrade(Box::new(DeadPolicy));
     s.kernel.run_until(200 * MILLIS);
     let stats = s.runtime.stats();
     assert_eq!(stats.upgrades, 1);
     assert_eq!(stats.watchdog_destroys, 1, "dead upgrade is finally reaped");
-    assert!(!s.runtime.enclave_alive(s.enclave));
+    assert!(!s.enclave.alive());
     for &t in &s.threads {
         assert_eq!(s.kernel.state.thread(t).class, CLASS_CFS);
     }
@@ -617,7 +609,8 @@ fn pnt_fast_path_schedules_idle_cpus() {
     assert!(stats.pnt_picks > 0, "PNT fast path never picked a thread");
     assert!(
         s.completions
-            .borrow()
+            .lock()
+            .unwrap()
             .get(&s.threads[0])
             .copied()
             .unwrap_or(0)
@@ -637,7 +630,7 @@ fn hot_handoff_moves_global_agent() {
         Box::new(FifoPolicy::default()),
     );
     s.kernel.run_until(10 * MILLIS);
-    let global_before = s.runtime.global_agent(s.enclave).expect("global");
+    let global_before = s.enclave.global_agent().expect("global");
     let gcpu = s.kernel.state.thread(global_before).cpu.expect("on cpu");
     // Pin a CFS thread to exactly the global agent's CPU.
     let app = s.app;
@@ -651,14 +644,14 @@ fn hot_handoff_moves_global_agent() {
     s.kernel.run_until(30 * MILLIS);
     let stats = s.runtime.stats();
     assert!(stats.handoffs >= 1, "no hot handoff happened");
-    let global_after = s.runtime.global_agent(s.enclave).expect("global");
+    let global_after = s.enclave.global_agent().expect("global");
     assert_ne!(global_before, global_after);
     // The CFS thread got its CPU.
     assert!(s.kernel.state.thread(hog).total_work >= 4 * MILLIS);
     // And ghOSt scheduling continued under the new global agent.
-    let before = s.completions.borrow()[&s.threads[0]];
+    let before = s.completions.lock().unwrap()[&s.threads[0]];
     s.kernel.run_until(60 * MILLIS);
-    assert!(s.completions.borrow()[&s.threads[0]] > before);
+    assert!(s.completions.lock().unwrap()[&s.threads[0]] > before);
 }
 
 #[test]
@@ -672,14 +665,14 @@ fn destroy_enclave_api_moves_threads_to_cfs() {
         Box::new(FifoPolicy::default()),
     );
     s.kernel.run_until(10 * MILLIS);
-    s.runtime.destroy_enclave(&mut s.kernel.state, s.enclave);
+    s.enclave.destroy(&mut s.kernel.state);
     s.kernel.run_until(20 * MILLIS);
-    assert!(!s.runtime.enclave_alive(s.enclave));
+    assert!(!s.enclave.alive());
     for &t in &s.threads {
         assert_eq!(s.kernel.state.thread(t).class, CLASS_CFS);
         assert_ne!(s.kernel.state.thread(t).state, ThreadState::Dead);
     }
-    for agent in s.runtime.agent_tids(s.enclave) {
+    for agent in s.enclave.agent_tids() {
         assert_eq!(s.kernel.state.thread(agent).state, ThreadState::Dead);
     }
 }
@@ -690,25 +683,24 @@ fn destroy_enclave_api_moves_threads_to_cfs() {
 fn enclaves_are_isolated_from_each_other() {
     let mut kernel = Kernel::new(Topology::test_small(4), KernelConfig::default());
     let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
-    runtime.install(&mut kernel);
     // Enclave A on CPUs 1-3, enclave B on CPUs 4-7.
     let cpus_a: CpuSet = (1..4u16).map(CpuId).collect();
     let cpus_b: CpuSet = (4..8u16).map(CpuId).collect();
-    let enc_a = runtime.create_enclave(
+    let enc_a = runtime.launch_enclave(
+        &mut kernel,
         cpus_a,
         EnclaveConfig::centralized("A"),
         Box::new(FifoPolicy::default()),
     );
-    let enc_b = runtime.create_enclave(
+    let enc_b = runtime.launch_enclave(
+        &mut kernel,
         cpus_b,
         EnclaveConfig::centralized("B"),
         Box::new(FifoPolicy::default()),
     );
-    runtime.spawn_agents(&mut kernel, enc_a);
-    runtime.spawn_agents(&mut kernel, enc_b);
 
     let app = kernel.state.next_app_id();
-    let completions = Rc::new(RefCell::new(HashMap::new()));
+    let completions = Arc::new(Mutex::new(HashMap::new()));
     let mut conf = HashMap::new();
     let mut a_tids = Vec::new();
     let mut b_tids = Vec::new();
@@ -722,14 +714,14 @@ fn enclaves_are_isolated_from_each_other() {
     }
     kernel.add_app(Box::new(PulseApp {
         conf,
-        completions: Rc::clone(&completions),
+        completions: Arc::clone(&completions),
     }));
     for &t in &a_tids {
-        runtime.attach_thread(&mut kernel.state, enc_a, t);
+        enc_a.attach_thread(&mut kernel.state, t);
         kernel.state.arm_app_timer(10_000, app, t.0 as u64);
     }
     for &t in &b_tids {
-        runtime.attach_thread(&mut kernel.state, enc_b, t);
+        enc_b.attach_thread(&mut kernel.state, t);
         kernel.state.arm_app_timer(10_000, app, t.0 as u64);
     }
     kernel.run_until(50 * MILLIS);
@@ -743,24 +735,24 @@ fn enclaves_are_isolated_from_each_other() {
     }
 
     // Crash enclave A's agent: A falls back to CFS, B keeps scheduling.
-    let a_agent = runtime.global_agent(enc_a).expect("A has a global agent");
+    let a_agent = enc_a.global_agent().expect("A has a global agent");
     kernel.kill(a_agent);
     kernel.run_until(60 * MILLIS);
-    assert!(!runtime.enclave_alive(enc_a));
-    assert!(runtime.enclave_alive(enc_b), "enclave B must be untouched");
+    assert!(!enc_a.alive());
+    assert!(enc_b.alive(), "enclave B must be untouched");
     for &t in &a_tids {
         assert_eq!(kernel.state.thread(t).class, CLASS_CFS);
     }
-    let b_before = completions.borrow()[&b_tids[0]];
+    let b_before = completions.lock().unwrap()[&b_tids[0]];
     kernel.run_until(120 * MILLIS);
     assert!(
-        completions.borrow()[&b_tids[0]] > b_before + 30,
+        completions.lock().unwrap()[&b_tids[0]] > b_before + 30,
         "enclave B must keep scheduling after A's crash"
     );
     // And A's threads keep running, now under CFS.
-    let a_before = completions.borrow()[&a_tids[0]];
+    let a_before = completions.lock().unwrap()[&a_tids[0]];
     kernel.run_until(180 * MILLIS);
-    assert!(completions.borrow()[&a_tids[0]] > a_before + 30);
+    assert!(completions.lock().unwrap()[&a_tids[0]] > a_before + 30);
 }
 
 /// The Fig. 4 FIFO scenario replayed through the tracer: the recorded
@@ -811,11 +803,11 @@ fn queue_overflow_is_counted_traced_and_seqnums_stay_consistent() {
         },
     );
     let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
-    runtime.install(&mut kernel);
     let cpus: CpuSet = (1..8u16).map(CpuId).collect();
     let mut config = EnclaveConfig::centralized("tiny");
     config.queue_capacity = 4;
-    let enclave = runtime.create_enclave(cpus, config, Box::new(FifoPolicy::default()));
+    let enclave =
+        runtime.launch_enclave(&mut kernel, cpus, config, Box::new(FifoPolicy::default()));
 
     // No agents yet: nothing drains the 4-slot default queue, so the 8
     // THREAD_CREATED messages below overflow it.
@@ -823,7 +815,7 @@ fn queue_overflow_is_counted_traced_and_seqnums_stay_consistent() {
         .map(|i| kernel.spawn(ThreadSpec::workload(&format!("w{i}"), &kernel.state.topo)))
         .collect();
     for &t in &threads {
-        runtime.attach_thread(&mut kernel.state, enclave, t);
+        enclave.attach_thread(&mut kernel.state, t);
     }
     kernel.run_until(MILLIS);
     let stats = runtime.stats();
@@ -831,7 +823,6 @@ fn queue_overflow_is_counted_traced_and_seqnums_stay_consistent() {
     assert_eq!(stats.posted(MsgType::ThreadCreated), 4);
 
     // Start the agents: the backlog drains, making room in the queue.
-    runtime.spawn_agents(&mut kernel, enclave);
     kernel.run_until(2 * MILLIS);
 
     // Wake a thread whose THREAD_CREATED was dropped. Its Tseq advanced
@@ -908,9 +899,8 @@ fn upgrade_reconstructs_without_synthetic_messages() {
     );
     s.kernel.run_until(20 * MILLIS);
     let created_before = s.runtime.stats().posted(MsgType::ThreadCreated);
-    s.runtime
-        .stage_upgrade(s.enclave, Box::new(FifoPolicy::default()));
-    assert!(s.runtime.upgrade_now(&mut s.kernel.state, s.enclave));
+    s.enclave.stage_upgrade(Box::new(FifoPolicy::default()));
+    assert!(s.enclave.upgrade_now(&mut s.kernel.state));
     s.kernel.run_until(100 * MILLIS);
     let stats = s.runtime.stats();
     // The incoming agent seeds itself from the status-word scan: no
@@ -922,11 +912,11 @@ fn upgrade_reconstructs_without_synthetic_messages() {
     );
     assert_eq!(stats.reconstructions, 1);
     assert_eq!(stats.upgrades, 1);
-    assert!(s.runtime.enclave_alive(s.enclave));
+    assert!(s.enclave.alive());
     // The reconstructed policy actually schedules.
-    let before = s.completions.borrow()[&s.threads[0]];
+    let before = s.completions.lock().unwrap()[&s.threads[0]];
     s.kernel.run_until(200 * MILLIS);
-    assert!(s.completions.borrow()[&s.threads[0]] > before + 50);
+    assert!(s.completions.lock().unwrap()[&s.threads[0]] > before + 50);
     assert_ne!(s.kernel.state.thread(s.threads[0]).class, CLASS_CFS);
 }
 
@@ -943,14 +933,14 @@ fn standby_failover_recovers_within_slo() {
         Box::new(FifoPolicy::default()),
         sink.clone(),
     );
-    s.runtime
-        .set_standby_policy(s.enclave, || Box::new(FifoPolicy::default()));
+    s.enclave
+        .set_standby_policy(|| Box::new(FifoPolicy::default()));
     s.kernel.run_until(20 * MILLIS);
-    let global = s.runtime.global_agent(s.enclave).expect("global agent");
+    let global = s.enclave.global_agent().expect("global agent");
     s.kernel.kill(global);
     s.kernel.run_until(60 * MILLIS);
     let stats = s.runtime.stats();
-    assert!(s.runtime.enclave_alive(s.enclave), "enclave survives crash");
+    assert!(s.enclave.alive(), "enclave survives crash");
     assert_eq!(stats.respawns, 1, "one standby respawn");
     assert_eq!(stats.recoveries, 1, "recovery completed");
     assert_eq!(stats.reconstructions, 1);
@@ -960,9 +950,9 @@ fn standby_failover_recovers_within_slo() {
         assert_ne!(s.kernel.state.thread(t).class, CLASS_CFS);
     }
     // And still makes progress under the respawned agent.
-    let before = s.completions.borrow()[&s.threads[0]];
+    let before = s.completions.lock().unwrap()[&s.threads[0]];
     s.kernel.run_until(160 * MILLIS);
-    assert!(s.completions.borrow()[&s.threads[0]] > before + 50);
+    assert!(s.completions.lock().unwrap()[&s.threads[0]] > before + 50);
 
     // The trace proves the bound: crash → reconstruction-done within the
     // recovery SLO, with every thread reclaimed in between.
@@ -1002,30 +992,30 @@ fn respawn_exhaustion_destroys_enclave() {
         EnclaveConfig::centralized("test").with_standby(standby),
         Box::new(FifoPolicy::default()),
     );
-    s.runtime
-        .set_standby_policy(s.enclave, || Box::new(FifoPolicy::default()));
+    s.enclave
+        .set_standby_policy(|| Box::new(FifoPolicy::default()));
     s.kernel.run_until(20 * MILLIS);
     // Keep killing whichever agent is in charge: the respawn budget is
     // finite, so the enclave is eventually torn down for good.
     for round in 0..=standby.max_respawns {
         let global = s
-            .runtime
-            .global_agent(s.enclave)
+            .enclave
+            .global_agent()
             .unwrap_or_else(|| panic!("agent alive before crash {round}"));
         s.kernel.kill(global);
         s.kernel.run_until(s.kernel.state.now + 20 * MILLIS);
     }
     let stats = s.runtime.stats();
     assert_eq!(stats.respawns, standby.max_respawns as u64);
-    assert!(!s.runtime.enclave_alive(s.enclave), "budget exhausted");
+    assert!(!s.enclave.alive(), "budget exhausted");
     assert!(stats.fallbacks >= 1, "final crash is a CFS fallback");
     for &t in &s.threads {
         assert_eq!(s.kernel.state.thread(t).class, CLASS_CFS);
     }
     // CFS keeps the workload alive after the enclave is gone.
-    let before = s.completions.borrow()[&s.threads[0]];
+    let before = s.completions.lock().unwrap()[&s.threads[0]];
     s.kernel.run_until(s.kernel.state.now + 100 * MILLIS);
-    assert!(s.completions.borrow()[&s.threads[0]] > before);
+    assert!(s.completions.lock().unwrap()[&s.threads[0]] > before);
 }
 
 #[test]
@@ -1043,17 +1033,11 @@ fn per_cpu_agent_crash_falls_back_only_its_own_threads() {
     // default queue owned by the first CPU's agent. Killing a *different*
     // CPU's agent must not take the whole enclave down, and no thread is
     // routed through the dead queue, so none leave ghOSt.
-    let bystander = s
-        .runtime
-        .agent_on(s.enclave, CpuId(2))
-        .expect("agent on cpu 2");
+    let bystander = s.enclave.agent_on(CpuId(2)).expect("agent on cpu 2");
     s.kernel.kill(bystander);
     s.kernel.run_until(60 * MILLIS);
     let stats = s.runtime.stats();
-    assert!(
-        s.runtime.enclave_alive(s.enclave),
-        "peer agents keep the enclave alive"
-    );
+    assert!(s.enclave.alive(), "peer agents keep the enclave alive");
     assert_eq!(stats.fallbacks, 1, "per-CPU crash is a scoped fallback");
     for &t in &s.threads {
         assert_ne!(
@@ -1062,9 +1046,9 @@ fn per_cpu_agent_crash_falls_back_only_its_own_threads() {
             "threads of surviving queues stay in ghOSt"
         );
     }
-    let before = s.completions.borrow()[&s.threads[0]];
+    let before = s.completions.lock().unwrap()[&s.threads[0]];
     s.kernel.run_until(120 * MILLIS);
-    assert!(s.completions.borrow()[&s.threads[0]] > before);
+    assert!(s.completions.lock().unwrap()[&s.threads[0]] > before);
 }
 
 #[test]
@@ -1081,21 +1065,18 @@ fn per_cpu_default_queue_owner_crash_sheds_its_threads() {
     // All threads ride the default queue, owned by the first CPU's agent:
     // killing it sheds exactly those threads to CFS — but the enclave
     // itself survives on its remaining agents.
-    let owner = s
-        .runtime
-        .agent_on(s.enclave, CpuId(1))
-        .expect("agent on cpu 1");
+    let owner = s.enclave.agent_on(CpuId(1)).expect("agent on cpu 1");
     s.kernel.kill(owner);
     s.kernel.run_until(60 * MILLIS);
     let stats = s.runtime.stats();
-    assert!(s.runtime.enclave_alive(s.enclave));
+    assert!(s.enclave.alive());
     assert_eq!(stats.fallbacks, 1);
     for &t in &s.threads {
         assert_eq!(s.kernel.state.thread(t).class, CLASS_CFS);
     }
-    let before = s.completions.borrow()[&s.threads[0]];
+    let before = s.completions.lock().unwrap()[&s.threads[0]];
     s.kernel.run_until(120 * MILLIS);
-    assert!(s.completions.borrow()[&s.threads[0]] > before);
+    assert!(s.completions.lock().unwrap()[&s.threads[0]] > before);
 }
 
 #[test]
@@ -1109,10 +1090,10 @@ fn centralized_non_global_agent_crash_keeps_enclave() {
         Box::new(FifoPolicy::default()),
     );
     s.kernel.run_until(20 * MILLIS);
-    let global = s.runtime.global_agent(s.enclave).expect("global agent");
+    let global = s.enclave.global_agent().expect("global agent");
     let satellite = s
-        .runtime
-        .agent_tids(s.enclave)
+        .enclave
+        .agent_tids()
         .into_iter()
         .find(|&t| t != global)
         .expect("inactive satellite agent");
@@ -1120,7 +1101,7 @@ fn centralized_non_global_agent_crash_keeps_enclave() {
     s.kernel.run_until(60 * MILLIS);
     let stats = s.runtime.stats();
     assert!(
-        s.runtime.enclave_alive(s.enclave),
+        s.enclave.alive(),
         "losing an inactive satellite is not fatal"
     );
     assert_eq!(stats.fallbacks, 0);
@@ -1128,7 +1109,7 @@ fn centralized_non_global_agent_crash_keeps_enclave() {
     for &t in &s.threads {
         assert_ne!(s.kernel.state.thread(t).class, CLASS_CFS);
     }
-    let before = s.completions.borrow()[&s.threads[0]];
+    let before = s.completions.lock().unwrap()[&s.threads[0]];
     s.kernel.run_until(120 * MILLIS);
-    assert!(s.completions.borrow()[&s.threads[0]] > before);
+    assert!(s.completions.lock().unwrap()[&s.threads[0]] > before);
 }

@@ -16,14 +16,13 @@ use ghost_sim::time::{Nanos, MICROS, MILLIS};
 use ghost_sim::topology::{CpuId, Topology};
 use ghost_sim::CpuSet;
 use ghost_trace::{check, TraceEvent, TraceSink};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Workload app: each thread runs `seg` then blocks; timers re-arm work.
 struct PulseApp {
     conf: HashMap<Tid, (Nanos, Nanos)>, // (segment, period)
-    completions: Rc<RefCell<HashMap<Tid, u64>>>,
+    completions: Arc<Mutex<HashMap<Tid, u64>>>,
 }
 
 impl App for PulseApp {
@@ -47,7 +46,7 @@ impl App for PulseApp {
     }
 
     fn on_segment_end(&mut self, tid: Tid, _k: &mut KernelState) -> Next {
-        *self.completions.borrow_mut().entry(tid).or_insert(0) += 1;
+        *self.completions.lock().unwrap().entry(tid).or_insert(0) += 1;
         Next::Block
     }
 }
@@ -55,9 +54,9 @@ impl App for PulseApp {
 struct Setup {
     kernel: Kernel,
     runtime: GhostRuntime,
-    enclave: ghost_core::enclave::EnclaveId,
+    enclave: ghost_core::runtime::EnclaveHandle,
     threads: Vec<Tid>,
-    completions: Rc<RefCell<HashMap<Tid, u64>>>,
+    completions: Arc<Mutex<HashMap<Tid, u64>>>,
     sink: TraceSink,
 }
 
@@ -72,13 +71,11 @@ fn setup(config: EnclaveConfig, policy: Box<dyn GhostPolicy>, n: usize) -> Setup
     );
     let ncpus = kernel.state.topo.num_cpus();
     let runtime = GhostRuntime::new(ncpus);
-    runtime.install(&mut kernel);
     let cpus: CpuSet = (1..ncpus as u16).map(CpuId).collect();
-    let enclave = runtime.create_enclave(cpus, config, policy);
-    runtime.spawn_agents(&mut kernel, enclave);
+    let enclave = runtime.launch_enclave(&mut kernel, cpus, config, policy);
 
     let app = kernel.state.next_app_id();
-    let completions = Rc::new(RefCell::new(HashMap::new()));
+    let completions = Arc::new(Mutex::new(HashMap::new()));
     let mut conf = HashMap::new();
     let mut threads = Vec::new();
     for i in 0..n {
@@ -88,10 +85,10 @@ fn setup(config: EnclaveConfig, policy: Box<dyn GhostPolicy>, n: usize) -> Setup
     }
     kernel.add_app(Box::new(PulseApp {
         conf,
-        completions: Rc::clone(&completions),
+        completions: Arc::clone(&completions),
     }));
     for &tid in &threads {
-        runtime.attach_thread(&mut kernel.state, enclave, tid);
+        enclave.attach_thread(&mut kernel.state, tid);
     }
     for (i, &tid) in threads.iter().enumerate() {
         kernel
@@ -137,7 +134,7 @@ fn racing_agents_get_estale_on_stale_seq() {
         /// 0 = waiting for first wakeup, 1 = stale view planted,
         /// 2 = ESTALE observed, schedule normally.
         phase: u8,
-        stale_seen: Rc<RefCell<bool>>,
+        stale_seen: Arc<Mutex<bool>>,
     }
 
     impl GhostPolicy for RacerPolicy {
@@ -186,7 +183,7 @@ fn racing_agents_get_estale_on_stale_seq() {
                                 .with_thread_seq(self.stale_seq);
                             let status = ctx.commit_one(&mut txn);
                             assert_eq!(status, TxnStatus::Stale, "stale seq must ESTALE");
-                            *self.stale_seen.borrow_mut() = true;
+                            *self.stale_seen.lock().unwrap() = true;
                             self.phase = 2;
                         }
                     }
@@ -206,22 +203,26 @@ fn racing_agents_get_estale_on_stale_seq() {
         }
     }
 
-    let stale_seen = Rc::new(RefCell::new(false));
+    let stale_seen = Arc::new(Mutex::new(false));
     let policy = RacerPolicy {
-        stale_seen: Rc::clone(&stale_seen),
+        stale_seen: Arc::clone(&stale_seen),
         ..Default::default()
     };
     let mut s = setup(EnclaveConfig::per_cpu("race"), Box::new(policy), 1);
     s.kernel.run_until(60 * MILLIS);
 
-    assert!(*stale_seen.borrow(), "cross-agent ESTALE never exercised");
+    assert!(
+        *stale_seen.lock().unwrap(),
+        "cross-agent ESTALE never exercised"
+    );
     let stats = s.runtime.stats();
     assert!(stats.txns_stale >= 1, "stale commits: {}", stats.txns_stale);
-    assert!(s.runtime.enclave_alive(s.enclave));
+    assert!(s.enclave.alive());
     // The thread kept making progress after the failed commit.
     let done = s
         .completions
-        .borrow()
+        .lock()
+        .unwrap()
         .get(&s.threads[0])
         .copied()
         .unwrap_or(0);
@@ -256,7 +257,7 @@ fn commit_after_block_is_rejected_not_runnable() {
         rq: Vec<Tid>,
         seqs: HashMap<Tid, u64>,
         sabotaged: bool,
-        race_seen: Rc<RefCell<bool>>,
+        race_seen: Arc<Mutex<bool>>,
     }
 
     impl GhostPolicy for BlockedCommitter {
@@ -292,7 +293,7 @@ fn commit_after_block_is_rejected_not_runnable() {
                     let mut txn = Transaction::new(tid, cpu); // SeqConstraint::None
                     let status = ctx.commit_one(&mut txn);
                     assert_eq!(status, TxnStatus::TargetNotRunnable);
-                    *self.race_seen.borrow_mut() = true;
+                    *self.race_seen.lock().unwrap() = true;
                 }
             }
             let idle = ctx.idle_cpus();
@@ -311,20 +312,23 @@ fn commit_after_block_is_rejected_not_runnable() {
         }
     }
 
-    let race_seen = Rc::new(RefCell::new(false));
+    let race_seen = Arc::new(Mutex::new(false));
     let policy = BlockedCommitter {
-        race_seen: Rc::clone(&race_seen),
+        race_seen: Arc::clone(&race_seen),
         ..Default::default()
     };
     let mut s = setup(EnclaveConfig::centralized("race"), Box::new(policy), 2);
     s.kernel.run_until(60 * MILLIS);
 
-    assert!(*race_seen.borrow(), "blocked-commit path never exercised");
+    assert!(
+        *race_seen.lock().unwrap(),
+        "blocked-commit path never exercised"
+    );
     let stats = s.runtime.stats();
     assert!(stats.txns_not_runnable >= 1);
     // Scheduling survived the bad commit.
     for &t in &s.threads {
-        let done = s.completions.borrow().get(&t).copied().unwrap_or(0);
+        let done = s.completions.lock().unwrap().get(&t).copied().unwrap_or(0);
         assert!(done >= 20, "thread {t} progressed only {done} pulses");
     }
 

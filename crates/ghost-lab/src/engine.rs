@@ -1,0 +1,285 @@
+//! The parallel sweep engine.
+//!
+//! An [`Experiment`] is anything that can describe itself (a stable
+//! *spec string*) and execute to a hashable [`ExperimentResult`]. A
+//! sweep is a slice of experiments; [`run_sweep`] executes them on a
+//! pool of `std::thread` workers.
+//!
+//! # Determinism
+//!
+//! Each experiment is executed entirely on one worker thread — the
+//! simulation inside stays single-threaded, so it is byte-identical to
+//! a serial run. Workers claim experiments from a shared atomic index
+//! (so the *assignment* of experiments to workers is racy and
+//! irrelevant), but results land in slots indexed by the experiment's
+//! position in the input slice, so the report order is deterministic.
+//! `run_sweep(exps, 1, ..)` and `run_sweep(exps, N, ..)` must therefore
+//! return identical results — a property checked by this crate's tests
+//! and by CI on the chaos recovery sweep.
+//!
+//! # Caching
+//!
+//! With a [`Cache`], each experiment's spec is hashed before execution;
+//! hits skip the run entirely and misses are stored after it. The
+//! report's `executed`/`cached` counters let callers (and tests) verify
+//! that an unchanged sweep re-run executes zero simulations.
+
+use crate::cache::Cache;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Something the engine can run: a self-describing, repeatable unit of
+/// work. `Sync` because one immutable instance is shared with every
+/// worker thread; `execute` takes `&self` and must build all mutable
+/// state (kernel, runtime, workload) from the spec on each call.
+pub trait Experiment: Sync {
+    /// Human-readable label for reports (e.g. `"shinjuku/seed=7"`).
+    fn label(&self) -> String;
+
+    /// Stable, canonical description of *everything* that affects the
+    /// outcome. Equal specs must imply equal results — this string is
+    /// the cache key and the determinism contract.
+    fn spec(&self) -> String;
+
+    /// Runs the experiment. Must be deterministic: same spec, same
+    /// result, regardless of which thread executes it.
+    fn execute(&self) -> ExperimentResult;
+}
+
+/// The outcome of one experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentResult {
+    /// Did the experiment meet its own pass criterion?
+    pub pass: bool,
+    /// Hash of the run's observable output (trace, counters). Two runs
+    /// of the same spec must produce the same hash — this is what the
+    /// serial-vs-parallel CI check compares.
+    pub hash: u64,
+    /// Human-readable result lines (counters, failures).
+    pub lines: Vec<String>,
+}
+
+/// One row of a sweep report.
+#[derive(Debug, Clone)]
+pub struct SweepItem {
+    /// The experiment's label.
+    pub label: String,
+    /// Its cache key.
+    pub key: String,
+    /// Its result (executed or loaded from cache).
+    pub result: ExperimentResult,
+    /// True if the result came from the cache.
+    pub cached: bool,
+}
+
+/// Everything a finished sweep exposes.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// One item per input experiment, in input order.
+    pub items: Vec<SweepItem>,
+    /// How many experiments actually executed.
+    pub executed: usize,
+    /// How many were served from the cache.
+    pub cached: usize,
+}
+
+impl SweepReport {
+    /// True if every experiment passed.
+    pub fn all_passed(&self) -> bool {
+        self.items.iter().all(|i| i.result.pass)
+    }
+
+    /// `label <hash>` lines, one per experiment — the digest compared
+    /// between serial and parallel runs in CI.
+    pub fn digest(&self) -> String {
+        let mut out = String::new();
+        for item in &self.items {
+            out.push_str(&format!("{} {:016x}\n", item.label, item.result.hash));
+        }
+        out
+    }
+}
+
+/// Runs every experiment, `jobs` at a time, returning results in input
+/// order. `jobs` is clamped to at least 1; a `cache` of `None` disables
+/// caching. Panics in an experiment propagate (the worker's panic is
+/// resumed on the calling thread), so a failing assertion inside a
+/// simulation still fails the sweep loudly.
+pub fn run_sweep<E: Experiment>(exps: &[E], jobs: usize, cache: Option<&Cache>) -> SweepReport {
+    let jobs = jobs.max(1);
+
+    // Resolve cache hits up front, single-threaded: the filesystem is
+    // not part of the determinism argument.
+    let mut items: Vec<Option<SweepItem>> = Vec::with_capacity(exps.len());
+    let mut pending: Vec<usize> = Vec::new();
+    for (i, exp) in exps.iter().enumerate() {
+        let key = Cache::key(&exp.spec());
+        match cache.and_then(|c| c.load(&key)) {
+            Some(result) => items.push(Some(SweepItem {
+                label: exp.label(),
+                key,
+                result,
+                cached: true,
+            })),
+            None => {
+                items.push(Some(SweepItem {
+                    label: exp.label(),
+                    key,
+                    result: ExperimentResult {
+                        pass: false,
+                        hash: 0,
+                        lines: Vec::new(),
+                    },
+                    cached: false,
+                }));
+                pending.push(i);
+            }
+        }
+    }
+
+    // Worker pool: claim the next pending slot via an atomic counter,
+    // run it, store the result in its own indexed cell. No ordering
+    // between experiments is assumed anywhere.
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<ExperimentResult>>> =
+        pending.iter().map(|_| Mutex::new(None)).collect();
+    if !pending.is_empty() {
+        std::thread::scope(|scope| {
+            let workers = jobs.min(pending.len());
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| loop {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        if slot >= pending.len() {
+                            break;
+                        }
+                        let result = exps[pending[slot]].execute();
+                        *results[slot].lock().unwrap() = Some(result);
+                    })
+                })
+                .collect();
+            for h in handles {
+                if let Err(panic) = h.join() {
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        });
+    }
+
+    let executed = pending.len();
+    for (slot, idx) in pending.into_iter().enumerate() {
+        let result = results[slot]
+            .lock()
+            .unwrap()
+            .take()
+            .expect("worker completed every claimed slot");
+        let item = items[idx].as_mut().expect("slot populated above");
+        if let Some(c) = cache {
+            c.store(&item.key, &result);
+        }
+        item.result = result;
+    }
+
+    let items: Vec<SweepItem> = items.into_iter().map(|i| i.expect("populated")).collect();
+    let cached = items.len() - executed;
+    SweepReport {
+        items,
+        executed,
+        cached,
+    }
+}
+
+/// Runs `body` once per derived seed, reporting the failing seed on
+/// panic so any case can be rerun in isolation. This is the execution
+/// core of the seeded property tests (`ghost_chaos::for_seeds!`
+/// delegates here): seed derivation, case numbering, and failure
+/// reporting live in the engine, next to the sweep runner that shares
+/// the same repeat-from-a-seed contract.
+pub fn run_cases(base: u64, cases: u64, mut body: impl FnMut(u64)) {
+    for case in 0..cases {
+        let seed = base.wrapping_add(case);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(seed)));
+        if let Err(payload) = result {
+            eprintln!(
+                "run_cases: case {case} of {cases} FAILED with seed {seed:#x} — \
+                 rerun with StdRng::seed_from_u64({seed:#x})"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    struct Square(u64, AtomicU64);
+
+    impl Experiment for Square {
+        fn label(&self) -> String {
+            format!("square/{}", self.0)
+        }
+        fn spec(&self) -> String {
+            format!("square v1\nn {}", self.0)
+        }
+        fn execute(&self) -> ExperimentResult {
+            self.1.fetch_add(1, Ordering::Relaxed);
+            ExperimentResult {
+                pass: true,
+                hash: self.0 * self.0,
+                lines: vec![format!("value {}", self.0 * self.0)],
+            }
+        }
+    }
+
+    fn squares(n: u64) -> Vec<Square> {
+        (0..n).map(|i| Square(i, AtomicU64::new(0))).collect()
+    }
+
+    #[test]
+    fn results_in_input_order_regardless_of_jobs() {
+        let exps = squares(9);
+        for jobs in [1, 3, 16] {
+            let report = run_sweep(&exps, jobs, None);
+            assert_eq!(report.executed, 9);
+            for (i, item) in report.items.iter().enumerate() {
+                assert_eq!(item.result.hash, (i * i) as u64, "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_experiment_executes_exactly_once() {
+        let exps = squares(7);
+        run_sweep(&exps, 4, None);
+        for e in &exps {
+            assert_eq!(e.1.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn run_cases_derives_sequential_seeds() {
+        let mut seen = Vec::new();
+        run_cases(0x100, 5, |seed| seen.push(seed));
+        assert_eq!(seen, vec![0x100, 0x101, 0x102, 0x103, 0x104]);
+    }
+
+    #[test]
+    #[should_panic(expected = "case 3 boom")]
+    fn run_cases_propagates_panics() {
+        run_cases(0, 8, |seed| {
+            if seed == 3 {
+                panic!("case 3 boom");
+            }
+        });
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let report = run_sweep(&squares(0), 8, None);
+        assert!(report.items.is_empty());
+        assert_eq!(report.executed, 0);
+        assert_eq!(report.cached, 0);
+    }
+}

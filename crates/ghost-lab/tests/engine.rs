@@ -1,0 +1,163 @@
+//! End-to-end engine properties: parallel sweeps are byte-identical to
+//! serial ones, and an unchanged sweep re-run is a pure cache hit.
+
+use ghost_lab::engine::{run_sweep, Experiment, ExperimentResult};
+use ghost_lab::scenario::{PolicyKind, Scenario, WorkloadSpec};
+use ghost_lab::Cache;
+use ghost_sim::time::MILLIS;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A 16-scenario matrix: 4 policies × 4 seeds, with staged upgrades and
+/// standbys sprinkled in so the heavier machinery is exercised too.
+fn matrix() -> Vec<Scenario> {
+    let policies = [
+        PolicyKind::CentralizedFifo,
+        PolicyKind::PerCpu,
+        PolicyKind::Shinjuku,
+        PolicyKind::Snap,
+    ];
+    let mut scenarios = Vec::new();
+    for (pi, policy) in policies.into_iter().enumerate() {
+        for seed in 1..=4u64 {
+            scenarios.push(
+                Scenario::builder()
+                    .name(format!("{}/seed={seed}", policy.name()))
+                    .cpus(8)
+                    .policy(policy)
+                    .workload(WorkloadSpec::pulse(4))
+                    .seed(seed)
+                    .horizon(30 * MILLIS)
+                    .watchdog(20 * MILLIS)
+                    .stage_upgrade(pi % 2 == 0)
+                    .standby(seed % 2 == 1)
+                    .trace_capacity(1 << 16)
+                    .build(),
+            );
+        }
+    }
+    scenarios
+}
+
+/// The tentpole determinism property: running the same 16-scenario
+/// sweep with 1 worker and with N workers yields identical per-scenario
+/// result hashes (and identical full result lines).
+#[test]
+fn parallel_sweep_matches_serial() {
+    let scenarios = matrix();
+    let serial = run_sweep(&scenarios, 1, None);
+    for jobs in [2, 4, 8] {
+        let parallel = run_sweep(&scenarios, jobs, None);
+        assert_eq!(serial.items.len(), parallel.items.len());
+        for (s, p) in serial.items.iter().zip(parallel.items.iter()) {
+            assert_eq!(s.label, p.label, "jobs={jobs}: report order must match");
+            assert_eq!(
+                s.result, p.result,
+                "jobs={jobs}: scenario {} diverged between serial and parallel",
+                s.label
+            );
+        }
+    }
+}
+
+/// Distinct seeds must actually produce distinct outcomes — otherwise
+/// the determinism test above would pass vacuously on constant hashes.
+#[test]
+fn different_seeds_differ() {
+    let scenarios = matrix();
+    let report = run_sweep(&scenarios, 4, None);
+    let hashes: std::collections::HashSet<u64> =
+        report.items.iter().map(|i| i.result.hash).collect();
+    assert!(
+        hashes.len() > scenarios.len() / 2,
+        "expected mostly-distinct hashes, got {} distinct of {}",
+        hashes.len(),
+        scenarios.len()
+    );
+}
+
+fn temp_cache_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ghost-lab-test-{tag}-{}", std::process::id()))
+}
+
+/// An experiment that counts its own executions, so the cache-hit test
+/// can assert the second sweep ran *zero* simulations.
+struct Counted {
+    scenario: Scenario,
+    executions: AtomicUsize,
+}
+
+impl Experiment for Counted {
+    fn label(&self) -> String {
+        self.scenario.label()
+    }
+    fn spec(&self) -> String {
+        self.scenario.spec()
+    }
+    fn execute(&self) -> ExperimentResult {
+        self.executions.fetch_add(1, Ordering::Relaxed);
+        self.scenario.execute()
+    }
+}
+
+/// The cache property: a second run of an unchanged sweep executes zero
+/// simulations and returns identical results.
+#[test]
+fn second_sweep_is_pure_cache_hit() {
+    let dir = temp_cache_dir("hit");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = Cache::open(&dir).unwrap();
+    let exps: Vec<Counted> = matrix()
+        .into_iter()
+        .take(6)
+        .map(|scenario| Counted {
+            scenario,
+            executions: AtomicUsize::new(0),
+        })
+        .collect();
+
+    let first = run_sweep(&exps, 4, Some(&cache));
+    assert_eq!(first.executed, 6);
+    assert_eq!(first.cached, 0);
+
+    let second = run_sweep(&exps, 4, Some(&cache));
+    assert_eq!(second.executed, 0, "unchanged sweep must be a pure hit");
+    assert_eq!(second.cached, 6);
+    for e in &exps {
+        assert_eq!(
+            e.executions.load(Ordering::Relaxed),
+            1,
+            "{}: executed again despite cache",
+            e.label()
+        );
+    }
+    for (a, b) in first.items.iter().zip(second.items.iter()) {
+        assert_eq!(a.result, b.result, "{}: cached result diverged", a.label);
+    }
+    assert_eq!(first.digest(), second.digest());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Changing any outcome-relevant knob must miss the cache.
+#[test]
+fn changed_spec_misses_cache() {
+    let dir = temp_cache_dir("miss");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = Cache::open(&dir).unwrap();
+    let base = Scenario::builder()
+        .name("miss")
+        .cpus(8)
+        .policy(PolicyKind::PerCpu)
+        .workload(WorkloadSpec::pulse(3))
+        .seed(11)
+        .horizon(10 * MILLIS)
+        .trace_capacity(1 << 14)
+        .build();
+    let first = run_sweep(std::slice::from_ref(&base), 1, Some(&cache));
+    assert_eq!(first.executed, 1);
+
+    let reseeded = Scenario { seed: 12, ..base };
+    let second = run_sweep(std::slice::from_ref(&reseeded), 1, Some(&cache));
+    assert_eq!(second.executed, 1, "a changed seed must re-execute");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -110,13 +110,15 @@ impl CoreSchedPolicy {
         self.vms
             .iter()
             .filter(|(_, vm)| !vm.rq.is_empty())
-            .min_by_key(|(_, vm)| {
+            .min_by_key(|(&cookie, vm)| {
                 let local = vm.rq.iter().any(|&t| {
                     self.tracker
                         .get(t)
                         .is_some_and(|v| ctx.topo().info(v.last_cpu).socket == socket)
                 });
-                (vm.deadline, !local)
+                // Cookie tiebreak: ties must not be settled by the VM
+                // map's iteration order, or replays diverge.
+                (vm.deadline, !local, cookie)
             })
             .map(|(&cookie, _)| cookie)
     }

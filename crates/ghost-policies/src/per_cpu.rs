@@ -75,7 +75,9 @@ impl PerCpuPolicy {
             .rqs
             .iter()
             .filter(|(&c, q)| c != thief && q.len() >= 2)
-            .max_by_key(|(_, q)| q.len())
+            // Lowest-CPU tiebreak: equal queue depths must not be
+            // settled by the map's iteration order, or replays diverge.
+            .max_by_key(|(&c, q)| (q.len(), std::cmp::Reverse(c.0)))
         else {
             return;
         };

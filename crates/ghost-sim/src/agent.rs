@@ -29,7 +29,9 @@ pub enum AgentOutcome {
 }
 
 /// The userspace-scheduler runtime plugged into the kernel.
-pub trait AgentDriver {
+///
+/// `Send` so a fully wired kernel can run on a `ghost-lab` worker thread.
+pub trait AgentDriver: Send {
     /// Agent thread `tid` is running on `cpu`; perform one activation.
     fn run_agent(&mut self, tid: Tid, cpu: CpuId, k: &mut KernelState) -> AgentOutcome;
 

@@ -39,7 +39,11 @@ pub enum Next {
 ///
 /// All hooks receive the mutable [`KernelState`] so apps can wake threads,
 /// assign work, arm timers, and read the virtual clock.
-pub trait App {
+///
+/// `Send` because a whole simulation (kernel + apps + runtime) may be
+/// handed to a `ghost-lab` worker thread; share app-side results through
+/// `Arc<Mutex<..>>` rather than `Rc<RefCell<..>>`.
+pub trait App: Send {
     /// Debug name.
     fn name(&self) -> &str;
 

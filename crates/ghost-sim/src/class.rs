@@ -44,7 +44,9 @@ pub const NUM_CLASSES: usize = 5;
 /// expressed through the deferred-operation buffers on `KernelState` and
 /// applied by the kernel after the call returns, which keeps classes free
 /// of re-entrant borrows.
-pub trait SchedClass {
+///
+/// `Send` so a fully wired kernel can run on a `ghost-lab` worker thread.
+pub trait SchedClass: Send {
     /// Short class name for debugging and stats.
     fn name(&self) -> &'static str;
 

@@ -22,8 +22,7 @@
 //! simulator types so this crate sits below `ghost-sim` in the dependency
 //! graph.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 pub mod check;
 pub mod chrome;
@@ -302,15 +301,18 @@ pub enum TraceSink {
     #[default]
     Null,
     /// Tracing on: events land in a shared [`TraceRecorder`].
-    Recorder(Rc<RefCell<TraceRecorder>>),
+    ///
+    /// The recorder is behind `Arc<Mutex<..>>` (not `Rc<RefCell<..>>`) so
+    /// a whole simulation — kernel, runtime, and sink — is `Send` and can
+    /// be executed on a `ghost-lab` worker thread. Each simulation is
+    /// still single-threaded, so the lock is never contended.
+    Recorder(Arc<Mutex<TraceRecorder>>),
 }
 
 impl TraceSink {
     /// A sink recording into per-CPU rings of `capacity` records each.
     pub fn recording(num_cpus: usize, capacity: usize) -> Self {
-        TraceSink::Recorder(Rc::new(RefCell::new(TraceRecorder::new(
-            num_cpus, capacity,
-        ))))
+        TraceSink::Recorder(Arc::new(Mutex::new(TraceRecorder::new(num_cpus, capacity))))
     }
 
     /// True when events are being recorded.
@@ -325,7 +327,7 @@ impl TraceSink {
     #[inline]
     pub fn emit(&self, ts: Nanos, cpu: u16, f: impl FnOnce() -> TraceEvent) {
         if let TraceSink::Recorder(rec) = self {
-            rec.borrow_mut().record(ts, cpu, f());
+            rec.lock().unwrap().record(ts, cpu, f());
         }
     }
 
@@ -334,7 +336,7 @@ impl TraceSink {
     pub fn snapshot(&self) -> Vec<TraceRecord> {
         match self {
             TraceSink::Null => Vec::new(),
-            TraceSink::Recorder(rec) => rec.borrow().snapshot(),
+            TraceSink::Recorder(rec) => rec.lock().unwrap().snapshot(),
         }
     }
 
@@ -342,7 +344,7 @@ impl TraceSink {
     pub fn dropped(&self) -> u64 {
         match self {
             TraceSink::Null => 0,
-            TraceSink::Recorder(rec) => rec.borrow().dropped(),
+            TraceSink::Recorder(rec) => rec.lock().unwrap().dropped(),
         }
     }
 }

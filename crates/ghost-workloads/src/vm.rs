@@ -67,9 +67,12 @@ impl VmApp {
         self.remaining.insert(tid, self.cfg.work_per_vcpu);
     }
 
-    /// Wakes all vCPUs with their first chunk.
+    /// Wakes all vCPUs with their first chunk, in Tid order (the map's
+    /// iteration order must not decide same-instant wake ordering).
     pub fn start(&self, k: &mut KernelState) {
-        for &tid in self.remaining.keys() {
+        let mut tids: Vec<Tid> = self.remaining.keys().copied().collect();
+        tids.sort_by_key(|t| t.0);
+        for tid in tids {
             k.thread_mut(tid).remaining = self.cfg.chunk;
             k.wake(tid);
         }

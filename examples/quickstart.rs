@@ -12,13 +12,12 @@
 
 use ghost::core::enclave::EnclaveConfig;
 use ghost::core::msg::MsgType;
-use ghost::core::runtime::GhostRuntime;
+use ghost::lab::Scenario;
 use ghost::policies::CentralizedFifo;
 use ghost::sim::app::{App, Next};
-use ghost::sim::kernel::{Kernel, KernelConfig, KernelState, ThreadSpec};
+use ghost::sim::kernel::{KernelState, ThreadSpec};
 use ghost::sim::thread::Tid;
 use ghost::sim::time::{MICROS, MILLIS};
-use ghost::sim::topology::Topology;
 
 /// A toy workload: threads run 100 µs bursts, sleeping 1 ms in between.
 struct Bursts;
@@ -70,32 +69,26 @@ fn main() {
             }
         }
     }
-    let sink = if trace_path.is_some() {
-        ghost::trace::TraceSink::recording(1, 1 << 21)
-    } else {
-        ghost::trace::TraceSink::Null
-    };
-
-    // 1. Boot a small machine: 4 cores, 8 logical CPUs.
-    let mut kernel = Kernel::new(
-        Topology::test_small(4),
-        KernelConfig {
-            trace: sink.clone(),
-            ..KernelConfig::default()
-        },
-    );
-
-    // 2. Install the ghOSt runtime and create an enclave over CPUs 1..7
-    //    running a centralized FIFO policy (CPU 0 stays with CFS).
-    let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
-    runtime.install(&mut kernel);
-    let cpus = (1..8u16).map(ghost::sim::topology::CpuId).collect();
-    let enclave = runtime.create_enclave(
-        cpus,
-        EnclaveConfig::centralized("quickstart"),
-        Box::new(CentralizedFifo::new()),
-    );
-    runtime.spawn_agents(&mut kernel, enclave);
+    // 1–2. Boot a small machine (4 cores, 8 logical CPUs) and launch an
+    //    enclave over CPUs 1..7 running a centralized FIFO policy (CPU 0
+    //    stays with CFS). The scenario builder is the canonical setup
+    //    path: it installs the runtime, creates the enclave, and spawns
+    //    its agents in one call.
+    let sim = Scenario::builder()
+        .name("quickstart")
+        .cpus(8)
+        .trace_capacity(if trace_path.is_some() { 1 << 21 } else { 0 })
+        .enclave_cpus(1..8)
+        .build_with(
+            EnclaveConfig::centralized("quickstart"),
+            Box::new(CentralizedFifo::new()),
+        );
+    let ghost::lab::GhostSim {
+        mut kernel,
+        runtime,
+        enclave,
+        sink,
+    } = sim;
 
     // 3. Spawn workload threads and hand them to ghOSt.
     let app_id = kernel.state.next_app_id();
@@ -107,7 +100,7 @@ fn main() {
     }
     kernel.add_app(Box::new(Bursts));
     for (i, &tid) in tids.iter().enumerate() {
-        runtime.attach_thread(&mut kernel.state, enclave, tid);
+        enclave.attach_thread(&mut kernel.state, tid);
         kernel
             .state
             .arm_app_timer((i as u64 + 1) * 50 * MICROS, app_id, tid.0 as u64);

@@ -8,11 +8,11 @@
 
 use ghost::core::enclave::EnclaveConfig;
 use ghost::core::runtime::GhostRuntime;
+use ghost::lab::{Scenario, TopologySpec};
 use ghost::metrics::Table;
 use ghost::policies::search::{SearchConfig, SearchPolicy};
-use ghost::sim::kernel::{Kernel, KernelConfig, ThreadSpec};
+use ghost::sim::kernel::ThreadSpec;
 use ghost::sim::time::{MILLIS, SECS};
-use ghost::sim::topology::Topology;
 use ghost::workloads::search::{QueryType, SearchApp, SearchWorkloadConfig};
 
 fn workload() -> SearchWorkloadConfig {
@@ -25,12 +25,11 @@ fn workload() -> SearchWorkloadConfig {
 }
 
 fn run(use_ghost: bool, duration: u64) -> ghost::workloads::search::SearchResults {
-    let topo = Topology::rome_256();
-    let cfg = KernelConfig {
-        tick_ns: 4 * MILLIS,
-        ..KernelConfig::default()
-    };
-    let mut kernel = Kernel::new(topo, cfg);
+    let (mut kernel, _sink) = Scenario::builder()
+        .name("search")
+        .topology(TopologySpec::Rome256)
+        .tick(4 * MILLIS)
+        .build_kernel();
     let app_id = kernel.state.next_app_id();
     let mut app = SearchApp::new(workload(), app_id);
     let mut workers = Vec::new();
@@ -65,15 +64,15 @@ fn run(use_ghost: bool, duration: u64) -> ghost::workloads::search::SearchResult
 
     if use_ghost {
         let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
-        runtime.install(&mut kernel);
-        let enclave = runtime.create_enclave(
-            kernel.state.topo.all_cpus_set(),
+        let cpus = kernel.state.topo.all_cpus_set();
+        let enclave = runtime.launch_enclave(
+            &mut kernel,
+            cpus,
             EnclaveConfig::centralized("search"),
             Box::new(SearchPolicy::new(SearchConfig::default())),
         );
-        runtime.spawn_agents(&mut kernel, enclave);
         for &w in &workers {
-            runtime.attach_thread(&mut kernel.state, enclave, w);
+            enclave.attach_thread(&mut kernel.state, w);
         }
     }
     kernel.run_until(duration);

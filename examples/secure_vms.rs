@@ -7,24 +7,23 @@
 //! ```
 
 use ghost::core::enclave::EnclaveConfig;
-use ghost::core::runtime::GhostRuntime;
+use ghost::lab::{GhostSim, Scenario};
 use ghost::policies::core_sched::{CoreSchedConfig, CoreSchedPolicy};
-use ghost::sim::kernel::{Kernel, KernelConfig, ThreadSpec};
+use ghost::sim::kernel::ThreadSpec;
 use ghost::sim::time::{MILLIS, SECS};
-use ghost::sim::topology::{CpuId, Topology};
+use ghost::sim::topology::CpuId;
 use ghost::workloads::vm::{VmApp, VmConfig};
 
 fn main() {
     // 8 physical cores, 16 CPUs; 3 VMs with 4 vCPUs each.
-    let mut kernel = Kernel::new(Topology::new("vm-box", 1, 8, 2, 8), KernelConfig::default());
-    let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
-    runtime.install(&mut kernel);
-    let enclave = runtime.create_enclave(
-        kernel.state.topo.all_cpus_set(),
+    let GhostSim {
+        mut kernel,
+        enclave,
+        ..
+    } = Scenario::builder().name("secure-vms").cpus(16).build_with(
         EnclaveConfig::per_core("secure-vms").with_ticks(true),
         Box::new(CoreSchedPolicy::new(CoreSchedConfig::default())),
     );
-    runtime.spawn_agents(&mut kernel, enclave);
 
     let cfg = VmConfig {
         vms: 3,
@@ -49,7 +48,7 @@ fn main() {
     app.start(&mut kernel.state);
     kernel.add_app(Box::new(app));
     for &v in &vcpus {
-        runtime.attach_thread(&mut kernel.state, enclave, v);
+        enclave.attach_thread(&mut kernel.state, v);
     }
 
     // Run to completion, auditing the isolation invariant continuously.

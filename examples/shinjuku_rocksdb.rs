@@ -8,11 +8,12 @@
 
 use ghost::core::enclave::EnclaveConfig;
 use ghost::core::runtime::GhostRuntime;
+use ghost::lab::{Scenario, TopologySpec};
 use ghost::metrics::Table;
 use ghost::policies::shinjuku::{ShinjukuConfig, ShinjukuPolicy};
-use ghost::sim::kernel::{Kernel, KernelConfig, ThreadSpec};
+use ghost::sim::kernel::ThreadSpec;
 use ghost::sim::time::MILLIS;
-use ghost::sim::topology::{CpuId, Topology};
+use ghost::sim::topology::CpuId;
 use ghost::sim::CpuSet;
 use ghost::workloads::rocksdb::{RocksDbApp, RocksDbConfig, RocksDbResults};
 
@@ -21,8 +22,10 @@ const RATE: f64 = 150_000.0;
 const WORKERS: usize = 200;
 
 fn serve(use_ghost: bool) -> RocksDbResults {
-    let topo = Topology::e5_single_socket_24();
-    let mut kernel = Kernel::new(topo, KernelConfig::default());
+    let (mut kernel, _sink) = Scenario::builder()
+        .name("shinjuku-rocksdb")
+        .topology(TopologySpec::E5Single24)
+        .build_kernel();
     let cfg = RocksDbConfig::dispersive(RATE, 7);
     let app_id = kernel.state.next_app_id();
     let mut app = RocksDbApp::new(cfg, app_id, HORIZON);
@@ -39,16 +42,15 @@ fn serve(use_ghost: bool) -> RocksDbResults {
     let worker_cpus: CpuSet = (2..=22u16).map(CpuId).collect();
     if use_ghost {
         let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
-        runtime.install(&mut kernel);
-        let enclave = runtime.create_enclave(
+        let enclave = runtime.launch_enclave(
+            &mut kernel,
             worker_cpus,
             EnclaveConfig::centralized("shinjuku"),
             Box::new(ShinjukuPolicy::new(ShinjukuConfig::default())),
         );
-        runtime.spawn_agents(&mut kernel, enclave);
         for &tid in &tids {
             kernel.state.set_affinity(tid, worker_cpus);
-            runtime.attach_thread(&mut kernel.state, enclave, tid);
+            enclave.attach_thread(&mut kernel.state, tid);
         }
     } else {
         for &tid in &tids {

@@ -9,17 +9,17 @@
 use ghost::baselines::microquanta::{MicroQuanta, MicroQuantaConfig};
 use ghost::core::enclave::EnclaveConfig;
 use ghost::core::runtime::GhostRuntime;
+use ghost::lab::Scenario;
 use ghost::metrics::Table;
 use ghost::policies::snap::{SnapPolicy, SNAP_COOKIE};
-use ghost::sim::kernel::{Kernel, KernelConfig, ThreadSpec};
+use ghost::sim::kernel::ThreadSpec;
 use ghost::sim::time::SECS;
-use ghost::sim::topology::Topology;
 use ghost::sim::CLASS_RT;
 use ghost::workloads::snap::{SnapApp, SnapConfig, SnapResults};
 
 fn run(use_ghost: bool) -> SnapResults {
-    let topo = Topology::new("one-socket", 1, 28, 2, 28);
-    let mut kernel = Kernel::new(topo, KernelConfig::default());
+    // One 28-core SMT socket, 56 logical CPUs.
+    let (mut kernel, _sink) = Scenario::builder().name("snap").cpus(56).build_kernel();
     if !use_ghost {
         let n = kernel.state.topo.num_cpus();
         kernel.install_class(
@@ -45,15 +45,15 @@ fn run(use_ghost: bool) -> SnapResults {
     kernel.add_app(Box::new(app));
     if use_ghost {
         let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
-        runtime.install(&mut kernel);
-        let enclave = runtime.create_enclave(
-            kernel.state.topo.all_cpus_set(),
+        let cpus = kernel.state.topo.all_cpus_set();
+        let enclave = runtime.launch_enclave(
+            &mut kernel,
+            cpus,
             EnclaveConfig::centralized("snap"),
             Box::new(SnapPolicy::new()),
         );
-        runtime.spawn_agents(&mut kernel, enclave);
         for &w in &workers {
-            runtime.attach_thread(&mut kernel.state, enclave, w);
+            enclave.attach_thread(&mut kernel.state, w);
         }
     } else {
         for &w in &workers {

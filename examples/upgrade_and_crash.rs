@@ -6,13 +6,12 @@
 //! ```
 
 use ghost::core::enclave::EnclaveConfig;
-use ghost::core::runtime::GhostRuntime;
+use ghost::lab::{GhostSim, Scenario};
 use ghost::policies::CentralizedFifo;
 use ghost::sim::app::{App, Next};
-use ghost::sim::kernel::{Kernel, KernelConfig, KernelState, ThreadSpec};
+use ghost::sim::kernel::{KernelState, ThreadSpec};
 use ghost::sim::thread::Tid;
 use ghost::sim::time::{MICROS, MILLIS};
-use ghost::sim::topology::Topology;
 use ghost::sim::CLASS_CFS;
 
 struct Pulse;
@@ -39,16 +38,19 @@ impl App for Pulse {
 }
 
 fn main() {
-    let mut kernel = Kernel::new(Topology::test_small(4), KernelConfig::default());
-    let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
-    runtime.install(&mut kernel);
-    let cpus = (1..8u16).map(ghost::sim::topology::CpuId).collect();
-    let enclave = runtime.create_enclave(
-        cpus,
-        EnclaveConfig::centralized("demo").with_watchdog(50 * MILLIS),
-        Box::new(CentralizedFifo::new()),
-    );
-    runtime.spawn_agents(&mut kernel, enclave);
+    let GhostSim {
+        mut kernel,
+        runtime,
+        enclave,
+        ..
+    } = Scenario::builder()
+        .name("demo")
+        .cpus(8)
+        .enclave_cpus(1..8)
+        .build_with(
+            EnclaveConfig::centralized("demo").with_watchdog(50 * MILLIS),
+            Box::new(CentralizedFifo::new()),
+        );
 
     let app_id = kernel.state.next_app_id();
     let mut tids = Vec::new();
@@ -59,7 +61,7 @@ fn main() {
     }
     kernel.add_app(Box::new(Pulse));
     for (i, &tid) in tids.iter().enumerate() {
-        runtime.attach_thread(&mut kernel.state, enclave, tid);
+        enclave.attach_thread(&mut kernel.state, tid);
         kernel
             .state
             .arm_app_timer((i as u64 + 1) * 100 * MICROS, app_id, tid.0 as u64);
@@ -73,32 +75,32 @@ fn main() {
 
     // Non-disruptive upgrade: stage v2, crash the running agent. The
     // staged policy takes over in place; applications keep running.
-    runtime.stage_upgrade(enclave, Box::new(CentralizedFifo::new()));
-    let agent = runtime.global_agent(enclave).expect("global agent");
+    enclave.stage_upgrade(Box::new(CentralizedFifo::new()));
+    let agent = enclave.global_agent().expect("global agent");
     kernel.kill(agent);
     kernel.run_until(200 * MILLIS);
     let stats = runtime.stats();
     println!(
         "t=200ms   upgraded in place (upgrades: {}); enclave alive: {}",
         stats.upgrades,
-        runtime.enclave_alive(enclave)
+        enclave.alive()
     );
     assert_eq!(stats.upgrades, 1);
-    assert!(runtime.enclave_alive(enclave));
+    assert!(enclave.alive());
 
     // Crash with no standby: fault isolation moves every managed thread
     // back to CFS; the machine keeps running.
-    let agent = runtime.global_agent(enclave).expect("global agent");
+    let agent = enclave.global_agent().expect("global agent");
     kernel.kill(agent);
     kernel.run_until(300 * MILLIS);
     let stats = runtime.stats();
     println!(
         "t=300ms   agent crashed with no standby (fallbacks: {}); enclave alive: {}",
         stats.fallbacks,
-        runtime.enclave_alive(enclave)
+        enclave.alive()
     );
     assert!(stats.fallbacks >= 1);
-    assert!(!runtime.enclave_alive(enclave));
+    assert!(!enclave.alive());
     for &tid in &tids {
         assert_eq!(kernel.state.thread(tid).class, CLASS_CFS);
     }

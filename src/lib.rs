@@ -8,6 +8,9 @@
 //! * [`policies`] — the scheduling policies evaluated in the paper.
 //! * [`baselines`] — the systems ghOSt is compared against.
 //! * [`workloads`] — synthetic workload models for the evaluation.
+//! * [`lab`] — the deterministic parallel experiment engine: declarative
+//!   `Scenario` specs, worker-pool sweeps, content-addressed result
+//!   caching.
 //! * [`metrics`] — histograms and reporting.
 //! * [`trace`] — `sched:*`-style tracepoints, Chrome trace export,
 //!   derived metrics, and the trace-driven invariant checker.
@@ -17,6 +20,7 @@
 
 pub use ghost_baselines as baselines;
 pub use ghost_core as core;
+pub use ghost_lab as lab;
 pub use ghost_metrics as metrics;
 pub use ghost_policies as policies;
 pub use ghost_sim as sim;

@@ -50,16 +50,15 @@ fn shinjuku_policy_beats_cfs_on_dispersive_tail() {
         let cpus: CpuSet = (2..=22u16).map(CpuId).collect();
         if use_ghost {
             let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
-            runtime.install(&mut kernel);
-            let enclave = runtime.create_enclave(
+            let enclave = runtime.launch_enclave(
+                &mut kernel,
                 cpus,
                 EnclaveConfig::centralized("sj"),
                 Box::new(ShinjukuPolicy::new(ShinjukuConfig::default())),
             );
-            runtime.spawn_agents(&mut kernel, enclave);
             for &tid in &tids {
                 kernel.state.set_affinity(tid, cpus);
-                runtime.attach_thread(&mut kernel.state, enclave, tid);
+                enclave.attach_thread(&mut kernel.state, tid);
             }
         } else {
             for &tid in &tids {
@@ -107,16 +106,19 @@ fn shinjuku_policy_beats_cfs_on_dispersive_tail() {
 /// commits schedule threads on their own CPUs.
 #[test]
 fn per_cpu_policy_schedules_locally() {
-    let mut kernel = Kernel::new(Topology::test_small(2), KernelConfig::default());
-    let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
-    runtime.install(&mut kernel);
-    let cpus: CpuSet = (0..4u16).map(CpuId).collect();
-    let enclave = runtime.create_enclave(
-        cpus,
-        EnclaveConfig::per_cpu("percpu"),
-        Box::new(PerCpuPolicy::new()),
-    );
-    runtime.spawn_agents(&mut kernel, enclave);
+    let ghost::lab::GhostSim {
+        mut kernel,
+        runtime,
+        enclave,
+        ..
+    } = ghost::lab::Scenario::builder()
+        .name("percpu")
+        .cpus(4)
+        .enclave_cpus(0..4)
+        .build_with(
+            EnclaveConfig::per_cpu("percpu"),
+            Box::new(PerCpuPolicy::new()),
+        );
     let app_id = kernel.state.next_app_id();
     let mut tids = Vec::new();
     for i in 0..4 {
@@ -126,7 +128,7 @@ fn per_cpu_policy_schedules_locally() {
     }
     kernel.add_app(Box::new(PulseApp::new(200 * MICROS, 2 * MILLIS)));
     for (i, &tid) in tids.iter().enumerate() {
-        runtime.attach_thread(&mut kernel.state, enclave, tid);
+        enclave.attach_thread(&mut kernel.state, tid);
         kernel
             .state
             .arm_app_timer((i as u64 + 1) * 100 * MICROS, app_id, tid.0 as u64);
@@ -188,15 +190,15 @@ fn snap_policy_and_microquanta_both_serve() {
         kernel.add_app(Box::new(app));
         if use_ghost {
             let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
-            runtime.install(&mut kernel);
-            let enclave = runtime.create_enclave(
-                kernel.state.topo.all_cpus_set(),
+            let cpus = kernel.state.topo.all_cpus_set();
+            let enclave = runtime.launch_enclave(
+                &mut kernel,
+                cpus,
                 EnclaveConfig::centralized("snap"),
                 Box::new(SnapPolicy::new()),
             );
-            runtime.spawn_agents(&mut kernel, enclave);
             for &w in &workers {
-                runtime.attach_thread(&mut kernel.state, enclave, w);
+                enclave.attach_thread(&mut kernel.state, w);
             }
         } else {
             for &w in &workers {
@@ -242,13 +244,13 @@ fn core_sched_isolation_holds_under_load() {
     use ghost::policies::core_sched::{CoreSchedConfig, CoreSchedPolicy};
     let mut kernel = Kernel::new(Topology::new("vm8", 1, 4, 2, 4), KernelConfig::default());
     let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
-    runtime.install(&mut kernel);
-    let enclave = runtime.create_enclave(
-        kernel.state.topo.all_cpus_set(),
+    let cpus = kernel.state.topo.all_cpus_set();
+    let enclave = runtime.launch_enclave(
+        &mut kernel,
+        cpus,
         EnclaveConfig::per_core("vm").with_ticks(true),
         Box::new(CoreSchedPolicy::new(CoreSchedConfig::default())),
     );
-    runtime.spawn_agents(&mut kernel, enclave);
     let app_id = kernel.state.next_app_id();
     let cfg = VmConfig {
         vms: 2,
@@ -272,7 +274,7 @@ fn core_sched_isolation_holds_under_load() {
     app.start(&mut kernel.state);
     kernel.add_app(Box::new(app));
     for &v in &vcpus {
-        runtime.attach_thread(&mut kernel.state, enclave, v);
+        enclave.attach_thread(&mut kernel.state, v);
     }
     // Audit at fine grain while the workload runs.
     let mut violations = 0;
@@ -312,16 +314,19 @@ fn core_sched_isolation_holds_under_load() {
 #[test]
 fn centralized_fifo_is_deterministic() {
     let run = || {
-        let mut kernel = Kernel::new(Topology::test_small(4), KernelConfig::default());
-        let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
-        runtime.install(&mut kernel);
-        let cpus: CpuSet = (1..8u16).map(CpuId).collect();
-        let enclave = runtime.create_enclave(
-            cpus,
-            EnclaveConfig::centralized("det"),
-            Box::new(CentralizedFifo::new()),
-        );
-        runtime.spawn_agents(&mut kernel, enclave);
+        let ghost::lab::GhostSim {
+            mut kernel,
+            runtime,
+            enclave,
+            ..
+        } = ghost::lab::Scenario::builder()
+            .name("det")
+            .cpus(8)
+            .enclave_cpus(1..8)
+            .build_with(
+                EnclaveConfig::centralized("det"),
+                Box::new(CentralizedFifo::new()),
+            );
         let app_id = kernel.state.next_app_id();
         let mut tids = Vec::new();
         for i in 0..6 {
@@ -331,7 +336,7 @@ fn centralized_fifo_is_deterministic() {
         }
         kernel.add_app(Box::new(PulseApp::new(150 * MICROS, MILLIS)));
         for (i, &tid) in tids.iter().enumerate() {
-            runtime.attach_thread(&mut kernel.state, enclave, tid);
+            enclave.attach_thread(&mut kernel.state, tid);
             kernel
                 .state
                 .arm_app_timer((i as u64 + 1) * 37 * MICROS, app_id, tid.0 as u64);
@@ -353,23 +358,20 @@ fn centralized_fifo_is_deterministic() {
 #[test]
 fn trace_export_is_deterministic_valid_json() {
     let run = || {
-        let sink = TraceSink::recording(8, 1 << 15);
-        let mut kernel = Kernel::new(
-            Topology::test_small(4),
-            KernelConfig {
-                trace: sink.clone(),
-                ..KernelConfig::default()
-            },
-        );
-        let runtime = GhostRuntime::new(kernel.state.topo.num_cpus());
-        runtime.install(&mut kernel);
-        let cpus: CpuSet = (1..8u16).map(CpuId).collect();
-        let enclave = runtime.create_enclave(
-            cpus,
-            EnclaveConfig::centralized("trace"),
-            Box::new(CentralizedFifo::new()),
-        );
-        runtime.spawn_agents(&mut kernel, enclave);
+        let ghost::lab::GhostSim {
+            mut kernel,
+            runtime,
+            enclave,
+            sink,
+        } = ghost::lab::Scenario::builder()
+            .name("trace")
+            .cpus(8)
+            .trace_capacity(1 << 18)
+            .enclave_cpus(1..8)
+            .build_with(
+                EnclaveConfig::centralized("trace"),
+                Box::new(CentralizedFifo::new()),
+            );
         let app_id = kernel.state.next_app_id();
         let mut tids = Vec::new();
         for i in 0..5 {
@@ -379,7 +381,7 @@ fn trace_export_is_deterministic_valid_json() {
         }
         kernel.add_app(Box::new(PulseApp::new(120 * MICROS, MILLIS)));
         for (i, &tid) in tids.iter().enumerate() {
-            runtime.attach_thread(&mut kernel.state, enclave, tid);
+            enclave.attach_thread(&mut kernel.state, tid);
             kernel
                 .state
                 .arm_app_timer((i as u64 + 1) * 53 * MICROS, app_id, tid.0 as u64);
