@@ -19,6 +19,11 @@
 //!   fallback-to-CFS completes, the run made progress).
 //! * [`shrink`] — greedily minimizes a failing fault plan to a
 //!   1-minimal repro.
+//! * [`byzantine`] — a seeded adversary issuing hostile ABI call
+//!   sequences (forged CPUs/tids/seqnums, commit-after-destroy, queue
+//!   misconfiguration, status-word writes) from a co-resident malicious
+//!   enclave, judged by never-panic, typed-rejection, and
+//!   victim-liveness oracles.
 //! * [`repro`] — serializes a combo to `repro.json` and parses it back
 //!   for bit-identical deterministic replay.
 //!
@@ -26,15 +31,19 @@
 //! policies and, on failure, writes `repro.json` plus a Chrome trace of
 //! the shrunk repro.
 
+pub mod byzantine;
 pub mod oracle;
 pub mod plan;
 pub mod repro;
 pub mod run;
 pub mod shrink;
 
+pub use byzantine::{
+    generate_byz_ops, run_byzantine, shrink_byzantine, ByzCombo, ByzExperiment, ByzOp, ByzReport,
+};
 pub use oracle::Failure;
 pub use plan::generate_plan;
-pub use repro::{combo_from_json, combo_to_json};
+pub use repro::{byz_from_json, byz_to_json, combo_from_json, combo_to_json};
 pub use run::{run_combo, Combo, ComboExperiment, PolicyKind, RunReport, WATCHDOG};
 pub use shrink::shrink;
 

@@ -17,8 +17,10 @@
 //! cargo run -p ghost-chaos -- --replay repro.json   # deterministic replay
 //! ```
 
+use ghost_chaos::repro::is_byzantine_repro;
 use ghost_chaos::{
-    combo_from_json, combo_to_json, run_combo, shrink, Combo, ComboExperiment, PolicyKind,
+    byz_from_json, byz_to_json, combo_from_json, combo_to_json, run_byzantine, run_combo, shrink,
+    shrink_byzantine, ByzCombo, ByzExperiment, Combo, ComboExperiment, PolicyKind,
 };
 use ghost_lab::{run_sweep, Cache};
 use std::process::ExitCode;
@@ -31,6 +33,7 @@ struct Opts {
     policy: Option<PolicyKind>,
     replay: Option<String>,
     recovery: bool,
+    byzantine: bool,
     jobs: usize,
     cache: Option<String>,
     digest: Option<String>,
@@ -53,6 +56,10 @@ fn usage() -> ! {
          --recovery      recovery sweep: every plan crashes an agent or\n\
                          upgrades in place; odd crash seeds arm a hot\n\
                          standby judged by the bounded-recovery oracle\n\
+         --byzantine     byzantine sweep: each combo runs a seeded hostile\n\
+                         ABI call sequence from a co-resident malicious\n\
+                         enclave, judged by the never-panic,\n\
+                         typed-rejection, and victim-liveness oracles\n\
          --jobs N        worker threads for the sweep (default 1); results\n\
                          are byte-identical for every N\n\
          --cache DIR     ghost-lab result cache: unchanged combos are not\n\
@@ -76,6 +83,7 @@ fn parse_opts() -> Opts {
         policy: None,
         replay: None,
         recovery: false,
+        byzantine: false,
         jobs: 1,
         cache: None,
         digest: None,
@@ -105,6 +113,7 @@ fn parse_opts() -> Opts {
             }
             "--replay" => opts.replay = Some(value("--replay")),
             "--recovery" => opts.recovery = true,
+            "--byzantine" => opts.byzantine = true,
             "--jobs" => opts.jobs = value("--jobs").parse().unwrap_or_else(|_| usage()),
             "--cache" => opts.cache = Some(value("--cache")),
             "--digest" => opts.digest = Some(value("--digest")),
@@ -118,6 +127,39 @@ fn parse_opts() -> Opts {
     opts
 }
 
+fn replay_byzantine(path: &str, doc: &str) -> ExitCode {
+    let combo = match byz_from_json(doc) {
+        Ok(combo) => combo,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "replaying {path}: byzantine victim={} seed={} ops={}",
+        combo.victim.name(),
+        combo.seed,
+        combo.ops.len()
+    );
+    let report = run_byzantine(&combo);
+    println!(
+        "  victim_completions={} hostile_rejected={} abi_rejects={} quarantined={}",
+        report.victim_completions,
+        report.hostile_rejected,
+        report.stats.abi_rejects_total(),
+        report.quarantined
+    );
+    if report.failures.is_empty() {
+        println!("  PASS: all oracles clean");
+        ExitCode::SUCCESS
+    } else {
+        for f in &report.failures {
+            println!("  FAIL {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn replay(path: &str) -> ExitCode {
     let doc = match std::fs::read_to_string(path) {
         Ok(doc) => doc,
@@ -126,6 +168,9 @@ fn replay(path: &str) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if is_byzantine_repro(&doc) {
+        return replay_byzantine(path, &doc);
+    }
     let combo = match combo_from_json(&doc) {
         Ok(combo) => combo,
         Err(e) => {
@@ -158,6 +203,117 @@ fn replay(path: &str) -> ExitCode {
     }
 }
 
+fn open_cache(dir: Option<&String>) -> Result<Option<Cache>, ExitCode> {
+    match dir {
+        Some(dir) => match Cache::open(dir) {
+            Ok(c) => Ok(Some(c)),
+            Err(e) => {
+                eprintln!("cannot open cache {dir}: {e}");
+                Err(ExitCode::from(2))
+            }
+        },
+        None => Ok(None),
+    }
+}
+
+fn write_byz_repro(out_dir: &str, index: u64, combo: &ByzCombo) {
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {out_dir}: {e}");
+        return;
+    }
+    let repro_path = format!("{out_dir}/repro-{index}.json");
+    let trace_path = format!("{out_dir}/trace-{index}.json");
+    if let Err(e) = std::fs::write(&repro_path, byz_to_json(combo)) {
+        eprintln!("cannot write {repro_path}: {e}");
+    }
+    // Re-run the shrunk combo to capture the trace of the minimal repro.
+    let report = run_byzantine(combo);
+    if let Err(e) = std::fs::write(&trace_path, ghost_trace::chrome::export(&report.records)) {
+        eprintln!("cannot write {trace_path}: {e}");
+    }
+    println!("  wrote {repro_path} and {trace_path}");
+}
+
+// Byzantine sweep: hostile ABI call sequences from a co-resident
+// malicious enclave, rotated over the victim policies. Failing combos
+// shrink to a 1-minimal op sequence, serially, like the fault sweep.
+fn byzantine_sweep(opts: &Opts) -> ExitCode {
+    let victims: Vec<PolicyKind> = match opts.policy {
+        Some(p) if ByzCombo::VICTIMS.contains(&p) => vec![p],
+        Some(p) => {
+            eprintln!(
+                "policy '{}' cannot be a byzantine victim (it cannot co-reside \
+                 with the hostile enclave)",
+                p.name()
+            );
+            return ExitCode::from(2);
+        }
+        None => ByzCombo::VICTIMS.to_vec(),
+    };
+    let exps: Vec<ByzExperiment> = (0..opts.combos)
+        .map(|i| {
+            let victim = victims[(i % victims.len() as u64) as usize];
+            ByzExperiment(ByzCombo::generated(victim, opts.seed_base + i))
+        })
+        .collect();
+    let cache = match open_cache(opts.cache.as_ref()) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let started = Instant::now();
+    let report = run_sweep(&exps, opts.jobs, cache.as_ref());
+    let elapsed = started.elapsed();
+    let mut failed = 0u64;
+    for (i, item) in report.items.iter().enumerate() {
+        if item.result.pass {
+            continue;
+        }
+        failed += 1;
+        let combo = &exps[i].0;
+        println!(
+            "combo {i}: byzantine victim={} seed={} ops={} FAILED:",
+            combo.victim.name(),
+            combo.seed,
+            combo.ops.len()
+        );
+        for line in item.result.lines.iter() {
+            if let Some(f) = line.strip_prefix("failure ") {
+                println!("  {f}");
+            }
+        }
+        let minimal = shrink_byzantine(combo);
+        println!(
+            "  shrunk op sequence: {} -> {} op(s)",
+            combo.ops.len(),
+            minimal.ops.len()
+        );
+        write_byz_repro(&opts.out_dir, i as u64, &minimal);
+    }
+    println!(
+        "swept {} byzantine combos across {} victim(s) with {} job(s) in {:.2?} \
+         ({} executed, {} cached): {} failed",
+        opts.combos,
+        victims.len(),
+        opts.jobs,
+        elapsed,
+        report.executed,
+        report.cached,
+        failed
+    );
+    if let Some(path) = &opts.digest {
+        if let Err(e) = std::fs::write(path, report.digest()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote digest to {path}");
+    }
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn write_repro(out_dir: &str, index: u64, combo: &Combo) {
     if let Err(e) = std::fs::create_dir_all(out_dir) {
         eprintln!("cannot create {out_dir}: {e}");
@@ -181,6 +337,9 @@ fn main() -> ExitCode {
     if let Some(path) = &opts.replay {
         return replay(path);
     }
+    if opts.byzantine {
+        return byzantine_sweep(&opts);
+    }
 
     let policies: Vec<PolicyKind> = match opts.policy {
         Some(p) => vec![p],
@@ -198,15 +357,9 @@ fn main() -> ExitCode {
         })
         .collect();
 
-    let cache = match &opts.cache {
-        Some(dir) => match Cache::open(dir) {
-            Ok(c) => Some(c),
-            Err(e) => {
-                eprintln!("cannot open cache {dir}: {e}");
-                return ExitCode::from(2);
-            }
-        },
-        None => None,
+    let cache = match open_cache(opts.cache.as_ref()) {
+        Ok(c) => c,
+        Err(code) => return code,
     };
 
     let started = Instant::now();

@@ -7,10 +7,22 @@
 //! decimal string because the reader parses numbers as `f64`, which would
 //! silently round seeds above 2⁵³.
 
+use crate::byzantine::{ByzCombo, ByzOp};
 use crate::run::{Combo, PolicyKind};
 use ghost_sim::faults::{FaultEvent, FaultKind, FaultPlan};
 use ghost_sim::topology::CpuId;
 use ghost_trace::json::{self, Json};
+
+/// True if `input` is a byzantine-adversary repro (`"kind":
+/// "byzantine"`) rather than a fault-plan repro. Used by the CLI to
+/// dispatch `--replay`.
+pub fn is_byzantine_repro(input: &str) -> bool {
+    json::parse(input)
+        .ok()
+        .and_then(|doc| doc.get("kind").and_then(|k| k.as_str().map(String::from)))
+        .as_deref()
+        == Some("byzantine")
+}
 
 /// Serializes a combo as a self-contained `repro.json` document.
 pub fn combo_to_json(combo: &Combo) -> String {
@@ -151,6 +163,145 @@ fn fault_from_json(v: &Json) -> Result<FaultEvent, String> {
     Ok(FaultEvent { at, kind })
 }
 
+/// Serializes a byzantine combo as a self-contained `repro.json`
+/// document, distinguished from fault-plan repros by `"kind":
+/// "byzantine"`. Status-word payloads are encoded as decimal strings
+/// for the same `f64` reason as seeds.
+pub fn byz_to_json(combo: &ByzCombo) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\n");
+    out.push_str("  \"kind\": \"byzantine\",\n");
+    out.push_str(&format!(
+        "  \"victim\": \"{}\",\n",
+        json::escape(combo.victim.name())
+    ));
+    out.push_str(&format!("  \"seed\": \"{}\",\n", combo.seed));
+    out.push_str("  \"ops\": [");
+    for (i, op) in combo.ops.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&byz_op_to_json(op));
+    }
+    if !combo.ops.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn byz_op_to_json(op: &ByzOp) -> String {
+    match *op {
+        ByzOp::CommitForgedCpu { cpu } => {
+            format!("{{\"op\": \"commit-forged-cpu\", \"cpu\": {cpu}}}")
+        }
+        ByzOp::CommitForeignTid { tid } => {
+            format!("{{\"op\": \"commit-foreign-tid\", \"tid\": {tid}}}")
+        }
+        ByzOp::CommitStaleSeq => "{\"op\": \"commit-stale-seq\"}".into(),
+        ByzOp::CommitAtomicMixed { cpu } => {
+            format!("{{\"op\": \"commit-atomic-mixed\", \"cpu\": {cpu}}}")
+        }
+        ByzOp::RecallForged { cpu } => format!("{{\"op\": \"recall-forged\", \"cpu\": {cpu}}}"),
+        ByzOp::QueueDestroyDefault => "{\"op\": \"queue-destroy-default\"}".into(),
+        ByzOp::QueueAssociateForged { tid, queue } => {
+            format!("{{\"op\": \"queue-associate-forged\", \"tid\": {tid}, \"queue\": {queue}}}")
+        }
+        ByzOp::QueueWakeupForged { tid } => {
+            format!("{{\"op\": \"queue-wakeup-forged\", \"tid\": {tid}}}")
+        }
+        ByzOp::PntPushForeign { tid } => {
+            format!("{{\"op\": \"pnt-push-foreign\", \"tid\": {tid}}}")
+        }
+        ByzOp::PingForged { cpu } => format!("{{\"op\": \"ping-forged\", \"cpu\": {cpu}}}"),
+        ByzOp::AttachForged { tid } => format!("{{\"op\": \"attach-forged\", \"tid\": {tid}}}"),
+        ByzOp::StatusWrite { tid, value } => {
+            format!("{{\"op\": \"status-write\", \"tid\": {tid}, \"value\": \"{value}\"}}")
+        }
+        ByzOp::StatusReadForged { tid } => {
+            format!("{{\"op\": \"status-read-forged\", \"tid\": {tid}}}")
+        }
+        ByzOp::HintForged { tid } => format!("{{\"op\": \"hint-forged\", \"tid\": {tid}}}"),
+        ByzOp::UpgradeWithoutStage => "{\"op\": \"upgrade-without-stage\"}".into(),
+        ByzOp::DestroyTwice => "{\"op\": \"destroy-twice\"}".into(),
+        ByzOp::CreateOverlapping { cpu } => {
+            format!("{{\"op\": \"create-overlapping\", \"cpu\": {cpu}}}")
+        }
+    }
+}
+
+/// Parses a byzantine `repro.json` document back into a combo.
+pub fn byz_from_json(input: &str) -> Result<ByzCombo, String> {
+    let doc = json::parse(input)?;
+    if doc.get("kind").and_then(Json::as_str) != Some("byzantine") {
+        return Err("not a byzantine repro (missing \"kind\": \"byzantine\")".into());
+    }
+    let victim_name = doc
+        .get("victim")
+        .and_then(Json::as_str)
+        .ok_or("missing string field 'victim'")?;
+    let victim = PolicyKind::from_name(victim_name)
+        .filter(|p| ByzCombo::VICTIMS.contains(p))
+        .ok_or_else(|| format!("unsupported byzantine victim '{victim_name}'"))?;
+    let seed = doc
+        .get("seed")
+        .and_then(Json::as_str)
+        .ok_or("missing string field 'seed'")?
+        .parse::<u64>()
+        .map_err(|e| format!("bad seed: {e}"))?;
+    let mut ops = Vec::new();
+    for item in doc
+        .get("ops")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field 'ops'")?
+    {
+        ops.push(byz_op_from_json(item)?);
+    }
+    Ok(ByzCombo { victim, seed, ops })
+}
+
+fn byz_op_from_json(v: &Json) -> Result<ByzOp, String> {
+    let name = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("byzantine op without 'op'")?;
+    let cpu = || field_u64(v, "cpu").map(|c| c as u16);
+    let tid = || field_u64(v, "tid").map(|t| t as u32);
+    let op = match name {
+        "commit-forged-cpu" => ByzOp::CommitForgedCpu { cpu: cpu()? },
+        "commit-foreign-tid" => ByzOp::CommitForeignTid { tid: tid()? },
+        "commit-stale-seq" => ByzOp::CommitStaleSeq,
+        "commit-atomic-mixed" => ByzOp::CommitAtomicMixed { cpu: cpu()? },
+        "recall-forged" => ByzOp::RecallForged { cpu: cpu()? },
+        "queue-destroy-default" => ByzOp::QueueDestroyDefault,
+        "queue-associate-forged" => ByzOp::QueueAssociateForged {
+            tid: tid()?,
+            queue: field_u64(v, "queue")? as u32,
+        },
+        "queue-wakeup-forged" => ByzOp::QueueWakeupForged { tid: tid()? },
+        "pnt-push-foreign" => ByzOp::PntPushForeign { tid: tid()? },
+        "ping-forged" => ByzOp::PingForged { cpu: cpu()? },
+        "attach-forged" => ByzOp::AttachForged { tid: tid()? },
+        "status-write" => ByzOp::StatusWrite {
+            tid: tid()?,
+            value: v
+                .get("value")
+                .and_then(Json::as_str)
+                .ok_or("status-write without string field 'value'")?
+                .parse::<u64>()
+                .map_err(|e| format!("bad status-write value: {e}"))?,
+        },
+        "status-read-forged" => ByzOp::StatusReadForged { tid: tid()? },
+        "hint-forged" => ByzOp::HintForged { tid: tid()? },
+        "upgrade-without-stage" => ByzOp::UpgradeWithoutStage,
+        "destroy-twice" => ByzOp::DestroyTwice,
+        "create-overlapping" => ByzOp::CreateOverlapping { cpu: cpu()? },
+        other => return Err(format!("unknown byzantine op '{other}'")),
+    };
+    Ok(op)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +374,62 @@ mod tests {
         assert!(combo_from_json("not json").is_err());
         assert!(combo_from_json(
             r#"{"policy": "nope", "seed": "1", "horizon": 1, "threads": 1, "plan": []}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn every_byzantine_op_round_trips() {
+        let combo = ByzCombo {
+            victim: PolicyKind::PerCpu,
+            seed: u64::MAX - 11, // would not survive an f64 round trip
+            ops: vec![
+                ByzOp::CommitForgedCpu { cpu: 999 },
+                ByzOp::CommitForeignTid { tid: u32::MAX },
+                ByzOp::CommitStaleSeq,
+                ByzOp::CommitAtomicMixed { cpu: 300 },
+                ByzOp::RecallForged { cpu: u16::MAX },
+                ByzOp::QueueDestroyDefault,
+                ByzOp::QueueAssociateForged { tid: 7, queue: 250 },
+                ByzOp::QueueWakeupForged { tid: 9_999 },
+                ByzOp::PntPushForeign { tid: 40 },
+                ByzOp::PingForged { cpu: 8 },
+                ByzOp::AttachForged { tid: 0 },
+                ByzOp::StatusWrite {
+                    tid: 1,
+                    value: u64::MAX, // would not survive an f64 round trip
+                },
+                ByzOp::StatusReadForged { tid: 5 },
+                ByzOp::HintForged { tid: 4_096 },
+                ByzOp::UpgradeWithoutStage,
+                ByzOp::DestroyTwice,
+                ByzOp::CreateOverlapping { cpu: 1 },
+            ],
+        };
+        let doc = byz_to_json(&combo);
+        assert!(is_byzantine_repro(&doc));
+        let back = byz_from_json(&doc).expect("parses");
+        assert_eq!(back, combo);
+    }
+
+    #[test]
+    fn byzantine_parser_rejects_garbage() {
+        assert!(byz_from_json("{}").is_err());
+        assert!(byz_from_json("not json").is_err());
+        // A fault-plan repro is not a byzantine repro, and vice versa.
+        let combo = Combo {
+            policy: PolicyKind::PerCpu,
+            seed: 0,
+            plan: FaultPlan::none(),
+            horizon: MILLIS,
+            threads: 1,
+        };
+        let doc = combo_to_json(&combo);
+        assert!(!is_byzantine_repro(&doc));
+        assert!(byz_from_json(&doc).is_err());
+        // Core scheduling cannot co-reside with the byzantine enclave.
+        assert!(byz_from_json(
+            r#"{"kind": "byzantine", "victim": "core-sched", "seed": "1", "ops": []}"#
         )
         .is_err());
     }

@@ -58,6 +58,11 @@ pub struct EnclaveConfig {
     /// respawns and reconstructs from status words. `None` keeps the
     /// crash-destroys-the-enclave behaviour.
     pub standby: Option<crate::recovery::StandbyConfig>,
+    /// Byzantine strike budget: quarantine (destroy → CFS fallback) the
+    /// enclave after this many rejected ABI calls that no benign race
+    /// can produce ([`crate::abi::AbiError::byzantine`]). `None`
+    /// disables quarantine; rejections are still counted and traced.
+    pub abi_strike_budget: Option<u32>,
 }
 
 impl EnclaveConfig {
@@ -71,6 +76,7 @@ impl EnclaveConfig {
             watchdog_timeout: None,
             pnt_ring_capacity: None,
             standby: None,
+            abi_strike_budget: None,
         }
     }
 
@@ -84,6 +90,7 @@ impl EnclaveConfig {
             watchdog_timeout: None,
             pnt_ring_capacity: None,
             standby: None,
+            abi_strike_budget: None,
         }
     }
 
@@ -97,6 +104,7 @@ impl EnclaveConfig {
             watchdog_timeout: None,
             pnt_ring_capacity: None,
             standby: None,
+            abi_strike_budget: None,
         }
     }
 
@@ -121,6 +129,12 @@ impl EnclaveConfig {
     /// Enables degraded-mode failover with a standby agent.
     pub fn with_standby(mut self, standby: crate::recovery::StandbyConfig) -> Self {
         self.standby = Some(standby);
+        self
+    }
+
+    /// Sets the byzantine strike budget (quarantine threshold).
+    pub fn with_abi_strikes(mut self, budget: u32) -> Self {
+        self.abi_strike_budget = Some(budget);
         self
     }
 }
@@ -231,6 +245,11 @@ pub struct Enclave {
     /// Degraded-mode failover in flight (crash happened, standby not yet
     /// re-absorbed every thread). `None` when healthy.
     pub recovery: Option<crate::recovery::RecoveryState>,
+    /// Byzantine strikes accumulated: rejected ABI calls whose
+    /// [`crate::abi::AbiError`] is structurally impossible from a benign
+    /// race (`AbiError::byzantine()`). Crossing
+    /// [`EnclaveConfig::abi_strike_budget`] quarantines the enclave.
+    pub abi_strikes: u32,
     /// Standby respawns consumed over the enclave's lifetime. The budget
     /// is never replenished — an enclave whose agents keep dying is
     /// destroyed after `max_respawns` total, even if each individual

@@ -41,6 +41,7 @@
 //! crashes fall back to CFS, and a staged policy can take over in place.
 //! The BPF `pick_next_task` fast path (§3.2/§5) is modelled by [`pnt`].
 
+pub mod abi;
 pub mod enclave;
 pub mod msg;
 pub mod pnt;
@@ -51,6 +52,7 @@ pub mod runtime;
 pub mod status;
 pub mod txn;
 
+pub use abi::AbiError;
 pub use enclave::{AgentMode, EnclaveConfig, EnclaveId, QueueId};
 pub use msg::{Message, MsgType};
 pub use policy::{GhostPolicy, PolicyCtx, ThreadView};

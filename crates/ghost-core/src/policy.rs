@@ -2,6 +2,7 @@
 //! against. This is the analogue of the paper's userspace support library
 //! (3,115 LOC of C++ in Table 2).
 
+use crate::abi::AbiError;
 use crate::enclave::{Enclave, QueueId, WakeMode};
 use crate::msg::Message;
 use ghost_sim::cpuset::CpuSet;
@@ -9,6 +10,7 @@ use ghost_sim::kernel::KernelState;
 use ghost_sim::thread::{ThreadState, Tid};
 use ghost_sim::time::Nanos;
 use ghost_sim::topology::{CpuId, Topology};
+use ghost_trace::TraceEvent;
 
 /// A snapshot of a ghOSt thread's state as an agent sees it (messages +
 /// status words; agents never dereference kernel structures, §3.1).
@@ -92,9 +94,10 @@ impl<'a> PolicyCtx<'a> {
     }
 
     /// The ghOSt thread currently running on `cpu`, if any (candidates
-    /// for preemptive policies such as Shinjuku).
+    /// for preemptive policies such as Shinjuku). Total: a forged CPU id
+    /// runs nothing.
     pub fn running_ghost(&self, cpu: CpuId) -> Option<Tid> {
-        let cur = self.k.cpus[cpu.index()].current?;
+        let cur = self.k.cpu_checked(cpu)?.current?;
         self.enclave.threads.contains_key(&cur).then_some(cur)
     }
 
@@ -111,16 +114,18 @@ impl<'a> PolicyCtx<'a> {
 
     /// True if `cpu` is currently occupied by an agent thread (which will
     /// vacate when its activation ends — such CPUs accept commits).
+    /// Total: false for a forged CPU id.
     pub fn agent_on_cpu(&self, cpu: CpuId) -> bool {
-        self.k.cpus[cpu.index()]
-            .current
+        self.k
+            .cpu_checked(cpu)
+            .and_then(|cs| cs.current)
             .is_some_and(|t| self.k.threads[t.index()].kind == ghost_sim::thread::ThreadKind::Agent)
     }
 
     /// Number of CFS threads queued behind `cpu` (the hot-handoff
-    /// pressure signal, §3.3).
+    /// pressure signal, §3.3). Total: zero for a forged CPU id.
     pub fn cfs_pressure(&self, cpu: CpuId) -> u32 {
-        self.k.cpus[cpu.index()].cfs_queued
+        self.k.cpu_checked(cpu).map_or(0, |cs| cs.cfs_queued)
     }
 
     /// This agent's current sequence number `Aseq`, read from its status
@@ -177,26 +182,69 @@ impl<'a> PolicyCtx<'a> {
     // `commit` / `commit_one` (`TXNS_COMMIT()`) are implemented in
     // `runtime.rs`, next to the kernel-side validation logic they invoke.
 
+    /// The activation-side funnel for rejected context operations: counts
+    /// the rejection by kind, fires the `ghost_abi_reject` tracepoint on
+    /// the agent's CPU, and — for errors no benign race can produce —
+    /// charges a byzantine strike (the driver checks the budget when this
+    /// activation ends). No rejected call is dropped silently.
+    fn reject(&mut self, err: AbiError) -> AbiError {
+        self.stats.abi_rejects[err.kind()] += 1;
+        let acpu = self.agent_cpu.0;
+        self.k
+            .cfg
+            .trace
+            .emit(self.k.now, acpu, || TraceEvent::AbiReject {
+                cpu: acpu,
+                kind: err.kind() as u8,
+            });
+        if err.byzantine() {
+            self.enclave.abi_strikes += 1;
+        }
+        err
+    }
+
+    /// Why `tid` is not a schedulable thread of this enclave: forged id,
+    /// dead, an agent pthread, or another enclave's thread.
+    fn classify_unknown_tid(&self, tid: Tid) -> AbiError {
+        match self.k.thread_checked(tid) {
+            None => AbiError::NoSuchThread,
+            Some(t) if t.state == ThreadState::Dead => AbiError::DeadThread,
+            Some(t) if t.kind == ghost_sim::thread::ThreadKind::Agent => AbiError::AgentThread,
+            Some(_) => AbiError::ForeignThread,
+        }
+    }
+
     /// `ASSOCIATE_QUEUE()`: reroutes a thread's messages to `queue`.
     /// Fails (returning `false`) if the thread has pending messages in
     /// its current queue, per §3.1.
     pub fn associate_queue(&mut self, tid: Tid, queue: QueueId) -> bool {
-        let Some(info) = self.enclave.threads.get_mut(&tid) else {
-            return false;
-        };
-        if info.pending_msgs > 0 {
-            return false;
-        }
+        self.try_associate_queue(tid, queue).is_ok()
+    }
+
+    /// Validated `ASSOCIATE_QUEUE()`: rejects destroyed or nonexistent
+    /// queues, unmanaged tids, and threads with pending messages with a
+    /// typed [`AbiError`].
+    pub fn try_associate_queue(&mut self, tid: Tid, queue: QueueId) -> Result<(), AbiError> {
         if self
             .enclave
             .queues
             .get(queue.0 as usize)
             .is_none_or(Option::is_none)
         {
-            return false;
+            return Err(self.reject(AbiError::NoSuchQueue));
         }
-        info.queue = queue;
-        true
+        let err = match self.enclave.threads.get(&tid) {
+            Some(info) if info.pending_msgs > 0 => Some(AbiError::PendingMessages),
+            Some(_) => None,
+            None => Some(self.classify_unknown_tid(tid)),
+        };
+        if let Some(err) = err {
+            return Err(self.reject(err));
+        }
+        if let Some(info) = self.enclave.threads.get_mut(&tid) {
+            info.queue = queue;
+        }
+        Ok(())
     }
 
     /// `TXNS_RECALL()`: withdraws a committed-but-not-yet-acted-on
@@ -204,34 +252,65 @@ impl<'a> PolicyCtx<'a> {
     /// The thread becomes schedulable again immediately. Returns `None`
     /// if no transaction was pending (it may already have been picked).
     pub fn recall(&mut self, cpu: CpuId) -> Option<Tid> {
-        let slot = self.enclave.committed.remove(&cpu)?;
+        self.try_recall(cpu).ok()
+    }
+
+    /// Validated `TXNS_RECALL()`: rejects forged or out-of-enclave CPU
+    /// ids and CPUs with nothing pending with a typed [`AbiError`].
+    pub fn try_recall(&mut self, cpu: CpuId) -> Result<Tid, AbiError> {
+        if !self.k.valid_cpu(cpu) {
+            return Err(self.reject(AbiError::InvalidCpu));
+        }
+        if !self.enclave.cpus.contains(cpu) {
+            return Err(self.reject(AbiError::CpuOutsideEnclave));
+        }
+        let Some(slot) = self.enclave.committed.remove(&cpu) else {
+            return Err(self.reject(AbiError::NoCommitPending));
+        };
         if let Some(info) = self.enclave.threads.get_mut(&slot.tid) {
             info.picked = false;
         }
         self.charge(self.k.costs.syscall + self.k.costs.txn_validate);
         self.stats.txns_recalled += 1;
-        Some(slot.tid)
+        Ok(slot.tid)
     }
 
     /// `DESTROY_QUEUE()`: removes a queue. Fails if it is the default
     /// queue, still has messages, or any thread is associated with it.
     pub fn destroy_queue(&mut self, queue: QueueId) -> bool {
+        self.try_destroy_queue(queue).is_ok()
+    }
+
+    /// Validated `DESTROY_QUEUE()`: each failure mode gets its own typed
+    /// [`AbiError`].
+    pub fn try_destroy_queue(&mut self, queue: QueueId) -> Result<(), AbiError> {
         if queue == self.enclave.default_queue {
-            return false;
+            return Err(self.reject(AbiError::DefaultQueueProtected));
+        }
+        if self
+            .enclave
+            .queues
+            .get(queue.0 as usize)
+            .is_none_or(Option::is_none)
+        {
+            return Err(self.reject(AbiError::NoSuchQueue));
         }
         if self.enclave.threads.values().any(|i| i.queue == queue) {
-            return false;
+            return Err(self.reject(AbiError::QueueInUse));
         }
-        match self.enclave.queues.get_mut(queue.0 as usize) {
-            Some(slot @ Some(_)) => {
-                if slot.as_ref().is_some_and(|qs| !qs.queue.is_empty()) {
-                    return false;
-                }
-                *slot = None;
-                true
-            }
-            _ => false,
+        if self
+            .enclave
+            .queues
+            .get(queue.0 as usize)
+            .and_then(|s| s.as_ref())
+            .is_some_and(|qs| !qs.queue.is_empty())
+        {
+            return Err(self.reject(AbiError::PendingMessages));
         }
+        if let Some(slot) = self.enclave.queues.get_mut(queue.0 as usize) {
+            *slot = None;
+        }
+        Ok(())
     }
 
     /// Reads the latest scheduling hint a workload published for `tid`
@@ -253,18 +332,48 @@ impl<'a> PolicyCtx<'a> {
 
     /// `CONFIG_QUEUE_WAKEUP()`: sets the wakeup behaviour of a queue.
     pub fn config_queue_wakeup(&mut self, queue: QueueId, wake: WakeMode) -> bool {
+        self.try_config_queue_wakeup(queue, wake).is_ok()
+    }
+
+    /// Validated `CONFIG_QUEUE_WAKEUP()`: rejects destroyed/nonexistent
+    /// queues and `WakeAgent` targets that are not this enclave's agents
+    /// with a typed [`AbiError`]. The target check matters for safety: a
+    /// forged wake target would otherwise be dereferenced by the kernel
+    /// on every message posted to the queue.
+    pub fn try_config_queue_wakeup(
+        &mut self,
+        queue: QueueId,
+        wake: WakeMode,
+    ) -> Result<(), AbiError> {
+        if let WakeMode::WakeAgent(tid) = wake {
+            if !self.k.valid_tid(tid) {
+                return Err(self.reject(AbiError::NoSuchThread));
+            }
+            if !self.enclave.agents.values().any(|a| a.tid == tid) {
+                // A dead or foreign wake target is a benign race (agents
+                // respawn), not a forgery — rejected, but no strike.
+                return Err(self.reject(AbiError::ForeignThread));
+            }
+        }
         match self.enclave.queues.get_mut(queue.0 as usize) {
             Some(Some(qs)) => {
                 qs.wake = wake;
-                true
+                Ok(())
             }
-            _ => false,
+            _ => Err(self.reject(AbiError::NoSuchQueue)),
         }
     }
 
     /// Offers a runnable thread to the BPF PNT fast path on `node`'s
-    /// ring. Returns false if PNT is disabled or the ring is full.
+    /// ring (the ring index wraps, so any `node` is safe). Returns false
+    /// if PNT is disabled, the ring is full, or — counted as a typed
+    /// rejection — the tid is not a thread of this enclave.
     pub fn pnt_push(&mut self, node: usize, tid: Tid) -> bool {
+        if !self.enclave.threads.contains_key(&tid) {
+            let err = self.classify_unknown_tid(tid);
+            self.reject(err);
+            return false;
+        }
         match &mut self.enclave.pnt {
             Some(rings) => rings.push(node, tid),
             None => false,
@@ -286,6 +395,12 @@ impl<'a> PolicyCtx<'a> {
     /// or tick ("when a physical core goes idle and looks for a new
     /// thread to run", §4.5).
     pub fn ping_core_agent(&mut self, cpu: CpuId) -> bool {
+        // A forged CPU id has no agent slot and must not reach the
+        // topology lookup below.
+        if !self.k.valid_cpu(cpu) {
+            self.reject(AbiError::InvalidCpu);
+            return false;
+        }
         let Some(slot) = self.enclave.agents.get(&cpu) else {
             return false;
         };

@@ -13,6 +13,7 @@
 //!   view: create enclaves, spawn agents, attach threads, stage upgrades,
 //!   inject crashes, read stats.
 
+use crate::abi::{AbiError, ABI_ERROR_KINDS};
 use crate::enclave::{
     AgentMode, AgentSlot, CommittedSlot, Enclave, EnclaveConfig, EnclaveId, QueueId, QueueState,
     ThreadInfo, WakeMode,
@@ -86,6 +87,14 @@ pub struct GhostStats {
     pub recoveries: u64,
     /// Threads shed to CFS by a policy's bounded `ESTALE` retry governor.
     pub estale_sheds: u64,
+    /// Transactions failed: target tid is not a schedulable thread of the
+    /// enclave at all (never attached, dead, foreign, or an agent).
+    pub txns_unknown_target: u64,
+    /// ABI calls rejected at the validation boundary, indexed by
+    /// [`AbiError::kind`].
+    pub abi_rejects: [u64; ABI_ERROR_KINDS],
+    /// Enclaves quarantined for exhausting their byzantine strike budget.
+    pub quarantines: u64,
 }
 
 impl GhostStats {
@@ -111,9 +120,20 @@ impl GhostStats {
     pub fn txns_failed(&self) -> u64 {
         self.txns_stale
             + self.txns_not_runnable
+            + self.txns_unknown_target
             + self.txns_cpu_busy
             + self.txns_cpu_unavailable
             + self.txns_aborted
+    }
+
+    /// Count of ABI rejections carrying the given error.
+    pub fn rejects(&self, err: AbiError) -> u64 {
+        self.abi_rejects[err.kind()]
+    }
+
+    /// Total ABI rejections across every error kind.
+    pub fn abi_rejects_total(&self) -> u64 {
+        self.abi_rejects.iter().sum()
     }
 }
 
@@ -147,6 +167,73 @@ impl Core {
 
     fn enclave_of_cpu(&self, cpu: CpuId) -> Option<EnclaveId> {
         self.cpu_enclave[cpu.index()]
+    }
+
+    /// Existence/liveness gate shared by every enclave-scoped entry point.
+    fn check_enclave(&self, eid: EnclaveId) -> Result<(), AbiError> {
+        match self.enclaves.get(eid.0 as usize).and_then(|s| s.as_ref()) {
+            None => Err(AbiError::NoSuchEnclave),
+            Some(e) if e.destroyed => Err(AbiError::EnclaveDestroyed),
+            Some(_) => Ok(()),
+        }
+    }
+
+    /// The single funnel for rejected agent-facing ABI calls: counts the
+    /// rejection by kind, fires the `ghost_abi_reject` tracepoint, and —
+    /// for errors no benign race can produce ([`AbiError::byzantine`]) —
+    /// charges a strike against `eid`, quarantining the enclave once its
+    /// budget is exhausted. There are no silent drops: every rejection on
+    /// a kernel-reachable path comes through here.
+    fn reject(
+        &mut self,
+        k: &mut KernelState,
+        eid: Option<EnclaveId>,
+        cpu: CpuId,
+        err: AbiError,
+    ) -> AbiError {
+        self.stats.abi_rejects[err.kind()] += 1;
+        // Out-of-range CPU ids are clamped by the trace recorder, so a
+        // forged `cpu` cannot make the tracepoint itself unsafe.
+        k.cfg.trace.emit(k.now, cpu.0, || TraceEvent::AbiReject {
+            cpu: cpu.0,
+            kind: err.kind() as u8,
+        });
+        if err.byzantine() {
+            if let Some(eid) = eid {
+                let quarantine = self.enclave_mut(eid).is_some_and(|e| {
+                    e.abi_strikes += 1;
+                    !e.destroyed
+                        && e.config
+                            .abi_strike_budget
+                            .is_some_and(|budget| e.abi_strikes >= budget)
+                });
+                if quarantine {
+                    self.quarantine(k, eid);
+                }
+            }
+        }
+        err
+    }
+
+    /// Counts a rejection on a path with no kernel handle (and therefore
+    /// no tracepoint or strike accounting).
+    fn note_reject(&mut self, err: AbiError) -> AbiError {
+        self.stats.abi_rejects[err.kind()] += 1;
+        err
+    }
+
+    /// Quarantines an enclave whose agent exhausted the byzantine strike
+    /// budget: the §3.4 worst case, applied deliberately — the enclave is
+    /// destroyed, its threads fall back to CFS, and co-resident enclaves
+    /// never notice.
+    fn quarantine(&mut self, k: &mut KernelState, eid: EnclaveId) {
+        self.stats.quarantines += 1;
+        k.cfg
+            .trace
+            .emit(k.now, 0, || TraceEvent::EnclaveQuarantined {
+                enclave: eid.0,
+            });
+        self.destroy_enclave(k, eid);
     }
 
     /// Posts a message about `tid` (or a CPU event when `tid` is `None`)
@@ -264,7 +351,11 @@ impl Core {
     /// Tears an enclave down: every managed thread falls back to CFS and
     /// every agent is killed. Other enclaves are untouched (§3.4).
     fn destroy_enclave(&mut self, k: &mut KernelState, eid: EnclaveId) {
-        let Some(enclave) = self.enclaves[eid.0 as usize].as_mut() else {
+        let Some(enclave) = self
+            .enclaves
+            .get_mut(eid.0 as usize)
+            .and_then(|s| s.as_mut())
+        else {
             return;
         };
         if enclave.destroyed {
@@ -549,6 +640,42 @@ impl EnclaveHandle {
     pub fn with_policy<R>(&self, f: impl FnOnce(&mut dyn GhostPolicy) -> R) -> Option<R> {
         self.runtime.with_policy(self.id, f)
     }
+
+    /// Validated attach: see [`GhostRuntime::try_attach_thread`].
+    pub fn try_attach_thread(&self, k: &mut KernelState, tid: Tid) -> Result<(), AbiError> {
+        self.runtime.try_attach_thread(k, self.id, tid)
+    }
+
+    /// Validated staging: see [`GhostRuntime::try_stage_upgrade`].
+    pub fn try_stage_upgrade(&self, policy: Box<dyn GhostPolicy>) -> Result<(), AbiError> {
+        self.runtime.try_stage_upgrade(self.id, policy)
+    }
+
+    /// Validated in-place upgrade: see [`GhostRuntime::try_upgrade_now`].
+    pub fn try_upgrade_now(&self, k: &mut KernelState) -> Result<(), AbiError> {
+        self.runtime.try_upgrade_now(k, self.id)
+    }
+
+    /// Validated destruction: see [`GhostRuntime::try_destroy_enclave`].
+    pub fn try_destroy(&self, k: &mut KernelState) -> Result<(), AbiError> {
+        self.runtime.try_destroy_enclave(k, self.id)
+    }
+
+    /// Validated status-word read: see [`GhostRuntime::try_thread_status`].
+    pub fn try_thread_status(&self, tid: Tid) -> Result<(u64, u64), AbiError> {
+        self.runtime.try_thread_status(self.id, tid)
+    }
+
+    /// Garbage status-word write (always rejected): see
+    /// [`GhostRuntime::try_write_status`].
+    pub fn try_write_status(
+        &self,
+        k: &mut KernelState,
+        tid: Tid,
+        garbage: u64,
+    ) -> Result<(), AbiError> {
+        self.runtime.try_write_status(k, self.id, tid, garbage)
+    }
 }
 
 impl GhostRuntime {
@@ -624,20 +751,44 @@ impl GhostRuntime {
     ///
     /// # Panics
     ///
-    /// Panics if `cpus` is empty or overlaps an existing enclave.
+    /// Panics if `cpus` is empty or overlaps an existing enclave. This is
+    /// the trusted setup-code path; the validated, typed-error variant is
+    /// [`GhostRuntime::try_create_enclave`].
     pub fn create_enclave(
         &self,
         cpus: CpuSet,
         config: EnclaveConfig,
         policy: Box<dyn GhostPolicy>,
     ) -> EnclaveId {
-        assert!(!cpus.is_empty(), "enclave must own at least one CPU");
+        match self.try_create_enclave(cpus, config, policy) {
+            Ok(id) => id,
+            Err(AbiError::EmptyCpuSet) => panic!("enclave must own at least one CPU"),
+            Err(err) => panic!(
+                "create_enclave: a CPU already belongs to an enclave or is out of range ({err})"
+            ),
+        }
+    }
+
+    /// Validated enclave creation: rejects an empty CPU set, CPU ids the
+    /// machine does not have, and CPUs already owned by another enclave
+    /// with a typed [`AbiError`] instead of panicking.
+    pub fn try_create_enclave(
+        &self,
+        cpus: CpuSet,
+        config: EnclaveConfig,
+        policy: Box<dyn GhostPolicy>,
+    ) -> Result<EnclaveId, AbiError> {
         let mut core = self.shared.lock().unwrap();
+        if cpus.is_empty() {
+            return Err(core.note_reject(AbiError::EmptyCpuSet));
+        }
         for c in cpus.iter() {
-            assert!(
-                core.cpu_enclave[c.index()].is_none(),
-                "{c} already belongs to an enclave"
-            );
+            if c.index() >= core.cpu_enclave.len() {
+                return Err(core.note_reject(AbiError::InvalidCpu));
+            }
+            if core.cpu_enclave[c.index()].is_some() {
+                return Err(core.note_reject(AbiError::CpuConflict));
+            }
         }
         let id = EnclaveId(core.enclaves.len() as u32);
         for c in cpus.iter() {
@@ -668,6 +819,7 @@ impl GhostRuntime {
             upgraded_at: None,
             needs_reconstruct: false,
             recovery: None,
+            abi_strikes: 0,
             respawn_attempts: 0,
             config,
         };
@@ -675,7 +827,7 @@ impl GhostRuntime {
         core.policies.push(Some(policy));
         core.staged.push(None);
         core.standby_factories.push(None);
-        id
+        Ok(id)
     }
 
     /// Spawns one pinned agent pthread per enclave CPU, configures queues
@@ -774,17 +926,68 @@ impl GhostRuntime {
 
     /// Attaches a native thread to an enclave: moves it into the ghOSt
     /// scheduling class, generating `THREAD_CREATED` (and `THREAD_WAKEUP`
-    /// if it is runnable).
+    /// if it is runnable). Invalid requests are rejected (and counted);
+    /// use [`GhostRuntime::try_attach_thread`] to see the cause.
     pub fn attach_thread(&self, k: &mut KernelState, eid: EnclaveId, tid: Tid) {
-        self.shared.lock().unwrap().pending_attach.insert(tid, eid);
+        let _ = self.try_attach_thread(k, eid, tid);
+    }
+
+    /// Validated attach: rejects dead/nonexistent tids, agent pthreads,
+    /// threads already in an enclave, and dead or unknown enclaves with a
+    /// typed [`AbiError`] instead of corrupting the registry.
+    pub fn try_attach_thread(
+        &self,
+        k: &mut KernelState,
+        eid: EnclaveId,
+        tid: Tid,
+    ) -> Result<(), AbiError> {
+        let mut core = self.shared.lock().unwrap();
+        let enclave_ok = core.check_enclave(eid);
+        let err = if let Err(e) = enclave_ok {
+            Some(e)
+        } else if !k.valid_tid(tid) {
+            Some(AbiError::NoSuchThread)
+        } else if k.threads[tid.index()].state == ThreadState::Dead {
+            Some(AbiError::DeadThread)
+        } else if k.threads[tid.index()].kind == ghost_sim::thread::ThreadKind::Agent {
+            Some(AbiError::AgentThread)
+        } else if core.thread_enclave.contains_key(&tid) || core.pending_attach.contains_key(&tid) {
+            Some(AbiError::AlreadyAttached)
+        } else {
+            None
+        };
+        if let Some(err) = err {
+            // Strikes only land on an enclave that exists — a forged eid
+            // has nothing to quarantine.
+            let strike_eid = enclave_ok.is_ok().then_some(eid);
+            return Err(core.reject(k, strike_eid, CpuId(0), err));
+        }
+        core.pending_attach.insert(tid, eid);
+        drop(core);
         k.move_to_class(tid, CLASS_GHOST);
+        Ok(())
     }
 
     /// Stages a new policy version for an in-place upgrade (§3.4): "the
     /// new agent blocks until the old agent crashes or exits", then takes
-    /// over.
+    /// over. Staging onto a dead or unknown enclave drops the policy.
     pub fn stage_upgrade(&self, eid: EnclaveId, policy: Box<dyn GhostPolicy>) {
-        self.shared.lock().unwrap().staged[eid.0 as usize] = Some(policy);
+        let _ = self.try_stage_upgrade(eid, policy);
+    }
+
+    /// Validated staging: rejects dead or unknown enclaves with a typed
+    /// [`AbiError`] (the policy object is dropped).
+    pub fn try_stage_upgrade(
+        &self,
+        eid: EnclaveId,
+        policy: Box<dyn GhostPolicy>,
+    ) -> Result<(), AbiError> {
+        let mut core = self.shared.lock().unwrap();
+        if let Err(e) = core.check_enclave(eid) {
+            return Err(core.note_reject(e));
+        }
+        core.staged[eid.0 as usize] = Some(policy);
+        Ok(())
     }
 
     /// Performs an in-place upgrade right now (§3.4): the staged policy
@@ -794,14 +997,23 @@ impl GhostRuntime {
     /// commits prepared against the old policy's view fail `ESTALE`.
     /// Returns false if no policy was staged.
     pub fn upgrade_now(&self, k: &mut KernelState, eid: EnclaveId) -> bool {
+        self.try_upgrade_now(k, eid).is_ok()
+    }
+
+    /// Validated in-place upgrade: rejects dead or unknown enclaves and
+    /// upgrades with nothing staged with a typed [`AbiError`].
+    pub fn try_upgrade_now(&self, k: &mut KernelState, eid: EnclaveId) -> Result<(), AbiError> {
         let mut core = self.shared.lock().unwrap();
+        if let Err(e) = core.check_enclave(eid) {
+            return Err(core.reject(k, None, CpuId(0), e));
+        }
         let Some(staged) = core.staged[eid.0 as usize].take() else {
-            return false;
+            return Err(core.reject(k, Some(eid), CpuId(0), AbiError::NothingStaged));
         };
         core.policies[eid.0 as usize] = Some(staged);
         core.stats.upgrades += 1;
         let Some(enclave) = core.enclave_mut(eid) else {
-            return true;
+            return Ok(());
         };
         // The watchdog excuses pre-upgrade starvation: the new policy gets
         // a full timeout from here before it can be blamed (§3.4 — without
@@ -814,7 +1026,7 @@ impl GhostRuntime {
             slot.status.bump_seq();
         }
         core.notify_agents(k, eid);
-        true
+        Ok(())
     }
 
     /// Registers a policy factory for standby respawns in `eid`'s
@@ -827,12 +1039,40 @@ impl GhostRuntime {
         eid: EnclaveId,
         factory: impl Fn() -> Box<dyn GhostPolicy> + Send + 'static,
     ) {
-        self.shared.lock().unwrap().standby_factories[eid.0 as usize] = Some(Box::new(factory));
+        let _ = self.try_set_standby_policy(eid, factory);
+    }
+
+    /// Validated standby registration: rejects dead or unknown enclaves
+    /// with a typed [`AbiError`] (the factory is dropped).
+    pub fn try_set_standby_policy(
+        &self,
+        eid: EnclaveId,
+        factory: impl Fn() -> Box<dyn GhostPolicy> + Send + 'static,
+    ) -> Result<(), AbiError> {
+        let mut core = self.shared.lock().unwrap();
+        if let Err(e) = core.check_enclave(eid) {
+            return Err(core.note_reject(e));
+        }
+        core.standby_factories[eid.0 as usize] = Some(Box::new(factory));
+        Ok(())
     }
 
     /// Destroys an enclave: threads fall back to CFS, agents die.
+    /// Destroying twice (or a forged id) is a counted, typed rejection —
+    /// see [`GhostRuntime::try_destroy_enclave`].
     pub fn destroy_enclave(&self, k: &mut KernelState, eid: EnclaveId) {
-        self.shared.lock().unwrap().destroy_enclave(k, eid);
+        let _ = self.try_destroy_enclave(k, eid);
+    }
+
+    /// Validated destruction: rejects double destroys and unknown ids
+    /// with a typed [`AbiError`].
+    pub fn try_destroy_enclave(&self, k: &mut KernelState, eid: EnclaveId) -> Result<(), AbiError> {
+        let mut core = self.shared.lock().unwrap();
+        if let Err(e) = core.check_enclave(eid) {
+            return Err(core.reject(k, None, CpuId(0), e));
+        }
+        core.destroy_enclave(k, eid);
+        Ok(())
     }
 
     /// Agent pthreads of an enclave, in agent-CPU order (for crash
@@ -840,8 +1080,9 @@ impl GhostRuntime {
     /// satellite" reproducible).
     pub fn agent_tids(&self, eid: EnclaveId) -> Vec<Tid> {
         let core = self.shared.lock().unwrap();
-        core.enclaves[eid.0 as usize]
-            .as_ref()
+        core.enclaves
+            .get(eid.0 as usize)
+            .and_then(|s| s.as_ref())
             .map(|e| {
                 let mut slots: Vec<(CpuId, Tid)> =
                     e.agents.values().map(|a| (a.cpu, a.tid)).collect();
@@ -855,8 +1096,9 @@ impl GhostRuntime {
     /// (for targeted crash injection in tests and the chaos harness).
     pub fn agent_on(&self, eid: EnclaveId, cpu: CpuId) -> Option<Tid> {
         let core = self.shared.lock().unwrap();
-        core.enclaves[eid.0 as usize]
-            .as_ref()
+        core.enclaves
+            .get(eid.0 as usize)
+            .and_then(|s| s.as_ref())
             .and_then(|e| e.agents.get(&cpu))
             .map(|a| a.tid)
     }
@@ -864,29 +1106,86 @@ impl GhostRuntime {
     /// The current global agent of a centralized enclave.
     pub fn global_agent(&self, eid: EnclaveId) -> Option<Tid> {
         let core = self.shared.lock().unwrap();
-        core.enclaves[eid.0 as usize]
-            .as_ref()
+        core.enclaves
+            .get(eid.0 as usize)
+            .and_then(|s| s.as_ref())
             .and_then(|e| e.global_agent)
     }
 
     /// True if the enclave exists and has not been destroyed.
     pub fn enclave_alive(&self, eid: EnclaveId) -> bool {
         let core = self.shared.lock().unwrap();
-        core.enclaves[eid.0 as usize]
-            .as_ref()
+        core.enclaves
+            .get(eid.0 as usize)
+            .and_then(|s| s.as_ref())
             .is_some_and(|e| !e.destroyed)
     }
 
     /// Publishes a scheduling hint for a managed thread (the workload
     /// side of Fig. 1's "optional scheduling hints" arrow). The next
-    /// agent activation can read it via `PolicyCtx::hint`.
+    /// agent activation can read it via `PolicyCtx::hint`. Hints for
+    /// unmanaged tids are rejected (and counted); see
+    /// [`GhostRuntime::try_set_hint`].
     pub fn set_hint(&self, tid: Tid, hint: u64) {
+        let _ = self.try_set_hint(tid, hint);
+    }
+
+    /// Validated hint publication: rejects tids the runtime does not
+    /// manage — and hints for a dead enclave — with a typed [`AbiError`]
+    /// instead of silently dropping them.
+    pub fn try_set_hint(&self, tid: Tid, hint: u64) -> Result<(), AbiError> {
         let mut core = self.shared.lock().unwrap();
-        if let Some(&eid) = core.thread_enclave.get(&tid) {
-            if let Some(enclave) = core.enclave_mut(eid) {
-                enclave.hints.insert(tid, hint);
-            }
+        let Some(&eid) = core.thread_enclave.get(&tid) else {
+            return Err(core.note_reject(AbiError::ForeignThread));
+        };
+        let destroyed = match core.enclave_mut(eid) {
+            None => return Err(core.note_reject(AbiError::NoSuchEnclave)),
+            Some(e) => e.destroyed,
+        };
+        if destroyed {
+            return Err(core.note_reject(AbiError::EnclaveDestroyed));
         }
+        if let Some(enclave) = core.enclave_mut(eid) {
+            enclave.hints.insert(tid, hint);
+        }
+        Ok(())
+    }
+
+    /// Reads a managed thread's status word (seq, flags) through the
+    /// validated boundary: forged eids and tids yield a typed
+    /// [`AbiError`], never a panic.
+    pub fn try_thread_status(&self, eid: EnclaveId, tid: Tid) -> Result<(u64, u64), AbiError> {
+        let mut core = self.shared.lock().unwrap();
+        if let Err(e) = core.check_enclave(eid) {
+            return Err(core.note_reject(e));
+        }
+        let found = core
+            .enclaves
+            .get(eid.0 as usize)
+            .and_then(|s| s.as_ref())
+            .and_then(|e| e.threads.get(&tid))
+            .map(|info| (info.status.seq(), info.status.flags()));
+        match found {
+            Some(sw) => Ok(sw),
+            None => Err(core.note_reject(AbiError::ForeignThread)),
+        }
+    }
+
+    /// Models an agent scribbling into kernel-owned status-word memory.
+    /// Status words are kernel-published and read-only to agents, so this
+    /// always rejects with [`AbiError::StatusReadOnly`] — and, because no
+    /// benign agent issues kernel-memory writes, always counts a
+    /// byzantine strike against the enclave.
+    pub fn try_write_status(
+        &self,
+        k: &mut KernelState,
+        eid: EnclaveId,
+        _tid: Tid,
+        _garbage: u64,
+    ) -> Result<(), AbiError> {
+        let mut core = self.shared.lock().unwrap();
+        let strike_eid = core.check_enclave(eid).is_ok().then_some(eid);
+        Err(core.reject(k, strike_eid, CpuId(0), AbiError::StatusReadOnly))
     }
 
     /// Snapshot of runtime statistics.
@@ -902,8 +1201,9 @@ impl GhostRuntime {
         f: impl FnOnce(&mut dyn GhostPolicy) -> R,
     ) -> Option<R> {
         let mut core = self.shared.lock().unwrap();
-        core.policies[eid.0 as usize]
-            .as_mut()
+        core.policies
+            .get_mut(eid.0 as usize)
+            .and_then(|p| p.as_mut())
             .map(|p| f(p.as_mut()))
     }
 }
@@ -963,26 +1263,46 @@ impl<'a> PolicyCtx<'a> {
         }
     }
 
-    fn validate(&self, txn: &Transaction) -> TxnStatus {
+    /// Kernel-side validation of one transaction (§2.2: agents "are not
+    /// trusted for system integrity", so the kernel checks every field an
+    /// agent hands it). Returns the precise typed rejection cause; the
+    /// wire status the agent observes is [`AbiError::txn_status`]. Every
+    /// check is total — a fully forged transaction (out-of-range CPU,
+    /// nonexistent tid) rejects, it never indexes out of bounds.
+    fn validate(&self, txn: &Transaction) -> Result<(), AbiError> {
         let enclave = &*self.enclave;
         if enclave.destroyed {
-            return TxnStatus::Aborted;
+            return Err(AbiError::EnclaveDestroyed);
+        }
+        // Bounds before membership: a CPU id the machine does not even
+        // have is a forged argument, not an unlucky placement choice —
+        // and everything downstream (topology, cpu state) may index by it.
+        if !self.k.valid_cpu(txn.cpu) {
+            return Err(AbiError::InvalidCpu);
         }
         if !enclave.cpus.contains(txn.cpu) {
-            return TxnStatus::CpuUnavailable;
+            return Err(AbiError::CpuOutsideEnclave);
         }
+        // Not a thread of this enclave: discriminate the cause precisely —
+        // a tid the kernel never issued, a thread that already died, a
+        // thread belonging to someone else, or an agent pthread.
         let Some(info) = enclave.threads.get(&txn.tid) else {
-            return TxnStatus::TargetNotRunnable;
+            return Err(match self.k.thread_checked(txn.tid) {
+                None => AbiError::NoSuchThread,
+                Some(t) if t.state == ThreadState::Dead => AbiError::DeadThread,
+                Some(t) if t.kind == ghost_sim::thread::ThreadKind::Agent => AbiError::AgentThread,
+                Some(_) => AbiError::ForeignThread,
+            });
         };
         if info.picked {
-            return TxnStatus::TargetNotRunnable;
+            return Err(AbiError::TargetNotRunnable);
         }
         let t = &self.k.threads[txn.tid.index()];
         if t.state != ThreadState::Runnable {
-            return TxnStatus::TargetNotRunnable;
+            return Err(AbiError::TargetNotRunnable);
         }
         if !t.affinity.contains(txn.cpu) {
-            return TxnStatus::CpuUnavailable;
+            return Err(AbiError::CpuOutsideAffinity);
         }
         match txn.seq {
             SeqConstraint::None => {}
@@ -992,17 +1312,17 @@ impl<'a> PolicyCtx<'a> {
                     .get(&self.agent_cpu)
                     .map_or(0, |a| a.status.seq());
                 if aseq < cur {
-                    return TxnStatus::Stale;
+                    return Err(AbiError::StaleSeq);
                 }
             }
             SeqConstraint::Thread(tseq) => {
                 if tseq < info.tseq {
-                    return TxnStatus::Stale;
+                    return Err(AbiError::StaleSeq);
                 }
             }
         }
         if enclave.committed.contains_key(&txn.cpu) {
-            return TxnStatus::CpuBusy;
+            return Err(AbiError::CpuBusy);
         }
         // Occupancy: ghOSt may preempt its own threads but nothing of a
         // higher class — except the agent's own CPU, which the agent is
@@ -1014,11 +1334,11 @@ impl<'a> PolicyCtx<'a> {
             if let Some(cur) = cs.current {
                 let cur = &self.k.threads[cur.index()];
                 if cur.class < CLASS_GHOST && cur.kind != ghost_sim::thread::ThreadKind::Agent {
-                    return TxnStatus::CpuBusy;
+                    return Err(AbiError::CpuBusy);
                 }
             }
         }
-        TxnStatus::Committed
+        Ok(())
     }
 
     fn do_commit(&mut self, txns: &mut [Transaction], atomic: bool) {
@@ -1030,73 +1350,83 @@ impl<'a> PolicyCtx<'a> {
         // by inserting provisional slots as we go.
         let mut provisional: Vec<usize> = Vec::new();
         for i in 0..txns.len() {
-            let mut status = self.validate(&txns[i]);
+            let verdict = self.validate(&txns[i]);
             let (t_cpu, t_tid) = (txns[i].cpu.0, txns[i].tid.0);
             // A per-txn validation charge, dearer across sockets. Local
             // transactions are charged via `txn_local_commit` in the
             // effect pass instead (Table 3 line 3 subsumes validation).
+            // A forged CPU id rejects before any topology lookup, so it
+            // is charged the base price only.
             if txns[i].cpu != self.agent_cpu {
-                let cross = !self.k.topo.same_socket(self.agent_cpu, txns[i].cpu);
                 let mut vcost = costs_validate;
-                if cross {
+                if verdict != Err(AbiError::InvalidCpu)
+                    && !self.k.topo.same_socket(self.agent_cpu, txns[i].cpu)
+                {
                     vcost = self.k.costs.cross_socket_scaled(vcost);
                 }
                 self.busy += self.scaled(vcost);
             }
-            if status == TxnStatus::Committed {
-                self.k
-                    .cfg
-                    .trace
-                    .emit(self.k.now, t_cpu, || TraceEvent::TxnArmed {
-                        cpu: t_cpu,
-                        tid: t_tid,
-                    });
-                // Reserve target CPU and thread against duplicates.
-                self.enclave.committed.insert(
-                    txns[i].cpu,
-                    CommittedSlot {
-                        tid: txns[i].tid,
-                        arm_at: Nanos::MAX, // Patched below.
-                    },
-                );
-                if let Some(info) = self.enclave.threads.get_mut(&txns[i].tid) {
-                    info.picked = true;
-                }
-                provisional.push(i);
-            } else if atomic {
-                // Unwind everything and mark the rest aborted.
-                for &j in &provisional {
-                    self.enclave.committed.remove(&txns[j].cpu);
-                    if let Some(info) = self.enclave.threads.get_mut(&txns[j].tid) {
-                        info.picked = false;
-                    }
-                    let (j_cpu, j_tid) = (txns[j].cpu.0, txns[j].tid.0);
+            match verdict {
+                Ok(()) => {
                     self.k
                         .cfg
                         .trace
-                        .emit(self.k.now, j_cpu, || TraceEvent::TxnCommitRace {
-                            cpu: j_cpu,
-                            tid: j_tid,
+                        .emit(self.k.now, t_cpu, || TraceEvent::TxnArmed {
+                            cpu: t_cpu,
+                            tid: t_tid,
                         });
-                    txns[j].status = TxnStatus::Aborted;
-                    self.stats.txns_aborted += 1;
+                    // Reserve target CPU and thread against duplicates.
+                    self.enclave.committed.insert(
+                        txns[i].cpu,
+                        CommittedSlot {
+                            tid: txns[i].tid,
+                            arm_at: Nanos::MAX, // Patched below.
+                        },
+                    );
+                    if let Some(info) = self.enclave.threads.get_mut(&txns[i].tid) {
+                        info.picked = true;
+                    }
+                    provisional.push(i);
+                    txns[i].status = TxnStatus::Committed;
+                    txns[i].error = None;
                 }
-                txns[i].status = status;
-                self.count_failure(status);
-                self.trace_failure(status, t_cpu, t_tid);
-                // Remaining txns are aborted unexamined.
-                for t in txns[i + 1..].iter_mut() {
-                    t.status = TxnStatus::Aborted;
-                    self.stats.txns_aborted += 1;
+                Err(err) if atomic => {
+                    // Unwind everything and mark the rest aborted; every
+                    // casualty carries the group-failing cause.
+                    for &j in &provisional {
+                        self.enclave.committed.remove(&txns[j].cpu);
+                        if let Some(info) = self.enclave.threads.get_mut(&txns[j].tid) {
+                            info.picked = false;
+                        }
+                        let (j_cpu, j_tid) = (txns[j].cpu.0, txns[j].tid.0);
+                        self.k
+                            .cfg
+                            .trace
+                            .emit(self.k.now, j_cpu, || TraceEvent::TxnCommitRace {
+                                cpu: j_cpu,
+                                tid: j_tid,
+                            });
+                        txns[j].status = TxnStatus::Aborted;
+                        txns[j].error = Some(err);
+                        self.stats.txns_aborted += 1;
+                    }
+                    txns[i].status = err.txn_status();
+                    txns[i].error = Some(err);
+                    self.reject_txn(err, t_cpu, t_tid);
+                    // Remaining txns are aborted unexamined.
+                    for t in txns[i + 1..].iter_mut() {
+                        t.status = TxnStatus::Aborted;
+                        t.error = Some(err);
+                        self.stats.txns_aborted += 1;
+                    }
+                    return;
                 }
-                return;
+                Err(err) => {
+                    txns[i].status = err.txn_status();
+                    txns[i].error = Some(err);
+                    self.reject_txn(err, t_cpu, t_tid);
+                }
             }
-            if status != TxnStatus::Committed {
-                self.count_failure(status);
-                self.trace_failure(status, t_cpu, t_tid);
-            }
-            txns[i].status = status;
-            let _ = &mut status;
         }
         if txns.len() > 1 {
             self.stats.group_commits += 1;
@@ -1184,10 +1514,38 @@ impl<'a> PolicyCtx<'a> {
         self.stats.txns_committed += provisional.len() as u64;
     }
 
+    /// Funnels one failed transaction through the rejection bookkeeping:
+    /// the legacy wire-status counters and tracepoints, the typed
+    /// [`AbiError`] counter, the `ghost_abi_reject` tracepoint, and — for
+    /// byzantine-classified errors — a strike against the enclave (the
+    /// driver checks the budget when the activation ends). No rejected
+    /// commit is ever dropped silently.
+    fn reject_txn(&mut self, err: AbiError, cpu: u16, tid: u32) {
+        let status = err.txn_status();
+        self.count_failure(status);
+        self.trace_failure(status, cpu, tid);
+        self.stats.abi_rejects[err.kind()] += 1;
+        // Emitted on the agent's CPU: the target CPU may be forged (the
+        // recorder clamps out-of-range ids, but attribution to a real CPU
+        // is more useful than a clamp artifact).
+        let acpu = self.agent_cpu.0;
+        self.k
+            .cfg
+            .trace
+            .emit(self.k.now, acpu, || TraceEvent::AbiReject {
+                cpu: acpu,
+                kind: err.kind() as u8,
+            });
+        if err.byzantine() {
+            self.enclave.abi_strikes += 1;
+        }
+    }
+
     fn count_failure(&mut self, status: TxnStatus) {
         match status {
             TxnStatus::Stale => self.stats.txns_stale += 1,
             TxnStatus::TargetNotRunnable => self.stats.txns_not_runnable += 1,
+            TxnStatus::UnknownTarget => self.stats.txns_unknown_target += 1,
             TxnStatus::CpuBusy => self.stats.txns_cpu_busy += 1,
             TxnStatus::CpuUnavailable => self.stats.txns_cpu_unavailable += 1,
             TxnStatus::Aborted => self.stats.txns_aborted += 1,
@@ -1206,6 +1564,7 @@ impl<'a> PolicyCtx<'a> {
                     .emit(self.k.now, cpu, || TraceEvent::TxnCommitEstale { cpu, tid });
             }
             TxnStatus::TargetNotRunnable
+            | TxnStatus::UnknownTarget
             | TxnStatus::CpuBusy
             | TxnStatus::CpuUnavailable
             | TxnStatus::Aborted => {
@@ -1655,6 +2014,21 @@ impl GhostDriver {
                 }
             }
         }
+        // Byzantine strike budget: commits rejected during this activation
+        // charged strikes inline (`reject_txn`); if the budget is now
+        // exhausted, quarantine the enclave. All teardown side effects go
+        // through the kernel's deferred-op buffers, so destroying the
+        // enclave — and killing the very agent being activated — is safe
+        // from inside its own activation.
+        let quarantine = core.enclaves[eid.0 as usize].as_ref().is_some_and(|e| {
+            !e.destroyed
+                && e.config
+                    .abi_strike_budget
+                    .is_some_and(|budget| e.abi_strikes >= budget)
+        });
+        if quarantine {
+            core.quarantine(k, eid);
+        }
         k.cfg.trace.emit(k.now + busy, agent_cpu.0, || {
             TraceEvent::AgentActivationEnd {
                 cpu: agent_cpu.0,
@@ -1928,7 +2302,10 @@ impl AgentDriver for GhostDriver {
         }
         let eids: Vec<EnclaveId> = {
             let core = self.shared.lock().unwrap();
-            (0..core.enclaves.len() as u32).map(EnclaveId).collect()
+            (0..core.enclaves.len() as u32)
+                .map(EnclaveId)
+                .filter(|eid| core.staged[eid.0 as usize].is_some())
+                .collect()
         };
         let runtime = GhostRuntime {
             shared: Arc::clone(&self.shared),

@@ -5,6 +5,7 @@
 //! single `TXNS_COMMIT()` syscall. Group commits amortize the syscall and
 //! send one batched IPI instead of one per target CPU.
 
+use crate::abi::AbiError;
 use ghost_sim::thread::Tid;
 use ghost_sim::topology::CpuId;
 
@@ -35,9 +36,14 @@ pub enum TxnStatus {
     /// The sequence-number check failed (`ESTALE` in the paper): the
     /// agent's view of the world is out of date. Drain and retry.
     Stale,
-    /// The target thread is not runnable (blocked, dead, running
-    /// elsewhere, or unknown to the enclave).
+    /// The target thread is known to the enclave but not runnable
+    /// (blocked, running elsewhere, or double-scheduled).
     TargetNotRunnable,
+    /// The target tid is not a schedulable thread of this enclave at
+    /// all (never created, dead, foreign, or an agent). Unlike
+    /// [`TxnStatus::TargetNotRunnable`] this is a policy bug, not a
+    /// race: retrying cannot succeed.
+    UnknownTarget,
     /// The target CPU is running a higher-priority-class thread (e.g.
     /// CFS), which ghOSt must not preempt.
     CpuBusy,
@@ -66,6 +72,9 @@ pub struct Transaction {
     pub seq: SeqConstraint,
     /// Commit outcome, written by the kernel.
     pub status: TxnStatus,
+    /// Precise rejection cause, written by the kernel alongside a
+    /// failing `status`. `None` while pending or committed.
+    pub error: Option<AbiError>,
 }
 
 impl Transaction {
@@ -77,6 +86,7 @@ impl Transaction {
             cpu,
             seq: SeqConstraint::None,
             status: TxnStatus::Pending,
+            error: None,
         }
     }
 
@@ -120,6 +130,7 @@ mod tests {
             TxnStatus::Pending,
             TxnStatus::Stale,
             TxnStatus::TargetNotRunnable,
+            TxnStatus::UnknownTarget,
             TxnStatus::CpuBusy,
             TxnStatus::CpuUnavailable,
             TxnStatus::Aborted,

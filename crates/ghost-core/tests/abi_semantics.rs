@@ -3,6 +3,7 @@
 //! queue overflow accounting, commit-slot invalidation on affinity
 //! changes, and the per-core agent mode.
 
+use ghost_core::abi::AbiError;
 use ghost_core::enclave::{EnclaveConfig, QueueId};
 use ghost_core::msg::{Message, MsgType};
 use ghost_core::policy::{GhostPolicy, PolicyCtx};
@@ -413,6 +414,245 @@ fn destroy_queue_semantics() {
     }
     s.kernel.run_until(5 * MILLIS);
     assert_eq!(*results.lock().unwrap(), vec![false, true, false, false]);
+}
+
+/// A do-nothing policy for enclave-creation probes.
+struct Null;
+
+impl GhostPolicy for Null {
+    fn name(&self) -> &str {
+        "null"
+    }
+    fn on_msg(&mut self, _msg: &Message, _ctx: &mut PolicyCtx<'_>) {}
+    fn schedule(&mut self, _ctx: &mut PolicyCtx<'_>) {}
+}
+
+/// Table-driven check of every commit-path rejection: each malformed
+/// transaction must settle with the expected [`AbiError`], the status
+/// that error maps to, and a bump of the per-error reject counter —
+/// never a panic, never a silent drop.
+#[test]
+fn commit_rejections_are_typed_and_counted() {
+    let mut s = setup(3, EnclaveConfig::centralized("reject-table"));
+    let (a, b, c) = (s.tids[0], s.tids[1], s.tids[2]);
+    // `a` and `b` wake and become committable; `c` stays blocked.
+    s.kernel.assign_and_wake(a, MILLIS);
+    s.kernel.assign_and_wake(b, MILLIS);
+    let results = Arc::new(Mutex::new(Vec::new()));
+    {
+        let results = Arc::clone(&results);
+        s.script.lock().unwrap().push(Box::new(move |ctx| {
+            let agent = ctx.agent_tid();
+            let mut txns = vec![
+                Transaction::new(a, CpuId(999)),                  // forged CPU id
+                Transaction::new(a, CpuId(0)),                    // valid CPU, outside enclave
+                Transaction::new(Tid(99_999), CpuId(2)),          // forged tid
+                Transaction::new(agent, CpuId(2)),                // agent pthread as target
+                Transaction::new(c, CpuId(2)),                    // blocked target
+                Transaction::new(a, CpuId(2)).with_thread_seq(0), // stale Tseq
+                Transaction::new(a, CpuId(2)),                    // clean: commits
+                Transaction::new(b, CpuId(2)),                    // slot now taken
+            ];
+            for t in &mut txns {
+                ctx.commit_one(t);
+            }
+            results
+                .lock()
+                .unwrap()
+                .extend(txns.iter().map(|t| (t.status, t.error)));
+        }));
+    }
+    s.kernel.run_until(10 * MILLIS);
+    let expected = [
+        Some(AbiError::InvalidCpu),
+        Some(AbiError::CpuOutsideEnclave),
+        Some(AbiError::NoSuchThread),
+        Some(AbiError::AgentThread),
+        Some(AbiError::TargetNotRunnable),
+        Some(AbiError::StaleSeq),
+        None, // committed
+        Some(AbiError::CpuBusy),
+    ];
+    let results = results.lock().unwrap();
+    assert_eq!(results.len(), expected.len());
+    for (i, (&(status, error), &want)) in results.iter().zip(expected.iter()).enumerate() {
+        match want {
+            None => assert_eq!(status, TxnStatus::Committed, "row {i}"),
+            Some(err) => {
+                assert_eq!(error, Some(err), "row {i}: wrong error");
+                assert_eq!(
+                    status,
+                    err.txn_status(),
+                    "row {i}: status must map to error"
+                );
+            }
+        }
+    }
+    // Every rejection is attributed on the right per-error counter.
+    let stats = s.runtime.stats();
+    for err in expected.iter().flatten() {
+        assert!(stats.rejects(*err) >= 1, "no counter bump for {err}");
+    }
+    assert!(stats.abi_rejects_total() >= 7);
+    assert_eq!(stats.txns_committed, 1);
+}
+
+/// Table-driven check of the runtime-layer entry points (enclave
+/// create, attach, hint, status words, upgrade): forged arguments get a
+/// specific typed error and a counter bump.
+#[test]
+fn runtime_entry_points_reject_forged_arguments() {
+    let mut s = setup(1, EnclaveConfig::centralized("forged"));
+    s.kernel.run_until(MILLIS);
+    let t = s.tids[0];
+    let k = &mut s.kernel.state;
+
+    // Enclave creation: empty mask, a mask naming an id beyond MAX_CPUS
+    // (which the mask cannot even represent, so it arrives empty), a CPU
+    // the machine does not have, and a CPU another enclave owns.
+    let create = |cpus: CpuSet| {
+        s.runtime
+            .try_create_enclave(cpus, EnclaveConfig::centralized("probe"), Box::new(Null))
+            .unwrap_err()
+    };
+    assert_eq!(create(CpuSet::empty()), AbiError::EmptyCpuSet);
+    assert_eq!(
+        create(CpuSet::from_iter([CpuId(300)])),
+        AbiError::EmptyCpuSet
+    );
+    assert_eq!(
+        create(CpuSet::from_iter([CpuId(100)])),
+        AbiError::InvalidCpu
+    );
+    assert_eq!(create(CpuSet::from_iter([CpuId(1)])), AbiError::CpuConflict);
+
+    // Attach: forged tid, double attach, and an agent pthread.
+    assert_eq!(
+        s.enclave.try_attach_thread(k, Tid(55_555)),
+        Err(AbiError::NoSuchThread)
+    );
+    assert_eq!(
+        s.enclave.try_attach_thread(k, t),
+        Err(AbiError::AlreadyAttached)
+    );
+    let agent = s.enclave.agent_tids()[0];
+    assert_eq!(
+        s.enclave.try_attach_thread(k, agent),
+        Err(AbiError::AgentThread)
+    );
+
+    // Hints and status words for tids the runtime does not manage.
+    assert_eq!(
+        s.runtime.try_set_hint(Tid(55_555), 7),
+        Err(AbiError::ForeignThread)
+    );
+    assert_eq!(
+        s.enclave.try_thread_status(Tid(55_555)),
+        Err(AbiError::ForeignThread)
+    );
+    // Status words are kernel-owned: writes always reject, even for a
+    // perfectly valid managed tid.
+    assert_eq!(
+        s.enclave.try_write_status(k, t, u64::MAX),
+        Err(AbiError::StatusReadOnly)
+    );
+    // Upgrading with nothing staged.
+    assert_eq!(s.enclave.try_upgrade_now(k), Err(AbiError::NothingStaged));
+
+    let stats = s.runtime.stats();
+    for err in [
+        AbiError::EmptyCpuSet,
+        AbiError::InvalidCpu,
+        AbiError::CpuConflict,
+        AbiError::NoSuchThread,
+        AbiError::AlreadyAttached,
+        AbiError::AgentThread,
+        AbiError::ForeignThread,
+        AbiError::StatusReadOnly,
+        AbiError::NothingStaged,
+    ] {
+        assert!(stats.rejects(err) >= 1, "no counter bump for {err}");
+    }
+    // A clean read still works and no strike-less misuse quarantined us.
+    assert!(s.enclave.try_thread_status(t).is_ok());
+    assert!(s.enclave.alive());
+    assert_eq!(stats.quarantines, 0);
+}
+
+/// The destroy→reclaim boundary: after an enclave dies, every entry
+/// point that names it must return `EnclaveDestroyed` (not panic, not
+/// corrupt the registry), and its threads must keep running under CFS.
+#[test]
+fn destroyed_enclave_is_inert_and_threads_fall_back_to_cfs() {
+    let mut s = setup(2, EnclaveConfig::centralized("reclaim"));
+    s.kernel.run_until(2 * MILLIS);
+    let t = s.tids[0];
+    assert!(s.enclave.alive());
+    s.enclave.try_destroy(&mut s.kernel.state).unwrap();
+    assert!(!s.enclave.alive());
+
+    let fresh = s
+        .kernel
+        .spawn(ThreadSpec::workload("late", &s.kernel.state.topo));
+    let k = &mut s.kernel.state;
+    assert_eq!(
+        s.enclave.try_attach_thread(k, fresh),
+        Err(AbiError::EnclaveDestroyed)
+    );
+    assert_eq!(
+        s.enclave.try_stage_upgrade(Box::new(Null)),
+        Err(AbiError::EnclaveDestroyed)
+    );
+    assert_eq!(
+        s.enclave.try_upgrade_now(k),
+        Err(AbiError::EnclaveDestroyed)
+    );
+    assert_eq!(s.enclave.try_destroy(k), Err(AbiError::EnclaveDestroyed));
+    assert_eq!(
+        s.enclave.try_thread_status(t),
+        Err(AbiError::EnclaveDestroyed)
+    );
+    assert_eq!(
+        s.enclave.try_write_status(k, t, 0),
+        Err(AbiError::StatusReadOnly)
+    );
+    assert!(s.runtime.try_set_hint(t, 1).is_err());
+    assert!(s.runtime.stats().rejects(AbiError::EnclaveDestroyed) >= 5);
+
+    // The reclaimed threads still run — under CFS now.
+    let before = s.kernel.state.thread(t).total_work;
+    s.kernel.assign_and_wake(t, 3 * MILLIS);
+    s.kernel.run_until(10 * MILLIS);
+    assert!(
+        s.kernel.state.thread(t).total_work > before,
+        "reclaimed thread must make progress under CFS"
+    );
+}
+
+/// An enclave configured with a strike budget is quarantined (destroyed,
+/// threads to CFS) once its agent burns through the budget with forged
+/// ABI calls — the paper's worst-case containment for a byzantine agent.
+#[test]
+fn strike_budget_quarantines_a_byzantine_enclave() {
+    let mut s = setup(1, EnclaveConfig::centralized("strikes").with_abi_strikes(3));
+    let t = s.tids[0];
+    s.kernel.assign_and_wake(t, MILLIS);
+    s.script.lock().unwrap().push(Box::new(move |ctx| {
+        for _ in 0..4 {
+            let mut txn = Transaction::new(t, CpuId(999));
+            ctx.commit_one(&mut txn);
+        }
+    }));
+    s.kernel.run_until(10 * MILLIS);
+    let stats = s.runtime.stats();
+    assert!(stats.rejects(AbiError::InvalidCpu) >= 4);
+    assert!(stats.quarantines >= 1, "budget exhausted, no quarantine");
+    assert!(!s.enclave.alive());
+    // Containment, not collapse: the managed thread survives on CFS.
+    let before = s.kernel.state.thread(t).total_work;
+    s.kernel.assign_and_wake(t, 2 * MILLIS);
+    s.kernel.run_until(20 * MILLIS);
+    assert!(s.kernel.state.thread(t).total_work > before);
 }
 
 #[test]

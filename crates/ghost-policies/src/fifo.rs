@@ -30,6 +30,10 @@ pub struct CentralizedFifo {
     pub failures: u64,
     /// Threads shed to CFS after exhausting their stale-retry budget.
     pub sheds: u64,
+    /// Commits dropped because the target no longer exists in the enclave
+    /// (`TxnStatus::UnknownTarget`): the kernel could not find the thread
+    /// at all, so a retry can never succeed and the tid is not requeued.
+    pub unknown_drops: u64,
 }
 
 impl CentralizedFifo {
@@ -142,6 +146,14 @@ impl GhostPolicy for CentralizedFifo {
                         ctx.shed_to_cfs(txn.tid);
                     }
                 }
+            } else if txn.status == TxnStatus::UnknownTarget {
+                // The kernel has no such thread in this enclave (dead,
+                // foreign, or forged tid). Requeueing would retry forever;
+                // drop it and clear any stale-retry streak. A genuinely
+                // departing thread's THREAD_DEAD cleans up the tracker.
+                self.failures += 1;
+                self.unknown_drops += 1;
+                self.governor.forget(txn.tid);
             } else {
                 self.failures += 1;
                 self.enqueue(txn.tid);

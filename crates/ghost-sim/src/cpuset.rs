@@ -47,23 +47,34 @@ impl CpuSet {
         s
     }
 
-    /// Adds a CPU to the set.
+    /// Adds a CPU to the set, total over all of `u16`: an id beyond
+    /// [`MAX_CPUS`] cannot be represented and is silently not inserted.
+    /// Agent-supplied masks reach this (e.g. enclave creation), so a
+    /// forged id must not panic; the resulting set then fails enclave
+    /// validation with a typed error (`EmptyCpuSet` / `InvalidCpu`)
+    /// because the forged CPU was never a member.
     pub fn add(&mut self, cpu: CpuId) {
         let i = cpu.0 as usize;
-        debug_assert!(i < MAX_CPUS);
-        self.words[i / 64] |= 1 << (i % 64);
+        if i < MAX_CPUS {
+            self.words[i / 64] |= 1 << (i % 64);
+        }
     }
 
-    /// Removes a CPU from the set.
+    /// Removes a CPU from the set. A CPU id beyond [`MAX_CPUS`] was never
+    /// a member; removing it is a no-op.
     pub fn remove(&mut self, cpu: CpuId) {
         let i = cpu.0 as usize;
-        self.words[i / 64] &= !(1 << (i % 64));
+        if i < MAX_CPUS {
+            self.words[i / 64] &= !(1 << (i % 64));
+        }
     }
 
-    /// Membership test.
+    /// Membership test, total over all of `u16`: ids beyond [`MAX_CPUS`]
+    /// are simply not members. Agent-supplied CPU ids reach this, so an
+    /// out-of-range id must reject, not panic.
     pub fn contains(&self, cpu: CpuId) -> bool {
         let i = cpu.0 as usize;
-        self.words[i / 64] & (1 << (i % 64)) != 0
+        i < MAX_CPUS && self.words[i / 64] & (1 << (i % 64)) != 0
     }
 
     /// Number of CPUs in the set.
@@ -170,6 +181,22 @@ mod tests {
         s.remove(c(63));
         assert!(!s.contains(c(63)));
         assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn out_of_range_ids_are_total() {
+        let mut s = CpuSet::from_iter([c(7)]);
+        // A forged CPU id (e.g. from a byzantine agent) must never panic
+        // the mask: it is simply not a member, insertion cannot represent
+        // it, and removal is a no-op.
+        assert!(!s.contains(c(999)));
+        assert!(!s.contains(c(u16::MAX)));
+        s.add(c(999));
+        s.add(c(u16::MAX));
+        assert!(!s.contains(c(999)));
+        s.remove(c(999));
+        assert_eq!(s.count(), 1);
+        assert!(CpuSet::from_iter([c(300)]).is_empty());
     }
 
     #[test]

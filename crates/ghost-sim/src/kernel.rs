@@ -124,6 +124,30 @@ impl KernelState {
         &self.cpus[cpu.index()]
     }
 
+    /// True if `tid` names a thread the kernel has ever spawned. The
+    /// enforcement hook for validating agent-supplied tids: anything an
+    /// agent hands the kernel must pass here before it is used as an
+    /// index.
+    pub fn valid_tid(&self, tid: Tid) -> bool {
+        tid.index() < self.threads.len()
+    }
+
+    /// True if `cpu` names a CPU of this machine. The enforcement hook
+    /// for validating agent-supplied CPU ids.
+    pub fn valid_cpu(&self, cpu: CpuId) -> bool {
+        cpu.index() < self.cpus.len()
+    }
+
+    /// Bounds-checked access to a thread (for agent-supplied tids).
+    pub fn thread_checked(&self, tid: Tid) -> Option<&SimThread> {
+        self.threads.get(tid.index())
+    }
+
+    /// Bounds-checked access to a CPU (for agent-supplied CPU ids).
+    pub fn cpu_checked(&self, cpu: CpuId) -> Option<&CpuState> {
+        self.cpus.get(cpu.index())
+    }
+
     /// True if `cpu`'s SMT sibling is occupied.
     pub fn sibling_busy(&self, cpu: CpuId) -> bool {
         self.topo
@@ -661,13 +685,28 @@ impl Kernel {
         }
     }
 
+    /// CPU that has picked `tid` and is mid-context-switch to it. In this
+    /// window the thread sits on no runqueue yet is still `Runnable` with
+    /// `t.cpu` unset, so its state alone cannot distinguish it from a
+    /// queued thread. Linux closes the same window with `p->on_cpu` and
+    /// the rq lock; callers that would requeue the thread must defer
+    /// until the switch lands or they create a second queued presence.
+    fn switching_to(&self, tid: Tid) -> Option<CpuId> {
+        self.state
+            .cpus
+            .iter()
+            .position(|c| c.current == Some(tid) && c.run_state == CpuRunState::Switching)
+            .map(|i| CpuId(i as u16))
+    }
+
     fn apply_class_move(&mut self, tid: Tid, new_class: ClassId) {
         let old = self.state.threads[tid.index()].class;
         if old == new_class {
             return;
         }
         let st = self.state.threads[tid.index()].state;
-        if st == ThreadState::Runnable {
+        let in_flight = self.switching_to(tid);
+        if st == ThreadState::Runnable && in_flight.is_none() {
             self.classes[old as usize].dequeue(tid, &mut self.state);
         }
         self.classes[old as usize].on_detach(tid, &mut self.state);
@@ -675,9 +714,18 @@ impl Kernel {
         self.classes[new_class as usize].on_attach(tid, &mut self.state);
         match st {
             ThreadState::Runnable => {
-                let placed = self.classes[new_class as usize].enqueue(tid, &mut self.state);
-                if let Some(cpu) = placed {
-                    self.check_preempt(cpu, tid, new_class);
+                if let Some(cpu) = in_flight {
+                    // The thread is in-flight to `cpu` (picked, mid-switch,
+                    // on no runqueue). Enqueueing it now would give it a
+                    // second queued presence that another CPU could steal
+                    // while it runs. Let the switch land, then re-evaluate
+                    // under the new class.
+                    self.state.cpus[cpu.index()].resched_after_switch = true;
+                } else {
+                    let placed = self.classes[new_class as usize].enqueue(tid, &mut self.state);
+                    if let Some(cpu) = placed {
+                        self.check_preempt(cpu, tid, new_class);
+                    }
                 }
             }
             ThreadState::Running => {

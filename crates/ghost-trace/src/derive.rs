@@ -27,6 +27,12 @@ pub struct TraceMetrics {
     /// pick_next_task fast-path outcomes.
     pub pnt_hits: u64,
     pub pnt_misses: u64,
+    /// ABI calls rejected at the validation boundary, total and broken
+    /// down by `AbiError` kind index.
+    pub abi_rejects: u64,
+    pub abi_rejects_by_kind: BTreeMap<u8, u64>,
+    /// Enclaves quarantined for exhausting their byzantine strike budget.
+    pub quarantines: u64,
 }
 
 impl TraceMetrics {
@@ -43,6 +49,9 @@ impl TraceMetrics {
             msgs_dropped: 0,
             pnt_hits: 0,
             pnt_misses: 0,
+            abi_rejects: 0,
+            abi_rejects_by_kind: BTreeMap::new(),
+            quarantines: 0,
         };
         // Latest un-serviced wakeup per tid.
         let mut woken: BTreeMap<u32, Nanos> = BTreeMap::new();
@@ -94,6 +103,11 @@ impl TraceMetrics {
                 TraceEvent::TxnCommitRace { .. } => m.txns_race += 1,
                 TraceEvent::PntHit { .. } => m.pnt_hits += 1,
                 TraceEvent::PntMiss { .. } => m.pnt_misses += 1,
+                TraceEvent::AbiReject { kind, .. } => {
+                    m.abi_rejects += 1;
+                    *m.abi_rejects_by_kind.entry(kind).or_insert(0) += 1;
+                }
+                TraceEvent::EnclaveQuarantined { .. } => m.quarantines += 1,
                 _ => {}
             }
         }
@@ -183,6 +197,20 @@ mod tests {
         assert_eq!(m.txns_ok, 1);
         assert_eq!(m.txns_estale, 1);
         assert!((m.estale_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn folds_abi_rejections_and_quarantines() {
+        let sink = TraceSink::recording(1, 16);
+        sink.emit(10, 0, || TraceEvent::AbiReject { cpu: 0, kind: 4 });
+        sink.emit(20, 0, || TraceEvent::AbiReject { cpu: 0, kind: 4 });
+        sink.emit(30, 0, || TraceEvent::AbiReject { cpu: 1, kind: 8 });
+        sink.emit(40, 0, || TraceEvent::EnclaveQuarantined { enclave: 0 });
+        let m = TraceMetrics::from_records(&sink.snapshot());
+        assert_eq!(m.abi_rejects, 3);
+        assert_eq!(m.abi_rejects_by_kind[&4], 2);
+        assert_eq!(m.abi_rejects_by_kind[&8], 1);
+        assert_eq!(m.quarantines, 1);
     }
 
     #[test]

@@ -135,6 +135,12 @@ pub enum TraceEvent {
     },
     /// A degraded thread was pulled back from CFS into ghOSt after recovery.
     ThreadReclaimed { enclave: u32, tid: u32 },
+    /// An agent-facing ABI call was rejected with a typed error; `cpu` is
+    /// the calling agent's CPU and `kind` the `AbiError` kind index.
+    AbiReject { cpu: u16, kind: u8 },
+    /// An enclave exhausted its byzantine strike budget and was
+    /// quarantined (destroyed; threads fall back to CFS).
+    EnclaveQuarantined { enclave: u32 },
 }
 
 impl TraceEvent {
@@ -163,6 +169,8 @@ impl TraceEvent {
             TraceEvent::RecoveryStart { .. } => "ghost_recovery_start",
             TraceEvent::ReconstructDone { .. } => "ghost_reconstruct_done",
             TraceEvent::ThreadReclaimed { .. } => "ghost_thread_reclaimed",
+            TraceEvent::AbiReject { .. } => "ghost_abi_reject",
+            TraceEvent::EnclaveQuarantined { .. } => "ghost_enclave_quarantined",
         }
     }
 
@@ -274,6 +282,12 @@ impl TraceEvent {
             ],
             TraceEvent::ThreadReclaimed { enclave, tid } => {
                 vec![("enclave", enclave as u64), ("tid", tid as u64)]
+            }
+            TraceEvent::AbiReject { cpu, kind } => {
+                vec![("cpu", cpu as u64), ("kind", kind as u64)]
+            }
+            TraceEvent::EnclaveQuarantined { enclave } => {
+                vec![("enclave", enclave as u64)]
             }
         }
     }
