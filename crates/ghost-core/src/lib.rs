@@ -42,6 +42,7 @@
 //! The BPF `pick_next_task` fast path (§3.2/§5) is modelled by [`pnt`].
 
 pub mod abi;
+pub mod backend;
 pub mod enclave;
 pub mod msg;
 pub mod pnt;
@@ -53,6 +54,7 @@ pub mod status;
 pub mod txn;
 
 pub use abi::AbiError;
+pub use backend::{BackendCpu, BackendThread, GhostBackend};
 pub use enclave::{AgentMode, EnclaveConfig, EnclaveId, QueueId};
 pub use msg::{Message, MsgType};
 pub use policy::{GhostPolicy, PolicyCtx, ThreadView};

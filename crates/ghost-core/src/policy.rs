@@ -3,10 +3,10 @@
 //! (3,115 LOC of C++ in Table 2).
 
 use crate::abi::AbiError;
+use crate::backend::GhostBackend;
 use crate::enclave::{Enclave, QueueId, WakeMode};
 use crate::msg::Message;
 use ghost_sim::cpuset::CpuSet;
-use ghost_sim::kernel::KernelState;
 use ghost_sim::thread::{ThreadState, Tid};
 use ghost_sim::time::Nanos;
 use ghost_sim::topology::{CpuId, Topology};
@@ -42,7 +42,7 @@ pub struct ThreadView {
 /// implicit costs of commits) extends the agent's busy period in the
 /// simulation, so expensive policies really do schedule more slowly.
 pub struct PolicyCtx<'a> {
-    pub(crate) k: &'a mut KernelState,
+    pub(crate) k: &'a mut dyn GhostBackend,
     pub(crate) enclave: &'a mut Enclave,
     pub(crate) stats: &'a mut crate::runtime::GhostStats,
     pub(crate) agent_cpu: CpuId,
@@ -55,12 +55,12 @@ pub struct PolicyCtx<'a> {
 impl<'a> PolicyCtx<'a> {
     /// Current virtual time.
     pub fn now(&self) -> Nanos {
-        self.k.now
+        self.k.now()
     }
 
     /// Machine topology.
     pub fn topo(&self) -> &Topology {
-        &self.k.topo
+        self.k.topo()
     }
 
     /// The CPU this agent runs on.
@@ -87,7 +87,7 @@ impl<'a> PolicyCtx<'a> {
             .iter()
             .filter(|&c| {
                 c != self.agent_cpu
-                    && self.k.cpus[c.index()].is_idle()
+                    && self.k.cpu(c).is_idle()
                     && !self.enclave.committed.contains_key(&c)
             })
             .collect()
@@ -119,7 +119,7 @@ impl<'a> PolicyCtx<'a> {
         self.k
             .cpu_checked(cpu)
             .and_then(|cs| cs.current)
-            .is_some_and(|t| self.k.threads[t.index()].kind == ghost_sim::thread::ThreadKind::Agent)
+            .is_some_and(|t| self.k.thread(t).kind == ghost_sim::thread::ThreadKind::Agent)
     }
 
     /// Number of CFS threads queued behind `cpu` (the hot-handoff
@@ -145,7 +145,7 @@ impl<'a> PolicyCtx<'a> {
         // Sync runtime so `total_runtime` reflects in-progress stints.
         let tseq = info.tseq;
         self.k.sync_runtime(tid);
-        let t = &self.k.threads[tid.index()];
+        let t = &self.k.thread(tid);
         Some(ThreadView {
             tid,
             runnable: t.state == ThreadState::Runnable,
@@ -173,7 +173,7 @@ impl<'a> PolicyCtx<'a> {
     /// Charges `ns` of policy compute time to this activation.
     pub fn charge(&mut self, ns: Nanos) {
         self.busy += if self.smt_scale {
-            self.k.costs.smt_scaled(ns)
+            self.k.costs().smt_scaled(ns)
         } else {
             ns
         };
@@ -191,9 +191,8 @@ impl<'a> PolicyCtx<'a> {
         self.stats.abi_rejects[err.kind()] += 1;
         let acpu = self.agent_cpu.0;
         self.k
-            .cfg
-            .trace
-            .emit(self.k.now, acpu, || TraceEvent::AbiReject {
+            .trace()
+            .emit(self.k.now(), acpu, || TraceEvent::AbiReject {
                 cpu: acpu,
                 kind: err.kind() as u8,
             });
@@ -270,7 +269,7 @@ impl<'a> PolicyCtx<'a> {
         if let Some(info) = self.enclave.threads.get_mut(&slot.tid) {
             info.picked = false;
         }
-        self.charge(self.k.costs.syscall + self.k.costs.txn_validate);
+        self.charge(self.k.costs().syscall + self.k.costs().txn_validate);
         self.stats.txns_recalled += 1;
         Ok(slot.tid)
     }
@@ -405,9 +404,14 @@ impl<'a> PolicyCtx<'a> {
             return false;
         };
         let agent = slot.tid;
-        let key = self.k.topo.core_cpus(cpu).first().expect("core has a CPU");
+        let key = self
+            .k
+            .topo()
+            .core_cpus(cpu)
+            .first()
+            .expect("core has a CPU");
         self.enclave.core_active.insert(key, agent);
-        if self.k.threads[agent.index()].state == ghost_sim::ThreadState::Blocked {
+        if self.k.thread(agent).state == ghost_sim::ThreadState::Blocked {
             self.k.wake(agent);
         }
         true
@@ -416,7 +420,7 @@ impl<'a> PolicyCtx<'a> {
     /// Requests the next spontaneous activation of the (global) agent at
     /// virtual time `at`, e.g. for time-slice preemption checks.
     pub fn request_wakeup_at(&mut self, at: Nanos) {
-        let at = at.max(self.k.now);
+        let at = at.max(self.k.now());
         self.wakeup_request = Some(match self.wakeup_request {
             Some(cur) => cur.min(at),
             None => at,
@@ -425,7 +429,7 @@ impl<'a> PolicyCtx<'a> {
 
     /// Deterministic RNG for randomized policies.
     pub fn rng(&mut self) -> &mut rand::rngs::StdRng {
-        &mut self.k.rng
+        self.k.rng()
     }
 
     /// Sheds a thread out of ghOSt back to CFS. The escape hatch of the
@@ -439,7 +443,7 @@ impl<'a> PolicyCtx<'a> {
         if !self.enclave.threads.contains_key(&tid) {
             return false;
         }
-        self.charge(self.k.costs.syscall);
+        self.charge(self.k.costs().syscall);
         self.stats.estale_sheds += 1;
         self.k.move_to_class(tid, ghost_sim::class::CLASS_CFS);
         true

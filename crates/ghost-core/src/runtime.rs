@@ -14,6 +14,7 @@
 //!   inject crashes, read stats.
 
 use crate::abi::{AbiError, ABI_ERROR_KINDS};
+use crate::backend::GhostBackend;
 use crate::enclave::{
     AgentMode, AgentSlot, CommittedSlot, Enclave, EnclaveConfig, EnclaveId, QueueId, QueueState,
     ThreadInfo, WakeMode,
@@ -153,8 +154,8 @@ struct Core {
     stats: GhostStats,
 }
 
-fn core_key_of(k: &KernelState, cpu: CpuId) -> CpuId {
-    k.topo
+fn core_key_of(k: &dyn GhostBackend, cpu: CpuId) -> CpuId {
+    k.topo()
         .core_cpus(cpu)
         .first()
         .expect("core has at least one CPU")
@@ -186,7 +187,7 @@ impl Core {
     /// a kernel-reachable path comes through here.
     fn reject(
         &mut self,
-        k: &mut KernelState,
+        k: &mut dyn GhostBackend,
         eid: Option<EnclaveId>,
         cpu: CpuId,
         err: AbiError,
@@ -194,7 +195,7 @@ impl Core {
         self.stats.abi_rejects[err.kind()] += 1;
         // Out-of-range CPU ids are clamped by the trace recorder, so a
         // forged `cpu` cannot make the tracepoint itself unsafe.
-        k.cfg.trace.emit(k.now, cpu.0, || TraceEvent::AbiReject {
+        k.trace().emit(k.now(), cpu.0, || TraceEvent::AbiReject {
             cpu: cpu.0,
             kind: err.kind() as u8,
         });
@@ -226,11 +227,10 @@ impl Core {
     /// budget: the §3.4 worst case, applied deliberately — the enclave is
     /// destroyed, its threads fall back to CFS, and co-resident enclaves
     /// never notice.
-    fn quarantine(&mut self, k: &mut KernelState, eid: EnclaveId) {
+    fn quarantine(&mut self, k: &mut dyn GhostBackend, eid: EnclaveId) {
         self.stats.quarantines += 1;
-        k.cfg
-            .trace
-            .emit(k.now, 0, || TraceEvent::EnclaveQuarantined {
+        k.trace()
+            .emit(k.now(), 0, || TraceEvent::EnclaveQuarantined {
                 enclave: eid.0,
             });
         self.destroy_enclave(k, eid);
@@ -242,7 +242,7 @@ impl Core {
     /// queue's wakeup configuration.
     fn post(
         &mut self,
-        k: &mut KernelState,
+        k: &mut dyn GhostBackend,
         eid: EnclaveId,
         ty: MsgType,
         tid: Option<Tid>,
@@ -263,24 +263,23 @@ impl Core {
                 info.pending_msgs += 1;
                 let seq = info.tseq;
                 info.status.publish(|_, f| (seq, f));
-                (info.queue, Message::thread(ty, t, seq, cpu, k.now))
+                (info.queue, Message::thread(ty, t, seq, cpu, k.now()))
             }
-            None => (enclave.queue_for_cpu(cpu), Message::tick(cpu, k.now)),
+            None => (enclave.queue_for_cpu(cpu), Message::tick(cpu, k.now())),
         };
         let Some(Some(qs)) = enclave.queues.get(qid.0 as usize) else {
             return;
         };
         // A queue-overflow fault window rejects the push as if the ring
         // were full; otherwise try the ring for real.
-        let forced_overflow = k.cfg.faults.queue_overflow_active(k.now);
+        let forced_overflow = k.fault_queue_overflow_active();
         if forced_overflow {
             qs.queue.note_dropped();
         }
         if forced_overflow || qs.queue.push(msg).is_err() {
             self.stats.msgs_dropped += 1;
-            k.cfg
-                .trace
-                .emit(k.now, cpu.0, || TraceEvent::QueueOverflow {
+            k.trace()
+                .emit(k.now(), cpu.0, || TraceEvent::QueueOverflow {
                     queue: qid.0,
                     ty: GhostStats::msg_idx(ty) as u8,
                     tid: msg.tid.0,
@@ -294,14 +293,14 @@ impl Core {
             return;
         }
         self.stats.msgs_posted[GhostStats::msg_idx(ty)] += 1;
-        k.cfg.trace.emit(k.now, cpu.0, || TraceEvent::MsgEnqueued {
+        k.trace().emit(k.now(), cpu.0, || TraceEvent::MsgEnqueued {
             queue: qid.0,
             ty: GhostStats::msg_idx(ty) as u8,
             tid: msg.tid.0,
             seq: msg.seq,
         });
         let wake = qs.wake;
-        let enqueue_done = k.now + k.costs.msg_enqueue;
+        let enqueue_done = k.now() + k.costs().msg_enqueue;
         match wake {
             WakeMode::WakeAgent(agent) => {
                 if let Some((_, acpu)) = self.agent_enclave.get(&agent).copied() {
@@ -309,7 +308,7 @@ impl Core {
                         slot.status.bump_seq(); // Aseq.
                     }
                 }
-                if k.threads[agent.index()].state == ThreadState::Blocked {
+                if k.thread(agent).state == ThreadState::Blocked {
                     k.wake_at(enqueue_done, agent);
                 }
             }
@@ -321,7 +320,7 @@ impl Core {
                     let agent = slot.tid;
                     slot.status.bump_seq();
                     enclave.core_active.insert(core_key_of(k, cpu), agent);
-                    if k.threads[agent.index()].state == ThreadState::Blocked {
+                    if k.thread(agent).state == ThreadState::Blocked {
                         k.wake_at(enqueue_done, agent);
                     }
                 }
@@ -335,7 +334,7 @@ impl Core {
                             slot.status.bump_seq();
                         }
                     }
-                    match k.threads[global.index()].state {
+                    match k.thread(global).state {
                         ThreadState::Running if !enclave.loop_armed => {
                             enclave.loop_armed = true;
                             k.schedule_agent_loop(enqueue_done, global);
@@ -350,7 +349,7 @@ impl Core {
 
     /// Tears an enclave down: every managed thread falls back to CFS and
     /// every agent is killed. Other enclaves are untouched (§3.4).
-    fn destroy_enclave(&mut self, k: &mut KernelState, eid: EnclaveId) {
+    fn destroy_enclave(&mut self, k: &mut dyn GhostBackend, eid: EnclaveId) {
         let Some(enclave) = self
             .enclaves
             .get_mut(eid.0 as usize)
@@ -378,7 +377,7 @@ impl Core {
             // strand runnable threads in the dead enclave instead of
             // moving them back to CFS. Never enabled in normal builds.
             #[cfg(feature = "seeded-bug")]
-            if k.threads[tid.index()].state == ThreadState::Runnable {
+            if k.thread(tid).state == ThreadState::Runnable {
                 continue;
             }
             k.move_to_class(tid, CLASS_CFS);
@@ -388,27 +387,27 @@ impl Core {
             k.kill(agent);
         }
         self.stats.enclave_destroys += 1;
-        k.cfg
-            .trace
-            .emit(k.now, 0, || TraceEvent::EnclaveDestroyed { enclave: eid.0 });
+        k.trace().emit(k.now(), 0, || TraceEvent::EnclaveDestroyed {
+            enclave: eid.0,
+        });
     }
 
     /// Kicks the enclave's agents so the incoming policy runs promptly
     /// even with no fresh messages — right after an upgrade or respawn,
     /// the status-word reconstruction must happen before organic traffic
     /// would next wake an agent.
-    fn notify_agents(&mut self, k: &mut KernelState, eid: EnclaveId) {
+    fn notify_agents(&mut self, k: &mut dyn GhostBackend, eid: EnclaveId) {
         let Some(enclave) = self.enclaves[eid.0 as usize].as_mut() else {
             return;
         };
         if enclave.destroyed {
             return;
         }
-        let at = k.now + k.costs.msg_enqueue;
+        let at = k.now() + k.costs().msg_enqueue;
         match enclave.config.mode {
             AgentMode::Centralized => {
                 if let Some(global) = enclave.global_agent {
-                    match k.threads[global.index()].state {
+                    match k.thread(global).state {
                         ThreadState::Running if !enclave.loop_armed => {
                             enclave.loop_armed = true;
                             k.schedule_agent_loop(at, global);
@@ -422,7 +421,7 @@ impl Core {
                 let mut agents: Vec<Tid> = enclave.agents.values().map(|a| a.tid).collect();
                 agents.sort_by_key(|t| t.0);
                 for a in agents {
-                    if k.threads[a.index()].state == ThreadState::Blocked {
+                    if k.thread(a).state == ThreadState::Blocked {
                         k.wake_at(at, a);
                     }
                 }
@@ -434,7 +433,7 @@ impl Core {
                 for (cpu, tid) in slots {
                     let key = core_key_of(k, cpu);
                     let active = *enclave.core_active.entry(key).or_insert(tid);
-                    if active == tid && k.threads[tid.index()].state == ThreadState::Blocked {
+                    if active == tid && k.thread(tid).state == ThreadState::Blocked {
                         k.wake_at(at, tid);
                     }
                 }
@@ -450,13 +449,13 @@ impl Core {
     /// the last resort, once `max_respawns` attempts are consumed.
     fn begin_degraded_failover(
         &mut self,
-        k: &mut KernelState,
+        k: &mut dyn GhostBackend,
         eid: EnclaveId,
         cpu: CpuId,
         standby: StandbyConfig,
         victims: Vec<Tid>,
     ) {
-        let now = k.now;
+        let now = k.now();
         let Some(enclave) = self.enclaves[eid.0 as usize].as_mut() else {
             return;
         };
@@ -471,8 +470,7 @@ impl Core {
             self.destroy_enclave(k, eid);
             return;
         }
-        k.cfg
-            .trace
+        k.trace()
             .emit(now, cpu.0, || TraceEvent::RecoveryStart { enclave: eid.0 });
         enclave.loop_armed = false;
         for tid in victims {
@@ -508,7 +506,7 @@ impl Core {
     /// contained to the slice of the enclave the dead agent managed.
     fn partial_fallback(
         &mut self,
-        k: &mut KernelState,
+        k: &mut dyn GhostBackend,
         eid: EnclaveId,
         cpu: CpuId,
         dead_agent: Tid,
@@ -590,7 +588,7 @@ impl EnclaveHandle {
 
     /// Attaches a native thread to this enclave (moves it into the ghOSt
     /// scheduling class, generating `THREAD_CREATED`/`THREAD_WAKEUP`).
-    pub fn attach_thread(&self, k: &mut KernelState, tid: Tid) {
+    pub fn attach_thread(&self, k: &mut dyn GhostBackend, tid: Tid) {
         self.runtime.attach_thread(k, self.id, tid);
     }
 
@@ -600,7 +598,7 @@ impl EnclaveHandle {
     }
 
     /// Promotes the staged policy right now (§3.4); false if none staged.
-    pub fn upgrade_now(&self, k: &mut KernelState) -> bool {
+    pub fn upgrade_now(&self, k: &mut dyn GhostBackend) -> bool {
         self.runtime.upgrade_now(k, self.id)
     }
 
@@ -611,7 +609,7 @@ impl EnclaveHandle {
     }
 
     /// Destroys the enclave: threads fall back to CFS, agents die.
-    pub fn destroy(&self, k: &mut KernelState) {
+    pub fn destroy(&self, k: &mut dyn GhostBackend) {
         self.runtime.destroy_enclave(k, self.id);
     }
 
@@ -642,7 +640,7 @@ impl EnclaveHandle {
     }
 
     /// Validated attach: see [`GhostRuntime::try_attach_thread`].
-    pub fn try_attach_thread(&self, k: &mut KernelState, tid: Tid) -> Result<(), AbiError> {
+    pub fn try_attach_thread(&self, k: &mut dyn GhostBackend, tid: Tid) -> Result<(), AbiError> {
         self.runtime.try_attach_thread(k, self.id, tid)
     }
 
@@ -652,12 +650,12 @@ impl EnclaveHandle {
     }
 
     /// Validated in-place upgrade: see [`GhostRuntime::try_upgrade_now`].
-    pub fn try_upgrade_now(&self, k: &mut KernelState) -> Result<(), AbiError> {
+    pub fn try_upgrade_now(&self, k: &mut dyn GhostBackend) -> Result<(), AbiError> {
         self.runtime.try_upgrade_now(k, self.id)
     }
 
     /// Validated destruction: see [`GhostRuntime::try_destroy_enclave`].
-    pub fn try_destroy(&self, k: &mut KernelState) -> Result<(), AbiError> {
+    pub fn try_destroy(&self, k: &mut dyn GhostBackend) -> Result<(), AbiError> {
         self.runtime.try_destroy_enclave(k, self.id)
     }
 
@@ -670,7 +668,7 @@ impl EnclaveHandle {
     /// [`GhostRuntime::try_write_status`].
     pub fn try_write_status(
         &self,
-        k: &mut KernelState,
+        k: &mut dyn GhostBackend,
         tid: Tid,
         garbage: u64,
     ) -> Result<(), AbiError> {
@@ -924,11 +922,100 @@ impl GhostRuntime {
         }
     }
 
+    /// Backend-generic agent spawn: the same wiring as
+    /// [`GhostRuntime::spawn_agents`] — one pinned agent per enclave CPU,
+    /// queue configuration per [`AgentMode`], global-agent wake, watchdog
+    /// arm — expressed against [`GhostBackend`] so the live backend can
+    /// launch enclaves over real OS threads. The DES keeps its own
+    /// `spawn_agents` (above) untouched: its event interleaving is pinned
+    /// by the digest-freeze test, and this path must be free to evolve
+    /// with the live backend without risking that freeze.
+    ///
+    /// The caller settles the backend afterwards (deferred wakes/spawns).
+    pub fn spawn_agents_backend(&self, k: &mut dyn GhostBackend, eid: EnclaveId) -> Vec<Tid> {
+        let cpus: Vec<CpuId> = {
+            let core = self.shared.lock().unwrap();
+            core.enclaves[eid.0 as usize]
+                .as_ref()
+                .expect("enclave exists")
+                .cpus
+                .iter()
+                .collect()
+        };
+        let mut slots: Vec<(CpuId, Tid)> = Vec::new();
+        for &cpu in &cpus {
+            let tid = k.spawn_agent(&format!("ghost-agent-e{}-c{}", eid.0, cpu.0), cpu);
+            slots.push((cpu, tid));
+        }
+        let tids: Vec<Tid> = slots.iter().map(|&(_, t)| t).collect();
+        let mut to_wake = Vec::new();
+        {
+            let mut core = self.shared.lock().unwrap();
+            for &(cpu, tid) in &slots {
+                core.agent_enclave.insert(tid, (eid, cpu));
+            }
+            let enclave = core.enclave_mut(eid).expect("enclave exists");
+            for (cpu, tid) in slots {
+                let status = StatusWord::new();
+                status.set_flags(SW_ATTACHED);
+                enclave.agents.insert(cpu, AgentSlot { tid, cpu, status });
+            }
+            match enclave.config.mode {
+                AgentMode::Centralized => {
+                    let global = enclave.agents[&cpus[0]].tid;
+                    enclave.global_agent = Some(global);
+                    to_wake.push(global);
+                }
+                AgentMode::PerCpu => {
+                    for &cpu in &cpus {
+                        let agent = enclave.agents[&cpu].tid;
+                        let qid = QueueId(enclave.queues.len() as u32);
+                        enclave.queues.push(Some(QueueState {
+                            queue: MessageQueue::new(enclave.config.queue_capacity),
+                            wake: WakeMode::WakeAgent(agent),
+                        }));
+                        enclave.cpu_queues.insert(cpu, qid);
+                    }
+                    let first_agent = enclave.agents[&cpus[0]].tid;
+                    if let Some(Some(qs)) = enclave.queues.get_mut(0) {
+                        qs.wake = WakeMode::WakeAgent(first_agent);
+                    }
+                }
+                AgentMode::PerCore => {
+                    let mut per_core: HashMap<CpuId, QueueId> = HashMap::new();
+                    for &cpu in &cpus {
+                        let key = core_key_of(k, cpu);
+                        let qid = *per_core.entry(key).or_insert_with(|| {
+                            let qid = QueueId(enclave.queues.len() as u32);
+                            enclave.queues.push(Some(QueueState {
+                                queue: MessageQueue::new(enclave.config.queue_capacity),
+                                wake: WakeMode::WakeEventCpuAgent,
+                            }));
+                            qid
+                        });
+                        enclave.cpu_queues.insert(cpu, qid);
+                    }
+                    if let Some(Some(qs)) = enclave.queues.get_mut(0) {
+                        qs.wake = WakeMode::WakeEventCpuAgent;
+                    }
+                }
+            }
+            if let Some(timeout) = enclave.config.watchdog_timeout {
+                let at = k.now() + timeout / 2;
+                k.arm_driver_timer(at, eid.0 as u64);
+            }
+        }
+        for tid in to_wake {
+            k.wake(tid);
+        }
+        tids
+    }
+
     /// Attaches a native thread to an enclave: moves it into the ghOSt
     /// scheduling class, generating `THREAD_CREATED` (and `THREAD_WAKEUP`
     /// if it is runnable). Invalid requests are rejected (and counted);
     /// use [`GhostRuntime::try_attach_thread`] to see the cause.
-    pub fn attach_thread(&self, k: &mut KernelState, eid: EnclaveId, tid: Tid) {
+    pub fn attach_thread(&self, k: &mut dyn GhostBackend, eid: EnclaveId, tid: Tid) {
         let _ = self.try_attach_thread(k, eid, tid);
     }
 
@@ -937,7 +1024,7 @@ impl GhostRuntime {
     /// typed [`AbiError`] instead of corrupting the registry.
     pub fn try_attach_thread(
         &self,
-        k: &mut KernelState,
+        k: &mut dyn GhostBackend,
         eid: EnclaveId,
         tid: Tid,
     ) -> Result<(), AbiError> {
@@ -947,9 +1034,9 @@ impl GhostRuntime {
             Some(e)
         } else if !k.valid_tid(tid) {
             Some(AbiError::NoSuchThread)
-        } else if k.threads[tid.index()].state == ThreadState::Dead {
+        } else if k.thread(tid).state == ThreadState::Dead {
             Some(AbiError::DeadThread)
-        } else if k.threads[tid.index()].kind == ghost_sim::thread::ThreadKind::Agent {
+        } else if k.thread(tid).kind == ghost_sim::thread::ThreadKind::Agent {
             Some(AbiError::AgentThread)
         } else if core.thread_enclave.contains_key(&tid) || core.pending_attach.contains_key(&tid) {
             Some(AbiError::AlreadyAttached)
@@ -996,13 +1083,17 @@ impl GhostRuntime {
     /// message replay. An `Aseq` barrier is raised on every agent so
     /// commits prepared against the old policy's view fail `ESTALE`.
     /// Returns false if no policy was staged.
-    pub fn upgrade_now(&self, k: &mut KernelState, eid: EnclaveId) -> bool {
+    pub fn upgrade_now(&self, k: &mut dyn GhostBackend, eid: EnclaveId) -> bool {
         self.try_upgrade_now(k, eid).is_ok()
     }
 
     /// Validated in-place upgrade: rejects dead or unknown enclaves and
     /// upgrades with nothing staged with a typed [`AbiError`].
-    pub fn try_upgrade_now(&self, k: &mut KernelState, eid: EnclaveId) -> Result<(), AbiError> {
+    pub fn try_upgrade_now(
+        &self,
+        k: &mut dyn GhostBackend,
+        eid: EnclaveId,
+    ) -> Result<(), AbiError> {
         let mut core = self.shared.lock().unwrap();
         if let Err(e) = core.check_enclave(eid) {
             return Err(core.reject(k, None, CpuId(0), e));
@@ -1018,7 +1109,7 @@ impl GhostRuntime {
         // The watchdog excuses pre-upgrade starvation: the new policy gets
         // a full timeout from here before it can be blamed (§3.4 — without
         // this a hung-then-upgraded agent is double-reaped).
-        enclave.upgraded_at = Some(k.now);
+        enclave.upgraded_at = Some(k.now());
         enclave.needs_reconstruct = true;
         // Aseq barrier: in-flight commits that captured a pre-upgrade
         // agent sequence number must not land under the new policy.
@@ -1060,13 +1151,17 @@ impl GhostRuntime {
     /// Destroys an enclave: threads fall back to CFS, agents die.
     /// Destroying twice (or a forged id) is a counted, typed rejection —
     /// see [`GhostRuntime::try_destroy_enclave`].
-    pub fn destroy_enclave(&self, k: &mut KernelState, eid: EnclaveId) {
+    pub fn destroy_enclave(&self, k: &mut dyn GhostBackend, eid: EnclaveId) {
         let _ = self.try_destroy_enclave(k, eid);
     }
 
     /// Validated destruction: rejects double destroys and unknown ids
     /// with a typed [`AbiError`].
-    pub fn try_destroy_enclave(&self, k: &mut KernelState, eid: EnclaveId) -> Result<(), AbiError> {
+    pub fn try_destroy_enclave(
+        &self,
+        k: &mut dyn GhostBackend,
+        eid: EnclaveId,
+    ) -> Result<(), AbiError> {
         let mut core = self.shared.lock().unwrap();
         if let Err(e) = core.check_enclave(eid) {
             return Err(core.reject(k, None, CpuId(0), e));
@@ -1178,7 +1273,7 @@ impl GhostRuntime {
     /// byzantine strike against the enclave.
     pub fn try_write_status(
         &self,
-        k: &mut KernelState,
+        k: &mut dyn GhostBackend,
         eid: EnclaveId,
         _tid: Tid,
         _garbage: u64,
@@ -1257,7 +1352,7 @@ impl<'a> PolicyCtx<'a> {
 
     fn scaled(&self, cost: Nanos) -> Nanos {
         if self.smt_scale {
-            self.k.costs.smt_scaled(cost)
+            self.k.costs().smt_scaled(cost)
         } else {
             cost
         }
@@ -1297,7 +1392,7 @@ impl<'a> PolicyCtx<'a> {
         if info.picked {
             return Err(AbiError::TargetNotRunnable);
         }
-        let t = &self.k.threads[txn.tid.index()];
+        let t = &self.k.thread(txn.tid);
         if t.state != ThreadState::Runnable {
             return Err(AbiError::TargetNotRunnable);
         }
@@ -1329,10 +1424,10 @@ impl<'a> PolicyCtx<'a> {
         // about to give up (local commit), and CPUs occupied by *agent*
         // threads, which vacate as soon as their activation ends (the
         // committed slot is consumed when the CPU next picks).
-        let cs = &self.k.cpus[txn.cpu.index()];
+        let cs = &self.k.cpu(txn.cpu);
         if cs.is_occupied() && txn.cpu != self.agent_cpu {
             if let Some(cur) = cs.current {
-                let cur = &self.k.threads[cur.index()];
+                let cur = &self.k.thread(cur);
                 if cur.class < CLASS_GHOST && cur.kind != ghost_sim::thread::ThreadKind::Agent {
                     return Err(AbiError::CpuBusy);
                 }
@@ -1342,9 +1437,13 @@ impl<'a> PolicyCtx<'a> {
     }
 
     fn do_commit(&mut self, txns: &mut [Transaction], atomic: bool) {
-        let costs_syscall = self.k.costs.syscall;
-        let costs_validate = self.k.costs.txn_validate;
-        let costs_local = self.k.costs.txn_local_commit.saturating_sub(costs_syscall);
+        let costs_syscall = self.k.costs().syscall;
+        let costs_validate = self.k.costs().txn_validate;
+        let costs_local = self
+            .k
+            .costs()
+            .txn_local_commit
+            .saturating_sub(costs_syscall);
         self.busy += self.scaled(costs_syscall);
         // Validation pass. Duplicate targets within the group are caught
         // by inserting provisional slots as we go.
@@ -1360,18 +1459,17 @@ impl<'a> PolicyCtx<'a> {
             if txns[i].cpu != self.agent_cpu {
                 let mut vcost = costs_validate;
                 if verdict != Err(AbiError::InvalidCpu)
-                    && !self.k.topo.same_socket(self.agent_cpu, txns[i].cpu)
+                    && !self.k.topo().same_socket(self.agent_cpu, txns[i].cpu)
                 {
-                    vcost = self.k.costs.cross_socket_scaled(vcost);
+                    vcost = self.k.costs().cross_socket_scaled(vcost);
                 }
                 self.busy += self.scaled(vcost);
             }
             match verdict {
                 Ok(()) => {
                     self.k
-                        .cfg
-                        .trace
-                        .emit(self.k.now, t_cpu, || TraceEvent::TxnArmed {
+                        .trace()
+                        .emit(self.k.now(), t_cpu, || TraceEvent::TxnArmed {
                             cpu: t_cpu,
                             tid: t_tid,
                         });
@@ -1400,9 +1498,8 @@ impl<'a> PolicyCtx<'a> {
                         }
                         let (j_cpu, j_tid) = (txns[j].cpu.0, txns[j].tid.0);
                         self.k
-                            .cfg
-                            .trace
-                            .emit(self.k.now, j_cpu, || TraceEvent::TxnCommitRace {
+                            .trace()
+                            .emit(self.k.now(), j_cpu, || TraceEvent::TxnCommitRace {
                                 cpu: j_cpu,
                                 tid: j_tid,
                             });
@@ -1437,25 +1534,25 @@ impl<'a> PolicyCtx<'a> {
             if txns[i].cpu == self.agent_cpu {
                 self.busy += self.scaled(costs_local);
             } else {
-                let cross = !self.k.topo.same_socket(self.agent_cpu, txns[i].cpu);
+                let cross = !self.k.topo().same_socket(self.agent_cpu, txns[i].cpu);
                 remote.push((i, cross));
             }
         }
         let n_remote = remote.len() as u64;
         for (idx, &(_, cross)) in remote.iter().enumerate() {
             let base = if idx == 0 {
-                self.k.costs.ipi_send
+                self.k.costs().ipi_send
             } else {
-                self.k.costs.ipi_send_extra
+                self.k.costs().ipi_send_extra
             };
             let c = if cross {
-                self.k.costs.cross_socket_scaled(base)
+                self.k.costs().cross_socket_scaled(base)
             } else {
                 base
             };
             self.busy += self.scaled(c);
         }
-        let dispatch = self.k.now + self.busy;
+        let dispatch = self.k.now() + self.busy;
         // Arm local slots: visible as soon as the agent parks.
         for &i in &provisional {
             if txns[i].cpu == self.agent_cpu {
@@ -1467,18 +1564,18 @@ impl<'a> PolicyCtx<'a> {
         }
         // Arm remote slots and send IPIs.
         for &(i, cross) in &remote {
-            let prop = self.k.costs.ipi_propagation
+            let prop = self.k.costs().ipi_propagation
                 + if cross {
-                    self.k.costs.ipi_propagation_cross_socket
+                    self.k.costs().ipi_propagation_cross_socket
                 } else {
                     0
                 };
             let contention = if n_remote > 1 {
-                self.k.costs.group_target_contention
+                self.k.costs().group_target_contention
             } else {
                 0
             };
-            let resched_at = dispatch + prop + self.k.costs.ipi_receive + contention;
+            let resched_at = dispatch + prop + self.k.costs().ipi_receive + contention;
             if let Some(slot) = self.enclave.committed.get_mut(&txns[i].cpu) {
                 slot.arm_at = resched_at;
             }
@@ -1504,9 +1601,8 @@ impl<'a> PolicyCtx<'a> {
         for &i in &provisional {
             let (t_cpu, t_tid) = (txns[i].cpu.0, txns[i].tid.0);
             self.k
-                .cfg
-                .trace
-                .emit(self.k.now, t_cpu, || TraceEvent::TxnCommitOk {
+                .trace()
+                .emit(self.k.now(), t_cpu, || TraceEvent::TxnCommitOk {
                     cpu: t_cpu,
                     tid: t_tid,
                 });
@@ -1530,9 +1626,8 @@ impl<'a> PolicyCtx<'a> {
         // is more useful than a clamp artifact).
         let acpu = self.agent_cpu.0;
         self.k
-            .cfg
-            .trace
-            .emit(self.k.now, acpu, || TraceEvent::AbiReject {
+            .trace()
+            .emit(self.k.now(), acpu, || TraceEvent::AbiReject {
                 cpu: acpu,
                 kind: err.kind() as u8,
             });
@@ -1559,9 +1654,11 @@ impl<'a> PolicyCtx<'a> {
         match status {
             TxnStatus::Stale => {
                 self.k
-                    .cfg
-                    .trace
-                    .emit(self.k.now, cpu, || TraceEvent::TxnCommitEstale { cpu, tid });
+                    .trace()
+                    .emit(self.k.now(), cpu, || TraceEvent::TxnCommitEstale {
+                        cpu,
+                        tid,
+                    });
             }
             TxnStatus::TargetNotRunnable
             | TxnStatus::UnknownTarget
@@ -1569,9 +1666,8 @@ impl<'a> PolicyCtx<'a> {
             | TxnStatus::CpuUnavailable
             | TxnStatus::Aborted => {
                 self.k
-                    .cfg
-                    .trace
-                    .emit(self.k.now, cpu, || TraceEvent::TxnCommitRace { cpu, tid });
+                    .trace()
+                    .emit(self.k.now(), cpu, || TraceEvent::TxnCommitRace { cpu, tid });
             }
             TxnStatus::Committed | TxnStatus::Pending => {}
         }
@@ -1587,17 +1683,78 @@ pub struct GhostClass {
     shared: Arc<Mutex<Core>>,
 }
 
+impl GhostClass {
+    fn rt(&self) -> GhostRuntime {
+        GhostRuntime {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
 impl SchedClass for GhostClass {
     fn name(&self) -> &'static str {
         "ghost"
     }
 
     fn enqueue(&mut self, tid: Tid, k: &mut KernelState) -> Option<CpuId> {
+        self.rt().hook_enqueue(k, tid)
+    }
+
+    fn dequeue(&mut self, tid: Tid, k: &mut KernelState) {
+        self.rt().hook_dequeue(k, tid)
+    }
+
+    fn pick_next(&mut self, cpu: CpuId, k: &mut KernelState) -> Option<Tid> {
+        self.rt().hook_pick_next(k, cpu)
+    }
+
+    fn put_prev(&mut self, tid: Tid, cpu: CpuId, _still_runnable: bool, k: &mut KernelState) {
+        // `offcpu_reason` is DES bookkeeping, not backend surface: read
+        // it here, in the adapter, and pass it explicitly.
+        let reason = k.offcpu_reason;
+        self.rt().hook_put_prev(k, tid, cpu, reason)
+    }
+
+    fn on_tick(&mut self, _cpu: CpuId, _current: Tid, _k: &mut KernelState) -> bool {
+        // Agents drive all preemption decisions; the kernel class never
+        // preempts on its own.
+        false
+    }
+
+    fn on_tick_all(&mut self, cpu: CpuId, k: &mut KernelState) {
+        self.rt().hook_tick(k, cpu)
+    }
+
+    fn has_runnable(&self, cpu: CpuId, k: &KernelState) -> bool {
+        self.rt().hook_has_runnable(k, cpu)
+    }
+
+    fn on_attach(&mut self, tid: Tid, k: &mut KernelState) {
+        self.rt().hook_attach(k, tid)
+    }
+
+    fn on_detach(&mut self, tid: Tid, k: &mut KernelState) {
+        self.rt().hook_detach(k, tid)
+    }
+
+    fn on_affinity_changed(&mut self, tid: Tid, k: &mut KernelState) {
+        self.rt().hook_affinity_changed(k, tid)
+    }
+}
+
+/// Scheduling-event entry points, generic over the backend.
+///
+/// The DES kernel reaches these through the [`GhostClass`] /
+/// [`GhostDriver`] adapters above; a live backend (`ghost-live`) calls
+/// them directly when real threads block, wake, tick, or get picked.
+impl GhostRuntime {
+    /// A thread became runnable (`THREAD_WAKEUP`).
+    pub fn hook_enqueue(&self, k: &mut dyn GhostBackend, tid: Tid) -> Option<CpuId> {
         // A ghOSt thread became runnable: no kernel runqueue — tell the
         // agent instead (THREAD_WAKEUP).
         let mut core = self.shared.lock().unwrap();
         if let Some(&eid) = core.thread_enclave.get(&tid) {
-            let cpu = k.threads[tid.index()].last_cpu.unwrap_or(CpuId(0));
+            let cpu = k.thread(tid).last_cpu.unwrap_or(CpuId(0));
             if let Some(enclave) = core.enclave_mut(eid) {
                 if let Some(info) = enclave.threads.get(&tid) {
                     info.status.set_flags(SW_RUNNABLE);
@@ -1608,7 +1765,8 @@ impl SchedClass for GhostClass {
         None
     }
 
-    fn dequeue(&mut self, tid: Tid, _k: &mut KernelState) {
+    /// A runnable thread left the class (kill or class move).
+    pub fn hook_dequeue(&self, _k: &mut dyn GhostBackend, tid: Tid) {
         // Runnable thread leaving the class (kill or class move): drop
         // any committed slot or PNT offer referencing it.
         let mut core = self.shared.lock().unwrap();
@@ -1625,11 +1783,13 @@ impl SchedClass for GhostClass {
         }
     }
 
-    fn pick_next(&mut self, cpu: CpuId, k: &mut KernelState) -> Option<Tid> {
+    /// The backend asks what to run on an idle `cpu` (committed slot
+    /// or PNT fast path).
+    pub fn hook_pick_next(&self, k: &mut dyn GhostBackend, cpu: CpuId) -> Option<Tid> {
         let mut core = self.shared.lock().unwrap();
         let eid = core.enclave_of_cpu(cpu)?;
-        let now = k.now;
-        let node = k.topo.info(cpu).socket as usize;
+        let now = k.now();
+        let node = k.topo().info(cpu).socket as usize;
         let enclave = core.enclave_mut(eid)?;
         if enclave.destroyed {
             return None;
@@ -1641,8 +1801,8 @@ impl SchedClass for GhostClass {
                 if let Some(info) = enclave.threads.get_mut(&slot.tid) {
                     info.picked = false;
                 }
-                if k.threads[slot.tid.index()].state == ThreadState::Runnable
-                    && k.threads[slot.tid.index()].affinity.contains(cpu)
+                if k.thread(slot.tid).state == ThreadState::Runnable
+                    && k.thread(slot.tid).affinity.contains(cpu)
                 {
                     if let Some(info) = enclave.threads.get(&slot.tid) {
                         info.status
@@ -1661,21 +1821,20 @@ impl SchedClass for GhostClass {
         if enclave.pnt.is_some() {
             loop {
                 let Some(cand) = enclave.pnt.as_mut().and_then(|p| p.pop_for(node)) else {
-                    k.cfg
-                        .trace
+                    k.trace()
                         .emit(now, cpu.0, || TraceEvent::PntMiss { cpu: cpu.0 });
                     return None;
                 };
                 let ok = enclave.threads.get(&cand).is_some_and(|i| !i.picked)
-                    && k.threads[cand.index()].state == ThreadState::Runnable
-                    && k.threads[cand.index()].affinity.contains(cpu);
+                    && k.thread(cand).state == ThreadState::Runnable
+                    && k.thread(cand).affinity.contains(cpu);
                 if ok {
                     if let Some(info) = enclave.threads.get(&cand) {
                         info.status
                             .publish(|s, f| (s, (f | SW_ONCPU) & !SW_RUNNABLE));
                     }
                     core.stats.pnt_picks += 1;
-                    k.cfg.trace.emit(now, cpu.0, || TraceEvent::PntHit {
+                    k.trace().emit(now, cpu.0, || TraceEvent::PntHit {
                         cpu: cpu.0,
                         tid: cand.0,
                     });
@@ -1686,8 +1845,14 @@ impl SchedClass for GhostClass {
         None
     }
 
-    fn put_prev(&mut self, tid: Tid, cpu: CpuId, _still_runnable: bool, k: &mut KernelState) {
-        let reason = k.offcpu_reason;
+    /// A thread came off `cpu` for `reason`.
+    pub fn hook_put_prev(
+        &self,
+        k: &mut dyn GhostBackend,
+        tid: Tid,
+        cpu: CpuId,
+        reason: OffCpuReason,
+    ) {
         let mut core = self.shared.lock().unwrap();
         let Some(&eid) = core.thread_enclave.get(&tid) else {
             return;
@@ -1725,13 +1890,8 @@ impl SchedClass for GhostClass {
         }
     }
 
-    fn on_tick(&mut self, _cpu: CpuId, _current: Tid, _k: &mut KernelState) -> bool {
-        // Agents drive all preemption decisions; the kernel class never
-        // preempts on its own.
-        false
-    }
-
-    fn on_tick_all(&mut self, cpu: CpuId, k: &mut KernelState) {
+    /// Timer tick on `cpu` (`CPU_TICK` delivery).
+    pub fn hook_tick(&self, k: &mut dyn GhostBackend, cpu: CpuId) {
         let mut core = self.shared.lock().unwrap();
         let Some(eid) = core.enclave_of_cpu(cpu) else {
             return;
@@ -1744,7 +1904,8 @@ impl SchedClass for GhostClass {
         }
     }
 
-    fn has_runnable(&self, cpu: CpuId, k: &KernelState) -> bool {
+    /// True if the enclave owning `cpu` has anything it could run.
+    pub fn hook_has_runnable(&self, k: &dyn GhostBackend, cpu: CpuId) -> bool {
         let core = self.shared.lock().unwrap();
         let Some(eid) = core.cpu_enclave[cpu.index()] else {
             return false;
@@ -1754,11 +1915,12 @@ impl SchedClass for GhostClass {
                 || e.pnt.as_ref().is_some_and(|p| !p.is_empty())
                 || e.threads
                     .keys()
-                    .any(|&t| k.threads[t.index()].state == ThreadState::Runnable)
+                    .any(|&t| k.thread(t).state == ThreadState::Runnable)
         })
     }
 
-    fn on_attach(&mut self, tid: Tid, k: &mut KernelState) {
+    /// A thread entered the ghOSt class (`THREAD_CREATED` / reclaim).
+    pub fn hook_attach(&self, k: &mut dyn GhostBackend, tid: Tid) {
         let mut core = self.shared.lock().unwrap();
         let Some(eid) = core.pending_attach.remove(&tid) else {
             panic!(
@@ -1783,7 +1945,7 @@ impl SchedClass for GhostClass {
         // `THREAD_CREATED`: the standby's status-word scan absorbs it.
         if let Some(rec) = enclave.recovery.as_mut() {
             if let Some(info) = rec.stashed.remove(&tid) {
-                let state = k.threads[tid.index()].state;
+                let state = k.thread(tid).state;
                 info.status.publish(|s, f| {
                     let mut f = f & !(SW_ONCPU | SW_RUNNABLE);
                     match state {
@@ -1794,10 +1956,9 @@ impl SchedClass for GhostClass {
                     (s, f)
                 });
                 enclave.threads.insert(tid, info);
-                let cpu = k.threads[tid.index()].last_cpu.unwrap_or(CpuId(0));
-                k.cfg
-                    .trace
-                    .emit(k.now, cpu.0, || TraceEvent::ThreadReclaimed {
+                let cpu = k.thread(tid).last_cpu.unwrap_or(CpuId(0));
+                k.trace()
+                    .emit(k.now(), cpu.0, || TraceEvent::ThreadReclaimed {
                         enclave: eid.0,
                         tid: tid.0,
                     });
@@ -1817,16 +1978,17 @@ impl SchedClass for GhostClass {
                 picked: false,
             },
         );
-        let cpu = k.threads[tid.index()].last_cpu.unwrap_or(CpuId(0));
+        let cpu = k.thread(tid).last_cpu.unwrap_or(CpuId(0));
         core.post(k, eid, MsgType::ThreadCreated, Some(tid), cpu);
     }
 
-    fn on_detach(&mut self, tid: Tid, k: &mut KernelState) {
+    /// A thread left the ghOSt class (`THREAD_DEAD` to the policy).
+    pub fn hook_detach(&self, k: &mut dyn GhostBackend, tid: Tid) {
         let mut core = self.shared.lock().unwrap();
         let Some(eid) = core.thread_enclave.remove(&tid) else {
             return; // Already cleaned (death path).
         };
-        let cpu = k.threads[tid.index()].last_cpu.unwrap_or(CpuId(0));
+        let cpu = k.thread(tid).last_cpu.unwrap_or(CpuId(0));
         if let Some(enclave) = core.enclave_mut(eid) {
             enclave.committed.retain(|_, slot| slot.tid != tid);
             if let Some(pnt) = &mut enclave.pnt {
@@ -1841,15 +2003,16 @@ impl SchedClass for GhostClass {
         }
     }
 
-    fn on_affinity_changed(&mut self, tid: Tid, k: &mut KernelState) {
+    /// A thread's affinity mask changed (`THREAD_AFFINITY`).
+    pub fn hook_affinity_changed(&self, k: &mut dyn GhostBackend, tid: Tid) {
         let mut core = self.shared.lock().unwrap();
         let Some(&eid) = core.thread_enclave.get(&tid) else {
             return;
         };
-        let cpu = k.threads[tid.index()].last_cpu.unwrap_or(CpuId(0));
+        let cpu = k.thread(tid).last_cpu.unwrap_or(CpuId(0));
         // Invalidate a committed slot the new mask forbids.
         if let Some(enclave) = core.enclave_mut(eid) {
-            let affinity = k.threads[tid.index()].affinity;
+            let affinity = k.thread(tid).affinity;
             let stale: Vec<CpuId> = enclave
                 .committed
                 .iter()
@@ -1876,12 +2039,13 @@ pub struct GhostDriver {
     shared: Arc<Mutex<Core>>,
 }
 
-impl GhostDriver {
+/// Agent-driver entry points, generic over the backend.
+impl GhostRuntime {
     /// One activation: drain the queue feeding this agent, feed messages
     /// and a schedule() call to the policy, return the outcome.
     fn activate(
         core: &mut Core,
-        k: &mut KernelState,
+        k: &mut dyn GhostBackend,
         eid: EnclaveId,
         agent_tid: Tid,
         agent_cpu: CpuId,
@@ -1898,9 +2062,8 @@ impl GhostDriver {
         };
         enclave.loop_armed = false;
         let aseq = enclave.agents.get(&agent_cpu).map_or(0, |a| a.status.seq());
-        k.cfg
-            .trace
-            .emit(k.now, agent_cpu.0, || TraceEvent::AgentActivationBegin {
+        k.trace()
+            .emit(k.now(), agent_cpu.0, || TraceEvent::AgentActivationBegin {
                 cpu: agent_cpu.0,
                 agent_tid: agent_tid.0,
                 aseq,
@@ -1909,11 +2072,10 @@ impl GhostDriver {
         for &qid in qids {
             let start = msgs.len();
             msgs.extend(enclave.drain_queue(qid));
-            if k.cfg.trace.is_enabled() {
+            if k.trace().is_enabled() {
                 for m in &msgs[start..] {
-                    k.cfg
-                        .trace
-                        .emit(k.now, agent_cpu.0, || TraceEvent::MsgDequeued {
+                    k.trace()
+                        .emit(k.now(), agent_cpu.0, || TraceEvent::MsgDequeued {
                             queue: qid.0,
                             ty: GhostStats::msg_idx(m.ty) as u8,
                             tid: m.tid.0,
@@ -1934,7 +2096,7 @@ impl GhostDriver {
                 .threads
                 .iter()
                 .map(|(&t, info)| {
-                    let th = &k.threads[t.index()];
+                    let th = &k.thread(t);
                     ThreadSnapshot {
                         tid: t,
                         seq: info.status.seq(),
@@ -1967,30 +2129,29 @@ impl GhostDriver {
             ctx.stats.empty_activations += 1;
         }
         if let Some(snaps) = &scan {
-            let cost = ctx.k.costs.reconstruction_scan(snaps.len() as u64);
+            let cost = ctx.k.costs().reconstruction_scan(snaps.len() as u64);
             ctx.charge(cost);
             policy.on_reconstruct(snaps, &mut ctx);
             ctx.stats.reconstructions += 1;
             let threads = snaps.len() as u32;
-            let at = ctx.k.now + ctx.busy;
+            let at = ctx.k.now() + ctx.busy;
             ctx.k
-                .cfg
-                .trace
+                .trace()
                 .emit(at, agent_cpu.0, || TraceEvent::ReconstructDone {
                     enclave: eid.0,
                     threads,
                     agent_tid: agent_tid.0,
                 });
         }
-        let dequeue = ctx.k.costs.msg_dequeue;
+        let dequeue = ctx.k.costs().msg_dequeue;
         for m in &msgs {
             // Consuming a message posted by a remote-socket CPU drags the
             // queue slot and status-word cachelines across the
             // interconnect.
-            let cost = if ctx.k.topo.same_socket(m.cpu, agent_cpu) {
+            let cost = if ctx.k.topo().same_socket(m.cpu, agent_cpu) {
                 dequeue
             } else {
-                ctx.k.costs.cross_socket_scaled(dequeue)
+                ctx.k.costs().cross_socket_scaled(dequeue)
             };
             ctx.charge(cost);
             policy.on_msg(m, &mut ctx);
@@ -2029,7 +2190,7 @@ impl GhostDriver {
         if quarantine {
             core.quarantine(k, eid);
         }
-        k.cfg.trace.emit(k.now + busy, agent_cpu.0, || {
+        k.trace().emit(k.now() + busy, agent_cpu.0, || {
             TraceEvent::AgentActivationEnd {
                 cpu: agent_cpu.0,
                 agent_tid: agent_tid.0,
@@ -2037,7 +2198,7 @@ impl GhostDriver {
             }
         });
         if spinning {
-            let next = wakeup.map(|at| at.max(k.now + busy));
+            let next = wakeup.map(|at| at.max(k.now() + busy));
             AgentOutcome::Spin { busy, next }
         } else {
             AgentOutcome::Block { busy }
@@ -2048,7 +2209,7 @@ impl GhostDriver {
     /// standby agent pthread on the dead agent's CPU, wire it in for the
     /// enclave's mode, flag a status-word reconstruction, and reclaim the
     /// stashed threads from their transient CFS excursion.
-    fn handle_respawn(&mut self, eid: EnclaveId, k: &mut KernelState) {
+    fn handle_respawn(&self, eid: EnclaveId, k: &mut dyn GhostBackend) {
         let mut core = self.shared.lock().unwrap();
         let core = &mut *core;
         let Some(enclave) = core.enclaves[eid.0 as usize].as_mut() else {
@@ -2068,11 +2229,7 @@ impl GhostDriver {
         };
         enclave.respawn_attempts += 1;
         core.stats.respawns += 1;
-        let tid = k.spawn_agent_thread(
-            ThreadSpec::workload(&format!("ghost-standby-e{}-c{}", eid.0, cpu.0), &k.topo)
-                .affinity(CpuSet::from_iter([cpu]))
-                .agent(),
-        );
+        let tid = k.spawn_agent(&format!("ghost-standby-e{}-c{}", eid.0, cpu.0), cpu);
         core.agent_enclave.insert(tid, (eid, cpu));
         let status = StatusWord::new();
         status.set_flags(SW_ATTACHED);
@@ -2111,7 +2268,7 @@ impl GhostDriver {
             core.policies[eid.0 as usize] = Some(factory());
         }
         enclave.needs_reconstruct = true;
-        enclave.upgraded_at = Some(k.now);
+        enclave.upgraded_at = Some(k.now());
         // Aseq barrier, as in an in-place upgrade.
         for slot in enclave.agents.values() {
             slot.status.bump_seq();
@@ -2125,7 +2282,7 @@ impl GhostDriver {
             .unwrap_or_default();
         tids.sort_by_key(|t| t.0);
         for t in tids {
-            if k.threads[t.index()].state == ThreadState::Dead {
+            if k.thread(t).state == ThreadState::Dead {
                 if let Some(r) = enclave.recovery.as_mut() {
                     r.stashed.remove(&t);
                 }
@@ -2138,8 +2295,9 @@ impl GhostDriver {
     }
 }
 
-impl AgentDriver for GhostDriver {
-    fn run_agent(&mut self, tid: Tid, cpu: CpuId, k: &mut KernelState) -> AgentOutcome {
+impl GhostRuntime {
+    /// One agent activation on `cpu` (the backend's `run_agent` hook).
+    pub fn hook_run_agent(&self, k: &mut dyn GhostBackend, tid: Tid, cpu: CpuId) -> AgentOutcome {
         let mut core = self.shared.lock().unwrap();
         let core = &mut *core;
         let Some(&(eid, agent_cpu)) = core.agent_enclave.get(&tid) else {
@@ -2155,9 +2313,9 @@ impl AgentDriver for GhostDriver {
         // A hang fault window: the agent occupies its CPU doing no
         // scheduling work until the window closes (a wedged agent, §3.4 —
         // the watchdog is the backstop if the hang outlasts its timeout).
-        if let Some(until) = k.cfg.faults.agent_hang_until(cpu, k.now) {
+        if let Some(until) = k.fault_agent_hang_until(cpu) {
             return AgentOutcome::Spin {
-                busy: until.saturating_sub(k.now),
+                busy: until.saturating_sub(k.now()),
                 next: Some(until),
             };
         }
@@ -2168,12 +2326,12 @@ impl AgentDriver for GhostDriver {
                     return AgentOutcome::Block { busy: 0 };
                 }
                 // Hot handoff: a CFS thread wants this CPU (§3.3).
-                if k.cpus[cpu.index()].cfs_queued > 0 {
+                if k.cpu(cpu).cfs_queued > 0 {
                     let successor = enclave
                         .cpus
                         .iter()
                         .filter(|&c| c != cpu)
-                        .find(|&c| k.cpus[c.index()].is_idle())
+                        .find(|&c| k.cpu(c).is_idle())
                         .and_then(|c| enclave.agents.get(&c).map(|a| a.tid));
                     if let Some(succ) = successor {
                         let enclave = core.enclaves[eid.0 as usize].as_mut().expect("alive");
@@ -2186,7 +2344,7 @@ impl AgentDriver for GhostDriver {
                     // paper's agent also stays if it cannot find one).
                 }
                 let qid = enclave.default_queue;
-                GhostDriver::activate(core, k, eid, tid, agent_cpu, &[qid], true)
+                Self::activate(core, k, eid, tid, agent_cpu, &[qid], true)
             }
             AgentMode::PerCpu => {
                 // An agent drains its own CPU's queue; the agent that the
@@ -2203,7 +2361,7 @@ impl AgentDriver for GhostDriver {
                 if !qids.contains(&own) {
                     qids.push(own);
                 }
-                GhostDriver::activate(core, k, eid, tid, agent_cpu, &qids, false)
+                Self::activate(core, k, eid, tid, agent_cpu, &qids, false)
             }
             AgentMode::PerCore => {
                 let key = core_key_of(k, agent_cpu);
@@ -2219,12 +2377,12 @@ impl AgentDriver for GhostDriver {
                 } else {
                     vec![default_q, own]
                 };
-                GhostDriver::activate(core, k, eid, tid, agent_cpu, &qids, false)
+                Self::activate(core, k, eid, tid, agent_cpu, &qids, false)
             }
         };
         // A slow-resume fault window stretches the activation's charged
         // time (a GC pause or fault storm in the agent process).
-        let factor = k.cfg.faults.agent_slow_factor(cpu, k.now);
+        let factor = k.fault_agent_slow_factor(cpu);
         if factor <= 1 {
             return outcome;
         }
@@ -2242,7 +2400,8 @@ impl AgentDriver for GhostDriver {
         }
     }
 
-    fn on_timer(&mut self, key: u64, k: &mut KernelState) {
+    /// A driver timer fired (watchdog scan or respawn backoff).
+    pub fn hook_timer(&self, k: &mut dyn GhostBackend, key: u64) {
         if key & RESPAWN_TIMER_FLAG != 0 {
             // A standby-respawn timer from degraded-mode failover.
             self.handle_respawn(EnclaveId((key & !RESPAWN_TIMER_FLAG) as u32), k);
@@ -2267,33 +2426,30 @@ impl AgentDriver for GhostDriver {
             };
             let grace_from = enclave.upgraded_at.unwrap_or(0);
             let starved = enclave.threads.keys().any(|&t| {
-                let th = &k.threads[t.index()];
+                let th = &k.thread(t);
                 th.state == ThreadState::Runnable
-                    && k.now.saturating_sub(th.runnable_since.max(grace_from)) > timeout
+                    && k.now().saturating_sub(th.runnable_since.max(grace_from)) > timeout
             });
             (timeout, starved, core.staged[eid.0 as usize].is_some())
         };
         if starved && has_staged {
             // A replacement is already staged: promote it in place rather
             // than destroying the enclave the handoff is about to fix.
-            let runtime = GhostRuntime {
-                shared: Arc::clone(&self.shared),
-            };
-            runtime.upgrade_now(k, eid);
-            k.arm_driver_timer(k.now + timeout / 2, key);
+            self.upgrade_now(k, eid);
+            k.arm_driver_timer(k.now() + timeout / 2, key);
         } else if starved {
             let mut core = self.shared.lock().unwrap();
             core.stats.watchdog_destroys += 1;
-            k.cfg
-                .trace
-                .emit(k.now, 0, || TraceEvent::WatchdogFired { enclave: eid.0 });
+            k.trace()
+                .emit(k.now(), 0, || TraceEvent::WatchdogFired { enclave: eid.0 });
             core.destroy_enclave(k, eid);
         } else {
-            k.arm_driver_timer(k.now + timeout / 2, key);
+            k.arm_driver_timer(k.now() + timeout / 2, key);
         }
     }
 
-    fn on_fault(&mut self, fault: &FaultKind, k: &mut KernelState) {
+    /// An injected fault arrived (only `Upgrade` is interpreted).
+    pub fn hook_fault(&self, k: &mut dyn GhostBackend, fault: &FaultKind) {
         // The only fault the runtime interprets itself: an in-place
         // upgrade promotes whatever policy is staged on each enclave
         // (no-op where nothing is staged).
@@ -2307,15 +2463,13 @@ impl AgentDriver for GhostDriver {
                 .filter(|eid| core.staged[eid.0 as usize].is_some())
                 .collect()
         };
-        let runtime = GhostRuntime {
-            shared: Arc::clone(&self.shared),
-        };
         for eid in eids {
-            runtime.upgrade_now(k, eid);
+            self.upgrade_now(k, eid);
         }
     }
 
-    fn on_agent_killed(&mut self, tid: Tid, k: &mut KernelState) {
+    /// An agent pthread died (crash path, §3.4).
+    pub fn hook_agent_killed(&self, k: &mut dyn GhostBackend, tid: Tid) {
         // Agent crash (§3.4). In order of preference: promote a staged
         // policy in place; run degraded-mode failover if a standby is
         // configured; fall back to CFS — for the whole enclave only when
@@ -2333,10 +2487,7 @@ impl AgentDriver for GhostDriver {
             // In-place upgrade: the staged policy takes over; the dead
             // agent's pthread is respawned by reusing a surviving agent
             // as global (centralized) or leaving per-CPU peers in place.
-            let runtime = GhostRuntime {
-                shared: Arc::clone(&self.shared),
-            };
-            runtime.upgrade_now(k, eid);
+            self.upgrade_now(k, eid);
             let mut core = self.shared.lock().unwrap();
             if let Some(enclave) = core.enclave_mut(eid) {
                 enclave.agents.remove(&cpu);
@@ -2383,7 +2534,7 @@ impl AgentDriver for GhostDriver {
                     enclave.core_active.remove(&key);
                 }
                 let sibling_alive = k
-                    .topo
+                    .topo()
                     .core_cpus(cpu)
                     .iter()
                     .any(|c| c != cpu && enclave.agents.contains_key(&c));
@@ -2431,5 +2582,31 @@ impl AgentDriver for GhostDriver {
                 core.partial_fallback(k, eid, cpu, tid, victims);
             }
         }
+    }
+}
+
+impl GhostDriver {
+    fn rt(&self) -> GhostRuntime {
+        GhostRuntime {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl AgentDriver for GhostDriver {
+    fn run_agent(&mut self, tid: Tid, cpu: CpuId, k: &mut KernelState) -> AgentOutcome {
+        self.rt().hook_run_agent(k, tid, cpu)
+    }
+
+    fn on_timer(&mut self, key: u64, k: &mut KernelState) {
+        self.rt().hook_timer(k, key)
+    }
+
+    fn on_fault(&mut self, fault: &FaultKind, k: &mut KernelState) {
+        self.rt().hook_fault(k, fault)
+    }
+
+    fn on_agent_killed(&mut self, tid: Tid, k: &mut KernelState) {
+        self.rt().hook_agent_killed(k, tid)
     }
 }

@@ -1,0 +1,217 @@
+//! The `BENCH_live_vs_sim.json` emitter (ROADMAP perf trajectory).
+//!
+//! Runs a matched pair of workloads per policy — a DES [`Scenario`] and
+//! a live closed-loop KV run on [`ghost_live::LiveKernel`] — and writes
+//! one JSON row per run:
+//!
+//! * **wall-clock** — how long the run really took;
+//! * **simulated-seconds/sec** — for DES rows, how much virtual time
+//!   the simulator chews through per wall-clock second (the DES's own
+//!   "speed");
+//! * **throughput** — work items (pulse completions / KV requests) per
+//!   wall-clock second.
+//!
+//! The JSON is hand-rolled (no serde in the workspace); the schema is
+//! one `rows` array of flat objects so any plotting script can consume
+//! it. Wall-clock numbers are measured, not simulated — the file is a
+//! perf *trajectory* across commits, not a determinism artifact, so it
+//! carries no hash and is not cached.
+
+use crate::scenario::{PolicyKind, Scenario, WorkloadSpec};
+use ghost_core::enclave::EnclaveConfig;
+use ghost_live::{KvService, LiveConfig, LiveKernel};
+use ghost_sim::time::{Nanos, MICROS, MILLIS, SECS};
+use ghost_sim::CpuSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One measured run (one backend × one policy).
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// Policy label (`fifo`, `per-cpu`, ...).
+    pub name: String,
+    /// `"sim"` or `"live"`.
+    pub backend: &'static str,
+    /// Wall-clock duration of the run.
+    pub wall_ns: u128,
+    /// Virtual horizon simulated (DES rows only).
+    pub sim_ns: Option<Nanos>,
+    /// Work items finished: pulse completions (sim) or KV requests
+    /// served (live).
+    pub work_items: u64,
+}
+
+impl BenchRow {
+    /// Virtual seconds simulated per wall-clock second (DES rows).
+    pub fn sim_seconds_per_sec(&self) -> Option<f64> {
+        self.sim_ns
+            .map(|sim| sim as f64 / self.wall_ns.max(1) as f64)
+    }
+
+    /// Work items per wall-clock second.
+    pub fn throughput_per_sec(&self) -> f64 {
+        self.work_items as f64 * 1e9 / self.wall_ns.max(1) as f64
+    }
+}
+
+/// Knobs for one live-vs-sim comparison.
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// Lanes for both backends.
+    pub cpus: usize,
+    /// DES virtual horizon.
+    pub sim_horizon: Nanos,
+    /// KV requests per live run.
+    pub live_requests: u64,
+    /// Per-request service-time floor for the live KV workload.
+    pub service_ns: u64,
+    /// Hard wall-clock cap per live run (a stalled run stops here and
+    /// reports whatever it served — the bench must not hang CI).
+    pub live_deadline: Duration,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        Self {
+            cpus: 4,
+            sim_horizon: 200 * MILLIS,
+            live_requests: 50_000,
+            service_ns: 2 * MICROS,
+            live_deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Runs one DES scenario and reports its row.
+fn sim_row(policy: PolicyKind, opts: &BenchOpts) -> BenchRow {
+    let scenario = Scenario::builder()
+        .name(format!("bench/{}", policy.name()))
+        .cpus(opts.cpus as u16)
+        .policy(policy)
+        .workload(WorkloadSpec::pulse(2 * opts.cpus))
+        .seed(1)
+        .horizon(opts.sim_horizon)
+        .trace_capacity(0)
+        .build();
+    let mut run = scenario.launch();
+    let started = Instant::now();
+    run.run_to_horizon();
+    BenchRow {
+        name: policy.name().to_string(),
+        backend: "sim",
+        wall_ns: started.elapsed().as_nanos(),
+        sim_ns: Some(opts.sim_horizon),
+        work_items: run.completions(),
+    }
+}
+
+/// Runs one live closed-loop KV workload under `policy` and reports its
+/// row. The driver kicks a blocked worker whenever requests are queued
+/// (same shape as `examples/live_smoke.rs`).
+fn live_row(
+    name: &str,
+    config: EnclaveConfig,
+    policy: Box<dyn ghost_core::GhostPolicy>,
+    opts: &BenchOpts,
+) -> BenchRow {
+    let kernel = LiveKernel::new(LiveConfig {
+        cpus: opts.cpus,
+        ..LiveConfig::default()
+    });
+    let enclave = kernel.launch_enclave(CpuSet::first_n(opts.cpus), config, policy);
+    let kv = KvService::new(16, opts.service_ns);
+    let workers: Vec<_> = (0..opts.cpus)
+        .map(|i| kernel.spawn_kv_worker(&format!("bench-kv-{i}"), Arc::clone(&kv)))
+        .collect();
+    for &tid in &workers {
+        kernel.attach(&enclave, tid);
+    }
+
+    let started = Instant::now();
+    kv.start_closed_loop(opts.live_requests, 2 * workers.len() as u64, kernel.now());
+    for &tid in &workers {
+        kernel.wake(tid);
+    }
+    let deadline = started + opts.live_deadline;
+    while kv.completed_count() < opts.live_requests && Instant::now() < deadline {
+        if kv.depth() > 0 {
+            kernel.wake_one_blocked(&workers);
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let wall_ns = started.elapsed().as_nanos();
+    let served = kv.completed_count();
+    kernel.shutdown();
+    BenchRow {
+        name: name.to_string(),
+        backend: "live",
+        wall_ns,
+        sim_ns: None,
+        work_items: served,
+    }
+}
+
+/// The matched live-vs-sim comparison: FIFO-centralized and per-CPU,
+/// each on both backends.
+pub fn bench_live_vs_sim(opts: &BenchOpts) -> Vec<BenchRow> {
+    vec![
+        sim_row(PolicyKind::CentralizedFifo, opts),
+        sim_row(PolicyKind::PerCpu, opts),
+        live_row(
+            PolicyKind::CentralizedFifo.name(),
+            EnclaveConfig::centralized("bench-fifo").with_watchdog(5 * SECS),
+            Box::new(ghost_policies::CentralizedFifo::new()),
+            opts,
+        ),
+        live_row(
+            PolicyKind::PerCpu.name(),
+            EnclaveConfig::per_cpu("bench-percpu").with_watchdog(5 * SECS),
+            Box::new(ghost_policies::PerCpuPolicy::new()),
+            opts,
+        ),
+    ]
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serializes rows to the `BENCH_live_vs_sim.json` schema.
+pub fn bench_json(rows: &[BenchRow]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"live_vs_sim\",\n  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let sim_ms = row
+            .sim_ns
+            .map(|n| json_f64(n as f64 / 1e6))
+            .unwrap_or_else(|| "null".into());
+        let sim_rate = row
+            .sim_seconds_per_sec()
+            .map(json_f64)
+            .unwrap_or_else(|| "null".into());
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"backend\": \"{}\", \"wall_ms\": {}, \"sim_ms\": {}, \
+             \"sim_seconds_per_sec\": {}, \"work_items\": {}, \"throughput_per_sec\": {}}}{}\n",
+            row.name,
+            row.backend,
+            json_f64(row.wall_ns as f64 / 1e6),
+            sim_ms,
+            sim_rate,
+            row.work_items,
+            json_f64(row.throughput_per_sec()),
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Runs the comparison and writes `path` (`BENCH_live_vs_sim.json`).
+pub fn emit_live_vs_sim(path: &str, opts: &BenchOpts) -> std::io::Result<Vec<BenchRow>> {
+    let rows = bench_live_vs_sim(opts);
+    std::fs::write(path, bench_json(&rows))?;
+    Ok(rows)
+}

@@ -39,10 +39,12 @@
 //! assert_eq!(report.items.len(), 4);
 //! ```
 
+pub mod bench;
 pub mod cache;
 pub mod engine;
 pub mod scenario;
 
+pub use bench::{bench_live_vs_sim, emit_live_vs_sim, BenchOpts, BenchRow};
 pub use cache::{fnv64, fnv64_lines, Cache};
 pub use engine::{run_cases, run_sweep, Experiment, ExperimentResult, SweepItem, SweepReport};
 pub use scenario::{

@@ -1,9 +1,11 @@
 //! The `ghost-lab` CLI: run a matrix of scenarios on the parallel
-//! sweep engine and print (or write) the per-scenario result digest.
+//! sweep engine and print (or write) the per-scenario result digest,
+//! or run the live-vs-sim bench and emit `BENCH_live_vs_sim.json`.
 //!
 //! ```text
 //! cargo run -p ghost-lab -- sweep --scenarios 20 --jobs 4
 //! cargo run -p ghost-lab -- sweep --jobs 4 --cache lab-cache --digest digest.txt
+//! cargo run --release -p ghost-lab -- bench-live --out BENCH_live_vs_sim.json
 //! ```
 //!
 //! The digest file pairs each scenario label with its result hash;
@@ -31,16 +33,25 @@ fn usage() -> ! {
     eprintln!(
         "usage: ghost-lab sweep [--scenarios N] [--jobs N] [--seed-base S] [--policy NAME]\n\
          \x20                      [--cache DIR] [--digest FILE]\n\
+         \x20      ghost-lab bench-live [--cpus N] [--requests N] [--horizon-ms N] [--out FILE]\n\
          \n\
-         Runs an N-scenario pulse-workload matrix (round-robin over the five\n\
-         evaluation policies) on the deterministic parallel sweep engine.\n\
+         sweep: runs an N-scenario pulse-workload matrix (round-robin over the\n\
+         five evaluation policies) on the deterministic parallel sweep engine.\n\
          \n\
          --scenarios N   matrix size (default 10)\n\
          --jobs N        worker threads (default 1)\n\
          --seed-base S   first seed (default 1)\n\
          --policy NAME   restrict to one policy: {}\n\
          --cache DIR     content-addressed result cache directory\n\
-         --digest FILE   write 'label hash' lines for serial-vs-parallel diffing",
+         --digest FILE   write 'label hash' lines for serial-vs-parallel diffing\n\
+         \n\
+         bench-live: runs matched DES and real-thread (ghost-live) workloads and\n\
+         writes wall-clock, simulated-seconds/sec, and throughput rows.\n\
+         \n\
+         --cpus N        lanes for both backends (default 4)\n\
+         --requests N    KV requests per live run (default 50000)\n\
+         --horizon-ms N  DES virtual horizon (default 200)\n\
+         --out FILE      output path (default BENCH_live_vs_sim.json)",
         PolicyKind::ALL
             .iter()
             .map(|p| p.name())
@@ -48,6 +59,58 @@ fn usage() -> ! {
             .join(", ")
     );
     std::process::exit(2);
+}
+
+fn bench_live_main(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut opts = ghost_lab::BenchOpts::default();
+    let mut out = "BENCH_live_vs_sim.json".to_string();
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--cpus" => opts.cpus = value("--cpus").parse().unwrap_or_else(|_| usage()),
+            "--requests" => {
+                opts.live_requests = value("--requests").parse().unwrap_or_else(|_| usage());
+            }
+            "--horizon-ms" => {
+                let ms: u64 = value("--horizon-ms").parse().unwrap_or_else(|_| usage());
+                opts.sim_horizon = ms * MILLIS;
+            }
+            "--out" => out = value("--out"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+    match ghost_lab::emit_live_vs_sim(&out, &opts) {
+        Ok(rows) => {
+            for row in &rows {
+                let rate = row
+                    .sim_seconds_per_sec()
+                    .map(|r| format!("{r:.2} sim-s/s"))
+                    .unwrap_or_else(|| "live".into());
+                println!(
+                    "{:>16} [{:>4}]  {:>8.1} ms wall  {:>10.0} items/s  {rate}",
+                    row.name,
+                    row.backend,
+                    row.wall_ns as f64 / 1e6,
+                    row.throughput_per_sec(),
+                );
+            }
+            println!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {out}: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn parse_opts() -> Opts {
@@ -99,6 +162,9 @@ fn parse_opts() -> Opts {
 }
 
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("bench-live") {
+        return bench_live_main(std::env::args().skip(2));
+    }
     let opts = parse_opts();
     let policies: Vec<PolicyKind> = match opts.policy {
         Some(p) => vec![p],

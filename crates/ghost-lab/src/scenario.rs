@@ -27,7 +27,9 @@ use ghost_core::StandbyConfig;
 use ghost_policies::core_sched::{CoreSchedConfig, CoreSchedPolicy};
 use ghost_policies::shinjuku::{ShinjukuConfig, ShinjukuPolicy};
 use ghost_policies::snap::SNAP_COOKIE;
-use ghost_policies::{CentralizedFifo, PerCpuPolicy, SnapPolicy};
+use ghost_policies::{
+    CentralizedFifo, PerCpuPolicy, SearchConfig, SearchPolicy, ShinjukuShenangoPolicy, SnapPolicy,
+};
 use ghost_sim::app::{App, Next};
 use ghost_sim::faults::{FaultEvent, FaultKind, FaultPlan};
 use ghost_sim::kernel::{Kernel, KernelConfig, KernelState, ThreadSpec};
@@ -100,16 +102,34 @@ pub enum PolicyKind {
     Snap,
     /// Secure VM core scheduling with synchronized siblings, §4.5.
     CoreSched,
+    /// Shinjuku + Shenango core reallocation, §4.2.
+    ShinjukuShenango,
+    /// The Google Search policy, §4.4.
+    Search,
 }
 
 impl PolicyKind {
-    /// All policies, in sweep round-robin order.
+    /// The five-policy evaluation matrix, in sweep round-robin order.
+    /// Kept at five so chaos/recovery combo assignments and existing
+    /// repro files stay stable; [`PolicyKind::EVERY`] covers all seven.
     pub const ALL: [PolicyKind; 5] = [
         PolicyKind::CentralizedFifo,
         PolicyKind::PerCpu,
         PolicyKind::Shinjuku,
         PolicyKind::Snap,
         PolicyKind::CoreSched,
+    ];
+
+    /// Every policy implementation in `ghost-policies` (the digest-freeze
+    /// conformance test runs all seven).
+    pub const EVERY: [PolicyKind; 7] = [
+        PolicyKind::CentralizedFifo,
+        PolicyKind::PerCpu,
+        PolicyKind::Shinjuku,
+        PolicyKind::Snap,
+        PolicyKind::CoreSched,
+        PolicyKind::ShinjukuShenango,
+        PolicyKind::Search,
     ];
 
     /// Stable name used in spec strings, repro files, and CLI output.
@@ -120,12 +140,14 @@ impl PolicyKind {
             PolicyKind::Shinjuku => "shinjuku",
             PolicyKind::Snap => "snap",
             PolicyKind::CoreSched => "core-sched",
+            PolicyKind::ShinjukuShenango => "shinjuku-shenango",
+            PolicyKind::Search => "search",
         }
     }
 
     /// Inverse of [`PolicyKind::name`].
     pub fn from_name(name: &str) -> Option<Self> {
-        Self::ALL.into_iter().find(|p| p.name() == name)
+        Self::EVERY.into_iter().find(|p| p.name() == name)
     }
 
     /// A fresh policy instance (also used for staged-upgrade and
@@ -137,6 +159,10 @@ impl PolicyKind {
             PolicyKind::Shinjuku => Box::new(ShinjukuPolicy::new(ShinjukuConfig::default())),
             PolicyKind::Snap => Box::new(SnapPolicy::new()),
             PolicyKind::CoreSched => Box::new(CoreSchedPolicy::new(CoreSchedConfig::default())),
+            PolicyKind::ShinjukuShenango => {
+                Box::new(ShinjukuShenangoPolicy::new(ShinjukuConfig::default()))
+            }
+            PolicyKind::Search => Box::new(SearchPolicy::new(SearchConfig::default())),
         }
     }
 
@@ -148,6 +174,8 @@ impl PolicyKind {
             PolicyKind::Shinjuku => EnclaveConfig::centralized(name),
             PolicyKind::Snap => EnclaveConfig::centralized(name),
             PolicyKind::CoreSched => EnclaveConfig::per_core(name).with_ticks(true),
+            PolicyKind::ShinjukuShenango => EnclaveConfig::centralized(name),
+            PolicyKind::Search => EnclaveConfig::centralized(name),
         }
     }
 

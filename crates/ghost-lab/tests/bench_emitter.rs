@@ -1,0 +1,72 @@
+//! The `BENCH_live_vs_sim.json` emitter: a small end-to-end run of both
+//! backends, checking the rows and the hand-rolled JSON schema.
+
+use ghost_lab::{bench_live_vs_sim, BenchOpts};
+use ghost_sim::time::{MICROS, MILLIS};
+use std::time::Duration;
+
+fn small_opts() -> BenchOpts {
+    BenchOpts {
+        // 4 lanes: a 2-CPU machine leaves the centralized DES enclave a
+        // single lane, which cannot make progress (agent + worker).
+        cpus: 4,
+        sim_horizon: 20 * MILLIS,
+        live_requests: 2_000,
+        service_ns: 2 * MICROS,
+        live_deadline: Duration::from_secs(30),
+    }
+}
+
+#[test]
+fn bench_rows_cover_both_backends_and_make_progress() {
+    let rows = bench_live_vs_sim(&small_opts());
+    assert_eq!(rows.len(), 4, "two policies x two backends");
+    for row in &rows {
+        assert!(
+            row.wall_ns > 0,
+            "{}/{}: no wall time",
+            row.name,
+            row.backend
+        );
+        assert!(
+            row.work_items > 0,
+            "{}/{}: no work done",
+            row.name,
+            row.backend
+        );
+        assert!(row.throughput_per_sec() > 0.0);
+        match row.backend {
+            "sim" => assert!(row.sim_seconds_per_sec().unwrap() > 0.0),
+            "live" => {
+                assert!(row.sim_ns.is_none());
+                // The closed loop must actually finish, not time out.
+                assert_eq!(row.work_items, 2_000, "{}: live run stalled", row.name);
+            }
+            other => panic!("unknown backend {other}"),
+        }
+    }
+}
+
+#[test]
+fn bench_json_schema_is_stable() {
+    let rows = bench_live_vs_sim(&BenchOpts {
+        live_requests: 500,
+        sim_horizon: 5 * MILLIS,
+        ..small_opts()
+    });
+    let json = ghost_lab::bench::bench_json(&rows);
+    assert!(json.starts_with("{\n  \"bench\": \"live_vs_sim\""));
+    for key in [
+        "\"name\"",
+        "\"backend\"",
+        "\"wall_ms\"",
+        "\"sim_ms\"",
+        "\"sim_seconds_per_sec\"",
+        "\"work_items\"",
+        "\"throughput_per_sec\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+    assert_eq!(json.matches("\"backend\": \"sim\"").count(), 2);
+    assert_eq!(json.matches("\"backend\": \"live\"").count(), 2);
+}

@@ -1,0 +1,49 @@
+//! The live time source: a monotonic wall clock.
+//!
+//! The DES backend's `now` is the virtual event clock; here it is
+//! `Instant`-based nanoseconds since backend creation. Everything
+//! downstream (trace timestamps, watchdog deadlines, histogram samples)
+//! is expressed in backend time, so the two worlds stay unit-compatible:
+//! nanoseconds from an epoch of zero.
+
+use ghost_sim::time::Nanos;
+use std::time::Instant;
+
+/// Monotonic nanoseconds since construction.
+#[derive(Debug, Clone, Copy)]
+pub struct MonotonicClock {
+    start: Instant,
+}
+
+impl MonotonicClock {
+    /// Starts the clock; `now()` reads zero at this moment.
+    pub fn new() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Current backend time.
+    pub fn now(&self) -> Nanos {
+        self.start.elapsed().as_nanos() as Nanos
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let c = MonotonicClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,322 @@
+//! An in-process key-value service scheduled by a ghOSt policy.
+//!
+//! The live smoke workload: a sharded hash map served by worker OS
+//! threads, driven closed-loop (a fixed request budget kept in flight by
+//! reinjecting on completion) or open-loop (a load-generator thread
+//! pushing at a fixed rate and kicking blocked workers). Workers run only
+//! when the live kernel dispatches them — an unmodified policy's
+//! transaction commits are what unpark these threads — and every request
+//! records an enqueue→completion latency into a log-scale histogram.
+
+use crate::kernel::LiveShared;
+use crate::worker::{WorkerCmd, WorkerCtl};
+use ghost_core::GhostRuntime;
+use ghost_metrics::LogHistogram;
+use ghost_sim::class::OffCpuReason;
+use ghost_sim::thread::Tid;
+use ghost_sim::time::Nanos;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Requests a worker serves before voluntarily yielding its lane (the
+/// live analogue of a timeslice; policies that preempt sooner do so via
+/// the preempt flag).
+const YIELD_BATCH: usize = 64;
+
+/// One KV operation.
+#[derive(Debug, Clone, Copy)]
+pub struct KvRequest {
+    /// Key to read or write.
+    pub key: u64,
+    /// True for PUT, false for GET.
+    pub put: bool,
+    /// Backend time the request entered the queue.
+    pub enqueued_at: Nanos,
+}
+
+/// A sharded in-memory KV store with a shared request queue.
+pub struct KvService {
+    shards: Vec<Mutex<HashMap<u64, u64>>>,
+    queue: Mutex<VecDeque<KvRequest>>,
+    /// Requests completed (all workers).
+    pub completed: AtomicU64,
+    /// Requests issued so far (closed loop).
+    issued: AtomicU64,
+    /// Closed-loop request budget; 0 means open loop (no reinjection).
+    target: AtomicU64,
+    /// Per-request service time floor, enforced by busy-spinning.
+    service_ns: u64,
+    /// Merged enqueue→completion latencies (workers fold their local
+    /// histograms in when they exit).
+    latencies: Mutex<LogHistogram>,
+}
+
+impl KvService {
+    /// A service with `shards` hash-map shards and `service_ns` of
+    /// busy-work per request.
+    pub fn new(shards: usize, service_ns: u64) -> Arc<Self> {
+        Arc::new(Self {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            queue: Mutex::new(VecDeque::new()),
+            completed: AtomicU64::new(0),
+            issued: AtomicU64::new(0),
+            target: AtomicU64::new(0),
+            service_ns,
+            latencies: Mutex::new(LogHistogram::new()),
+        })
+    }
+
+    /// Enqueues one request.
+    pub fn push(&self, key: u64, put: bool, now: Nanos) {
+        self.queue.lock().unwrap().push_back(KvRequest {
+            key,
+            put,
+            enqueued_at: now,
+        });
+    }
+
+    /// Pops the oldest pending request.
+    pub fn pop(&self) -> Option<KvRequest> {
+        self.queue.lock().unwrap().pop_front()
+    }
+
+    /// True when no requests are pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().unwrap().is_empty()
+    }
+
+    /// Pending queue depth.
+    pub fn depth(&self) -> usize {
+        self.queue.lock().unwrap().len()
+    }
+
+    /// Starts a closed loop: `concurrency` requests in flight, reinjected
+    /// on completion until `total` have been issued. Returns how many were
+    /// seeded (callers wake that many workers).
+    pub fn start_closed_loop(&self, total: u64, concurrency: u64, now: Nanos) -> u64 {
+        self.target.store(total, Ordering::Release);
+        let seed = concurrency.min(total);
+        for i in 0..seed {
+            self.issued.fetch_add(1, Ordering::AcqRel);
+            self.push(splitmix(i), i % 10 == 0, now);
+        }
+        seed
+    }
+
+    /// Total requests completed so far.
+    pub fn completed_count(&self) -> u64 {
+        self.completed.load(Ordering::Acquire)
+    }
+
+    /// Closed-loop budget (0 in open loop).
+    pub fn target_count(&self) -> u64 {
+        self.target.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of the merged latency histogram.
+    pub fn latency_histogram(&self) -> LogHistogram {
+        self.latencies.lock().unwrap().clone()
+    }
+
+    /// Serves one request: shard lookup/update plus the configured
+    /// busy-spin floor. Returns the completion time.
+    fn serve(&self, req: &KvRequest) {
+        let shard = &self.shards[(req.key as usize) % self.shards.len()];
+        {
+            let mut map = shard.lock().unwrap();
+            if req.put {
+                map.insert(req.key, req.key.wrapping_mul(31));
+            } else {
+                let _ = map.get(&req.key);
+            }
+        }
+        if self.service_ns > 0 {
+            let start = Instant::now();
+            while (start.elapsed().as_nanos() as u64) < self.service_ns {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Closed-loop reinjection: after completing one request, issue the
+    /// next if the budget allows.
+    fn reinject(&self, now: Nanos) {
+        let target = self.target.load(Ordering::Acquire);
+        if target == 0 {
+            return;
+        }
+        if self
+            .issued
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < target).then_some(n + 1)
+            })
+            .is_ok()
+        {
+            let n = self.issued.load(Ordering::Acquire);
+            self.push(splitmix(n), n.is_multiple_of(10), now);
+        }
+    }
+}
+
+/// SplitMix64: cheap deterministic key stream without an RNG dependency.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e9b5);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Main loop of a KV worker OS thread. The worker runs a scheduling stint
+/// only when dispatched onto a lane, ends the stint at queue-empty
+/// (block), preempt flag (preempt), or batch boundary (yield), and
+/// reports the transition to the live kernel — which posts the matching
+/// `THREAD_*` message to the policy, exactly as the DES would.
+pub(crate) fn worker_main(
+    shared: Arc<LiveShared>,
+    _rt: GhostRuntime,
+    kv: Arc<KvService>,
+    tid: Tid,
+    ctl: Arc<WorkerCtl>,
+) {
+    let mut local = LogHistogram::new();
+    // `MonotonicClock` is `Copy`: workers timestamp requests without
+    // touching the state lock on the serve path.
+    let clock = { shared.state.lock().unwrap().clock };
+    'outer: loop {
+        match ctl.wait() {
+            WorkerCmd::Exit => break 'outer,
+            WorkerCmd::Park => continue,
+            WorkerCmd::Free => {
+                // Unmanaged (not attached, or shed to CFS): serve freely on
+                // the host scheduler until the command changes.
+                loop {
+                    match ctl.peek().0 {
+                        WorkerCmd::Free => {}
+                        WorkerCmd::Exit => break 'outer,
+                        _ => continue 'outer,
+                    }
+                    let now = clock.now();
+                    if let Some(req) = kv.pop() {
+                        kv.serve(&req);
+                        local.record(now.saturating_sub(req.enqueued_at));
+                        kv.completed.fetch_add(1, Ordering::AcqRel);
+                        kv.reinject(now);
+                    } else {
+                        std::thread::sleep(Duration::from_micros(100));
+                    }
+                }
+            }
+            WorkerCmd::Run { cpu } => {
+                let mut served = 0usize;
+                let reason = loop {
+                    if ctl.preempt_pending() {
+                        break OffCpuReason::Preempt;
+                    }
+                    let Some(req) = kv.pop() else {
+                        break OffCpuReason::Block;
+                    };
+                    kv.serve(&req);
+                    let now = clock.now();
+                    local.record(now.saturating_sub(req.enqueued_at));
+                    kv.completed.fetch_add(1, Ordering::AcqRel);
+                    kv.reinject(now);
+                    served += 1;
+                    if served >= YIELD_BATCH {
+                        break OffCpuReason::Yield;
+                    }
+                };
+                // End the stint under the state lock. The queue-empty
+                // check is repeated here because a request pushed after
+                // our last pop but before this lock would otherwise be
+                // stranded: its wake saw us Running and no-opped.
+                let mut st = shared.state.lock().unwrap();
+                let reason = if reason == OffCpuReason::Block && !kv.is_empty() {
+                    OffCpuReason::Yield
+                } else {
+                    reason
+                };
+                st.end_stint(tid, cpu, reason);
+                drop(st);
+            }
+        }
+    }
+    kv.latencies.lock().unwrap().merge(&local);
+}
+
+/// Drives the service open-loop: pushes `batch` requests every `period`,
+/// kicking one blocked worker per pushed request, for `duration`. Returns
+/// the number of requests pushed. Runs on the caller's thread.
+pub fn open_loop_drive(
+    kernel: &crate::kernel::LiveKernel,
+    kv: &KvService,
+    workers: &[Tid],
+    batch: u64,
+    period: Duration,
+    duration: Duration,
+) -> u64 {
+    let start = Instant::now();
+    let mut pushed = 0u64;
+    while start.elapsed() < duration {
+        let now = kernel.now();
+        for i in 0..batch {
+            kv.push(
+                splitmix(pushed.wrapping_add(i)),
+                (pushed + i).is_multiple_of(10),
+                now,
+            );
+        }
+        pushed += batch;
+        for _ in 0..batch {
+            if !kernel.wake_one_blocked(workers) {
+                break;
+            }
+        }
+        std::thread::sleep(period);
+    }
+    pushed
+}
+
+/// Blocks until `kv` completes `count` requests or `timeout` passes;
+/// returns true on completion.
+pub fn await_completion(kv: &KvService, count: u64, timeout: Duration) -> bool {
+    let start = Instant::now();
+    while kv.completed_count() < count {
+        if start.elapsed() > timeout {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_spreads_keys() {
+        let a = splitmix(1);
+        let b = splitmix(2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn closed_loop_reinjects_to_target() {
+        let kv = KvService::new(4, 0);
+        let seeded = kv.start_closed_loop(10, 4, 0);
+        assert_eq!(seeded, 4);
+        let mut done = 0;
+        while let Some(req) = kv.pop() {
+            kv.serve(&req);
+            kv.completed.fetch_add(1, Ordering::AcqRel);
+            kv.reinject(1);
+            done += 1;
+        }
+        assert_eq!(done, 10);
+        assert_eq!(kv.completed_count(), 10);
+    }
+}

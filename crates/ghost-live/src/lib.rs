@@ -1,0 +1,46 @@
+//! # ghost-live — real OS threads behind the ghOSt ABI
+//!
+//! The second implementation of [`ghost_core::GhostBackend`]: where
+//! `ghost-sim` runs the runtime against a discrete-event kernel,
+//! `ghost-live` runs the *same unmodified runtime and policies* against
+//! real `std::thread` workers, a monotonic wall clock, lock-free SPSC
+//! signal rings, and the same `AtomicU64`-seqlock status words — the
+//! paper's claim that scheduling logic lives entirely in userspace,
+//! demonstrated by swapping the machine out from underneath it.
+//!
+//! | piece | DES (`ghost-sim`) | live (this crate) |
+//! |---|---|---|
+//! | time | virtual event clock | [`clock::MonotonicClock`] |
+//! | threads | `SimThread` table entries | parked/unparked OS threads |
+//! | dispatch | `Switching` + event | unpark on commit ([`worker::WorkerCtl`]) |
+//! | preemption | resched event | preempt flag at request boundary |
+//! | timers | event heap | timer thread over a deadline heap |
+//! | agent signal | event queue | lock-free SPSC ring ([`ring`]) |
+//! | status words | `ghost_core::status` | the same type, genuinely shared |
+//!
+//! Scheduling semantics are kept aligned with the DES by construction:
+//! [`state::LiveState::settle`] applies deferred operations in the DES's
+//! priority order, stint endings map to the same `OffCpuReason` →
+//! `THREAD_*` messages, and trace emission uses the same
+//! `SchedWakeup`/`SchedSwitch` conventions — so `ghost-trace`'s invariant
+//! checker validates live executions unchanged. The conformance suite
+//! (`tests/conformance.rs`) runs the same checks against both backends.
+//!
+//! What is *not* modelled live: CFS runqueues (unmanaged threads run on
+//! the host scheduler; `cfs_queued` is always 0, so §3.3 hot handoff
+//! never triggers), fault-plan injection (the fault hooks are inert), and
+//! hardware pinning (lanes are logical; the host kernel places threads).
+
+pub mod clock;
+pub mod kernel;
+pub mod kv;
+pub mod ring;
+pub mod state;
+pub mod worker;
+
+pub use clock::MonotonicClock;
+pub use kernel::{LiveConfig, LiveKernel};
+pub use kv::{await_completion, open_loop_drive, KvRequest, KvService};
+pub use ring::{spsc, SpscConsumer, SpscProducer};
+pub use state::{LiveStats, WakeSignal};
+pub use worker::{WorkerCmd, WorkerCtl};

@@ -23,6 +23,20 @@
 //! The checker assumes a lossless stream. If the recording ring
 //! overflowed ([`crate::TraceSink::dropped`] > 0), gaps make ordering
 //! properties unverifiable — record with a larger capacity instead.
+//!
+//! ## Time bases
+//!
+//! Every rule is time-base agnostic: timestamps come from whatever
+//! `GhostBackend::now` produced the records — virtual nanoseconds on
+//! the DES, monotonic wall-clock nanoseconds on `ghost-live` — and the
+//! checker only ever compares them against each other, never against a
+//! constant. The one duration in the checker is the wakeup-liveness
+//! grace window: [`DEFAULT_GRACE_NS`] is sized for *virtual* time,
+//! where 50 ms dwarfs any simulated scheduling latency. On live traces
+//! real park/unpark and host-scheduler latency are in the same units as
+//! the trace, so pass a wall-clock-sized window through
+//! [`check_with_grace`] instead (the live smoke and conformance tests
+//! use 500 ms).
 
 use crate::{Nanos, TraceEvent, TraceRecord, NO_TID, PREV_DEAD, PREV_RUNNABLE};
 use std::collections::{BTreeMap, BTreeSet};

@@ -1,0 +1,186 @@
+//! Live smoke: unmodified ghOSt policies scheduling **real OS threads**.
+//!
+//! ```text
+//! cargo run --release --example live_smoke
+//! ```
+//!
+//! Two phases, same policies the simulator runs, zero policy changes:
+//!
+//! 1. **FIFO-centralized, closed loop** — a global agent schedules KV
+//!    worker threads serving a fixed budget of requests kept in flight by
+//!    reinjection.
+//! 2. **Per-CPU, open loop** — one agent per lane, a load generator
+//!    pushing batches at a fixed rate and kicking blocked workers.
+//!
+//! Each phase records the live trace and runs `ghost-trace`'s invariant
+//! checker over it (with a wall-clock-sized grace window), then prints an
+//! enqueue→completion latency histogram. Exit status is non-zero on any
+//! violation or on a stalled phase.
+
+use ghost::core::enclave::EnclaveConfig;
+use ghost::live::{await_completion, open_loop_drive, KvService, LiveConfig, LiveKernel};
+use ghost::metrics::LogHistogram;
+use ghost::policies::{CentralizedFifo, PerCpuPolicy};
+use ghost::sim::cpuset::CpuSet;
+use ghost::sim::time::{MICROS, MILLIS, SECS};
+use ghost::trace::check::check_with_grace;
+use ghost::trace::TraceSink;
+use std::time::Duration;
+
+/// Wall-clock grace for the invariant checker: live executions measure
+/// real scheduling latency (thread park/unpark, lock handoff), so the
+/// virtual-time default (50 ms) is replaced with a generous budget.
+const LIVE_GRACE_NS: u64 = 500 * MILLIS;
+
+/// Per-request service-time floor (busy-spin), roughly a small KV hit.
+const SERVICE_NS: u64 = 2 * MICROS;
+
+fn print_histogram(label: &str, h: &LogHistogram) {
+    println!(
+        "  {label}: {} requests, latency mean {:.1} us, p50 {} us, p95 {} us, p99 {} us, max {} us",
+        h.count(),
+        h.mean() / 1e3,
+        h.percentile(50.0) / 1_000,
+        h.percentile(95.0) / 1_000,
+        h.percentile(99.0) / 1_000,
+        h.max() / 1_000,
+    );
+}
+
+/// Runs the trace through the invariant checker; returns true when clean.
+fn check_phase(label: &str, kernel: &LiveKernel) -> bool {
+    let records = kernel.trace_snapshot();
+    let violations = check_with_grace(&records, LIVE_GRACE_NS);
+    if violations.is_empty() {
+        println!(
+            "  {label}: invariant checker clean over {} trace records",
+            records.len()
+        );
+        true
+    } else {
+        println!("  {label}: {} INVARIANT VIOLATIONS:", violations.len());
+        for v in violations.iter().take(10) {
+            println!("    {v:?}");
+        }
+        false
+    }
+}
+
+/// Phase 1: centralized FIFO, closed loop. Returns (ok, served).
+fn fifo_closed_loop(cpus: usize, total: u64) -> (bool, u64) {
+    println!("[1/2] FIFO-centralized, closed loop: {total} requests on {cpus} lanes");
+    let kernel = LiveKernel::new(LiveConfig {
+        cpus,
+        trace: TraceSink::recording(cpus, 1 << 20),
+        ..LiveConfig::default()
+    });
+    let enclave = kernel.launch_enclave(
+        CpuSet::first_n(cpus),
+        // A generous watchdog: it must ARM live (driver timers through the
+        // backend), but must not fire on ordinary host-scheduler jitter.
+        EnclaveConfig::centralized("live-fifo").with_watchdog(5 * SECS),
+        Box::new(CentralizedFifo::new()),
+    );
+
+    let kv = KvService::new(16, SERVICE_NS);
+    let workers: Vec<_> = (0..cpus)
+        .map(|i| kernel.spawn_kv_worker(&format!("kv-worker-{i}"), Arc::clone(&kv)))
+        .collect();
+    for &tid in &workers {
+        kernel.attach(&enclave, tid);
+    }
+
+    // Keep 2x workers of requests in flight so lanes stay busy.
+    kv.start_closed_loop(total, 2 * workers.len() as u64, kernel.now());
+    for &tid in &workers {
+        kernel.wake(tid);
+    }
+
+    // Supervise: closed-loop reinjection pushes requests but does not wake
+    // through the scheduler, so kick a blocked worker whenever work is
+    // pending (this also exercises the live wake path continuously).
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while kv.completed_count() < total {
+        if std::time::Instant::now() > deadline {
+            break;
+        }
+        if kv.depth() > 0 {
+            kernel.wake_one_blocked(&workers);
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let served = kv.completed_count();
+    let done = await_completion(&kv, total, Duration::from_secs(1));
+
+    let stats = kernel.stats();
+    println!(
+        "  served {served}/{total} (dispatches {}, wakes {}, ipis {}, preempts {}, timers {})",
+        stats.dispatches, stats.wakes, stats.ipis, stats.preempts, stats.timers_fired
+    );
+    let clean = check_phase("fifo", &kernel);
+    kernel.shutdown();
+    print_histogram("fifo", &kv.latency_histogram());
+    (done && clean, served)
+}
+
+/// Phase 2: per-CPU agents, open loop. Returns (ok, served).
+fn per_cpu_open_loop(cpus: usize, duration: Duration) -> (bool, u64) {
+    println!("[2/2] per-CPU, open loop: {duration:?} of load on {cpus} lanes");
+    let kernel = LiveKernel::new(LiveConfig {
+        cpus,
+        trace: TraceSink::recording(cpus, 1 << 20),
+        ..LiveConfig::default()
+    });
+    let enclave = kernel.launch_enclave(
+        CpuSet::first_n(cpus),
+        EnclaveConfig::per_cpu("live-percpu").with_watchdog(5 * SECS),
+        Box::new(PerCpuPolicy::new()),
+    );
+
+    let kv = KvService::new(16, SERVICE_NS);
+    let workers: Vec<_> = (0..cpus)
+        .map(|i| kernel.spawn_kv_worker(&format!("kv-open-{i}"), Arc::clone(&kv)))
+        .collect();
+    for &tid in &workers {
+        kernel.attach(&enclave, tid);
+    }
+
+    // ~32k requests/second of offered load.
+    let pushed = open_loop_drive(
+        &kernel,
+        &kv,
+        &workers,
+        64,
+        Duration::from_millis(2),
+        duration,
+    );
+    // Drain the tail.
+    let drained = await_completion(&kv, pushed, Duration::from_secs(30));
+    let served = kv.completed_count();
+
+    let stats = kernel.stats();
+    println!(
+        "  served {served}/{pushed} (dispatches {}, wakes {}, ipis {}, preempts {}, timers {})",
+        stats.dispatches, stats.wakes, stats.ipis, stats.preempts, stats.timers_fired
+    );
+    let clean = check_phase("per-cpu", &kernel);
+    kernel.shutdown();
+    print_histogram("per-cpu", &kv.latency_histogram());
+    (drained && clean, served)
+}
+
+use std::sync::Arc;
+
+fn main() {
+    let cpus = 4;
+    let (fifo_ok, fifo_served) = fifo_closed_loop(cpus, 100_000);
+    let (percpu_ok, percpu_served) = per_cpu_open_loop(cpus, Duration::from_secs(2));
+
+    let total = fifo_served + percpu_served;
+    println!("total: {total} KV requests served by real OS threads under ghOSt policies");
+    if !(fifo_ok && percpu_ok) {
+        eprintln!("live_smoke FAILED");
+        std::process::exit(1);
+    }
+    println!("live_smoke OK");
+}

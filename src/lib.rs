@@ -11,6 +11,9 @@
 //! * [`lab`] — the deterministic parallel experiment engine: declarative
 //!   `Scenario` specs, worker-pool sweeps, content-addressed result
 //!   caching.
+//! * [`live`] — the real-thread backend: the same runtime and policies
+//!   scheduling actual OS threads via a monotonic clock and parked
+//!   workers (see `examples/live_smoke.rs`).
 //! * [`metrics`] — histograms and reporting.
 //! * [`trace`] — `sched:*`-style tracepoints, Chrome trace export,
 //!   derived metrics, and the trace-driven invariant checker.
@@ -21,6 +24,7 @@
 pub use ghost_baselines as baselines;
 pub use ghost_core as core;
 pub use ghost_lab as lab;
+pub use ghost_live as live;
 pub use ghost_metrics as metrics;
 pub use ghost_policies as policies;
 pub use ghost_sim as sim;
