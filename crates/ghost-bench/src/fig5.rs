@@ -74,10 +74,38 @@ pub fn sweep_order(topo: &Topology, agent: CpuId) -> Vec<CpuId> {
 
 /// Runs one sweep point: a centralized FIFO agent on CPU 0 scheduling
 /// `scheduled` CPUs, with `group_commit` toggling the §3.2 batching
-/// (the ablation disables it).
+/// (the ablation disables it). The cohort is sized to keep every CPU
+/// busy (`scheduled + 4` threads).
 pub fn run_point(
     topo: Topology,
     scheduled: usize,
+    work: Nanos,
+    warmup: Nanos,
+    measure: Nanos,
+    group_commit: bool,
+) -> Fig5Point {
+    let threads = scheduled + 4;
+    run_point_with_threads(
+        topo,
+        scheduled,
+        threads,
+        work,
+        warmup,
+        measure,
+        group_commit,
+    )
+}
+
+/// [`run_point`] with an explicit cohort size: `threads` yield-loop
+/// threads contend for `scheduled` CPUs. Oversubscribed cohorts (far
+/// more threads than CPUs) stress the agent's runqueue and the
+/// runtime's dense thread tables — the `ghost-lab bench-sim` scale
+/// sweep drives this up to a million threads on a 1024-CPU machine.
+#[allow(clippy::too_many_arguments)]
+pub fn run_point_with_threads(
+    topo: Topology,
+    scheduled: usize,
+    threads: usize,
     work: Nanos,
     warmup: Nanos,
     measure: Nanos,
@@ -108,16 +136,18 @@ pub fn run_point(
     } else {
         Box::new(policy)
     };
-    let enclave = runtime.launch_enclave(
-        &mut kernel,
-        cpus,
-        EnclaveConfig::centralized("fig5"),
-        policy,
-    );
+    // Provision the queue for the startup burst: attaching and waking
+    // `threads` threads posts 2 messages each before the agent first
+    // runs, and an overflowed queue silently strands the cohort (the
+    // dropped wakeups never re-post). The default 65,536 capacity is
+    // kept for ordinary sweep points so their behaviour is unchanged.
+    let config =
+        EnclaveConfig::centralized("fig5").with_queue_capacity(65_536.max(2 * threads + 1_024));
+    let enclave = runtime.launch_enclave(&mut kernel, cpus, config, policy);
 
     let app_id = kernel.state.next_app_id();
     let mut tids = Vec::new();
-    for i in 0..scheduled + 4 {
+    for i in 0..threads {
         let tid = kernel.spawn(
             ThreadSpec::workload(&format!("y{i}"), &kernel.state.topo)
                 .app(app_id)

@@ -255,8 +255,9 @@ impl ByzCombo {
 pub fn generate_byz_ops(seed: u64) -> Vec<ByzOp> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xB12A_0D5E);
     // CPU 0 is CFS-only, 1–3 are the victim's, 4–5 the byzantine
-    // enclave's; everything from 8 up does not exist (MAX_CPUS is 256,
-    // u16::MAX is far beyond any mask).
+    // enclave's; everything from 8 up does not exist on the machine
+    // (and u16::MAX is beyond MAX_CPUS, so it is unrepresentable in
+    // any mask).
     const CPUS: [u16; 7] = [0, 1, 8, 250, 300, 999, u16::MAX];
     const TIDS: [u32; 6] = [0, 1, 5, 40, 9_999, u32::MAX];
     const QUEUES: [u32; 3] = [0, 9, 250];

@@ -29,10 +29,12 @@ fn forged_commit_cpu_is_a_typed_rejection() {
 }
 
 /// Pre-hardening, creating an enclave whose CPU mask named an id beyond
-/// `MAX_CPUS` (300 > 256) indexed out of bounds in `CpuSet::add` and
-/// panicked before validation ever ran. The unrepresentable id now
-/// simply never joins the mask, so creation fails closed with a typed
-/// `EmptyCpuSet` rejection.
+/// `MAX_CPUS` indexed out of bounds in `CpuSet::add` and panicked
+/// before validation ever ran. The unrepresentable id now simply never
+/// joins the mask, so creation fails closed with a typed `EmptyCpuSet`
+/// rejection. (The shrunk repro originally used id 300 against
+/// `MAX_CPUS = 256`; when the mask grew to 1024 words for the zen
+/// topology, the id moved to 1300 to stay unrepresentable.)
 #[test]
 fn oversized_enclave_mask_is_a_typed_rejection() {
     let combo = byz_from_json(&load("byzantine-overlapping-create.json")).unwrap();

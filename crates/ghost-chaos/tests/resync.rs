@@ -20,7 +20,7 @@ const THREADS: u32 = 6;
 fn snapshot(t: &ThreadTracker) -> Vec<(Tid, u64, bool, CpuId)> {
     let mut v: Vec<_> = t
         .iter()
-        .map(|(&tid, th)| (tid, th.seq, th.runnable, th.last_cpu))
+        .map(|(tid, th)| (tid, th.seq, th.runnable, th.last_cpu))
         .collect();
     v.sort_by_key(|e| e.0 .0);
     v
@@ -100,7 +100,7 @@ fn tracker_rebuilds_consistent_state_after_drops() {
         lossy.resync(
             reference
                 .iter()
-                .map(|(&tid, t)| (tid, t.seq, t.runnable, t.last_cpu)),
+                .map(|(tid, t)| (tid, t.seq, t.runnable, t.last_cpu)),
         );
         assert_eq!(snapshot(&lossy), snapshot(&reference), "resync mismatch");
         assert_eq!(

@@ -8,12 +8,12 @@
 use crate::msg::Message;
 use crate::pnt::PntRings;
 use crate::queue::MessageQueue;
+use crate::slab::{CpuMap, TidMap, TidSlab};
 use crate::status::StatusWordRef;
 use ghost_sim::cpuset::CpuSet;
 use ghost_sim::thread::Tid;
 use ghost_sim::time::Nanos;
 use ghost_sim::topology::CpuId;
-use std::collections::HashMap;
 
 /// Identifier of an enclave.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -106,6 +106,15 @@ impl EnclaveConfig {
             standby: None,
             abi_strike_budget: None,
         }
+    }
+
+    /// Sets the per-queue message capacity. Size for the worst burst the
+    /// workload can produce — a cohort of `n` threads attached and woken
+    /// at once posts `2n` messages before the agent runs, and an
+    /// overflowed queue drops (the watchdog, not the producer, notices).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
     }
 
     /// Sets the watchdog timeout.
@@ -211,24 +220,25 @@ pub struct Enclave {
     /// The default queue new threads are associated with.
     pub default_queue: QueueId,
     /// Queue receiving CPU-scoped messages, per CPU.
-    pub cpu_queues: HashMap<CpuId, QueueId>,
-    /// ghOSt-managed threads.
-    pub threads: HashMap<Tid, ThreadInfo>,
+    pub cpu_queues: CpuMap<QueueId>,
+    /// ghOSt-managed threads: slab storage with `u32` index handles so
+    /// the post/activate/commit/PNT paths never hash a tid.
+    pub threads: TidSlab<ThreadInfo>,
     /// Agents by CPU.
-    pub agents: HashMap<CpuId, AgentSlot>,
+    pub agents: CpuMap<AgentSlot>,
     /// The currently active global agent (centralized mode).
     pub global_agent: Option<Tid>,
     /// Active agent per physical core (per-core mode), keyed by the
     /// first CPU of the core.
-    pub core_active: HashMap<CpuId, Tid>,
+    pub core_active: CpuMap<Tid>,
     /// Kernel-side committed-transaction slot per CPU.
-    pub committed: HashMap<CpuId, CommittedSlot>,
+    pub committed: CpuMap<CommittedSlot>,
     /// PNT fast-path rings, if enabled.
     pub pnt: Option<PntRings>,
     /// Scheduling hints published by workloads (Fig. 1's optional
     /// hints channel): tid → opaque hint word interpreted by the policy
     /// (e.g. expected runtime or a deadline).
-    pub hints: HashMap<Tid, u64>,
+    pub hints: TidMap<u64>,
     /// Set once the enclave is being destroyed; all operations abort.
     pub destroyed: bool,
     /// An armed-activation flag to coalesce agent-loop scheduling.
@@ -261,24 +271,34 @@ impl Enclave {
     /// Pops every message from `qid` into a vector (consumer side),
     /// updating per-thread pending counts.
     pub fn drain_queue(&mut self, qid: QueueId) -> Vec<Message> {
+        let mut msgs = Vec::new();
+        self.drain_queue_into(qid, &mut msgs);
+        msgs
+    }
+
+    /// Batched group-commit drain: pops every message from `qid` into a
+    /// caller-owned buffer (appending), updating per-thread pending
+    /// counts. The activation loop reuses one buffer across queues and
+    /// activations, so the drain itself never allocates in steady state.
+    pub fn drain_queue_into(&mut self, qid: QueueId, out: &mut Vec<Message>) {
         let Some(Some(qs)) = self.queues.get(qid.0 as usize) else {
-            return Vec::new();
+            return;
         };
-        let msgs = qs.queue.drain();
-        for m in &msgs {
+        let start = out.len();
+        qs.queue.drain_into(out);
+        for m in &out[start..] {
             if m.ty.is_thread_msg() {
-                if let Some(info) = self.threads.get_mut(&m.tid) {
+                if let Some(info) = self.threads.get_mut(m.tid) {
                     info.pending_msgs = info.pending_msgs.saturating_sub(1);
                 }
             }
         }
-        msgs
     }
 
     /// The queue CPU-scoped messages for `cpu` go to.
     pub fn queue_for_cpu(&self, cpu: CpuId) -> QueueId {
         self.cpu_queues
-            .get(&cpu)
+            .get(cpu)
             .copied()
             .unwrap_or(self.default_queue)
     }

@@ -50,6 +50,7 @@ pub mod policy;
 pub mod queue;
 pub mod recovery;
 pub mod runtime;
+pub mod slab;
 pub mod status;
 pub mod txn;
 

@@ -50,6 +50,7 @@ pub struct PolicyCtx<'a> {
     pub(crate) busy: Nanos,
     pub(crate) smt_scale: bool,
     pub(crate) wakeup_request: Option<Nanos>,
+    pub(crate) scratch: &'a mut crate::runtime::CommitScratch,
 }
 
 impl<'a> PolicyCtx<'a> {
@@ -88,7 +89,7 @@ impl<'a> PolicyCtx<'a> {
             .filter(|&c| {
                 c != self.agent_cpu
                     && self.k.cpu(c).is_idle()
-                    && !self.enclave.committed.contains_key(&c)
+                    && !self.enclave.committed.contains(c)
             })
             .collect()
     }
@@ -98,18 +99,18 @@ impl<'a> PolicyCtx<'a> {
     /// runs nothing.
     pub fn running_ghost(&self, cpu: CpuId) -> Option<Tid> {
         let cur = self.k.cpu_checked(cpu)?.current?;
-        self.enclave.threads.contains_key(&cur).then_some(cur)
+        self.enclave.threads.contains(cur).then_some(cur)
     }
 
     /// True if `cpu` has a committed transaction not yet acted on.
     pub fn commit_pending(&self, cpu: CpuId) -> bool {
-        self.enclave.committed.contains_key(&cpu)
+        self.enclave.committed.contains(cpu)
     }
 
     /// The thread a pending (committed, not yet picked) transaction will
     /// run on `cpu`, if any.
     pub fn pending_commit_tid(&self, cpu: CpuId) -> Option<Tid> {
-        self.enclave.committed.get(&cpu).map(|s| s.tid)
+        self.enclave.committed.get(cpu).map(|s| s.tid)
     }
 
     /// True if `cpu` is currently occupied by an agent thread (which will
@@ -134,14 +135,14 @@ impl<'a> PolicyCtx<'a> {
     pub fn agent_seq(&self) -> u64 {
         self.enclave
             .agents
-            .get(&self.agent_cpu)
+            .get(self.agent_cpu)
             .map_or(0, |a| a.status.seq())
     }
 
     /// Snapshot of a managed thread, or `None` if it is not (or no
     /// longer) in this enclave.
     pub fn thread_view(&mut self, tid: Tid) -> Option<ThreadView> {
-        let info = self.enclave.threads.get(&tid)?;
+        let info = self.enclave.threads.get(tid)?;
         // Sync runtime so `total_runtime` reflects in-progress stints.
         let tseq = info.tseq;
         self.k.sync_runtime(tid);
@@ -232,7 +233,7 @@ impl<'a> PolicyCtx<'a> {
         {
             return Err(self.reject(AbiError::NoSuchQueue));
         }
-        let err = match self.enclave.threads.get(&tid) {
+        let err = match self.enclave.threads.get(tid) {
             Some(info) if info.pending_msgs > 0 => Some(AbiError::PendingMessages),
             Some(_) => None,
             None => Some(self.classify_unknown_tid(tid)),
@@ -240,7 +241,7 @@ impl<'a> PolicyCtx<'a> {
         if let Some(err) = err {
             return Err(self.reject(err));
         }
-        if let Some(info) = self.enclave.threads.get_mut(&tid) {
+        if let Some(info) = self.enclave.threads.get_mut(tid) {
             info.queue = queue;
         }
         Ok(())
@@ -263,10 +264,10 @@ impl<'a> PolicyCtx<'a> {
         if !self.enclave.cpus.contains(cpu) {
             return Err(self.reject(AbiError::CpuOutsideEnclave));
         }
-        let Some(slot) = self.enclave.committed.remove(&cpu) else {
+        let Some(slot) = self.enclave.committed.remove(cpu) else {
             return Err(self.reject(AbiError::NoCommitPending));
         };
-        if let Some(info) = self.enclave.threads.get_mut(&slot.tid) {
+        if let Some(info) = self.enclave.threads.get_mut(slot.tid) {
             info.picked = false;
         }
         self.charge(self.k.costs().syscall + self.k.costs().txn_validate);
@@ -315,7 +316,7 @@ impl<'a> PolicyCtx<'a> {
     /// Reads the latest scheduling hint a workload published for `tid`
     /// (Fig. 1's "optional scheduling hints" channel), if any.
     pub fn hint(&self, tid: Tid) -> Option<u64> {
-        self.enclave.hints.get(&tid).copied()
+        self.enclave.hints.get(tid).copied()
     }
 
     /// `CREATE_QUEUE()`: creates a new queue, polled by default.
@@ -368,7 +369,7 @@ impl<'a> PolicyCtx<'a> {
     /// if PNT is disabled, the ring is full, or — counted as a typed
     /// rejection — the tid is not a thread of this enclave.
     pub fn pnt_push(&mut self, node: usize, tid: Tid) -> bool {
-        if !self.enclave.threads.contains_key(&tid) {
+        if !self.enclave.threads.contains(tid) {
             let err = self.classify_unknown_tid(tid);
             self.reject(err);
             return false;
@@ -400,7 +401,7 @@ impl<'a> PolicyCtx<'a> {
             self.reject(AbiError::InvalidCpu);
             return false;
         }
-        let Some(slot) = self.enclave.agents.get(&cpu) else {
+        let Some(slot) = self.enclave.agents.get(cpu) else {
             return false;
         };
         let agent = slot.tid;
@@ -440,7 +441,7 @@ impl<'a> PolicyCtx<'a> {
     /// stream forgets the thread. Returns `false` if the thread is not
     /// managed by this enclave.
     pub fn shed_to_cfs(&mut self, tid: Tid) -> bool {
-        if !self.enclave.threads.contains_key(&tid) {
+        if !self.enclave.threads.contains(tid) {
             return false;
         }
         self.charge(self.k.costs().syscall);

@@ -192,10 +192,18 @@ impl MessageQueue {
     /// Drains all currently queued messages into a vector.
     pub fn drain(&self) -> Vec<Message> {
         let mut out = Vec::with_capacity(self.len());
+        self.drain_into(&mut out);
+        out
+    }
+
+    /// Drains all currently queued messages, appending to `out`. The
+    /// hot-path form: a reused buffer means a group commit's worth of
+    /// messages moves without a per-activation allocation.
+    pub fn drain_into(&self, out: &mut Vec<Message>) {
+        out.reserve(self.len());
         while let Some(m) = self.pop() {
             out.push(m);
         }
-        out
     }
 }
 

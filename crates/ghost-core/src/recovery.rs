@@ -25,10 +25,10 @@
 //!   the agent spin on it forever.
 
 use crate::enclave::ThreadInfo;
+use crate::slab::{TidMap, TidSlab};
 use ghost_sim::thread::Tid;
 use ghost_sim::time::Nanos;
 use ghost_sim::topology::CpuId;
-use std::collections::HashMap;
 
 /// Driver-timer key flag marking a standby-respawn timer. Watchdog timers
 /// use the raw enclave id as their key, so the high bit keeps the two
@@ -87,7 +87,9 @@ pub struct ThreadSnapshot {
 pub struct RecoveryState {
     /// `ThreadInfo` of every degraded thread, preserved across the CFS
     /// excursion so `Tseq` stays monotone and the status word survives.
-    pub stashed: HashMap<Tid, ThreadInfo>,
+    /// Slab-backed like the live thread table, so reclaim is a handle
+    /// move, not a rehash.
+    pub stashed: TidSlab<ThreadInfo>,
     /// CPUs whose agent died and still awaits a respawn.
     pub pending_cpus: Vec<CpuId>,
     /// Virtual time the first crash of this recovery was detected — the
@@ -122,7 +124,7 @@ pub enum StaleVerdict {
 pub struct CommitGovernor {
     max_retries: u32,
     base_backoff: Nanos,
-    stale: HashMap<Tid, u32>,
+    stale: TidMap<u32>,
 }
 
 impl CommitGovernor {
@@ -132,16 +134,16 @@ impl CommitGovernor {
         Self {
             max_retries,
             base_backoff,
-            stale: HashMap::new(),
+            stale: TidMap::new(),
         }
     }
 
     /// Records one stale failure for `tid` and says what to do about it.
     pub fn on_stale(&mut self, tid: Tid) -> StaleVerdict {
-        let n = self.stale.entry(tid).or_insert(0);
+        let n = self.stale.or_insert(tid, 0);
         *n += 1;
         if *n > self.max_retries {
-            self.stale.remove(&tid);
+            self.stale.remove(tid);
             StaleVerdict::Shed
         } else {
             let shift = (*n - 1).min(16);
@@ -153,12 +155,12 @@ impl CommitGovernor {
 
     /// A commit for `tid` succeeded: the streak is over.
     pub fn on_committed(&mut self, tid: Tid) {
-        self.stale.remove(&tid);
+        self.stale.remove(tid);
     }
 
     /// Forgets a thread entirely (it died or left the enclave).
     pub fn forget(&mut self, tid: Tid) {
-        self.stale.remove(&tid);
+        self.stale.remove(tid);
     }
 
     /// Drops all streaks (after a reconstruction the old view — and its
@@ -169,7 +171,7 @@ impl CommitGovernor {
 
     /// Consecutive stale failures currently recorded for `tid`.
     pub fn streak(&self, tid: Tid) -> u32 {
-        self.stale.get(&tid).copied().unwrap_or(0)
+        self.stale.get(tid).copied().unwrap_or(0)
     }
 }
 

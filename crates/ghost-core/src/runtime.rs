@@ -24,6 +24,7 @@ use crate::pnt::PntRings;
 use crate::policy::{GhostPolicy, PolicyCtx};
 use crate::queue::MessageQueue;
 use crate::recovery::{RecoveryState, StandbyConfig, ThreadSnapshot, RESPAWN_TIMER_FLAG};
+use crate::slab::{CpuMap, TidMap, TidSlab};
 use crate::status::{StatusWord, SW_ATTACHED, SW_ONCPU, SW_RUNNABLE};
 use crate::txn::{SeqConstraint, Transaction, TxnStatus};
 use ghost_sim::agent::{AgentDriver, AgentOutcome};
@@ -146,12 +147,27 @@ struct Core {
     policies: Vec<Option<Box<dyn GhostPolicy>>>,
     staged: Vec<Option<Box<dyn GhostPolicy>>>,
     standby_factories: Vec<Option<PolicyFactory>>,
-    thread_enclave: HashMap<Tid, EnclaveId>,
-    pending_attach: HashMap<Tid, EnclaveId>,
-    agent_enclave: HashMap<Tid, (EnclaveId, CpuId)>,
+    thread_enclave: TidMap<EnclaveId>,
+    pending_attach: TidMap<EnclaveId>,
+    agent_enclave: TidMap<(EnclaveId, CpuId)>,
     cpu_enclave: Vec<Option<EnclaveId>>,
     installed: bool,
     stats: GhostStats,
+    /// Reused activation drain buffer: every agent activation moves its
+    /// batch of messages through this one allocation instead of building
+    /// a fresh `Vec` per activation (and per queue).
+    drain_buf: Vec<Message>,
+    /// Reused commit-pass scratch, lent to [`PolicyCtx`] for the duration
+    /// of an activation so group commits never allocate in steady state.
+    commit_scratch: CommitScratch,
+}
+
+/// Scratch buffers for `TXNS_COMMIT()`'s two passes (validation order,
+/// remote IPI targets). Owned by [`Core`], cleared at every use.
+#[derive(Default)]
+pub(crate) struct CommitScratch {
+    pub(crate) provisional: Vec<usize>,
+    pub(crate) remote: Vec<(usize, bool)>,
 }
 
 fn core_key_of(k: &dyn GhostBackend, cpu: CpuId) -> CpuId {
@@ -256,7 +272,7 @@ impl Core {
         }
         let (qid, msg) = match tid {
             Some(t) => {
-                let Some(info) = enclave.threads.get_mut(&t) else {
+                let Some(info) = enclave.threads.get_mut(t) else {
                     return;
                 };
                 info.tseq += 1;
@@ -286,7 +302,7 @@ impl Core {
                     dropped_total: qs.queue.dropped(),
                 });
             if let Some(t) = tid {
-                if let Some(info) = enclave.threads.get_mut(&t) {
+                if let Some(info) = enclave.threads.get_mut(t) {
                     info.pending_msgs = info.pending_msgs.saturating_sub(1);
                 }
             }
@@ -303,8 +319,8 @@ impl Core {
         let enqueue_done = k.now() + k.costs().msg_enqueue;
         match wake {
             WakeMode::WakeAgent(agent) => {
-                if let Some((_, acpu)) = self.agent_enclave.get(&agent).copied() {
-                    if let Some(slot) = enclave.agents.get(&acpu) {
+                if let Some((_, acpu)) = self.agent_enclave.get(agent).copied() {
+                    if let Some(slot) = enclave.agents.get(acpu) {
                         slot.status.bump_seq(); // Aseq.
                     }
                 }
@@ -316,7 +332,7 @@ impl Core {
                 // Per-core mode (§4.5): the CPU generating the message
                 // wakes its own agent, which becomes the core's active
                 // agent.
-                if let Some(slot) = enclave.agents.get(&cpu) {
+                if let Some(slot) = enclave.agents.get(cpu) {
                     let agent = slot.tid;
                     slot.status.bump_seq();
                     enclave.core_active.insert(core_key_of(k, cpu), agent);
@@ -329,8 +345,8 @@ impl Core {
                 // Centralized: notify the spinning global agent, or wake
                 // it if it parked (hot handoff left no spinner).
                 if let Some(global) = enclave.global_agent {
-                    if let Some((_, gcpu)) = self.agent_enclave.get(&global).copied() {
-                        if let Some(slot) = enclave.agents.get(&gcpu) {
+                    if let Some((_, gcpu)) = self.agent_enclave.get(global).copied() {
+                        if let Some(slot) = enclave.agents.get(gcpu) {
                             slot.status.bump_seq();
                         }
                     }
@@ -362,10 +378,9 @@ impl Core {
         }
         enclave.destroyed = true;
         enclave.committed.clear();
-        // Sorted: the map iteration order must not leak into the CFS
-        // runqueue (or the kill order), or replays diverge.
-        let mut tids: Vec<Tid> = enclave.threads.keys().copied().collect();
-        tids.sort_by_key(|t| t.0);
+        // Sorted: the storage order must not leak into the CFS runqueue
+        // (or the kill order), or replays diverge.
+        let tids: Vec<Tid> = enclave.threads.sorted_tids();
         let mut agents: Vec<Tid> = enclave.agents.values().map(|a| a.tid).collect();
         agents.sort_by_key(|t| t.0);
         let cpus: Vec<CpuId> = enclave.cpus.iter().collect();
@@ -383,7 +398,7 @@ impl Core {
             k.move_to_class(tid, CLASS_CFS);
         }
         for agent in agents {
-            self.agent_enclave.remove(&agent);
+            self.agent_enclave.remove(agent);
             k.kill(agent);
         }
         self.stats.enclave_destroys += 1;
@@ -432,7 +447,7 @@ impl Core {
                 slots.sort_by_key(|&(c, _)| c.0);
                 for (cpu, tid) in slots {
                     let key = core_key_of(k, cpu);
-                    let active = *enclave.core_active.entry(key).or_insert(tid);
+                    let active = *enclave.core_active.or_insert(key, tid);
                     if active == tid && k.thread(tid).state == ThreadState::Blocked {
                         k.wake_at(at, tid);
                     }
@@ -461,7 +476,7 @@ impl Core {
         };
         let (mut stashed, mut pending_cpus, started_at) = match enclave.recovery.take() {
             Some(r) => (r.stashed, r.pending_cpus, r.started_at),
-            None => (HashMap::new(), Vec::new(), now),
+            None => (TidSlab::new(), Vec::new(), now),
         };
         let attempts = enclave.respawn_attempts;
         if attempts >= standby.max_respawns {
@@ -474,7 +489,7 @@ impl Core {
             .emit(now, cpu.0, || TraceEvent::RecoveryStart { enclave: eid.0 });
         enclave.loop_armed = false;
         for tid in victims {
-            let Some(mut info) = enclave.threads.remove(&tid) else {
+            let Some(mut info) = enclave.threads.remove(tid) else {
                 continue;
             };
             enclave.committed.retain(|_, slot| slot.tid != tid);
@@ -485,7 +500,7 @@ impl Core {
             stashed.insert(tid, info);
             // With the registry entry gone, the class move below posts no
             // THREAD_DEAD — the thread is expected back.
-            self.thread_enclave.remove(&tid);
+            self.thread_enclave.remove(tid);
             k.move_to_class(tid, CLASS_CFS);
         }
         if !pending_cpus.contains(&cpu) {
@@ -518,9 +533,9 @@ impl Core {
         };
         self.cpu_enclave[cpu.index()] = None;
         enclave.cpus.remove(cpu);
-        enclave.cpu_queues.remove(&cpu);
-        if let Some(slot) = enclave.committed.remove(&cpu) {
-            if let Some(info) = enclave.threads.get_mut(&slot.tid) {
+        enclave.cpu_queues.remove(cpu);
+        if let Some(slot) = enclave.committed.remove(cpu) {
+            if let Some(info) = enclave.threads.get_mut(slot.tid) {
                 info.picked = false;
             }
         }
@@ -685,12 +700,14 @@ impl GhostRuntime {
                 policies: Vec::new(),
                 staged: Vec::new(),
                 standby_factories: Vec::new(),
-                thread_enclave: HashMap::new(),
-                pending_attach: HashMap::new(),
-                agent_enclave: HashMap::new(),
+                thread_enclave: TidMap::new(),
+                pending_attach: TidMap::new(),
+                agent_enclave: TidMap::new(),
                 cpu_enclave: vec![None; num_cpus],
                 installed: false,
                 stats: GhostStats::default(),
+                drain_buf: Vec::new(),
+                commit_scratch: CommitScratch::default(),
             })),
         }
     }
@@ -804,14 +821,14 @@ impl GhostRuntime {
             cpus,
             queues: vec![Some(default_q)],
             default_queue: QueueId(0),
-            cpu_queues: HashMap::new(),
-            threads: HashMap::new(),
-            agents: HashMap::new(),
+            cpu_queues: CpuMap::new(),
+            threads: TidSlab::new(),
+            agents: CpuMap::new(),
             global_agent: None,
-            core_active: HashMap::new(),
-            committed: HashMap::new(),
+            core_active: CpuMap::new(),
+            committed: CpuMap::new(),
             pnt,
-            hints: HashMap::new(),
+            hints: TidMap::new(),
             destroyed: false,
             loop_armed: false,
             upgraded_at: None,
@@ -868,13 +885,13 @@ impl GhostRuntime {
             }
             match enclave.config.mode {
                 AgentMode::Centralized => {
-                    let global = enclave.agents[&cpus[0]].tid;
+                    let global = enclave.agents.get(cpus[0]).expect("agent spawned").tid;
                     enclave.global_agent = Some(global);
                     to_wake.push(global);
                 }
                 AgentMode::PerCpu => {
                     for &cpu in &cpus {
-                        let agent = enclave.agents[&cpu].tid;
+                        let agent = enclave.agents.get(cpu).expect("agent spawned").tid;
                         let qid = QueueId(enclave.queues.len() as u32);
                         enclave.queues.push(Some(QueueState {
                             queue: MessageQueue::new(enclave.config.queue_capacity),
@@ -884,7 +901,7 @@ impl GhostRuntime {
                     }
                     // The default queue wakes the first agent, which
                     // redistributes new threads via ASSOCIATE_QUEUE.
-                    let first_agent = enclave.agents[&cpus[0]].tid;
+                    let first_agent = enclave.agents.get(cpus[0]).expect("agent spawned").tid;
                     if let Some(Some(qs)) = enclave.queues.get_mut(0) {
                         qs.wake = WakeMode::WakeAgent(first_agent);
                     }
@@ -962,13 +979,13 @@ impl GhostRuntime {
             }
             match enclave.config.mode {
                 AgentMode::Centralized => {
-                    let global = enclave.agents[&cpus[0]].tid;
+                    let global = enclave.agents.get(cpus[0]).expect("agent spawned").tid;
                     enclave.global_agent = Some(global);
                     to_wake.push(global);
                 }
                 AgentMode::PerCpu => {
                     for &cpu in &cpus {
-                        let agent = enclave.agents[&cpu].tid;
+                        let agent = enclave.agents.get(cpu).expect("agent spawned").tid;
                         let qid = QueueId(enclave.queues.len() as u32);
                         enclave.queues.push(Some(QueueState {
                             queue: MessageQueue::new(enclave.config.queue_capacity),
@@ -976,7 +993,7 @@ impl GhostRuntime {
                         }));
                         enclave.cpu_queues.insert(cpu, qid);
                     }
-                    let first_agent = enclave.agents[&cpus[0]].tid;
+                    let first_agent = enclave.agents.get(cpus[0]).expect("agent spawned").tid;
                     if let Some(Some(qs)) = enclave.queues.get_mut(0) {
                         qs.wake = WakeMode::WakeAgent(first_agent);
                     }
@@ -1038,7 +1055,7 @@ impl GhostRuntime {
             Some(AbiError::DeadThread)
         } else if k.thread(tid).kind == ghost_sim::thread::ThreadKind::Agent {
             Some(AbiError::AgentThread)
-        } else if core.thread_enclave.contains_key(&tid) || core.pending_attach.contains_key(&tid) {
+        } else if core.thread_enclave.contains(tid) || core.pending_attach.contains(tid) {
             Some(AbiError::AlreadyAttached)
         } else {
             None
@@ -1194,7 +1211,7 @@ impl GhostRuntime {
         core.enclaves
             .get(eid.0 as usize)
             .and_then(|s| s.as_ref())
-            .and_then(|e| e.agents.get(&cpu))
+            .and_then(|e| e.agents.get(cpu))
             .map(|a| a.tid)
     }
 
@@ -1205,6 +1222,19 @@ impl GhostRuntime {
             .get(eid.0 as usize)
             .and_then(|s| s.as_ref())
             .and_then(|e| e.global_agent)
+    }
+
+    /// Slab handle backing `tid`'s entry in the enclave's thread table
+    /// (`None` if the thread is not managed there). Handles are recycled
+    /// after a thread dies; this accessor lets tests observe free-list
+    /// reuse and prove a recycled handle is never reachable through the
+    /// dead tid.
+    pub fn thread_handle(&self, eid: EnclaveId, tid: Tid) -> Option<u32> {
+        let core = self.shared.lock().unwrap();
+        core.enclaves
+            .get(eid.0 as usize)
+            .and_then(|s| s.as_ref())
+            .and_then(|e| e.threads.handle_of(tid))
     }
 
     /// True if the enclave exists and has not been destroyed.
@@ -1230,7 +1260,7 @@ impl GhostRuntime {
     /// instead of silently dropping them.
     pub fn try_set_hint(&self, tid: Tid, hint: u64) -> Result<(), AbiError> {
         let mut core = self.shared.lock().unwrap();
-        let Some(&eid) = core.thread_enclave.get(&tid) else {
+        let Some(&eid) = core.thread_enclave.get(tid) else {
             return Err(core.note_reject(AbiError::ForeignThread));
         };
         let destroyed = match core.enclave_mut(eid) {
@@ -1258,7 +1288,7 @@ impl GhostRuntime {
             .enclaves
             .get(eid.0 as usize)
             .and_then(|s| s.as_ref())
-            .and_then(|e| e.threads.get(&tid))
+            .and_then(|e| e.threads.get(tid))
             .map(|info| (info.status.seq(), info.status.flags()));
         match found {
             Some(sw) => Ok(sw),
@@ -1343,11 +1373,9 @@ impl<'a> PolicyCtx<'a> {
     }
 
     /// Tids of all threads managed by this enclave, in Tid order (the
-    /// map's iteration order must not steer a policy's decisions).
+    /// slab's handle order must not steer a policy's decisions).
     pub fn managed_threads(&self) -> Vec<Tid> {
-        let mut tids: Vec<Tid> = self.enclave.threads.keys().copied().collect();
-        tids.sort_by_key(|t| t.0);
-        tids
+        self.enclave.threads.sorted_tids()
     }
 
     fn scaled(&self, cost: Nanos) -> Nanos {
@@ -1381,7 +1409,7 @@ impl<'a> PolicyCtx<'a> {
         // Not a thread of this enclave: discriminate the cause precisely —
         // a tid the kernel never issued, a thread that already died, a
         // thread belonging to someone else, or an agent pthread.
-        let Some(info) = enclave.threads.get(&txn.tid) else {
+        let Some(info) = enclave.threads.get(txn.tid) else {
             return Err(match self.k.thread_checked(txn.tid) {
                 None => AbiError::NoSuchThread,
                 Some(t) if t.state == ThreadState::Dead => AbiError::DeadThread,
@@ -1404,7 +1432,7 @@ impl<'a> PolicyCtx<'a> {
             SeqConstraint::Agent(aseq) => {
                 let cur = enclave
                     .agents
-                    .get(&self.agent_cpu)
+                    .get(self.agent_cpu)
                     .map_or(0, |a| a.status.seq());
                 if aseq < cur {
                     return Err(AbiError::StaleSeq);
@@ -1416,7 +1444,7 @@ impl<'a> PolicyCtx<'a> {
                 }
             }
         }
-        if enclave.committed.contains_key(&txn.cpu) {
+        if enclave.committed.contains(txn.cpu) {
             return Err(AbiError::CpuBusy);
         }
         // Occupancy: ghOSt may preempt its own threads but nothing of a
@@ -1447,7 +1475,7 @@ impl<'a> PolicyCtx<'a> {
         self.busy += self.scaled(costs_syscall);
         // Validation pass. Duplicate targets within the group are caught
         // by inserting provisional slots as we go.
-        let mut provisional: Vec<usize> = Vec::new();
+        self.scratch.provisional.clear();
         for i in 0..txns.len() {
             let verdict = self.validate(&txns[i]);
             let (t_cpu, t_tid) = (txns[i].cpu.0, txns[i].tid.0);
@@ -1481,19 +1509,20 @@ impl<'a> PolicyCtx<'a> {
                             arm_at: Nanos::MAX, // Patched below.
                         },
                     );
-                    if let Some(info) = self.enclave.threads.get_mut(&txns[i].tid) {
+                    if let Some(info) = self.enclave.threads.get_mut(txns[i].tid) {
                         info.picked = true;
                     }
-                    provisional.push(i);
+                    self.scratch.provisional.push(i);
                     txns[i].status = TxnStatus::Committed;
                     txns[i].error = None;
                 }
                 Err(err) if atomic => {
                     // Unwind everything and mark the rest aborted; every
                     // casualty carries the group-failing cause.
-                    for &j in &provisional {
-                        self.enclave.committed.remove(&txns[j].cpu);
-                        if let Some(info) = self.enclave.threads.get_mut(&txns[j].tid) {
+                    for j in 0..self.scratch.provisional.len() {
+                        let j = self.scratch.provisional[j];
+                        self.enclave.committed.remove(txns[j].cpu);
+                        if let Some(info) = self.enclave.threads.get_mut(txns[j].tid) {
                             info.picked = false;
                         }
                         let (j_cpu, j_tid) = (txns[j].cpu.0, txns[j].tid.0);
@@ -1529,17 +1558,19 @@ impl<'a> PolicyCtx<'a> {
             self.stats.group_commits += 1;
         }
         // Effect pass: charge IPI batch, arm slots.
-        let mut remote: Vec<(usize, bool)> = Vec::new(); // (txn index, cross-socket)
-        for &i in &provisional {
+        self.scratch.remote.clear(); // (txn index, cross-socket)
+        for pi in 0..self.scratch.provisional.len() {
+            let i = self.scratch.provisional[pi];
             if txns[i].cpu == self.agent_cpu {
                 self.busy += self.scaled(costs_local);
             } else {
                 let cross = !self.k.topo().same_socket(self.agent_cpu, txns[i].cpu);
-                remote.push((i, cross));
+                self.scratch.remote.push((i, cross));
             }
         }
-        let n_remote = remote.len() as u64;
-        for (idx, &(_, cross)) in remote.iter().enumerate() {
+        let n_remote = self.scratch.remote.len() as u64;
+        for idx in 0..self.scratch.remote.len() {
+            let (_, cross) = self.scratch.remote[idx];
             let base = if idx == 0 {
                 self.k.costs().ipi_send
             } else {
@@ -1554,16 +1585,18 @@ impl<'a> PolicyCtx<'a> {
         }
         let dispatch = self.k.now() + self.busy;
         // Arm local slots: visible as soon as the agent parks.
-        for &i in &provisional {
+        for pi in 0..self.scratch.provisional.len() {
+            let i = self.scratch.provisional[pi];
             if txns[i].cpu == self.agent_cpu {
-                if let Some(slot) = self.enclave.committed.get_mut(&txns[i].cpu) {
+                if let Some(slot) = self.enclave.committed.get_mut(txns[i].cpu) {
                     slot.arm_at = dispatch;
                 }
                 // The local CPU reschedules when the agent parks; no IPI.
             }
         }
         // Arm remote slots and send IPIs.
-        for &(i, cross) in &remote {
+        for ri in 0..self.scratch.remote.len() {
+            let (i, cross) = self.scratch.remote[ri];
             let prop = self.k.costs().ipi_propagation
                 + if cross {
                     self.k.costs().ipi_propagation_cross_socket
@@ -1576,29 +1609,33 @@ impl<'a> PolicyCtx<'a> {
                 0
             };
             let resched_at = dispatch + prop + self.k.costs().ipi_receive + contention;
-            if let Some(slot) = self.enclave.committed.get_mut(&txns[i].cpu) {
+            if let Some(slot) = self.enclave.committed.get_mut(txns[i].cpu) {
                 slot.arm_at = resched_at;
             }
             self.k.send_ipi(txns[i].cpu, resched_at);
         }
-        if atomic && provisional.len() > 1 {
+        if atomic && self.scratch.provisional.len() > 1 {
             // Synchronized group commit (§4.5): all targets act on the
             // commit at the same instant, so a core never transiently
             // runs threads of different VMs while the switches land.
-            let arm_all = provisional
+            let arm_all = self
+                .scratch
+                .provisional
                 .iter()
-                .filter_map(|&i| self.enclave.committed.get(&txns[i].cpu))
+                .filter_map(|&i| self.enclave.committed.get(txns[i].cpu))
                 .map(|s| s.arm_at)
                 .max()
                 .unwrap_or(dispatch);
-            for &i in &provisional {
-                if let Some(slot) = self.enclave.committed.get_mut(&txns[i].cpu) {
+            for pi in 0..self.scratch.provisional.len() {
+                let i = self.scratch.provisional[pi];
+                if let Some(slot) = self.enclave.committed.get_mut(txns[i].cpu) {
                     slot.arm_at = arm_all;
                 }
                 self.k.send_ipi(txns[i].cpu, arm_all);
             }
         }
-        for &i in &provisional {
+        for pi in 0..self.scratch.provisional.len() {
+            let i = self.scratch.provisional[pi];
             let (t_cpu, t_tid) = (txns[i].cpu.0, txns[i].tid.0);
             self.k
                 .trace()
@@ -1607,7 +1644,7 @@ impl<'a> PolicyCtx<'a> {
                     tid: t_tid,
                 });
         }
-        self.stats.txns_committed += provisional.len() as u64;
+        self.stats.txns_committed += self.scratch.provisional.len() as u64;
     }
 
     /// Funnels one failed transaction through the rejection bookkeeping:
@@ -1753,10 +1790,10 @@ impl GhostRuntime {
         // A ghOSt thread became runnable: no kernel runqueue — tell the
         // agent instead (THREAD_WAKEUP).
         let mut core = self.shared.lock().unwrap();
-        if let Some(&eid) = core.thread_enclave.get(&tid) {
+        if let Some(&eid) = core.thread_enclave.get(tid) {
             let cpu = k.thread(tid).last_cpu.unwrap_or(CpuId(0));
             if let Some(enclave) = core.enclave_mut(eid) {
-                if let Some(info) = enclave.threads.get(&tid) {
+                if let Some(info) = enclave.threads.get(tid) {
                     info.status.set_flags(SW_RUNNABLE);
                 }
             }
@@ -1770,13 +1807,13 @@ impl GhostRuntime {
         // Runnable thread leaving the class (kill or class move): drop
         // any committed slot or PNT offer referencing it.
         let mut core = self.shared.lock().unwrap();
-        if let Some(&eid) = core.thread_enclave.get(&tid) {
+        if let Some(&eid) = core.thread_enclave.get(tid) {
             if let Some(enclave) = core.enclave_mut(eid) {
                 enclave.committed.retain(|_, slot| slot.tid != tid);
                 if let Some(pnt) = &mut enclave.pnt {
                     pnt.revoke(tid);
                 }
-                if let Some(info) = enclave.threads.get_mut(&tid) {
+                if let Some(info) = enclave.threads.get_mut(tid) {
                     info.picked = false;
                 }
             }
@@ -1795,16 +1832,16 @@ impl GhostRuntime {
             return None;
         }
         // Committed transaction for this CPU?
-        if let Some(slot) = enclave.committed.get(&cpu).copied() {
+        if let Some(slot) = enclave.committed.get(cpu).copied() {
             if slot.arm_at <= now {
-                enclave.committed.remove(&cpu);
-                if let Some(info) = enclave.threads.get_mut(&slot.tid) {
+                enclave.committed.remove(cpu);
+                if let Some(info) = enclave.threads.get_mut(slot.tid) {
                     info.picked = false;
                 }
                 if k.thread(slot.tid).state == ThreadState::Runnable
                     && k.thread(slot.tid).affinity.contains(cpu)
                 {
-                    if let Some(info) = enclave.threads.get(&slot.tid) {
+                    if let Some(info) = enclave.threads.get(slot.tid) {
                         info.status
                             .publish(|s, f| (s, (f | SW_ONCPU) & !SW_RUNNABLE));
                     }
@@ -1825,11 +1862,11 @@ impl GhostRuntime {
                         .emit(now, cpu.0, || TraceEvent::PntMiss { cpu: cpu.0 });
                     return None;
                 };
-                let ok = enclave.threads.get(&cand).is_some_and(|i| !i.picked)
+                let ok = enclave.threads.get(cand).is_some_and(|i| !i.picked)
                     && k.thread(cand).state == ThreadState::Runnable
                     && k.thread(cand).affinity.contains(cpu);
                 if ok {
-                    if let Some(info) = enclave.threads.get(&cand) {
+                    if let Some(info) = enclave.threads.get(cand) {
                         info.status
                             .publish(|s, f| (s, (f | SW_ONCPU) & !SW_RUNNABLE));
                     }
@@ -1854,7 +1891,7 @@ impl GhostRuntime {
         reason: OffCpuReason,
     ) {
         let mut core = self.shared.lock().unwrap();
-        let Some(&eid) = core.thread_enclave.get(&tid) else {
+        let Some(&eid) = core.thread_enclave.get(tid) else {
             return;
         };
         let ty = match reason {
@@ -1864,7 +1901,7 @@ impl GhostRuntime {
             OffCpuReason::Exit => MsgType::ThreadDead,
         };
         if let Some(enclave) = core.enclave_mut(eid) {
-            if let Some(info) = enclave.threads.get(&tid) {
+            if let Some(info) = enclave.threads.get(tid) {
                 let runnable = matches!(reason, OffCpuReason::Preempt | OffCpuReason::Yield);
                 info.status.publish(|s, f| {
                     let f = f & !SW_ONCPU;
@@ -1884,9 +1921,9 @@ impl GhostRuntime {
             // Registry cleanup happens in on_detach; drop the mapping so
             // the detach path does not double-post THREAD_DEAD.
             if let Some(enclave) = core.enclave_mut(eid) {
-                enclave.threads.remove(&tid);
+                enclave.threads.remove(tid);
             }
-            core.thread_enclave.remove(&tid);
+            core.thread_enclave.remove(tid);
         }
     }
 
@@ -1911,18 +1948,18 @@ impl GhostRuntime {
             return false;
         };
         core.enclaves[eid.0 as usize].as_ref().is_some_and(|e| {
-            e.committed.contains_key(&cpu)
+            e.committed.contains(cpu)
                 || e.pnt.as_ref().is_some_and(|p| !p.is_empty())
                 || e.threads
-                    .keys()
-                    .any(|&t| k.thread(t).state == ThreadState::Runnable)
+                    .tids()
+                    .any(|t| k.thread(t).state == ThreadState::Runnable)
         })
     }
 
     /// A thread entered the ghOSt class (`THREAD_CREATED` / reclaim).
     pub fn hook_attach(&self, k: &mut dyn GhostBackend, tid: Tid) {
         let mut core = self.shared.lock().unwrap();
-        let Some(eid) = core.pending_attach.remove(&tid) else {
+        let Some(eid) = core.pending_attach.remove(tid) else {
             panic!(
                 "thread {tid} moved into the ghOSt class without an enclave; \
                  use GhostHandle::attach_thread"
@@ -1935,7 +1972,7 @@ impl GhostRuntime {
         if enclave.destroyed {
             // The enclave died between the attach request and the class
             // move landing: send the thread straight back to CFS.
-            core.thread_enclave.remove(&tid);
+            core.thread_enclave.remove(tid);
             k.move_to_class(tid, CLASS_CFS);
             return;
         }
@@ -1944,7 +1981,7 @@ impl GhostRuntime {
         // stays monotone, the status word survives — and posts no
         // `THREAD_CREATED`: the standby's status-word scan absorbs it.
         if let Some(rec) = enclave.recovery.as_mut() {
-            if let Some(info) = rec.stashed.remove(&tid) {
+            if let Some(info) = rec.stashed.remove(tid) {
                 let state = k.thread(tid).state;
                 info.status.publish(|s, f| {
                     let mut f = f & !(SW_ONCPU | SW_RUNNABLE);
@@ -1985,7 +2022,7 @@ impl GhostRuntime {
     /// A thread left the ghOSt class (`THREAD_DEAD` to the policy).
     pub fn hook_detach(&self, k: &mut dyn GhostBackend, tid: Tid) {
         let mut core = self.shared.lock().unwrap();
-        let Some(eid) = core.thread_enclave.remove(&tid) else {
+        let Some(eid) = core.thread_enclave.remove(tid) else {
             return; // Already cleaned (death path).
         };
         let cpu = k.thread(tid).last_cpu.unwrap_or(CpuId(0));
@@ -1998,15 +2035,15 @@ impl GhostRuntime {
         // Departure is indistinguishable from death for the policy.
         core.post(k, eid, MsgType::ThreadDead, Some(tid), cpu);
         if let Some(enclave) = core.enclave_mut(eid) {
-            enclave.threads.remove(&tid);
-            enclave.hints.remove(&tid);
+            enclave.threads.remove(tid);
+            enclave.hints.remove(tid);
         }
     }
 
     /// A thread's affinity mask changed (`THREAD_AFFINITY`).
     pub fn hook_affinity_changed(&self, k: &mut dyn GhostBackend, tid: Tid) {
         let mut core = self.shared.lock().unwrap();
-        let Some(&eid) = core.thread_enclave.get(&tid) else {
+        let Some(&eid) = core.thread_enclave.get(tid) else {
             return;
         };
         let cpu = k.thread(tid).last_cpu.unwrap_or(CpuId(0));
@@ -2016,12 +2053,12 @@ impl GhostRuntime {
             let stale: Vec<CpuId> = enclave
                 .committed
                 .iter()
-                .filter(|(c, slot)| slot.tid == tid && !affinity.contains(**c))
-                .map(|(c, _)| *c)
+                .filter(|&(c, slot)| slot.tid == tid && !affinity.contains(c))
+                .map(|(c, _)| c)
                 .collect();
             for c in stale {
-                enclave.committed.remove(&c);
-                if let Some(info) = enclave.threads.get_mut(&tid) {
+                enclave.committed.remove(c);
+                if let Some(info) = enclave.threads.get_mut(tid) {
                     info.picked = false;
                 }
             }
@@ -2061,17 +2098,18 @@ impl GhostRuntime {
             return AgentOutcome::Block { busy: 0 };
         };
         enclave.loop_armed = false;
-        let aseq = enclave.agents.get(&agent_cpu).map_or(0, |a| a.status.seq());
+        let aseq = enclave.agents.get(agent_cpu).map_or(0, |a| a.status.seq());
         k.trace()
             .emit(k.now(), agent_cpu.0, || TraceEvent::AgentActivationBegin {
                 cpu: agent_cpu.0,
                 agent_tid: agent_tid.0,
                 aseq,
             });
-        let mut msgs = Vec::new();
+        let mut msgs = std::mem::take(&mut core.drain_buf);
+        msgs.clear();
         for &qid in qids {
             let start = msgs.len();
-            msgs.extend(enclave.drain_queue(qid));
+            enclave.drain_queue_into(qid, &mut msgs);
             if k.trace().is_enabled() {
                 for m in &msgs[start..] {
                     k.trace()
@@ -2095,7 +2133,7 @@ impl GhostRuntime {
             let mut snaps: Vec<ThreadSnapshot> = enclave
                 .threads
                 .iter()
-                .map(|(&t, info)| {
+                .map(|(t, info)| {
                     let th = &k.thread(t);
                     ThreadSnapshot {
                         tid: t,
@@ -2107,7 +2145,7 @@ impl GhostRuntime {
                     }
                 })
                 .collect();
-            // Deterministic scan order (the thread table is a HashMap).
+            // Deterministic scan order (the slab iterates in handle order).
             snaps.sort_by_key(|s| s.tid.0);
             Some(snaps)
         } else {
@@ -2123,6 +2161,7 @@ impl GhostRuntime {
             busy: 0,
             smt_scale,
             wakeup_request: None,
+            scratch: &mut core.commit_scratch,
         };
         ctx.stats.activations += 1;
         if msgs.is_empty() {
@@ -2197,6 +2236,7 @@ impl GhostRuntime {
                 msgs: msgs.len() as u32,
             }
         });
+        core.drain_buf = msgs;
         if spinning {
             let next = wakeup.map(|at| at.max(k.now() + busy));
             AgentOutcome::Spin { busy, next }
@@ -2243,7 +2283,7 @@ impl GhostRuntime {
             AgentMode::PerCpu => {
                 // The respawned agent serves its CPU's queue again — and
                 // adopts the default queue if its owner died with it.
-                if let Some(&qid) = enclave.cpu_queues.get(&cpu) {
+                if let Some(&qid) = enclave.cpu_queues.get(cpu) {
                     if let Some(Some(qs)) = enclave.queues.get_mut(qid.0 as usize) {
                         qs.wake = WakeMode::WakeAgent(tid);
                     }
@@ -2251,7 +2291,7 @@ impl GhostRuntime {
                 let dq = enclave.default_queue;
                 if let Some(Some(qs)) = enclave.queues.get_mut(dq.0 as usize) {
                     if let WakeMode::WakeAgent(owner) = qs.wake {
-                        if !core.agent_enclave.contains_key(&owner) {
+                        if !core.agent_enclave.contains(owner) {
                             qs.wake = WakeMode::WakeAgent(tid);
                         }
                     }
@@ -2278,13 +2318,13 @@ impl GhostRuntime {
         let mut tids: Vec<Tid> = enclave
             .recovery
             .as_ref()
-            .map(|r| r.stashed.keys().copied().collect())
+            .map(|r| r.stashed.tids().collect())
             .unwrap_or_default();
         tids.sort_by_key(|t| t.0);
         for t in tids {
             if k.thread(t).state == ThreadState::Dead {
                 if let Some(r) = enclave.recovery.as_mut() {
-                    r.stashed.remove(&t);
+                    r.stashed.remove(t);
                 }
                 continue;
             }
@@ -2300,7 +2340,7 @@ impl GhostRuntime {
     pub fn hook_run_agent(&self, k: &mut dyn GhostBackend, tid: Tid, cpu: CpuId) -> AgentOutcome {
         let mut core = self.shared.lock().unwrap();
         let core = &mut *core;
-        let Some(&(eid, agent_cpu)) = core.agent_enclave.get(&tid) else {
+        let Some(&(eid, agent_cpu)) = core.agent_enclave.get(tid) else {
             return AgentOutcome::Block { busy: 0 };
         };
         debug_assert_eq!(cpu, agent_cpu, "agents are pinned");
@@ -2332,7 +2372,7 @@ impl GhostRuntime {
                         .iter()
                         .filter(|&c| c != cpu)
                         .find(|&c| k.cpu(c).is_idle())
-                        .and_then(|c| enclave.agents.get(&c).map(|a| a.tid));
+                        .and_then(|c| enclave.agents.get(c).map(|a| a.tid));
                     if let Some(succ) = successor {
                         let enclave = core.enclaves[eid.0 as usize].as_mut().expect("alive");
                         enclave.global_agent = Some(succ);
@@ -2350,34 +2390,34 @@ impl GhostRuntime {
                 // An agent drains its own CPU's queue; the agent that the
                 // default queue wakes also owns new-thread traffic on it
                 // (and redistributes via ASSOCIATE_QUEUE).
-                let mut qids = Vec::with_capacity(2);
                 let default_q = enclave.default_queue;
-                if let Some(Some(qs)) = enclave.queues.get(default_q.0 as usize) {
-                    if qs.wake == WakeMode::WakeAgent(tid) {
-                        qids.push(default_q);
-                    }
-                }
+                let drains_default = matches!(
+                    enclave.queues.get(default_q.0 as usize),
+                    Some(Some(qs)) if qs.wake == WakeMode::WakeAgent(tid)
+                );
                 let own = enclave.queue_for_cpu(agent_cpu);
-                if !qids.contains(&own) {
-                    qids.push(own);
-                }
-                Self::activate(core, k, eid, tid, agent_cpu, &qids, false)
+                let qids: [QueueId; 2] = [default_q, own];
+                let qids: &[QueueId] = if drains_default && own != default_q {
+                    &qids
+                } else if drains_default {
+                    &qids[..1]
+                } else {
+                    &qids[1..]
+                };
+                Self::activate(core, k, eid, tid, agent_cpu, qids, false)
             }
             AgentMode::PerCore => {
                 let key = core_key_of(k, agent_cpu);
-                if enclave.core_active.get(&key) != Some(&tid) {
+                if enclave.core_active.get(key) != Some(&tid) {
                     return AgentOutcome::Block { busy: 0 };
                 }
                 // Drain the shared default queue (new-thread traffic)
                 // plus this core's own queue.
                 let default_q = enclave.default_queue;
                 let own = enclave.queue_for_cpu(agent_cpu);
-                let qids = if own == default_q {
-                    vec![own]
-                } else {
-                    vec![default_q, own]
-                };
-                Self::activate(core, k, eid, tid, agent_cpu, &qids, false)
+                let qids: [QueueId; 2] = [default_q, own];
+                let qids: &[QueueId] = if own == default_q { &qids[..1] } else { &qids };
+                Self::activate(core, k, eid, tid, agent_cpu, qids, false)
             }
         };
         // A slow-resume fault window stretches the activation's charged
@@ -2425,7 +2465,7 @@ impl GhostRuntime {
                 return;
             };
             let grace_from = enclave.upgraded_at.unwrap_or(0);
-            let starved = enclave.threads.keys().any(|&t| {
+            let starved = enclave.threads.tids().any(|t| {
                 let th = &k.thread(t);
                 th.state == ThreadState::Runnable
                     && k.now().saturating_sub(th.runnable_since.max(grace_from)) > timeout
@@ -2477,7 +2517,7 @@ impl GhostRuntime {
         // per-CPU granularity when peers survive.
         let (eid, cpu) = {
             let mut core = self.shared.lock().unwrap();
-            let Some((eid, cpu)) = core.agent_enclave.remove(&tid) else {
+            let Some((eid, cpu)) = core.agent_enclave.remove(tid) else {
                 return;
             };
             (eid, cpu)
@@ -2490,7 +2530,7 @@ impl GhostRuntime {
             self.upgrade_now(k, eid);
             let mut core = self.shared.lock().unwrap();
             if let Some(enclave) = core.enclave_mut(eid) {
-                enclave.agents.remove(&cpu);
+                enclave.agents.remove(cpu);
                 if enclave.global_agent == Some(tid) {
                     // Deterministic successor: the lowest-CPU survivor,
                     // not whatever the agent map yields first.
@@ -2514,7 +2554,7 @@ impl GhostRuntime {
             if enclave.destroyed {
                 return;
             }
-            enclave.agents.remove(&cpu);
+            enclave.agents.remove(cpu);
             let was_global = enclave.global_agent == Some(tid);
             if was_global {
                 enclave.global_agent = None;
@@ -2530,14 +2570,14 @@ impl GhostRuntime {
             }
             if mode == AgentMode::PerCore && any_left {
                 let key = core_key_of(k, cpu);
-                if enclave.core_active.get(&key) == Some(&tid) {
-                    enclave.core_active.remove(&key);
+                if enclave.core_active.get(key) == Some(&tid) {
+                    enclave.core_active.remove(key);
                 }
                 let sibling_alive = k
                     .topo()
                     .core_cpus(cpu)
                     .iter()
-                    .any(|c| c != cpu && enclave.agents.contains_key(&c));
+                    .any(|c| c != cpu && enclave.agents.contains(c));
                 if sibling_alive {
                     // The SMT sibling's agent serves the whole core.
                     return;
@@ -2545,9 +2585,7 @@ impl GhostRuntime {
             }
             let whole = mode == AgentMode::Centralized || !any_left;
             let victims: Vec<Tid> = if whole {
-                let mut v: Vec<Tid> = enclave.threads.keys().copied().collect();
-                v.sort_by_key(|t| t.0);
-                v
+                enclave.threads.sorted_tids()
             } else {
                 // Threads homed to a queue the dead agent consumed: its
                 // own CPU's queue, or any queue explicitly waking it (the
@@ -2562,12 +2600,12 @@ impl GhostRuntime {
                         _ => None,
                     })
                     .collect();
-                let cpu_q = enclave.cpu_queues.get(&cpu).copied();
+                let cpu_q = enclave.cpu_queues.get(cpu).copied();
                 let mut v: Vec<Tid> = enclave
                     .threads
                     .iter()
                     .filter(|(_, info)| Some(info.queue) == cpu_q || dead_qs.contains(&info.queue))
-                    .map(|(&t, _)| t)
+                    .map(|(t, _)| t)
                     .collect();
                 v.sort_by_key(|t| t.0);
                 v

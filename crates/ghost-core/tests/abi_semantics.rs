@@ -517,7 +517,7 @@ fn runtime_entry_points_reject_forged_arguments() {
     };
     assert_eq!(create(CpuSet::empty()), AbiError::EmptyCpuSet);
     assert_eq!(
-        create(CpuSet::from_iter([CpuId(300)])),
+        create(CpuSet::from_iter([CpuId(1300)])),
         AbiError::EmptyCpuSet
     );
     assert_eq!(

@@ -44,7 +44,10 @@ pub mod cache;
 pub mod engine;
 pub mod scenario;
 
-pub use bench::{bench_live_vs_sim, emit_live_vs_sim, BenchOpts, BenchRow};
+pub use bench::{
+    bench_live_vs_sim, bench_sim, emit_bench_sim, emit_live_vs_sim, parse_rows, BenchOpts,
+    BenchRow, ParsedRow,
+};
 pub use cache::{fnv64, fnv64_lines, Cache};
 pub use engine::{run_cases, run_sweep, Experiment, ExperimentResult, SweepItem, SweepReport};
 pub use scenario::{

@@ -34,6 +34,8 @@ fn usage() -> ! {
         "usage: ghost-lab sweep [--scenarios N] [--jobs N] [--seed-base S] [--policy NAME]\n\
          \x20                      [--cache DIR] [--digest FILE]\n\
          \x20      ghost-lab bench-live [--cpus N] [--requests N] [--horizon-ms N] [--out FILE]\n\
+         \x20      ghost-lab bench-sim [--cpus N] [--requests N] [--horizon-ms N] [--out FILE]\n\
+         \x20                          [--full-scale] [--check-against FILE] [--tolerance PCT]\n\
          \n\
          sweep: runs an N-scenario pulse-workload matrix (round-robin over the\n\
          five evaluation policies) on the deterministic parallel sweep engine.\n\
@@ -51,7 +53,17 @@ fn usage() -> ! {
          --cpus N        lanes for both backends (default 4)\n\
          --requests N    KV requests per live run (default 50000)\n\
          --horizon-ms N  DES virtual horizon (default 200)\n\
-         --out FILE      output path (default BENCH_live_vs_sim.json)",
+         --out FILE      output path (default BENCH_live_vs_sim.json)\n\
+         \n\
+         bench-sim: runs the DES-only rows (work-item-matched policy rows plus\n\
+         fig5 scale rows on the paper's machines) and merges them into the\n\
+         output JSON, preserving rows it did not re-run.\n\
+         \n\
+         --full-scale         add the 1024-CPU / 1M-thread fig5 point (slow)\n\
+         --check-against FILE compare sim_seconds_per_sec against a committed\n\
+         \x20                    baseline: exit 1 on any regression beyond the\n\
+         \x20                    tolerance, warn only on improvement\n\
+         --tolerance PCT      allowed regression in percent (default 20)",
         PolicyKind::ALL
             .iter()
             .map(|p| p.name())
@@ -113,6 +125,118 @@ fn bench_live_main(mut args: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
+fn bench_sim_main(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut opts = ghost_lab::BenchOpts::default();
+    let mut out = "BENCH_live_vs_sim.json".to_string();
+    let mut full_scale = false;
+    let mut check_against: Option<String> = None;
+    let mut tolerance_pct: f64 = 20.0;
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--cpus" => opts.cpus = value("--cpus").parse().unwrap_or_else(|_| usage()),
+            "--requests" => {
+                opts.live_requests = value("--requests").parse().unwrap_or_else(|_| usage());
+            }
+            "--horizon-ms" => {
+                let ms: u64 = value("--horizon-ms").parse().unwrap_or_else(|_| usage());
+                opts.sim_horizon = ms * MILLIS;
+            }
+            "--out" => out = value("--out"),
+            "--full-scale" => full_scale = true,
+            "--check-against" => check_against = Some(value("--check-against")),
+            "--tolerance" => {
+                tolerance_pct = value("--tolerance").parse().unwrap_or_else(|_| usage());
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+    let rows = match ghost_lab::emit_bench_sim(&out, &opts, full_scale) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for row in &rows {
+        let rate = row
+            .sim_seconds_per_sec()
+            .map(|r| format!("{r:.2} sim-s/s"))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:>18} [{:>4}]  {:>8.1} ms wall  {:>10} items  {rate}",
+            row.name,
+            row.backend,
+            row.wall_ns as f64 / 1e6,
+            row.work_items,
+        );
+    }
+    println!("wrote {out}");
+
+    let Some(baseline_path) = check_against else {
+        return ExitCode::SUCCESS;
+    };
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => ghost_lab::parse_rows(&text),
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // The perf gate: a measured row whose simulated-seconds/sec fell more
+    // than the tolerance below the committed baseline fails the run; a
+    // row that improved only warns (the baseline is refreshed by
+    // committing the regenerated JSON, not by the gate).
+    let mut regressed = false;
+    for row in &rows {
+        let Some(rate) = row.sim_seconds_per_sec() else {
+            continue;
+        };
+        let base = baseline
+            .iter()
+            .find(|b| b.name == row.name && b.backend == row.backend)
+            .and_then(|b| b.sim_seconds_per_sec);
+        let Some(base) = base else {
+            println!("perf-check {:>18}: no baseline row, skipping", row.name);
+            continue;
+        };
+        let floor = base * (1.0 - tolerance_pct / 100.0);
+        if rate < floor {
+            eprintln!(
+                "perf-check {:>18}: REGRESSION {rate:.2} sim-s/s < {floor:.2} \
+                 (baseline {base:.2}, tolerance {tolerance_pct}%)",
+                row.name
+            );
+            regressed = true;
+        } else if rate > base {
+            println!(
+                "perf-check {:>18}: improved {base:.2} -> {rate:.2} sim-s/s \
+                 (commit the regenerated JSON to raise the baseline)",
+                row.name
+            );
+        } else {
+            println!(
+                "perf-check {:>18}: ok {rate:.2} sim-s/s (baseline {base:.2})",
+                row.name
+            );
+        }
+    }
+    if regressed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn parse_opts() -> Opts {
     let mut opts = Opts {
         scenarios: 10,
@@ -164,6 +288,9 @@ fn parse_opts() -> Opts {
 fn main() -> ExitCode {
     if std::env::args().nth(1).as_deref() == Some("bench-live") {
         return bench_live_main(std::env::args().skip(2));
+    }
+    if std::env::args().nth(1).as_deref() == Some("bench-sim") {
+        return bench_sim_main(std::env::args().skip(2));
     }
     let opts = parse_opts();
     let policies: Vec<PolicyKind> = match opts.policy {

@@ -1,7 +1,8 @@
 //! The `BENCH_live_vs_sim.json` emitter: a small end-to-end run of both
 //! backends, checking the rows and the hand-rolled JSON schema.
 
-use ghost_lab::{bench_live_vs_sim, BenchOpts};
+use ghost_lab::bench::{merged_bench_json, BenchRow};
+use ghost_lab::{bench_live_vs_sim, parse_rows, BenchOpts};
 use ghost_sim::time::{MICROS, MILLIS};
 use std::time::Duration;
 
@@ -19,9 +20,31 @@ fn small_opts() -> BenchOpts {
 
 #[test]
 fn bench_rows_cover_both_backends_and_make_progress() {
-    let rows = bench_live_vs_sim(&small_opts());
+    let opts = small_opts();
+    let rows = bench_live_vs_sim(&opts);
     assert_eq!(rows.len(), 4, "two policies x two backends");
     for row in &rows {
+        // Work items must be comparable across backends: sim rows keep
+        // simulating (in horizon-sized chunks) until they have completed
+        // at least as many pulse segments as the live rows serve KV
+        // requests, so a sim/live throughput ratio is item-for-item.
+        if row.backend == "sim" {
+            assert!(
+                row.work_items >= opts.live_requests,
+                "{}: sim row stopped at {} items, live target is {}",
+                row.name,
+                row.work_items,
+                opts.live_requests,
+            );
+            // ...but not wildly past it: the overshoot is bounded by one
+            // horizon chunk's worth of completions.
+            assert!(
+                row.work_items < 4 * opts.live_requests,
+                "{}: sim row ran far past the live target ({} items)",
+                row.name,
+                row.work_items,
+            );
+        }
         assert!(
             row.wall_ns > 0,
             "{}/{}: no wall time",
@@ -69,4 +92,82 @@ fn bench_json_schema_is_stable() {
     }
     assert_eq!(json.matches("\"backend\": \"sim\"").count(), 2);
     assert_eq!(json.matches("\"backend\": \"live\"").count(), 2);
+
+    // The emitter's own JSON must round-trip through the perf gate's
+    // parser: every row comes back with its key fields intact.
+    let parsed = parse_rows(&json);
+    assert_eq!(parsed.len(), rows.len());
+    for (p, r) in parsed.iter().zip(&rows) {
+        assert_eq!(p.name, r.name);
+        assert_eq!(p.backend, r.backend);
+        assert_eq!(p.work_items, r.work_items);
+        match r.backend {
+            "sim" => {
+                let got = p.sim_seconds_per_sec.expect("sim row lost its rate");
+                let want = r.sim_seconds_per_sec().unwrap();
+                assert!((got - want).abs() < 0.001, "rate {got} != {want}");
+            }
+            _ => assert_eq!(p.sim_seconds_per_sec, None),
+        }
+    }
+}
+
+fn synthetic_row(name: &str, backend: &'static str, items: u64) -> BenchRow {
+    BenchRow {
+        name: name.to_string(),
+        backend,
+        wall_ns: 1_000_000,
+        sim_ns: (backend == "sim").then_some(2_000_000),
+        work_items: items,
+    }
+}
+
+/// `bench-sim` refreshes its rows inside `BENCH_live_vs_sim.json`
+/// without re-running the live rows: merge must replace same-key rows
+/// in place, keep everything else, and append genuinely new rows.
+#[test]
+fn merge_replaces_by_key_and_preserves_the_rest() {
+    let v1 = [
+        synthetic_row("fifo", "sim", 100),
+        synthetic_row("fifo", "live", 200),
+        synthetic_row("per-cpu", "live", 300),
+    ];
+    let first = merged_bench_json(None, &v1);
+
+    // Refresh one existing sim row and add a new scale row.
+    let v2 = [
+        synthetic_row("fifo", "sim", 999),
+        synthetic_row("fig5-zen-1024-1m", "sim", 42),
+    ];
+    let merged = merged_bench_json(Some(&first), &v2);
+    let rows = parse_rows(&merged);
+
+    let names: Vec<(&str, &str)> = rows
+        .iter()
+        .map(|r| (r.name.as_str(), r.backend.as_str()))
+        .collect();
+    // Preserved rows keep their original (file) order; refreshed and new
+    // rows land at the end.
+    assert_eq!(
+        names,
+        [
+            ("fifo", "live"),
+            ("per-cpu", "live"),
+            ("fifo", "sim"),
+            ("fig5-zen-1024-1m", "sim"),
+        ]
+    );
+    // The same-key row was replaced, not duplicated.
+    let fifo_sim: Vec<_> = rows
+        .iter()
+        .filter(|r| r.name == "fifo" && r.backend == "sim")
+        .collect();
+    assert_eq!(fifo_sim.len(), 1);
+    assert_eq!(fifo_sim[0].work_items, 999);
+    // Untouched rows survive byte-for-byte at the parsed level.
+    assert!(rows
+        .iter()
+        .any(|r| r.name == "per-cpu" && r.backend == "live" && r.work_items == 300));
+    // Merging identical rows is idempotent.
+    assert_eq!(merged_bench_json(Some(&merged), &[]), merged);
 }

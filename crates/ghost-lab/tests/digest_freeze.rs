@@ -1,24 +1,35 @@
 //! Digest freeze: the DES results of all seven policies, pinned.
 //!
-//! These hashes were captured on the DES backend immediately *before* the
-//! `GhostBackend` trait refactor that generalized `ghost-core` over
-//! sim/live backends. The refactor's contract is that the DES backend is
-//! byte-identical before and after: every policy, at every seed below,
-//! must keep producing exactly these result hashes.
+//! Two scenario families are frozen, each at seeds 1..=3:
 //!
-//! If a hash changes, the trait indirection altered simulation behavior —
-//! that is a bug in the refactor, not an expected drift. Do not re-pin
-//! without understanding exactly which event ordering changed and why.
+//! * **baseline** — the plain pulse workload. These hashes were captured
+//!   on the DES backend immediately *before* the `GhostBackend` trait
+//!   refactor that generalized `ghost-core` over sim/live backends.
+//! * **chaos** — the same workload with a deterministic fault plan
+//!   layered on top (agent crash + standby failover, an IPI-delay
+//!   window, tick skew, a spurious wakeup), so the recovery,
+//!   reconstruction, and IPI paths are pinned too. Captured immediately
+//!   *before* the DES fast-path refactor (slab runtime state, timer
+//!   wheel, batched drain).
+//!
+//! The contract is that hot-path refactors are byte-identical: every
+//! policy, at every seed below, in both families, must keep producing
+//! exactly these result hashes. If a hash changes, the refactor altered
+//! simulation behavior — that is a bug in the refactor, not an expected
+//! drift. Do not re-pin without understanding exactly which event
+//! ordering changed and why.
 //!
 //! Regenerate (only for an intentional semantic change) with:
 //! `cargo test -p ghost-lab --test digest_freeze -- --nocapture` after
 //! setting `PRINT_DIGESTS=1` in the environment.
 
 use ghost_lab::scenario::{PolicyKind, Scenario, WorkloadSpec};
-use ghost_sim::time::MILLIS;
+use ghost_sim::faults::{FaultKind, FaultPlan};
+use ghost_sim::time::{MICROS, MILLIS};
+use ghost_sim::topology::CpuId;
 
-/// (policy, seed, frozen result hash).
-const FROZEN: &[(&str, u64, u64)] = &[
+/// (policy, seed, frozen result hash) — plain pulse workload.
+const FROZEN_BASELINE: &[(&str, u64, u64)] = &[
     ("centralized-fifo", 1, 0x0ac452b232b10472),
     ("centralized-fifo", 2, 0xebc4dd03827a0c9c),
     ("centralized-fifo", 3, 0x54ed523bff637387),
@@ -46,6 +57,33 @@ const FROZEN: &[(&str, u64, u64)] = &[
     ("search", 3, 0x77362c0343528335),
 ];
 
+/// (policy, seed, frozen result hash) — chaos-seeded fault plan.
+const FROZEN_CHAOS: &[(&str, u64, u64)] = &[
+    ("centralized-fifo", 1, 0xdb354436bf37fb29),
+    ("centralized-fifo", 2, 0x49483252cb26e82d),
+    ("centralized-fifo", 3, 0xbf89699572869602),
+    ("per-cpu", 1, 0x28e3c10d3627de27),
+    ("per-cpu", 2, 0x154f00d33c5cfe7f),
+    ("per-cpu", 3, 0xb44e94c8191ce8ae),
+    ("shinjuku", 1, 0xfd113c93663e24d1),
+    ("shinjuku", 2, 0xb8566003f4527921),
+    ("shinjuku", 3, 0x84d4a1e40c8aec30),
+    ("snap", 1, 0xd013f41781a76469),
+    ("snap", 2, 0xa034785c23fcddc2),
+    ("snap", 3, 0xba97af2031b65f78),
+    ("core-sched", 1, 0xcb399830f7034d77),
+    ("core-sched", 2, 0x3164e856b6769dab),
+    ("core-sched", 3, 0xd45ca48bc6f9f49d),
+    // Shinjuku+Shenango tracks plain Shinjuku here too (the fault plan
+    // never triggers core reallocation); pinned independently regardless.
+    ("shinjuku-shenango", 1, 0xfd113c93663e24d1),
+    ("shinjuku-shenango", 2, 0xb8566003f4527921),
+    ("shinjuku-shenango", 3, 0x84d4a1e40c8aec30),
+    ("search", 1, 0x442cceea53ec4423),
+    ("search", 2, 0xb9cb54ee8404eeef),
+    ("search", 3, 0xa19ae36d3f62142a),
+];
+
 fn scenario(policy: PolicyKind, seed: u64) -> Scenario {
     Scenario::builder()
         .name(format!("freeze/{}/seed={seed}", policy.name()))
@@ -59,31 +97,73 @@ fn scenario(policy: PolicyKind, seed: u64) -> Scenario {
         .build()
 }
 
-#[test]
-fn all_seven_policies_des_digests_are_frozen() {
+/// The chaos variant: the same pulse scenario with a standby agent armed
+/// and a fixed, seed-dependent fault schedule. The crash exercises §3.4
+/// degraded-mode failover and status-word reconstruction; the IPI and
+/// tick windows perturb delivery timing on every policy.
+fn chaos_scenario(policy: PolicyKind, seed: u64) -> Scenario {
+    let plan = FaultPlan::from_events([
+        (
+            5 * MILLIS,
+            FaultKind::IpiDelay {
+                dur: 10 * MILLIS,
+                extra: 50 * MICROS,
+            },
+        ),
+        ((8 + seed) * MILLIS, FaultKind::AgentCrash { cpu: CpuId(0) }),
+        (
+            20 * MILLIS,
+            FaultKind::TickSkew {
+                dur: 10 * MILLIS,
+                extra: 20 * MICROS,
+            },
+        ),
+        (30 * MILLIS, FaultKind::SpuriousWakeup { nth: seed as u32 }),
+    ]);
+    Scenario::builder()
+        .name(format!("freeze-chaos/{}/seed={seed}", policy.name()))
+        .cpus(8)
+        .policy(policy)
+        .workload(WorkloadSpec::pulse(5))
+        .seed(seed)
+        .horizon(50 * MILLIS)
+        .watchdog(20 * MILLIS)
+        .standby(true)
+        .faults(plan)
+        .trace_capacity(1 << 16)
+        .build()
+}
+
+fn check_family(
+    family: &str,
+    frozen: &[(&str, u64, u64)],
+    build: impl Fn(PolicyKind, u64) -> Scenario,
+) {
     let print = std::env::var("PRINT_DIGESTS").is_ok();
     let mut failures = Vec::new();
     for policy in PolicyKind::EVERY {
         for seed in 1..=3u64 {
-            let summary = scenario(policy, seed).run();
+            let summary = build(policy, seed).run();
             if print {
                 println!(
-                    "    (\"{}\", {seed}, {:#018x}),",
+                    "    [{family}] (\"{}\", {seed}, {:#018x}),",
                     policy.name(),
                     summary.hash
                 );
                 continue;
             }
-            let frozen = FROZEN
+            let row = frozen
                 .iter()
                 .find(|(name, s, _)| *name == policy.name() && *s == seed)
-                .unwrap_or_else(|| panic!("no frozen digest for {}/{seed}", policy.name()));
-            if summary.hash != frozen.2 {
+                .unwrap_or_else(|| {
+                    panic!("no frozen {family} digest for {}/{seed}", policy.name())
+                });
+            if summary.hash != row.2 {
                 failures.push(format!(
-                    "{}/seed={seed}: got {:#018x}, frozen {:#018x}",
+                    "{family}/{}/seed={seed}: got {:#018x}, frozen {:#018x}",
                     policy.name(),
                     summary.hash,
-                    frozen.2
+                    row.2
                 ));
             }
         }
@@ -93,4 +173,14 @@ fn all_seven_policies_des_digests_are_frozen() {
         "DES digests drifted from the pre-refactor freeze:\n{}",
         failures.join("\n")
     );
+}
+
+#[test]
+fn all_seven_policies_des_digests_are_frozen() {
+    check_family("baseline", FROZEN_BASELINE, scenario);
+}
+
+#[test]
+fn all_seven_policies_chaos_digests_are_frozen() {
+    check_family("chaos", FROZEN_CHAOS, chaos_scenario);
 }

@@ -7,17 +7,22 @@
 use crate::tracker::ThreadTracker;
 use ghost_core::msg::Message;
 use ghost_core::policy::{GhostPolicy, PolicyCtx};
+use ghost_core::slab::TidMap;
 use ghost_core::txn::{Transaction, TxnStatus};
 use ghost_core::{CommitGovernor, StaleVerdict, ThreadSnapshot};
 use ghost_sim::thread::Tid;
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// Centralized FIFO over all managed threads.
 #[derive(Default)]
 pub struct CentralizedFifo {
     tracker: ThreadTracker,
     rq: VecDeque<Tid>,
-    queued: HashSet<Tid>,
+    /// Dense membership set guarding `rq` against duplicates.
+    queued: TidMap<()>,
+    /// Reused group-commit buffer so `schedule()` never allocates in
+    /// steady state.
+    txn_buf: Vec<Transaction>,
     /// Bounded `ESTALE` retry: persistent-overflow threads are shed to
     /// CFS instead of livelocking the agent.
     pub governor: CommitGovernor,
@@ -46,13 +51,13 @@ impl CentralizedFifo {
     }
 
     fn enqueue(&mut self, tid: Tid) {
-        if self.queued.insert(tid) {
+        if self.queued.insert(tid, ()).is_none() {
             self.rq.push_back(tid);
         }
     }
 
     fn dequeue(&mut self, tid: Tid) {
-        if self.queued.remove(&tid) {
+        if self.queued.remove(tid).is_some() {
             self.rq.retain(|&t| t != tid);
         }
     }
@@ -67,7 +72,7 @@ impl CentralizedFifo {
     /// ablation).
     pub fn pop_next(&mut self) -> Option<Tid> {
         let tid = self.rq.pop_front()?;
-        self.queued.remove(&tid);
+        self.queued.remove(tid);
         Some(tid)
     }
 
@@ -110,16 +115,18 @@ impl GhostPolicy for CentralizedFifo {
             return;
         }
         // Group as many transactions as possible into one commit (Fig. 4).
-        let mut txns = Vec::new();
+        let mut txns = std::mem::take(&mut self.txn_buf);
+        txns.clear();
         for cpu in ctx.idle_cpus().iter() {
             let Some(tid) = self.rq.pop_front() else {
                 break;
             };
-            self.queued.remove(&tid);
+            self.queued.remove(tid);
             ctx.charge(self.decision_cost);
             txns.push(Transaction::new(tid, cpu).with_thread_seq(self.tracker.seq(tid)));
         }
         if txns.is_empty() {
+            self.txn_buf = txns;
             return;
         }
         ctx.commit(&mut txns);
@@ -162,6 +169,7 @@ impl GhostPolicy for CentralizedFifo {
         if let Some(at) = next_retry {
             ctx.request_wakeup_at(at);
         }
+        self.txn_buf = txns;
     }
 
     fn on_reconstruct(&mut self, snapshot: &[ThreadSnapshot], _ctx: &mut PolicyCtx<'_>) {

@@ -9,18 +9,19 @@
 use crate::tracker::ThreadTracker;
 use ghost_core::msg::{Message, MsgType};
 use ghost_core::policy::{GhostPolicy, PolicyCtx};
+use ghost_core::slab::{CpuMap, TidMap};
 use ghost_core::txn::Transaction;
 use ghost_sim::thread::Tid;
 use ghost_sim::topology::CpuId;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Per-CPU FIFO scheduling with message-queue-based load distribution.
 pub struct PerCpuPolicy {
     tracker: ThreadTracker,
-    /// Per-CPU runqueues.
-    rqs: HashMap<CpuId, VecDeque<Tid>>,
+    /// Per-CPU runqueues, dense in the topology's CPU id space.
+    rqs: CpuMap<VecDeque<Tid>>,
     /// Thread → home CPU assignment.
-    home: HashMap<Tid, CpuId>,
+    home: TidMap<CpuId>,
     /// Round-robin cursor for placing new threads.
     next_cpu: usize,
     /// Commit statistics.
@@ -36,8 +37,8 @@ impl PerCpuPolicy {
     pub fn new() -> Self {
         Self {
             tracker: ThreadTracker::new(),
-            rqs: HashMap::new(),
-            home: HashMap::new(),
+            rqs: CpuMap::new(),
+            home: TidMap::new(),
             next_cpu: 0,
             commits: 0,
             failures: 0,
@@ -46,7 +47,7 @@ impl PerCpuPolicy {
     }
 
     fn rq(&mut self, cpu: CpuId) -> &mut VecDeque<Tid> {
-        self.rqs.entry(cpu).or_default()
+        self.rqs.or_insert(cpu, VecDeque::new())
     }
 
     fn place_new_thread(&mut self, tid: Tid, ctx: &mut PolicyCtx<'_>) -> CpuId {
@@ -71,17 +72,17 @@ impl PerCpuPolicy {
     /// takes a waiting thread from the longest peer runqueue, re-homes
     /// it, and reroutes its future messages to the local queue.
     fn steal_for(&mut self, thief: CpuId, ctx: &mut PolicyCtx<'_>) {
-        let Some((&victim_cpu, _)) = self
+        let Some((victim_cpu, _)) = self
             .rqs
             .iter()
-            .filter(|(&c, q)| c != thief && q.len() >= 2)
+            .filter(|&(c, q)| c != thief && q.len() >= 2)
             // Lowest-CPU tiebreak: equal queue depths must not be
             // settled by the map's iteration order, or replays diverge.
-            .max_by_key(|(&c, q)| (q.len(), std::cmp::Reverse(c.0)))
+            .max_by_key(|&(c, q)| (q.len(), std::cmp::Reverse(c.0)))
         else {
             return;
         };
-        let Some(tid) = self.rqs.get_mut(&victim_cpu).and_then(VecDeque::pop_front) else {
+        let Some(tid) = self.rqs.get_mut(victim_cpu).and_then(VecDeque::pop_front) else {
             return;
         };
         self.home.insert(tid, thief);
@@ -114,10 +115,10 @@ impl GhostPolicy for PerCpuPolicy {
             self.place_new_thread(msg.tid, ctx);
             return;
         }
-        let home = *self.home.entry(msg.tid).or_insert_with(|| ctx.local_cpu());
+        let home = *self.home.or_insert(msg.tid, ctx.local_cpu());
         if view.dead {
             self.rq(home).retain(|&t| t != msg.tid);
-            self.home.remove(&msg.tid);
+            self.home.remove(msg.tid);
         } else if view.runnable {
             let rq = self.rq(home);
             if !rq.contains(&msg.tid) {

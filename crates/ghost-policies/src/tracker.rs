@@ -6,9 +6,9 @@
 //! kernel structures.
 
 use ghost_core::msg::{Message, MsgType};
+use ghost_core::slab::TidMap;
 use ghost_sim::thread::Tid;
 use ghost_sim::topology::CpuId;
-use std::collections::HashMap;
 
 /// Per-thread knowledge derived from messages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,10 +23,12 @@ pub struct TrackedThread {
     pub dead: bool,
 }
 
-/// Folds Table 1 messages into per-thread state.
+/// Folds Table 1 messages into per-thread state. Backed by a dense
+/// [`TidMap`] — the kernels allocate `Tid`s sequentially, so the direct
+/// map beats hashing on every message apply.
 #[derive(Debug, Default)]
 pub struct ThreadTracker {
-    threads: HashMap<Tid, TrackedThread>,
+    threads: TidMap<TrackedThread>,
 }
 
 impl ThreadTracker {
@@ -49,12 +51,15 @@ impl ThreadTracker {
         if !msg.ty.is_thread_msg() {
             return None;
         }
-        let entry = self.threads.entry(msg.tid).or_insert(TrackedThread {
-            seq: 0,
-            runnable: false,
-            last_cpu: msg.cpu,
-            dead: false,
-        });
+        let entry = self.threads.or_insert(
+            msg.tid,
+            TrackedThread {
+                seq: 0,
+                runnable: false,
+                last_cpu: msg.cpu,
+                dead: false,
+            },
+        );
         if msg.seq < entry.seq {
             return None;
         }
@@ -74,7 +79,7 @@ impl ThreadTracker {
         }
         let view = *entry;
         if view.dead {
-            self.threads.remove(&msg.tid);
+            self.threads.remove(msg.tid);
         }
         Some(view)
     }
@@ -106,26 +111,26 @@ impl ThreadTracker {
     /// Marks a thread as scheduled (no longer waiting): called after a
     /// successful commit so the policy does not double-schedule it.
     pub fn mark_scheduled(&mut self, tid: Tid) {
-        if let Some(t) = self.threads.get_mut(&tid) {
+        if let Some(t) = self.threads.get_mut(tid) {
             t.runnable = false;
         }
     }
 
     /// Marks a thread runnable again (failed commit re-queue path).
     pub fn mark_runnable(&mut self, tid: Tid) {
-        if let Some(t) = self.threads.get_mut(&tid) {
+        if let Some(t) = self.threads.get_mut(tid) {
             t.runnable = true;
         }
     }
 
     /// Latest view of a thread.
     pub fn get(&self, tid: Tid) -> Option<&TrackedThread> {
-        self.threads.get(&tid)
+        self.threads.get(tid)
     }
 
     /// Latest sequence number for a thread (0 if unknown).
     pub fn seq(&self, tid: Tid) -> u64 {
-        self.threads.get(&tid).map_or(0, |t| t.seq)
+        self.threads.get(tid).map_or(0, |t| t.seq)
     }
 
     /// Number of tracked (live) threads.
@@ -138,8 +143,8 @@ impl ThreadTracker {
         self.threads.is_empty()
     }
 
-    /// Iterates over tracked threads.
-    pub fn iter(&self) -> impl Iterator<Item = (&Tid, &TrackedThread)> {
+    /// Iterates over tracked threads in ascending `Tid` order.
+    pub fn iter(&self) -> impl Iterator<Item = (Tid, &TrackedThread)> {
         self.threads.iter()
     }
 }

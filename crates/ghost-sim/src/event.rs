@@ -1,4 +1,15 @@
 //! The discrete-event queue driving the simulation.
+//!
+//! [`EventQueue`] is a flat hierarchical timer wheel: 9 levels of 64
+//! slots, level 0 at 1024 ns granularity, each level 64× coarser than the
+//! one below, so the 9 levels jointly cover the full `u64` nanosecond
+//! range with no overflow list. Pushes hash into a slot in O(1); pops
+//! drain the earliest slot into a small "near" heap ordered by
+//! `(time, insertion seq)`, which preserves the exact pop order of the
+//! original `BinaryHeap` implementation — earliest time first, FIFO on
+//! ties — so simulation digests are byte-identical to the pre-wheel
+//! queue (pinned by `ghost-lab`'s digest-freeze suite and the
+//! heap-vs-wheel equivalence property test).
 
 use crate::app::AppId;
 use crate::thread::Tid;
@@ -37,7 +48,7 @@ pub enum Ev {
     Fault { idx: usize },
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 struct Entry {
     at: Nanos,
     seq: u64,
@@ -66,6 +77,16 @@ impl Ord for Entry {
     }
 }
 
+/// log2 of the level-0 slot width: 1024 ns per slot.
+const SHIFT0: u32 = 10;
+/// log2 of the slots per level.
+const LEVEL_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Number of levels. `SHIFT0 + LEVELS * LEVEL_BITS = 64`, so the wheel
+/// spans every representable `u64` time and needs no overflow list.
+const LEVELS: usize = 9;
+
 /// Earliest-first event queue with deterministic FIFO tie-breaking.
 ///
 /// # Examples
@@ -81,43 +102,160 @@ impl Ord for Entry {
 /// assert_eq!(t, 10);
 /// assert_eq!(ev, Ev::Resched { cpu: CpuId(0) });
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Entry>,
+    /// Entries within the current level-0 slot (and any pushed at or
+    /// before it), ordered by `(at, seq)`. Always holds the global
+    /// minimum when non-empty: every wheel entry is in a strictly later
+    /// level-0 slot.
+    near: BinaryHeap<Entry>,
+    /// `LEVELS * SLOTS` buckets; level `k` slot `i` is `slots[k*SLOTS+i]`.
+    slots: Vec<Vec<Entry>>,
+    /// One occupancy bitmap word per level.
+    occ: [u64; LEVELS],
+    /// Start of the level-0 slot the `near` heap currently represents.
+    /// Only ever advances; pushes at or before it go straight to `near`.
+    cur: Nanos,
+    /// Total pending entries (near + all slots).
+    len: usize,
     next_seq: u64,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl EventQueue {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            near: BinaryHeap::new(),
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occ: [0; LEVELS],
+            cur: 0,
+            len: 0,
+            next_seq: 0,
+        }
     }
 
     /// Schedules `ev` at absolute time `at`.
     pub fn push(&mut self, at: Nanos, ev: Ev) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, ev });
+        self.len += 1;
+        let e = Entry { at, seq, ev };
+        if (at >> SHIFT0) <= (self.cur >> SHIFT0) {
+            // In (or before) the current near window: the heap keeps
+            // order exact even for entries behind `cur`.
+            self.near.push(e);
+        } else {
+            self.place(e);
+        }
+    }
+
+    /// Buckets a future entry (strictly after the near window). The level
+    /// is the highest bit group in which `at` differs from `cur`; because
+    /// `at > cur`, the entry's slot index at that level is strictly ahead
+    /// of `cur`'s, so a forward scan always finds it.
+    fn place(&mut self, e: Entry) {
+        let diff = (e.at >> SHIFT0) ^ (self.cur >> SHIFT0);
+        debug_assert!(diff != 0);
+        let level = ((63 - diff.leading_zeros()) / LEVEL_BITS) as usize;
+        let idx = ((e.at >> (SHIFT0 + LEVEL_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.slots[level * SLOTS + idx].push(e);
+        self.occ[level] |= 1 << idx;
+    }
+
+    /// Advances `cur` to the next occupied slot: loads it into `near` if
+    /// it is a level-0 slot, or cascades it into the finer levels below.
+    /// Levels are scanned finest-first — every level-`k` entry is earlier
+    /// than every level-`k+1` entry, and within a level lower indices are
+    /// earlier — so the first occupied slot found is the earliest.
+    fn advance(&mut self) {
+        'outer: loop {
+            for level in 0..LEVELS {
+                let shift = SHIFT0 + LEVEL_BITS * level as u32;
+                let cur_idx = ((self.cur >> shift) & (SLOTS as u64 - 1)) as u32;
+                // Occupied slots at this level are always strictly ahead
+                // of cur's index (a behind-or-equal index would differ
+                // from cur at a higher level and live there instead).
+                let ahead = self.occ[level] & (!0u64).checked_shl(cur_idx + 1).unwrap_or(0);
+                if ahead == 0 {
+                    continue;
+                }
+                let idx = ahead.trailing_zeros();
+                // cur := start of the found slot (zero everything below
+                // this level, keep everything above).
+                let above = shift + LEVEL_BITS;
+                let high = if above >= 64 {
+                    0
+                } else {
+                    (self.cur >> above) << above
+                };
+                self.cur = high | ((idx as u64) << shift);
+                self.occ[level] &= !(1 << idx);
+                let mut batch = std::mem::take(&mut self.slots[level * SLOTS + idx as usize]);
+                if level == 0 {
+                    self.near.extend(batch.drain(..));
+                    // Hand the bucket's capacity back for reuse.
+                    self.slots[idx as usize] = batch;
+                    return;
+                }
+                for e in batch.drain(..) {
+                    if (e.at >> SHIFT0) == (self.cur >> SHIFT0) {
+                        self.near.push(e);
+                    } else {
+                        self.place(e);
+                    }
+                }
+                self.slots[level * SLOTS + idx as usize] = batch;
+                if !self.near.is_empty() {
+                    return;
+                }
+                continue 'outer;
+            }
+            unreachable!("advance() called with no pending entries");
+        }
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(Nanos, Ev)> {
-        self.heap.pop().map(|e| (e.at, e.ev))
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        loop {
+            if let Some(e) = self.near.pop() {
+                return Some((e.at, e.ev));
+            }
+            self.advance();
+        }
     }
 
-    /// Time of the earliest event without removing it.
-    pub fn peek_time(&self) -> Option<Nanos> {
-        self.heap.peek().map(|e| e.at)
+    /// Time of the earliest event without removing it. May rotate the
+    /// wheel internally, which never changes pop order.
+    pub fn peek_time(&mut self) -> Option<Nanos> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            if let Some(e) = self.near.peek() {
+                return Some(e.at);
+            }
+            self.advance();
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 }
 
@@ -158,5 +296,81 @@ mod tests {
         q.push(7, Ev::Tick { cpu: CpuId(0) });
         assert_eq!(q.peek_time(), Some(7));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn ties_break_fifo_across_slots_and_levels() {
+        // Same deadline, pushed while the wheel is at different
+        // positions: the second batch lands after the wheel advanced.
+        let mut q = EventQueue::new();
+        let t = 1 << 20; // level-1 territory from cur = 0
+        q.push(t, Ev::Wake { tid: Tid(1) });
+        q.push(100, Ev::Wake { tid: Tid(0) });
+        assert_eq!(q.pop().unwrap().0, 100); // advances cur
+        q.push(t, Ev::Wake { tid: Tid(2) }); // now level-0/near territory
+        q.push(t, Ev::Wake { tid: Tid(3) });
+        let order: Vec<u32> = std::iter::from_fn(|| {
+            q.pop().map(|(_, ev)| match ev {
+                Ev::Wake { tid } => tid.0,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn far_future_events_cascade_correctly() {
+        let mut q = EventQueue::new();
+        // One event per level's range, inserted in reverse order.
+        let times: Vec<Nanos> = (0..9).rev().map(|k| 1u64 << (SHIFT0 + 6 * k)).collect();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(t, Ev::Wake { tid: Tid(i as u32) });
+        }
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let popped: Vec<Nanos> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(popped, sorted);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pushes_behind_current_position_still_pop_first() {
+        let mut q = EventQueue::new();
+        q.push(1 << 30, Ev::Wake { tid: Tid(0) });
+        q.push(1 << 31, Ev::Wake { tid: Tid(1) });
+        assert_eq!(q.pop().unwrap().0, 1 << 30);
+        // The wheel has advanced far; a push behind it must still come
+        // out before the remaining future event.
+        q.push(5, Ev::Wake { tid: Tid(2) });
+        assert_eq!(q.pop().unwrap().0, 5);
+        assert_eq!(q.pop().unwrap().0, 1 << 31);
+    }
+
+    #[test]
+    fn interleaved_push_pop_at_same_time() {
+        // A handler pushing at the time it is handling (delta = 0) must
+        // see its event pop after all already-queued same-time events.
+        let mut q = EventQueue::new();
+        q.push(50, Ev::Wake { tid: Tid(1) });
+        q.push(50, Ev::Wake { tid: Tid(2) });
+        let (t, ev) = q.pop().unwrap();
+        assert_eq!((t, ev), (50, Ev::Wake { tid: Tid(1) }));
+        q.push(50, Ev::Wake { tid: Tid(3) });
+        assert_eq!(q.pop().unwrap().1, Ev::Wake { tid: Tid(2) });
+        assert_eq!(q.pop().unwrap().1, Ev::Wake { tid: Tid(3) });
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn u64_extremes_are_representable() {
+        let mut q = EventQueue::new();
+        q.push(u64::MAX, Ev::Wake { tid: Tid(1) });
+        q.push(0, Ev::Wake { tid: Tid(0) });
+        q.push(u64::MAX - 1, Ev::Wake { tid: Tid(2) });
+        assert_eq!(q.pop().unwrap().0, 0);
+        assert_eq!(q.pop().unwrap().0, u64::MAX - 1);
+        assert_eq!(q.pop().unwrap().0, u64::MAX);
+        assert!(q.is_empty());
     }
 }

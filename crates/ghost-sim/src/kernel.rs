@@ -27,6 +27,7 @@ use crate::topology::{CpuId, Topology};
 use ghost_trace::{TraceEvent, TraceSink, NO_TID, PREV_BLOCKED, PREV_DEAD, PREV_RUNNABLE};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::VecDeque;
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -95,12 +96,12 @@ pub struct KernelState {
     /// Deterministic RNG for plug-ins that need randomness.
     pub rng: StdRng,
     events: EventQueue,
-    pending_wakes: Vec<Tid>,
-    pending_class_moves: Vec<(Tid, ClassId)>,
-    pending_affinity: Vec<Tid>,
-    pending_nice: Vec<Tid>,
-    pending_resched: Vec<CpuId>,
-    pending_kills: Vec<Tid>,
+    pending_wakes: VecDeque<Tid>,
+    pending_class_moves: VecDeque<(Tid, ClassId)>,
+    pending_affinity: VecDeque<Tid>,
+    pending_nice: VecDeque<Tid>,
+    pending_resched: VecDeque<CpuId>,
+    pending_kills: VecDeque<Tid>,
     next_app: u32,
 }
 
@@ -167,7 +168,7 @@ impl KernelState {
     /// when the current hook returns; waking an already-active or dead
     /// thread is a no-op.
     pub fn wake(&mut self, tid: Tid) {
-        self.pending_wakes.push(tid);
+        self.pending_wakes.push_back(tid);
     }
 
     /// Wakes `tid` at the future time `at`.
@@ -178,7 +179,7 @@ impl KernelState {
 
     /// Requests moving `tid` into scheduling class `class`.
     pub fn move_to_class(&mut self, tid: Tid, class: ClassId) {
-        self.pending_class_moves.push((tid, class));
+        self.pending_class_moves.push_back((tid, class));
     }
 
     /// Changes `tid`'s affinity mask.
@@ -189,20 +190,20 @@ impl KernelState {
     pub fn set_affinity(&mut self, tid: Tid, mask: CpuSet) {
         assert!(!mask.is_empty(), "affinity mask must not be empty");
         self.threads[tid.index()].affinity = mask;
-        self.pending_affinity.push(tid);
+        self.pending_affinity.push_back(tid);
     }
 
     /// Requests killing `tid`; applied when the current hook returns.
     /// Usable from class/app/driver context (e.g. the ghOSt watchdog
     /// tearing down an enclave's agents).
     pub fn kill(&mut self, tid: Tid) {
-        self.pending_kills.push(tid);
+        self.pending_kills.push_back(tid);
     }
 
     /// Changes `tid`'s nice value.
     pub fn set_nice(&mut self, tid: Tid, nice: i8) {
         self.threads[tid.index()].nice = nice.clamp(-20, 19);
-        self.pending_nice.push(tid);
+        self.pending_nice.push_back(tid);
     }
 
     /// Requests a scheduler pass on `cpu` as soon as the current hook
@@ -210,7 +211,7 @@ impl KernelState {
     pub fn request_resched(&mut self, cpu: CpuId) {
         if !self.cpus[cpu.index()].resched_pending {
             self.cpus[cpu.index()].resched_pending = true;
-            self.pending_resched.push(cpu);
+            self.pending_resched.push_back(cpu);
         }
     }
 
@@ -454,12 +455,12 @@ impl Kernel {
             stats: SimStats::default(),
             offcpu_reason: OffCpuReason::Block,
             events,
-            pending_wakes: Vec::new(),
-            pending_class_moves: Vec::new(),
-            pending_affinity: Vec::new(),
-            pending_nice: Vec::new(),
-            pending_resched: Vec::new(),
-            pending_kills: Vec::new(),
+            pending_wakes: VecDeque::new(),
+            pending_class_moves: VecDeque::new(),
+            pending_affinity: VecDeque::new(),
+            pending_nice: VecDeque::new(),
+            pending_resched: VecDeque::new(),
+            pending_kills: VecDeque::new(),
             next_app: 0,
         };
         let classes: Vec<Box<dyn SchedClass>> = vec![
@@ -557,7 +558,7 @@ impl Kernel {
 
     fn handle(&mut self, ev: Ev) {
         match ev {
-            Ev::Wake { tid } => self.state.pending_wakes.push(tid),
+            Ev::Wake { tid } => self.state.pending_wakes.push_back(tid),
             Ev::Resched { cpu } => {
                 self.state
                     .cfg
@@ -628,12 +629,24 @@ impl Kernel {
 
     /// Applies deferred operations until the machine is quiescent.
     fn settle(&mut self) {
-        for _ in 0..100_000 {
-            if let Some((tid, class)) = pop(&mut self.state.pending_class_moves) {
+        // Livelock guard, scaled to the work already queued: a mass wake
+        // of N threads legitimately takes N iterations (the bench-sim
+        // scale sweep wakes a million at once), while a genuine livelock
+        // — operations endlessly re-deferring each other — still trips
+        // the bound because it never drains the backlog.
+        let queued = self.state.pending_class_moves.len()
+            + self.state.pending_wakes.len()
+            + self.state.pending_affinity.len()
+            + self.state.pending_nice.len()
+            + self.state.pending_kills.len()
+            + self.state.pending_resched.len();
+        let budget = 100_000.max(4 * queued);
+        for _ in 0..budget {
+            if let Some((tid, class)) = self.state.pending_class_moves.pop_front() {
                 self.apply_class_move(tid, class);
-            } else if let Some(tid) = pop(&mut self.state.pending_wakes) {
+            } else if let Some(tid) = self.state.pending_wakes.pop_front() {
                 self.apply_wake(tid);
-            } else if let Some(tid) = pop(&mut self.state.pending_affinity) {
+            } else if let Some(tid) = self.state.pending_affinity.pop_front() {
                 let class = self.state.threads[tid.index()].class;
                 self.classes[class as usize].on_affinity_changed(tid, &mut self.state);
                 // A running thread on a now-forbidden CPU must move.
@@ -645,12 +658,12 @@ impl Kernel {
                         }
                     }
                 }
-            } else if let Some(tid) = pop(&mut self.state.pending_nice) {
+            } else if let Some(tid) = self.state.pending_nice.pop_front() {
                 let class = self.state.threads[tid.index()].class;
                 self.classes[class as usize].on_nice_changed(tid, &mut self.state);
-            } else if let Some(tid) = pop(&mut self.state.pending_kills) {
+            } else if let Some(tid) = self.state.pending_kills.pop_front() {
                 self.kill_now(tid);
-            } else if let Some(cpu) = pop(&mut self.state.pending_resched) {
+            } else if let Some(cpu) = self.state.pending_resched.pop_front() {
                 self.state.cpus[cpu.index()].resched_pending = false;
                 self.do_resched(cpu);
             } else {
@@ -1301,14 +1314,6 @@ impl Kernel {
     pub fn assign_and_wake(&mut self, tid: Tid, dur: Nanos) {
         self.state.threads[tid.index()].remaining = dur;
         self.wake_now(tid);
-    }
-}
-
-fn pop<T>(v: &mut Vec<T>) -> Option<T> {
-    if v.is_empty() {
-        None
-    } else {
-        Some(v.remove(0))
     }
 }
 

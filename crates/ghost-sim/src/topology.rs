@@ -131,6 +131,13 @@ impl Topology {
         Self::new("rome-256", 2, 64, 2, 4)
     }
 
+    /// Hypothetical 8-socket Zen machine: 64 cores/socket in 4-core CCXs,
+    /// SMT2 → 1024 CPUs. Beyond any machine in the paper — used by the
+    /// scale sweeps to stress the simulator's dense runtime state.
+    pub fn zen_1024() -> Self {
+        Self::new("zen-1024", 8, 64, 2, 4)
+    }
+
     /// A small single-socket machine for unit tests.
     pub fn test_small(cores: u16) -> Self {
         Self::new("test-small", 1, cores, 2, cores)

@@ -1,0 +1,169 @@
+//! Heap-vs-wheel equivalence: the timer-wheel [`EventQueue`] must pop in
+//! exactly the order of the original `BinaryHeap` implementation —
+//! earliest `at` first, FIFO on same-deadline ties — for arbitrary
+//! interleavings of pushes and pops.
+//!
+//! The pre-wheel `BinaryHeap` queue lives on here, test-only, as the
+//! oracle ([`HeapQueue`]). Each case derives a random op sequence from a
+//! `for_seeds!` RNG and applies it to both queues in lockstep; any
+//! divergence in popped `(time, event)` pairs, peeked times, or lengths
+//! is a wheel bug. Time distributions are chosen to cross slot and level
+//! boundaries: dense same-microsecond ties, mid-range spreads, and
+//! far-future outliers that exercise multi-level cascades.
+
+use ghost_chaos::for_seeds;
+use ghost_sim::event::{Ev, EventQueue};
+use ghost_sim::thread::Tid;
+use ghost_sim::time::Nanos;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The original `BinaryHeap` event queue, kept verbatim as the oracle.
+struct HeapQueue {
+    heap: BinaryHeap<HeapEntry>,
+    next_seq: u64,
+}
+
+struct HeapEntry {
+    at: Nanos,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl HeapQueue {
+    fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    fn push(&mut self, at: Nanos, ev: Ev) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry { at, seq, ev });
+    }
+
+    fn pop(&mut self) -> Option<(Nanos, Ev)> {
+        self.heap.pop().map(|e| (e.at, e.ev))
+    }
+
+    fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// Draws a time from a mix of distributions that stress every wheel
+/// regime: same-slot ties, level-0 neighbours, mid-level spreads, and
+/// far-future cascade fodder.
+fn draw_time(rng: &mut StdRng, now: Nanos) -> Nanos {
+    match rng.gen_range(0u8..10) {
+        // Dense ties inside one 1024 ns slot (FIFO order must hold).
+        0..=2 => now + rng.gen_range(0u64..8) * 256,
+        // Within a few level-0 slots.
+        3..=5 => now + rng.gen_range(0u64..1 << 14),
+        // Level 1-3 territory.
+        6..=7 => now + rng.gen_range(0u64..1 << 28),
+        // Far future: multi-level cascades on the way down.
+        8 => now + rng.gen_range(0u64..1 << 45),
+        // Behind the wheel's current position (handlers never do this,
+        // but the queue must still order it correctly).
+        _ => now.saturating_sub(rng.gen_range(0u64..1 << 12)),
+    }
+}
+
+#[test]
+fn wheel_matches_heap_oracle_on_random_sequences() {
+    for_seeds!(0x1E41, 300, |rng: &mut StdRng| {
+        let mut wheel = EventQueue::new();
+        let mut oracle = HeapQueue::new();
+        let mut now: Nanos = 0;
+        let mut tid = 0u32;
+        for _ in 0..rng.gen_range(1usize..500) {
+            if rng.gen_bool(0.55) {
+                let at = draw_time(rng, now);
+                let ev = Ev::Wake { tid: Tid(tid) };
+                tid += 1;
+                wheel.push(at, ev);
+                oracle.push(at, ev);
+            } else {
+                if rng.gen_bool(0.3) {
+                    assert_eq!(wheel.peek_time(), oracle.peek_time(), "peek divergence");
+                }
+                let got = wheel.pop();
+                let want = oracle.pop();
+                assert_eq!(got, want, "pop divergence");
+                if let Some((t, _)) = got {
+                    // The simulation clock only moves forward.
+                    now = now.max(t);
+                }
+            }
+            assert_eq!(wheel.len(), oracle.len());
+        }
+        // Drain both: full remaining order must agree.
+        while let Some(want) = oracle.pop() {
+            assert_eq!(wheel.pop(), Some(want), "drain divergence");
+        }
+        assert!(wheel.is_empty());
+        assert_eq!(wheel.pop(), None);
+    });
+}
+
+/// Same-deadline events pushed across different wheel positions (some
+/// direct to near, some cascaded down a level) must still pop in global
+/// insertion order.
+#[test]
+fn cross_level_ties_preserve_global_fifo() {
+    for_seeds!(0x71E5, 100, |rng: &mut StdRng| {
+        let mut wheel = EventQueue::new();
+        let mut oracle = HeapQueue::new();
+        let deadline: Nanos = 1 << rng.gen_range(12u32..40);
+        let mut tid = 0u32;
+        // Interleave ties at `deadline` with earlier events that force
+        // the wheel to advance between pushes.
+        for round in 0..rng.gen_range(2usize..20) {
+            let ev = Ev::Wake { tid: Tid(tid) };
+            tid += 1;
+            wheel.push(deadline, ev);
+            oracle.push(deadline, ev);
+            let early = (round as u64) * rng.gen_range(1u64..1 << 10);
+            let ev = Ev::Wake { tid: Tid(tid) };
+            tid += 1;
+            wheel.push(early, ev);
+            oracle.push(early, ev);
+            if rng.gen_bool(0.5) {
+                assert_eq!(wheel.pop(), oracle.pop());
+            }
+        }
+        while let Some(want) = oracle.pop() {
+            assert_eq!(wheel.pop(), Some(want));
+        }
+        assert!(wheel.is_empty());
+    });
+}
