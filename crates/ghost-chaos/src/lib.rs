@@ -26,12 +26,19 @@
 //!   victim-liveness oracles.
 //! * [`repro`] — serializes a combo to `repro.json` and parses it back
 //!   for bit-identical deterministic replay.
+//! * [`live`] — the same fault plans injected into the `ghost-live`
+//!   real-thread backend, judged by wall-clock oracles (grace-windowed
+//!   invariants, stranded-worker liveness, bounded wall-clock recovery,
+//!   post-recovery reclaim). Live runs are not bit-reproducible, so
+//!   failures capture `repro.json` (plan + seed + shape) instead of
+//!   shrinking.
 //!
 //! The `ghost-chaos` binary sweeps N combos across all five evaluation
 //! policies and, on failure, writes `repro.json` plus a Chrome trace of
 //! the shrunk repro.
 
 pub mod byzantine;
+pub mod live;
 pub mod oracle;
 pub mod plan;
 pub mod repro;
@@ -41,9 +48,15 @@ pub mod shrink;
 pub use byzantine::{
     generate_byz_ops, run_byzantine, shrink_byzantine, ByzCombo, ByzExperiment, ByzOp, ByzReport,
 };
+pub use live::{
+    generate_live_plan, run_live_combo, LiveCombo, LiveRunReport, LIVE_POLICIES, LIVE_WATCHDOG,
+    RECOVERY_WALL_SLO,
+};
 pub use oracle::Failure;
 pub use plan::generate_plan;
-pub use repro::{byz_from_json, byz_to_json, combo_from_json, combo_to_json};
+pub use repro::{
+    byz_from_json, byz_to_json, combo_from_json, combo_to_json, live_from_json, live_to_json,
+};
 pub use run::{run_combo, Combo, ComboExperiment, PolicyKind, RunReport, WATCHDOG};
 pub use shrink::shrink;
 

@@ -17,26 +17,39 @@
 //! cargo run -p ghost-chaos -- --replay repro.json   # deterministic replay
 //! ```
 
-use ghost_chaos::repro::is_byzantine_repro;
+use ghost_chaos::repro::{is_byzantine_repro, is_live_repro};
 use ghost_chaos::{
-    byz_from_json, byz_to_json, combo_from_json, combo_to_json, run_byzantine, run_combo, shrink,
-    shrink_byzantine, ByzCombo, ByzExperiment, Combo, ComboExperiment, PolicyKind,
+    byz_from_json, byz_to_json, combo_from_json, combo_to_json, live_from_json, live_to_json,
+    run_byzantine, run_combo, run_live_combo, shrink, shrink_byzantine, ByzCombo, ByzExperiment,
+    Combo, ComboExperiment, LiveCombo, PolicyKind, LIVE_POLICIES,
 };
+use ghost_lab::bench::{merged_bench_json, BenchRow};
 use ghost_lab::{run_sweep, Cache};
 use std::process::ExitCode;
 use std::time::Instant;
 
 struct Opts {
-    combos: u64,
+    combos: Option<u64>,
     seed_base: u64,
     out_dir: String,
     policy: Option<PolicyKind>,
     replay: Option<String>,
     recovery: bool,
     byzantine: bool,
+    live: bool,
+    bench_out: Option<String>,
     jobs: usize,
     cache: Option<String>,
     digest: Option<String>,
+}
+
+impl Opts {
+    /// Sweep size: 64 for simulated sweeps, 6 for `--live` (real
+    /// threads, real time — one crash/hang/slow rotation per policy)
+    /// unless `--combos` says otherwise.
+    fn combos(&self) -> u64 {
+        self.combos.unwrap_or(if self.live { 6 } else { 64 })
+    }
 }
 
 fn usage() -> ! {
@@ -48,7 +61,7 @@ fn usage() -> ! {
          simulated ghOSt runtime. Failing combos are shrunk to a minimal fault\n\
          plan; DIR receives repro-<i>.json plus trace-<i>.json (Chrome format).\n\
          \n\
-         --combos N      number of combos to run (default 64)\n\
+         --combos N      number of combos to run (default 64; 6 with --live)\n\
          --seed-base S   first seed (default 1)\n\
          --out DIR       output directory for repros (default chaos-out)\n\
          --policy NAME   restrict to one policy: {}\n\
@@ -60,6 +73,13 @@ fn usage() -> ! {
                          ABI call sequence from a co-resident malicious\n\
                          enclave, judged by the never-panic,\n\
                          typed-rejection, and victim-liveness oracles\n\
+         --live          live sweep: inject crash/hang/slow plans into the\n\
+                         ghost-live real-thread backend, judged by\n\
+                         wall-clock oracles (grace-windowed invariants,\n\
+                         stranded workers, recovery within 1 s); failures\n\
+                         capture repro.json without shrinking\n\
+         --bench-out F   (--live) write/merge measured recovery-time and\n\
+                         shed-rate rows into bench JSON file F\n\
          --jobs N        worker threads for the sweep (default 1); results\n\
                          are byte-identical for every N\n\
          --cache DIR     ghost-lab result cache: unchanged combos are not\n\
@@ -77,13 +97,15 @@ fn usage() -> ! {
 
 fn parse_opts() -> Opts {
     let mut opts = Opts {
-        combos: 64,
+        combos: None,
         seed_base: 1,
         out_dir: "chaos-out".to_string(),
         policy: None,
         replay: None,
         recovery: false,
         byzantine: false,
+        live: false,
+        bench_out: None,
         jobs: 1,
         cache: None,
         digest: None,
@@ -98,7 +120,7 @@ fn parse_opts() -> Opts {
         };
         match arg.as_str() {
             "--combos" => {
-                opts.combos = value("--combos").parse().unwrap_or_else(|_| usage());
+                opts.combos = Some(value("--combos").parse().unwrap_or_else(|_| usage()));
             }
             "--seed-base" => {
                 opts.seed_base = value("--seed-base").parse().unwrap_or_else(|_| usage());
@@ -114,6 +136,8 @@ fn parse_opts() -> Opts {
             "--replay" => opts.replay = Some(value("--replay")),
             "--recovery" => opts.recovery = true,
             "--byzantine" => opts.byzantine = true,
+            "--live" => opts.live = true,
+            "--bench-out" => opts.bench_out = Some(value("--bench-out")),
             "--jobs" => opts.jobs = value("--jobs").parse().unwrap_or_else(|_| usage()),
             "--cache" => opts.cache = Some(value("--cache")),
             "--digest" => opts.digest = Some(value("--digest")),
@@ -160,6 +184,45 @@ fn replay_byzantine(path: &str, doc: &str) -> ExitCode {
     }
 }
 
+fn replay_live(path: &str, doc: &str) -> ExitCode {
+    let combo = match live_from_json(doc) {
+        Ok(combo) => combo,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "replaying {path}: live policy={} seed={} faults={} (wall-clock; \
+         plan replays exactly, interleaving is best-effort)",
+        combo.policy.name(),
+        combo.seed,
+        combo.plan.events.len()
+    );
+    let report = run_live_combo(&combo);
+    println!(
+        "  completed={} shed={} failed={} respawns={} reconstructions={} recovery={}",
+        report.completed,
+        report.shed,
+        report.failed,
+        report.stats.respawns,
+        report.stats.reconstructions,
+        report
+            .recovery_wall_ns
+            .map(|ns| format!("{:.1} ms", ns as f64 / 1e6))
+            .unwrap_or_else(|| "-".into()),
+    );
+    if report.failures.is_empty() {
+        println!("  PASS: all oracles clean");
+        ExitCode::SUCCESS
+    } else {
+        for f in &report.failures {
+            println!("  FAIL {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn replay(path: &str) -> ExitCode {
     let doc = match std::fs::read_to_string(path) {
         Ok(doc) => doc,
@@ -170,6 +233,9 @@ fn replay(path: &str) -> ExitCode {
     };
     if is_byzantine_repro(&doc) {
         return replay_byzantine(path, &doc);
+    }
+    if is_live_repro(&doc) {
+        return replay_live(path, &doc);
     }
     let combo = match combo_from_json(&doc) {
         Ok(combo) => combo,
@@ -250,7 +316,7 @@ fn byzantine_sweep(opts: &Opts) -> ExitCode {
         }
         None => ByzCombo::VICTIMS.to_vec(),
     };
-    let exps: Vec<ByzExperiment> = (0..opts.combos)
+    let exps: Vec<ByzExperiment> = (0..opts.combos())
         .map(|i| {
             let victim = victims[(i % victims.len() as u64) as usize];
             ByzExperiment(ByzCombo::generated(victim, opts.seed_base + i))
@@ -292,7 +358,7 @@ fn byzantine_sweep(opts: &Opts) -> ExitCode {
     println!(
         "swept {} byzantine combos across {} victim(s) with {} job(s) in {:.2?} \
          ({} executed, {} cached): {} failed",
-        opts.combos,
+        opts.combos(),
         victims.len(),
         opts.jobs,
         elapsed,
@@ -306,6 +372,134 @@ fn byzantine_sweep(opts: &Opts) -> ExitCode {
             return ExitCode::from(2);
         }
         println!("wrote digest to {path}");
+    }
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn write_live_repro(
+    out_dir: &str,
+    index: u64,
+    combo: &LiveCombo,
+    records: &[ghost_trace::TraceRecord],
+) {
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {out_dir}: {e}");
+        return;
+    }
+    let repro_path = format!("{out_dir}/repro-{index}.json");
+    let trace_path = format!("{out_dir}/trace-{index}.json");
+    if let Err(e) = std::fs::write(&repro_path, live_to_json(combo)) {
+        eprintln!("cannot write {repro_path}: {e}");
+    }
+    // Live runs are not replayed for the trace: export the failing
+    // run's own recording (re-running would observe a different
+    // interleaving).
+    if let Err(e) = std::fs::write(&trace_path, ghost_trace::chrome::export(records)) {
+        eprintln!("cannot write {trace_path}: {e}");
+    }
+    println!("  wrote {repro_path} and {trace_path}");
+}
+
+// Live sweep: wall-clock fault injection on the real-thread backend.
+// Serial on purpose — combos run real OS threads and would contend for
+// cores — and unshrunk on purpose: re-running a live combo observes a
+// different interleaving, so a failure captures its plan and its trace.
+fn live_sweep(opts: &Opts) -> ExitCode {
+    let policies: Vec<PolicyKind> = match opts.policy {
+        Some(p) if LIVE_POLICIES.contains(&p) => vec![p],
+        Some(p) => {
+            eprintln!(
+                "policy '{}' has no live sweep (only centralized-fifo and per-cpu \
+                 run on the real-thread backend)",
+                p.name()
+            );
+            return ExitCode::from(2);
+        }
+        None => LIVE_POLICIES.to_vec(),
+    };
+    let combos = opts.combos();
+    let started = Instant::now();
+    let mut failed = 0u64;
+    let mut recovery_rows: Vec<BenchRow> = Vec::new();
+    let mut shed_total = 0u64;
+    let mut shed_wall: u128 = 0;
+    for i in 0..combos {
+        let policy = policies[(i % policies.len() as u64) as usize];
+        let combo = LiveCombo::generated(policy, opts.seed_base + i);
+        let kinds: Vec<&str> = combo
+            .plan
+            .events
+            .iter()
+            .map(|fe| fe.kind.name())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let report = run_live_combo(&combo);
+        println!(
+            "combo {i}: live policy={} seed={} fault={} completed={} shed={} failed={} \
+             recovery={} wall={:.2} s{}",
+            policy.name(),
+            combo.seed,
+            kinds.join("+"),
+            report.completed,
+            report.shed,
+            report.failed,
+            report
+                .recovery_wall_ns
+                .map(|ns| format!("{:.1} ms", ns as f64 / 1e6))
+                .unwrap_or_else(|| "-".into()),
+            report.wall_ns as f64 / 1e9,
+            if report.failures.is_empty() {
+                ""
+            } else {
+                " FAILED:"
+            },
+        );
+        if let Some(ns) = report.recovery_wall_ns {
+            recovery_rows.push(BenchRow {
+                name: format!("chaos-recovery-{}", policy.name()),
+                backend: "live",
+                wall_ns: ns as u128,
+                sim_ns: None,
+                work_items: report.stats.respawns,
+            });
+        }
+        shed_total += report.shed;
+        shed_wall += report.wall_ns;
+        if !report.failures.is_empty() {
+            failed += 1;
+            for f in &report.failures {
+                println!("  {f}");
+            }
+            write_live_repro(&opts.out_dir, i, &combo, &report.records);
+        }
+    }
+    println!(
+        "swept {combos} live combos across {} policies in {:.2?}: {failed} failed",
+        policies.len(),
+        started.elapsed(),
+    );
+    if let Some(path) = &opts.bench_out {
+        let mut rows = recovery_rows;
+        rows.push(BenchRow {
+            name: "chaos-degraded-shed".into(),
+            backend: "live",
+            wall_ns: shed_wall.max(1),
+            sim_ns: None,
+            work_items: shed_total,
+        });
+        let existing = std::fs::read_to_string(path).ok();
+        match std::fs::write(path, merged_bench_json(existing.as_deref(), &rows)) {
+            Ok(()) => println!("wrote {} bench row(s) to {path}", rows.len()),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
     }
     if failed == 0 {
         ExitCode::SUCCESS
@@ -340,12 +534,15 @@ fn main() -> ExitCode {
     if opts.byzantine {
         return byzantine_sweep(&opts);
     }
+    if opts.live {
+        return live_sweep(&opts);
+    }
 
     let policies: Vec<PolicyKind> = match opts.policy {
         Some(p) => vec![p],
         None => PolicyKind::ALL.to_vec(),
     };
-    let exps: Vec<ComboExperiment> = (0..opts.combos)
+    let exps: Vec<ComboExperiment> = (0..opts.combos())
         .map(|i| {
             let policy = policies[(i % policies.len() as u64) as usize];
             let seed = opts.seed_base + i;
@@ -399,7 +596,7 @@ fn main() -> ExitCode {
     println!(
         "swept {} combos across {} policies with {} job(s) in {:.2?} \
          ({} executed, {} cached): {} failed",
-        opts.combos,
+        opts.combos(),
         policies.len(),
         opts.jobs,
         elapsed,

@@ -8,20 +8,29 @@
 //! silently round seeds above 2⁵³.
 
 use crate::byzantine::{ByzCombo, ByzOp};
+use crate::live::LiveCombo;
 use crate::run::{Combo, PolicyKind};
 use ghost_sim::faults::{FaultEvent, FaultKind, FaultPlan};
 use ghost_sim::topology::CpuId;
 use ghost_trace::json::{self, Json};
 
+fn repro_kind(input: &str) -> Option<String> {
+    json::parse(input)
+        .ok()
+        .and_then(|doc| doc.get("kind").and_then(|k| k.as_str().map(String::from)))
+}
+
 /// True if `input` is a byzantine-adversary repro (`"kind":
 /// "byzantine"`) rather than a fault-plan repro. Used by the CLI to
 /// dispatch `--replay`.
 pub fn is_byzantine_repro(input: &str) -> bool {
-    json::parse(input)
-        .ok()
-        .and_then(|doc| doc.get("kind").and_then(|k| k.as_str().map(String::from)))
-        .as_deref()
-        == Some("byzantine")
+    repro_kind(input).as_deref() == Some("byzantine")
+}
+
+/// True if `input` is a live-backend repro (`"kind": "live"`). Used by
+/// the CLI to dispatch `--replay` onto the real-thread backend.
+pub fn is_live_repro(input: &str) -> bool {
+    repro_kind(input).as_deref() == Some("live")
 }
 
 /// Serializes a combo as a self-contained `repro.json` document.
@@ -161,6 +170,76 @@ fn fault_from_json(v: &Json) -> Result<FaultEvent, String> {
         other => return Err(format!("unknown fault kind '{other}'")),
     };
     Ok(FaultEvent { at, kind })
+}
+
+/// Serializes a live combo as a self-contained `repro.json` document,
+/// distinguished by `"kind": "live"`. The plan (and so the injected
+/// faults) replays exactly; the wall-clock interleaving around it is
+/// best-effort, which is why live repros exist at all — rerunning the
+/// captured combo is the closest thing to replay the real-thread
+/// backend can offer.
+pub fn live_to_json(combo: &LiveCombo) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\n");
+    out.push_str("  \"kind\": \"live\",\n");
+    out.push_str(&format!(
+        "  \"policy\": \"{}\",\n",
+        json::escape(combo.policy.name())
+    ));
+    out.push_str(&format!("  \"seed\": \"{}\",\n", combo.seed));
+    out.push_str(&format!("  \"requests\": {},\n", combo.requests));
+    out.push_str(&format!("  \"cpus\": {},\n", combo.cpus));
+    out.push_str("  \"plan\": [");
+    for (i, fe) in combo.plan.events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&fault_to_json(fe));
+    }
+    if !combo.plan.events.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Parses a live `repro.json` document back into a combo.
+pub fn live_from_json(input: &str) -> Result<LiveCombo, String> {
+    let doc = json::parse(input)?;
+    if doc.get("kind").and_then(Json::as_str) != Some("live") {
+        return Err("not a live repro (missing \"kind\": \"live\")".into());
+    }
+    let policy_name = doc
+        .get("policy")
+        .and_then(Json::as_str)
+        .ok_or("missing string field 'policy'")?;
+    let policy = PolicyKind::from_name(policy_name)
+        .filter(|p| crate::live::LIVE_POLICIES.contains(p))
+        .ok_or_else(|| format!("unsupported live policy '{policy_name}'"))?;
+    let seed = doc
+        .get("seed")
+        .and_then(Json::as_str)
+        .ok_or("missing string field 'seed'")?
+        .parse::<u64>()
+        .map_err(|e| format!("bad seed: {e}"))?;
+    let requests = field_u64(&doc, "requests")?;
+    let cpus = field_u64(&doc, "cpus")? as usize;
+    let mut events = Vec::new();
+    for item in doc
+        .get("plan")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field 'plan'")?
+    {
+        events.push(fault_from_json(item)?);
+    }
+    Ok(LiveCombo {
+        policy,
+        seed,
+        plan: FaultPlan { events },
+        requests,
+        cpus,
+    })
 }
 
 /// Serializes a byzantine combo as a self-contained `repro.json`
@@ -374,6 +453,38 @@ mod tests {
         assert!(combo_from_json("not json").is_err());
         assert!(combo_from_json(
             r#"{"policy": "nope", "seed": "1", "horizon": 1, "threads": 1, "plan": []}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn live_combos_round_trip() {
+        let combo = LiveCombo {
+            policy: PolicyKind::PerCpu,
+            seed: u64::MAX - 3, // would not survive an f64 round trip
+            plan: FaultPlan::from_events([
+                (50 * MILLIS, FaultKind::AgentCrash { cpu: CpuId(0) }),
+                (
+                    60 * MILLIS,
+                    FaultKind::AgentHang {
+                        cpu: CpuId(1),
+                        dur: 100 * MILLIS,
+                    },
+                ),
+            ]),
+            requests: 60_000,
+            cpus: 2,
+        };
+        let doc = live_to_json(&combo);
+        assert!(is_live_repro(&doc));
+        assert!(!is_byzantine_repro(&doc));
+        let back = live_from_json(&doc).expect("parses");
+        assert_eq!(back, combo);
+        // The other parsers reject live repros and vice versa.
+        assert!(combo_from_json(&doc).is_err());
+        assert!(live_from_json("{}").is_err());
+        assert!(live_from_json(
+            r#"{"kind": "live", "policy": "shinjuku", "seed": "1", "requests": 1, "cpus": 1, "plan": []}"#
         )
         .is_err());
     }

@@ -84,7 +84,7 @@ impl BackendCpu {
 /// | `arm_driver_timer` | `DriverTimer` event | timer-thread heap |
 /// | `spawn_agent` | agent `SimThread` | real `std::thread` |
 /// | `kill` | deferred kill buffer | exit command + join |
-/// | faults | `FaultPlan` schedule | none (always inert) |
+/// | faults | `FaultPlan` over virtual time | `FaultPlan` over wall clock |
 pub trait GhostBackend {
     /// Current time in nanoseconds (virtual or monotonic).
     fn now(&self) -> Nanos;

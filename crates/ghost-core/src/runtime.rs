@@ -1246,6 +1246,19 @@ impl GhostRuntime {
             .is_some_and(|e| !e.destroyed)
     }
 
+    /// True while the enclave is in §3.4 degraded mode: its agent died,
+    /// threads were shed to CFS, and recovery (standby respawn + thread
+    /// reclaim) has not yet completed. Embedding services poll this to
+    /// drive graceful degradation (load shedding, timeouts) while the
+    /// scheduler is down.
+    pub fn enclave_degraded(&self, eid: EnclaveId) -> bool {
+        let core = self.shared.lock().unwrap();
+        core.enclaves
+            .get(eid.0 as usize)
+            .and_then(|s| s.as_ref())
+            .is_some_and(|e| e.recovery.is_some())
+    }
+
     /// Publishes a scheduling hint for a managed thread (the workload
     /// side of Fig. 1's "optional scheduling hints" arrow). The next
     /// agent activation can read it via `PolicyCtx::hint`. Hints for

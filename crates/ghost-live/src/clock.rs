@@ -4,28 +4,38 @@
 //! `Instant`-based nanoseconds since backend creation. Everything
 //! downstream (trace timestamps, watchdog deadlines, histogram samples)
 //! is expressed in backend time, so the two worlds stay unit-compatible:
-//! nanoseconds from an epoch of zero.
+//! nanoseconds from an epoch of zero (or a caller-chosen base, for
+//! harnesses that splice live traces after simulated ones).
 
 use ghost_sim::time::Nanos;
 use std::time::Instant;
 
-/// Monotonic nanoseconds since construction.
+/// Monotonic nanoseconds since construction (plus an optional base).
 #[derive(Debug, Clone, Copy)]
 pub struct MonotonicClock {
     start: Instant,
+    base: Nanos,
 }
 
 impl MonotonicClock {
     /// Starts the clock; `now()` reads zero at this moment.
     pub fn new() -> Self {
+        Self::with_base(0)
+    }
+
+    /// Starts the clock at `base`; `now()` reads `base` at this moment
+    /// and advances monotonically from there.
+    pub fn with_base(base: Nanos) -> Self {
         Self {
             start: Instant::now(),
+            base,
         }
     }
 
     /// Current backend time.
     pub fn now(&self) -> Nanos {
-        self.start.elapsed().as_nanos() as Nanos
+        self.base
+            .saturating_add(self.start.elapsed().as_nanos() as Nanos)
     }
 }
 
@@ -38,6 +48,7 @@ impl Default for MonotonicClock {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn clock_is_monotonic() {
@@ -45,5 +56,49 @@ mod tests {
         let a = c.now();
         let b = c.now();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn base_offsets_every_reading() {
+        let base = 5_000_000_000;
+        let c = MonotonicClock::with_base(base);
+        let a = c.now();
+        assert!(a >= base);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let b = c.now();
+        assert!(b > a);
+        assert!(b - base >= 1_000_000);
+    }
+
+    #[test]
+    fn concurrent_readers_each_observe_monotonic_time() {
+        // `MonotonicClock` is `Copy` and read lock-free from worker,
+        // agent, and timer threads at once; every reader must see a
+        // non-decreasing sequence, including across a copy boundary.
+        let c = Arc::new(MonotonicClock::with_base(123));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    let local = *c; // Copy, as workers do.
+                    let mut last = 0;
+                    for _ in 0..50_000 {
+                        let t = local.now();
+                        assert!(t >= last, "clock went backwards: {t} < {last}");
+                        assert!(t >= 123);
+                        last = t;
+                    }
+                    last
+                })
+            })
+            .collect();
+        let mut max_seen = 0;
+        for h in handles {
+            max_seen = max_seen.max(h.join().unwrap());
+        }
+        // And the original instance has kept pace with its copies: a
+        // copy shares the same start instant, so no reading from any
+        // copy can run ahead of a later reading from the original.
+        assert!(c.now() >= max_seen);
     }
 }

@@ -21,6 +21,7 @@ use ghost_core::{EnclaveConfig, EnclaveHandle, GhostBackend, GhostRuntime};
 use ghost_sim::agent::AgentOutcome;
 use ghost_sim::costs::CostModel;
 use ghost_sim::cpuset::CpuSet;
+use ghost_sim::faults::{FaultKind, FaultPlan};
 use ghost_sim::thread::{ThreadKind, ThreadState, Tid};
 use ghost_sim::time::{Nanos, MILLIS};
 use ghost_sim::topology::{CpuId, Topology};
@@ -52,6 +53,10 @@ pub struct LiveConfig {
     /// Cost model (agents charge decision costs against it; in the live
     /// backend the charges are bookkeeping only — real compute is real).
     pub costs: CostModel,
+    /// Deterministic fault schedule, with `at`/`dur` in wall-clock
+    /// nanoseconds since kernel start. Window faults gate the backend's
+    /// fault hooks; one-shot faults fire from the timer thread.
+    pub faults: FaultPlan,
 }
 
 impl Default for LiveConfig {
@@ -62,6 +67,7 @@ impl Default for LiveConfig {
             trace: TraceSink::Null,
             tick_ns: MILLIS,
             costs: CostModel::default(),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -85,6 +91,7 @@ impl LiveKernel {
         let runtime = GhostRuntime::new(topo.num_cpus());
         let mut state = LiveState::new(topo, config.costs, config.trace, config.seed);
         state.runtime = Some(runtime.clone());
+        state.install_faults(config.faults);
         let shared = Arc::new(LiveShared {
             state: Mutex::new(state),
         });
@@ -216,6 +223,19 @@ impl LiveKernel {
         self.shared.state.lock().unwrap().trace.snapshot()
     }
 
+    /// Snapshot of every registered thread (tid, backend view), for
+    /// liveness oracles: a chaos run asserts no workload thread is left
+    /// stranded (runnable but never dispatched) past the grace window.
+    pub fn thread_snapshots(&self) -> Vec<(Tid, ghost_core::BackendThread)> {
+        let st = self.shared.state.lock().unwrap();
+        (0..st.threads.len())
+            .map(|i| {
+                let tid = Tid(i as u32);
+                (tid, GhostBackend::thread(&*st, tid))
+            })
+            .collect()
+    }
+
     /// Stops every managed OS thread and joins them. Consumes the kernel.
     pub fn shutdown(mut self) {
         let joins: Vec<JoinHandle<()>> = {
@@ -295,6 +315,31 @@ fn timer_main(shared: Arc<LiveShared>, rt: GhostRuntime, tick_ns: Nanos) {
                         t.ctl.post(WorkerCmd::Run { cpu });
                     }
                 }
+                TimerEntry::Fault(idx) => {
+                    // One-shot fault dispatch, mirroring the DES's
+                    // `handle_fault`: apply the kernel-level effect, then
+                    // forward to the runtime (which interprets Upgrade).
+                    let kind = st.faults.events[idx].kind.clone();
+                    st.stats.faults_injected += 1;
+                    match kind {
+                        FaultKind::AgentCrash { cpu } => {
+                            if let Some(victim) = st.agent_on(cpu) {
+                                // The agent's real OS thread exits at its
+                                // next mailbox check; §3.4 failover
+                                // (fallback/standby respawn) runs inside
+                                // this settle via hook_agent_killed.
+                                GhostBackend::kill(&mut *st, victim);
+                            }
+                        }
+                        FaultKind::SpuriousWakeup { nth } => {
+                            if let Some(t) = st.nth_live_workload(nth) {
+                                GhostBackend::wake(&mut *st, t);
+                            }
+                        }
+                        _ => {}
+                    }
+                    rt.hook_fault(&mut *st, &kind);
+                }
                 // Wakes and IPIs were folded into the deferred buffers.
                 TimerEntry::Wake(_) | TimerEntry::Resched(_) => {}
             }
@@ -356,7 +401,7 @@ pub(crate) fn agent_main(
                 break 'outer;
             }
             ring.drain();
-            let outcome = {
+            let (outcome, stall_ns) = {
                 let mut st = shared.state.lock().unwrap();
                 if st.shutdown || st.threads[tid.index()].state == ThreadState::Dead {
                     break 'outer;
@@ -366,8 +411,27 @@ pub(crate) fn agent_main(
                 }
                 let out = rt.hook_run_agent(&mut *st, tid, cpu);
                 st.settle();
-                out
+                // An open AgentSlow window stretches the loop for real:
+                // the runtime already multiplied the modelled `busy`, and
+                // the stall below burns that stretched time wall-clock
+                // (outside the lock, bounded so Exit stays responsive).
+                let stall = if GhostBackend::fault_agent_slow_factor(&*st, cpu) > 1 {
+                    let busy = match out {
+                        AgentOutcome::Block { busy }
+                        | AgentOutcome::Yield { busy }
+                        | AgentOutcome::Spin { busy, .. } => busy,
+                    };
+                    let stall = busy.min(5 * MILLIS);
+                    st.stats.fault_stall_ns += stall;
+                    stall
+                } else {
+                    0
+                };
+                (out, stall)
             };
+            if stall_ns > 0 {
+                std::thread::sleep(Duration::from_nanos(stall_ns));
+            }
             match outcome {
                 AgentOutcome::Block { .. } => {
                     let parked = {

@@ -14,9 +14,9 @@ use ghost_core::GhostRuntime;
 use ghost_metrics::LogHistogram;
 use ghost_sim::class::OffCpuReason;
 use ghost_sim::thread::Tid;
-use ghost_sim::time::Nanos;
+use ghost_sim::time::{Nanos, MILLIS};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -34,6 +34,55 @@ pub struct KvRequest {
     pub put: bool,
     /// Backend time the request entered the queue.
     pub enqueued_at: Nanos,
+    /// Backend time after which the request is expired off the queue;
+    /// 0 means never (degraded-mode machinery disabled).
+    pub deadline: Nanos,
+    /// Times this request has been re-queued after expiring.
+    pub retries: u32,
+}
+
+/// Graceful-degradation limits for a [`KvService`] whose scheduler can go
+/// away (§3.4 degraded mode: agent dead, enclave threads shed to CFS).
+/// With `request_timeout == 0` (the default) none of the machinery runs
+/// and the service behaves exactly as before.
+#[derive(Debug, Clone, Copy)]
+pub struct DegradedLimits {
+    /// A queued request older than this is expired at pop time; 0
+    /// disables timeouts, retries, and shedding entirely.
+    pub request_timeout: Nanos,
+    /// An expired request is re-queued at most this many times before it
+    /// counts as failed.
+    pub max_retries: u32,
+    /// Delay before an expired request becomes eligible again, doubled
+    /// per retry.
+    pub retry_backoff: Nanos,
+    /// While the service is marked degraded, new requests are shed at
+    /// admission once the queue is this deep.
+    pub shed_depth: usize,
+}
+
+impl Default for DegradedLimits {
+    fn default() -> Self {
+        Self {
+            request_timeout: 0,
+            max_retries: 3,
+            retry_backoff: MILLIS,
+            shed_depth: 1024,
+        }
+    }
+}
+
+/// Degraded-mode counters (see [`KvService::degraded_stats`]).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DegradedStats {
+    /// Requests rejected at admission while degraded (load shedding).
+    pub shed: u64,
+    /// Requests expired off the queue past their deadline.
+    pub timeouts: u64,
+    /// Expired requests re-queued for another attempt.
+    pub retries: u64,
+    /// Requests that exhausted their retry budget.
+    pub failed: u64,
 }
 
 /// A sharded in-memory KV store with a shared request queue.
@@ -51,12 +100,30 @@ pub struct KvService {
     /// Merged enqueue→completion latencies (workers fold their local
     /// histograms in when they exit).
     latencies: Mutex<LogHistogram>,
+    /// Degraded-mode limits (inert unless `request_timeout > 0`).
+    limits: DegradedLimits,
+    /// True while the embedding marks the enclave degraded (agent dead,
+    /// recovery in flight); gates admission-time load shedding.
+    degraded: AtomicBool,
+    /// Expired requests awaiting their retry backoff: `(eligible_at,
+    /// request)`, pumped back into the queue by [`KvService::pump_delayed`].
+    delayed: Mutex<Vec<(Nanos, KvRequest)>>,
+    shed: AtomicU64,
+    timeouts: AtomicU64,
+    retries: AtomicU64,
+    failed: AtomicU64,
 }
 
 impl KvService {
     /// A service with `shards` hash-map shards and `service_ns` of
-    /// busy-work per request.
+    /// busy-work per request, without degraded-mode machinery.
     pub fn new(shards: usize, service_ns: u64) -> Arc<Self> {
+        Self::with_limits(shards, service_ns, DegradedLimits::default())
+    }
+
+    /// A service with graceful-degradation limits (timeouts, bounded
+    /// retry with backoff, load shedding while degraded).
+    pub fn with_limits(shards: usize, service_ns: u64, limits: DegradedLimits) -> Arc<Self> {
         Arc::new(Self {
             shards: (0..shards.max(1))
                 .map(|_| Mutex::new(HashMap::new()))
@@ -67,21 +134,126 @@ impl KvService {
             target: AtomicU64::new(0),
             service_ns,
             latencies: Mutex::new(LogHistogram::new()),
+            limits,
+            degraded: AtomicBool::new(false),
+            delayed: Mutex::new(Vec::new()),
+            shed: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
         })
     }
 
-    /// Enqueues one request.
-    pub fn push(&self, key: u64, put: bool, now: Nanos) {
+    /// Marks the service (un)degraded. The embedding polls
+    /// `GhostRuntime::enclave_degraded` and mirrors it here; while set,
+    /// admission sheds load past `shed_depth`.
+    pub fn set_degraded(&self, on: bool) {
+        self.degraded.store(on, Ordering::Release);
+    }
+
+    /// True while load shedding is armed.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of the degraded-mode counters.
+    pub fn degraded_stats(&self) -> DegradedStats {
+        DegradedStats {
+            shed: self.shed.load(Ordering::Acquire),
+            timeouts: self.timeouts.load(Ordering::Acquire),
+            retries: self.retries.load(Ordering::Acquire),
+            failed: self.failed.load(Ordering::Acquire),
+        }
+    }
+
+    /// Requests that reached a terminal state: served, shed at
+    /// admission, or failed after exhausting retries. A degraded-mode
+    /// closed loop is done when this reaches the target.
+    pub fn accounted_count(&self) -> u64 {
+        self.completed.load(Ordering::Acquire)
+            + self.shed.load(Ordering::Acquire)
+            + self.failed.load(Ordering::Acquire)
+    }
+
+    /// Enqueues one request. Returns false if it was shed by
+    /// degraded-mode admission control (the client's fast-fail).
+    pub fn push(&self, key: u64, put: bool, now: Nanos) -> bool {
+        if self.limits.request_timeout > 0
+            && self.degraded.load(Ordering::Acquire)
+            && self.queue.lock().unwrap().len() >= self.limits.shed_depth
+        {
+            self.shed.fetch_add(1, Ordering::AcqRel);
+            return false;
+        }
+        let deadline = if self.limits.request_timeout > 0 {
+            now.saturating_add(self.limits.request_timeout)
+        } else {
+            0
+        };
         self.queue.lock().unwrap().push_back(KvRequest {
             key,
             put,
             enqueued_at: now,
+            deadline,
+            retries: 0,
         });
+        true
     }
 
     /// Pops the oldest pending request.
     pub fn pop(&self) -> Option<KvRequest> {
         self.queue.lock().unwrap().pop_front()
+    }
+
+    /// Pops the oldest pending request that has not expired. Expired
+    /// requests are re-queued after a backoff (up to `max_retries`) or
+    /// counted failed — the worker never serves stale work.
+    pub fn pop_ready(&self, now: Nanos) -> Option<KvRequest> {
+        self.pump_delayed(now);
+        loop {
+            let req = self.queue.lock().unwrap().pop_front()?;
+            if req.deadline == 0 || now < req.deadline {
+                return Some(req);
+            }
+            self.timeouts.fetch_add(1, Ordering::AcqRel);
+            if req.retries < self.limits.max_retries {
+                self.retries.fetch_add(1, Ordering::AcqRel);
+                let backoff = self
+                    .limits
+                    .retry_backoff
+                    .saturating_mul(1 << req.retries.min(16));
+                let mut r = req;
+                r.retries += 1;
+                r.deadline = now
+                    .saturating_add(backoff)
+                    .saturating_add(self.limits.request_timeout);
+                self.delayed.lock().unwrap().push((now + backoff, r));
+            } else {
+                self.failed.fetch_add(1, Ordering::AcqRel);
+                // The slot fast-failed; keep the closed loop loaded.
+                self.reinject(now);
+            }
+        }
+    }
+
+    /// Moves delayed (backing-off) retries whose eligibility time has
+    /// passed back into the queue. Called on every `pop_ready`; drive
+    /// loops should also call it periodically in case all workers are
+    /// parked when a backoff expires.
+    pub fn pump_delayed(&self, now: Nanos) {
+        let mut delayed = self.delayed.lock().unwrap();
+        if delayed.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        while i < delayed.len() {
+            if delayed[i].0 <= now {
+                let (_, req) = delayed.swap_remove(i);
+                self.queue.lock().unwrap().push_back(req);
+            } else {
+                i += 1;
+            }
+        }
     }
 
     /// True when no requests are pending.
@@ -142,14 +314,17 @@ impl KvService {
         }
     }
 
-    /// Closed-loop reinjection: after completing one request, issue the
-    /// next if the budget allows.
+    /// Closed-loop reinjection: after a slot reaches a terminal state,
+    /// issue the next request if the budget allows. An admission shed
+    /// fast-fails that slot (already counted) and the loop issues the
+    /// next one, so shedding never strands the closed loop's in-flight
+    /// concurrency.
     fn reinject(&self, now: Nanos) {
         let target = self.target.load(Ordering::Acquire);
         if target == 0 {
             return;
         }
-        if self
+        while self
             .issued
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
                 (n < target).then_some(n + 1)
@@ -157,7 +332,9 @@ impl KvService {
             .is_ok()
         {
             let n = self.issued.load(Ordering::Acquire);
-            self.push(splitmix(n), n.is_multiple_of(10), now);
+            if self.push(splitmix(n), n.is_multiple_of(10), now) {
+                return;
+            }
         }
     }
 }
@@ -200,7 +377,7 @@ pub(crate) fn worker_main(
                         _ => continue 'outer,
                     }
                     let now = clock.now();
-                    if let Some(req) = kv.pop() {
+                    if let Some(req) = kv.pop_ready(now) {
                         kv.serve(&req);
                         local.record(now.saturating_sub(req.enqueued_at));
                         kv.completed.fetch_add(1, Ordering::AcqRel);
@@ -216,7 +393,7 @@ pub(crate) fn worker_main(
                     if ctl.preempt_pending() {
                         break OffCpuReason::Preempt;
                     }
-                    let Some(req) = kv.pop() else {
+                    let Some(req) = kv.pop_ready(clock.now()) else {
                         break OffCpuReason::Block;
                     };
                     kv.serve(&req);
@@ -318,5 +495,84 @@ mod tests {
         }
         assert_eq!(done, 10);
         assert_eq!(kv.completed_count(), 10);
+    }
+
+    #[test]
+    fn degraded_admission_sheds_past_depth() {
+        let limits = DegradedLimits {
+            request_timeout: MILLIS,
+            shed_depth: 2,
+            ..DegradedLimits::default()
+        };
+        let kv = KvService::with_limits(1, 0, limits);
+        assert!(kv.push(1, false, 0));
+        assert!(kv.push(2, false, 0));
+        // Not degraded: depth is irrelevant, admission stays open.
+        assert!(kv.push(3, false, 0));
+        kv.set_degraded(true);
+        assert!(!kv.push(4, false, 0));
+        assert_eq!(kv.degraded_stats().shed, 1);
+        assert_eq!(kv.accounted_count(), 1);
+        // Recovery re-opens admission.
+        kv.set_degraded(false);
+        assert!(kv.push(5, false, 0));
+        assert_eq!(kv.depth(), 4);
+    }
+
+    #[test]
+    fn expired_requests_retry_with_backoff_then_fail() {
+        let limits = DegradedLimits {
+            request_timeout: 10,
+            max_retries: 1,
+            retry_backoff: 5,
+            shed_depth: usize::MAX,
+        };
+        let kv = KvService::with_limits(1, 0, limits);
+        assert!(kv.push(7, false, 0)); // deadline 10
+                                       // Not yet expired: served normally.
+        assert!(kv.pop_ready(9).is_some());
+        assert!(kv.push(8, false, 0)); // deadline 10
+                                       // Expired at pop: requeued with backoff, nothing to serve now.
+        assert!(kv.pop_ready(20).is_none());
+        let s = kv.degraded_stats();
+        assert_eq!((s.timeouts, s.retries, s.failed), (1, 1, 0));
+        // Before the backoff elapses the retry stays delayed.
+        assert!(kv.pop_ready(24).is_none());
+        // After the backoff it is eligible again (fresh deadline)...
+        let req = kv.pop_ready(26).expect("retry became eligible");
+        assert_eq!(req.key, 8);
+        assert_eq!(req.retries, 1);
+        // ...and a retry that expires again exhausts the budget.
+        assert!(kv.push(9, false, 100)); // deadline 110
+        assert!(kv.pop_ready(200).is_none()); // retry 1, eligible 205
+        assert!(kv.pop_ready(400).is_none()); // expired again: failed
+        let s = kv.degraded_stats();
+        assert_eq!((s.timeouts, s.failed), (3, 1));
+        assert_eq!(kv.accounted_count(), 1);
+    }
+
+    #[test]
+    fn shedding_never_strands_the_closed_loop() {
+        // Every shed slot fast-fails and the reinjection loop issues the
+        // next, so completed + shed always converges to the target even
+        // if the service degrades mid-run with a zero shed depth.
+        let limits = DegradedLimits {
+            request_timeout: MILLIS,
+            shed_depth: 0,
+            ..DegradedLimits::default()
+        };
+        let kv = KvService::with_limits(4, 0, limits);
+        let seeded = kv.start_closed_loop(10, 4, 0);
+        assert_eq!(seeded, 4);
+        kv.set_degraded(true);
+        while let Some(req) = kv.pop_ready(1) {
+            kv.serve(&req);
+            kv.completed.fetch_add(1, Ordering::AcqRel);
+            kv.reinject(1);
+        }
+        let s = kv.degraded_stats();
+        assert_eq!(kv.completed_count(), 4);
+        assert_eq!(s.shed, 6);
+        assert_eq!(kv.accounted_count(), 10);
     }
 }

@@ -26,10 +26,21 @@
 //! checker validates live executions unchanged. The conformance suite
 //! (`tests/conformance.rs`) runs the same checks against both backends.
 //!
+//! Fault injection works live: the same deterministic
+//! `ghost_sim::faults::FaultPlan` the DES sweeps is consulted against the
+//! wall clock — window faults (queue overflow, IPI delay/loss, agent
+//! hang/slow) gate the backend's `fault_*` hooks, one-shot faults (agent
+//! crash, spurious wakeup, upgrade) fire from the timer thread, and an
+//! `AgentCrash` genuinely exits the agent's OS thread, driving §3.4
+//! failover (CFS fallback, standby respawn, reclaim) on real threads.
+//! The [`kv`] service layers graceful degradation on top: request
+//! timeouts, bounded retry with backoff, and load shedding while the
+//! enclave is degraded ([`kv::DegradedLimits`]).
+//!
 //! What is *not* modelled live: CFS runqueues (unmanaged threads run on
 //! the host scheduler; `cfs_queued` is always 0, so §3.3 hot handoff
-//! never triggers), fault-plan injection (the fault hooks are inert), and
-//! hardware pinning (lanes are logical; the host kernel places threads).
+//! never triggers) and hardware pinning (lanes are logical; the host
+//! kernel places threads).
 
 pub mod clock;
 pub mod kernel;
@@ -40,7 +51,9 @@ pub mod worker;
 
 pub use clock::MonotonicClock;
 pub use kernel::{LiveConfig, LiveKernel};
-pub use kv::{await_completion, open_loop_drive, KvRequest, KvService};
+pub use kv::{
+    await_completion, open_loop_drive, DegradedLimits, DegradedStats, KvRequest, KvService,
+};
 pub use ring::{spsc, SpscConsumer, SpscProducer};
 pub use state::{LiveStats, WakeSignal};
 pub use worker::{WorkerCmd, WorkerCtl};

@@ -23,6 +23,7 @@ use ghost_core::{GhostBackend, GhostRuntime};
 use ghost_sim::class::{ClassId, OffCpuReason, CLASS_CFS, CLASS_GHOST, CLASS_IDLE};
 use ghost_sim::costs::CostModel;
 use ghost_sim::cpuset::CpuSet;
+use ghost_sim::faults::{FaultPlan, IpiFate};
 use ghost_sim::thread::{ThreadKind, ThreadState, Tid};
 use ghost_sim::time::Nanos;
 use ghost_sim::topology::{CpuId, Topology};
@@ -61,6 +62,9 @@ pub(crate) enum TimerEntry {
     Resched(CpuId),
     /// Re-activate a (spinning) agent ([`GhostBackend::schedule_agent_loop`]).
     AgentLoop(Tid),
+    /// Dispatch the one-shot fault at this index of the configured
+    /// [`FaultPlan`] (agent crash, spurious wakeup, in-place upgrade).
+    Fault(usize),
 }
 
 /// Min-heap slot ordered by deadline, FIFO within a deadline.
@@ -128,6 +132,15 @@ pub struct LiveStats {
     pub timers_fired: u64,
     /// Preempt flags raised against running workers.
     pub preempts: u64,
+    /// Resched IPIs dropped by an open `IpiLoss` fault window.
+    pub ipis_lost: u64,
+    /// Resched IPIs deferred by an open `IpiDelay` fault window.
+    pub ipis_delayed: u64,
+    /// One-shot faults dispatched from the configured plan.
+    pub faults_injected: u64,
+    /// Wall-clock nanoseconds agent loops stalled to honour an open
+    /// `AgentSlow` window (real stretched time, not bookkeeping).
+    pub fault_stall_ns: u64,
 }
 
 /// Spawns the OS thread for a respawned/new agent. Installed by
@@ -171,6 +184,11 @@ pub struct LiveState {
     /// OS thread.
     pub(crate) agent_rings: Vec<(Tid, crate::ring::SpscProducer<WakeSignal>)>,
     pub(crate) agent_spawner: Option<AgentSpawner>,
+    /// The deterministic fault schedule, consulted against wall-clock
+    /// `now`. Window predicates are checked inline by the fault hooks
+    /// below; one-shot events are armed as [`TimerEntry::Fault`] timers
+    /// by the kernel at construction.
+    pub(crate) faults: FaultPlan,
 }
 
 impl LiveState {
@@ -197,6 +215,7 @@ impl LiveState {
             timer_cv: Arc::new(Condvar::new()),
             agent_rings: Vec::new(),
             agent_spawner: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -456,8 +475,16 @@ impl LiveState {
         // Reset the worker's mailbox: the `Run` that started this stint is
         // consumed. A re-dispatch below (settle) or any later command
         // overwrites this — all posts happen under the state lock, which
-        // this thread holds.
-        self.threads[tid.index()].ctl.post(WorkerCmd::Park);
+        // this thread holds. A thread shed from ghOSt mid-stint (degraded
+        // fallback, quarantine) must NOT park: it is runnable but no agent
+        // will ever dispatch it, so it runs free on the host scheduler —
+        // the §3.4 guarantee that workers keep progressing under CFS
+        // while the enclave is degraded.
+        if still_runnable && class != CLASS_GHOST {
+            self.threads[tid.index()].ctl.post(WorkerCmd::Free);
+        } else {
+            self.threads[tid.index()].ctl.post(WorkerCmd::Park);
+        }
         let prev_state = match reason {
             OffCpuReason::Preempt | OffCpuReason::Yield => PREV_RUNNABLE,
             OffCpuReason::Block => PREV_BLOCKED,
@@ -572,6 +599,50 @@ impl LiveState {
                 }
             }
             _ => {}
+        }
+    }
+
+    /// Installs the fault plan and arms one one-shot timer per
+    /// crash/spurious-wakeup/upgrade event, mirroring the DES's
+    /// `Ev::Fault` scheduling at kernel construction. Window faults need
+    /// no timers — they are pure predicates over wall-clock `now`.
+    pub(crate) fn install_faults(&mut self, plan: FaultPlan) {
+        for (idx, fe) in plan.events.iter().enumerate() {
+            if fe.kind.is_one_shot() {
+                self.arm_timer(fe.at, TimerEntry::Fault(idx));
+            }
+        }
+        self.faults = plan;
+    }
+
+    /// The live agent thread pinned to `cpu` (victim lookup for
+    /// `FaultKind::AgentCrash`); mirrors the DES's `handle_fault`.
+    pub(crate) fn agent_on(&self, cpu: CpuId) -> Option<Tid> {
+        self.threads
+            .iter()
+            .enumerate()
+            .find(|(_, t)| {
+                t.kind == ThreadKind::Agent
+                    && t.state != ThreadState::Dead
+                    && t.affinity.contains(cpu)
+            })
+            .map(|(i, _)| Tid(i as u32))
+    }
+
+    /// The `nth` (modulo live count) workload thread, for
+    /// `FaultKind::SpuriousWakeup`; mirrors the DES's `handle_fault`.
+    pub(crate) fn nth_live_workload(&self, nth: u32) -> Option<Tid> {
+        let live: Vec<Tid> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind == ThreadKind::Workload && t.state != ThreadState::Dead)
+            .map(|(i, _)| Tid(i as u32))
+            .collect();
+        if live.is_empty() {
+            None
+        } else {
+            Some(live[nth as usize % live.len()])
         }
     }
 
@@ -700,9 +771,17 @@ impl GhostBackend for LiveState {
             from_cpu: u16::MAX,
             to_cpu: cpu.0,
         });
-        // Always queue; `apply_resched` re-arms a timer when `at` is
-        // still in the future (the slot's arm gate would refuse it).
-        self.pending_resched.push((cpu, at));
+        // Queueing honours the fault plan first; `apply_resched` then
+        // re-arms a timer when the (possibly stretched) `at` is still in
+        // the future (the slot's arm gate would refuse an early pick).
+        match self.faults.ipi_fate(now) {
+            IpiFate::Normal => self.pending_resched.push((cpu, at)),
+            IpiFate::Delayed(extra) => {
+                self.stats.ipis_delayed += 1;
+                self.pending_resched.push((cpu, at.saturating_add(extra)));
+            }
+            IpiFate::Lost => self.stats.ipis_lost += 1,
+        }
     }
 
     fn arm_driver_timer(&mut self, at: Nanos, key: u64) {
@@ -741,14 +820,14 @@ impl GhostBackend for LiveState {
     }
 
     fn fault_queue_overflow_active(&self) -> bool {
-        false
+        self.faults.queue_overflow_active(self.clock.now())
     }
 
-    fn fault_agent_hang_until(&self, _cpu: CpuId) -> Option<Nanos> {
-        None
+    fn fault_agent_hang_until(&self, cpu: CpuId) -> Option<Nanos> {
+        self.faults.agent_hang_until(cpu, self.clock.now())
     }
 
-    fn fault_agent_slow_factor(&self, _cpu: CpuId) -> u64 {
-        1
+    fn fault_agent_slow_factor(&self, cpu: CpuId) -> u64 {
+        self.faults.agent_slow_factor(cpu, self.clock.now())
     }
 }

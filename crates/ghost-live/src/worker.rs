@@ -152,6 +152,71 @@ mod tests {
     }
 
     #[test]
+    fn park_racing_epoch_bump_never_strands_worker() {
+        // Regression stress for the missed-wake window: a worker that
+        // decides to park (epoch captured at its last peek) while a
+        // `Run` post races in must either fail the park or observe the
+        // new command on its next wait — it can never end up parked
+        // with a missed dispatch. Each round blocks on the worker's
+        // progress, so a single lost wake hangs the test rather than
+        // flaking past it.
+        use std::sync::atomic::AtomicU64;
+        const ROUNDS: u64 = 20_000;
+        let ctl = WorkerCtl::new();
+        let progressed = Arc::new(AtomicU64::new(0));
+        let worker = {
+            let ctl = Arc::clone(&ctl);
+            let progressed = Arc::clone(&progressed);
+            std::thread::spawn(move || loop {
+                match ctl.wait() {
+                    WorkerCmd::Exit => break,
+                    WorkerCmd::Run { .. } | WorkerCmd::Free => {
+                        // Capture the epoch *before* finishing the stint,
+                        // widening the race window the guard must close.
+                        let (_, epoch) = ctl.peek();
+                        progressed.fetch_add(1, Ordering::AcqRel);
+                        std::hint::spin_loop();
+                        ctl.park_if_quiet(epoch);
+                    }
+                    WorkerCmd::Park => {}
+                }
+            })
+        };
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        for round in 1..=ROUNDS {
+            ctl.post(WorkerCmd::Run { cpu: CpuId(0) });
+            while progressed.load(Ordering::Acquire) < round {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "worker stranded: {} of {round} dispatches observed",
+                    progressed.load(Ordering::Acquire)
+                );
+                std::thread::yield_now();
+            }
+        }
+        ctl.post(WorkerCmd::Exit);
+        worker.join().unwrap();
+        assert_eq!(progressed.load(Ordering::Acquire), ROUNDS);
+    }
+
+    #[test]
+    fn nudge_interrupts_wait_nudge_exactly_when_epoch_moved() {
+        let ctl = WorkerCtl::new();
+        ctl.post(WorkerCmd::Run { cpu: CpuId(0) });
+        let (_, epoch) = ctl.peek();
+        // Nudge already landed: returns immediately, no sleep.
+        ctl.nudge();
+        let start = std::time::Instant::now();
+        let (_, e2) = ctl.wait_nudge(epoch, Duration::from_secs(5));
+        assert!(start.elapsed() < Duration::from_secs(1));
+        assert!(e2 > epoch);
+        // Quiet epoch: the wait times out rather than spinning.
+        let start = std::time::Instant::now();
+        ctl.wait_nudge(e2, Duration::from_millis(10));
+        assert!(start.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
     fn preempt_flag_is_one_shot() {
         let ctl = WorkerCtl::new();
         assert!(!ctl.take_preempt());

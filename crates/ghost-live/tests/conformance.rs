@@ -17,11 +17,23 @@
 //!    configured, killing the global agent must respawn a fresh agent
 //!    that reconstructs the enclave from status words (§3.4) and
 //!    resumes scheduling, with zero CFS fallbacks.
+//! 4. **Agent hang** — an `AgentHang` fault window freezes scheduling
+//!    (activations spin uselessly) but the enclave survives and the
+//!    workload completes once the window closes.
+//! 5. **Agent slow** — an `AgentSlow` window genuinely stretches agent
+//!    execution (virtual busy charge on the DES, wall-clock stall on
+//!    the live loop) without breaking any invariant.
+//! 6. **Queue overflow** — a `QueueOverflow` window drops messages
+//!    (counted and traced); the §3.4 watchdog detects the resulting
+//!    starvation and promotes a staged policy, whose status-word
+//!    resync rescues the stranded threads.
 //!
 //! The DES side uses virtual time (`Kernel::run_until`); the live side
 //! uses wall-clock deadlines and the checker's grace window sized for
 //! host-scheduler jitter. The policies are shared verbatim between the
-//! two — that is the point of the `GhostBackend` trait.
+//! two — that is the point of the `GhostBackend` trait. So are the
+//! fault plans: the same `FaultPlan` type drives both backends, with
+//! `at`/`dur` read against the virtual clock or the wall clock.
 
 use ghost_core::enclave::EnclaveConfig;
 use ghost_core::msg::Message;
@@ -32,21 +44,18 @@ use ghost_core::StandbyConfig;
 use ghost_live::{await_completion, KvService, LiveConfig, LiveKernel};
 use ghost_policies::CentralizedFifo;
 use ghost_sim::app::{App, Next};
+use ghost_sim::faults::{FaultKind, FaultPlan};
 use ghost_sim::kernel::{Kernel, KernelConfig, KernelState, ThreadSpec};
 use ghost_sim::thread::{ThreadState, Tid};
 use ghost_sim::time::{Nanos, MICROS, MILLIS, SECS};
 use ghost_sim::topology::{CpuId, Topology};
 use ghost_sim::CpuSet;
+use ghost_trace::check::LIVE_GRACE_NS;
 use ghost_trace::{check, TraceEvent, TraceRecord, TraceSink};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-
-/// Wall-clock grace for the invariant checker on live traces (see
-/// `examples/live_smoke.rs`): park/unpark and lock handoff latency is
-/// real, so the virtual-time default is far too tight.
-const LIVE_GRACE_NS: u64 = 500 * MILLIS;
 
 /// Per-request service-time floor for the live KV workload.
 const SERVICE_NS: u64 = 2 * MICROS;
@@ -168,12 +177,18 @@ struct DesSetup {
     sink: TraceSink,
 }
 
-fn des_setup(config: EnclaveConfig, policy: Box<dyn GhostPolicy>, n: usize) -> DesSetup {
+fn des_setup(
+    config: EnclaveConfig,
+    policy: Box<dyn GhostPolicy>,
+    n: usize,
+    faults: FaultPlan,
+) -> DesSetup {
     let sink = TraceSink::recording(1, 1 << 17);
     let mut kernel = Kernel::new(
         Topology::test_small(2), // 4 CPUs.
         KernelConfig {
             trace: sink.clone(),
+            faults,
             ..KernelConfig::default()
         },
     );
@@ -229,11 +244,17 @@ struct LiveSetup {
     total: u64,
 }
 
-fn live_setup(config: EnclaveConfig, policy: Box<dyn GhostPolicy>, total: u64) -> LiveSetup {
+fn live_setup(
+    config: EnclaveConfig,
+    policy: Box<dyn GhostPolicy>,
+    total: u64,
+    faults: FaultPlan,
+) -> LiveSetup {
     let cpus = 2;
     let kernel = LiveKernel::new(LiveConfig {
         cpus,
         trace: TraceSink::recording(cpus, 1 << 20),
+        faults,
         ..LiveConfig::default()
     });
     let enclave = kernel.launch_enclave(CpuSet::first_n(cpus), config, policy);
@@ -283,6 +304,7 @@ fn des_invariants_and_commit_pairing_hold() {
         EnclaveConfig::centralized("conf-des"),
         Box::new(CentralizedFifo::new()),
         3,
+        FaultPlan::none(),
     );
     s.kernel.run_until(200 * MILLIS);
 
@@ -303,6 +325,7 @@ fn live_invariants_and_commit_pairing_hold() {
         EnclaveConfig::centralized("conf-live").with_watchdog(5 * SECS),
         Box::new(CentralizedFifo::new()),
         5_000,
+        FaultPlan::none(),
     );
     assert!(
         live_drive_until(&s, s.total, Duration::from_secs(30)),
@@ -335,6 +358,7 @@ fn des_stale_seqnum_gets_estale() {
         EnclaveConfig::centralized("conf-des-stale"),
         Box::new(StaleProbe::new(Arc::clone(&stale_seen), Arc::clone(&wrong))),
         2,
+        FaultPlan::none(),
     );
     s.kernel.run_until(100 * MILLIS);
 
@@ -370,6 +394,7 @@ fn live_stale_seqnum_gets_estale() {
         EnclaveConfig::centralized("conf-live-stale").with_watchdog(5 * SECS),
         Box::new(StaleProbe::new(Arc::clone(&stale_seen), Arc::clone(&wrong))),
         2_000,
+        FaultPlan::none(),
     );
     assert!(
         live_drive_until(&s, s.total, Duration::from_secs(30)),
@@ -408,6 +433,7 @@ fn des_agent_crash_reconstructs_and_recovers() {
         EnclaveConfig::centralized("conf-des-crash").with_standby(StandbyConfig::default()),
         Box::new(CentralizedFifo::new()),
         3,
+        FaultPlan::none(),
     );
     s.enclave
         .set_standby_policy(|| Box::new(CentralizedFifo::new()));
@@ -441,6 +467,7 @@ fn live_agent_crash_reconstructs_and_recovers() {
         EnclaveConfig::centralized("conf-live-crash").with_standby(StandbyConfig::default()),
         Box::new(CentralizedFifo::new()),
         20_000,
+        FaultPlan::none(),
     );
     s.enclave
         .set_standby_policy(|| Box::new(CentralizedFifo::new()));
@@ -472,5 +499,249 @@ fn live_agent_crash_reconstructs_and_recovers() {
     assert_eq!(stats.fallbacks, 0, "no CFS fallback");
     let new = s.enclave.global_agent().expect("respawned agent");
     assert_ne!(new, old, "a fresh agent took over");
+    s.kernel.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// 4. Agent hang: scheduling freezes for the window, then resumes.
+// ---------------------------------------------------------------------
+
+#[test]
+fn des_agent_hang_freezes_scheduling_then_recovers() {
+    // Cover every enclave CPU so the plan pins the agent wherever the
+    // config placed it. The 30 ms window stays inside the checker's
+    // 50 ms default grace, so the stranded wakeups are not violations.
+    let hang = FaultPlan::from_events((1..4).map(|c| {
+        (
+            10 * MILLIS,
+            FaultKind::AgentHang {
+                cpu: CpuId(c),
+                dur: 30 * MILLIS,
+            },
+        )
+    }));
+    let mut s = des_setup(
+        EnclaveConfig::centralized("conf-des-hang"),
+        Box::new(CentralizedFifo::new()),
+        3,
+        hang,
+    );
+    s.kernel.run_until(10 * MILLIS);
+    let before = des_total_completions(&s);
+    assert!(before >= 10, "no progress before the hang");
+    s.kernel.run_until(40 * MILLIS);
+    let during = des_total_completions(&s);
+    // In-flight segments may finish, but the hung agent dispatches
+    // nothing new: at most one completion per enclave CPU.
+    assert!(
+        during - before <= 3,
+        "agent scheduled while hung: {before} -> {during}"
+    );
+    s.kernel.run_until(200 * MILLIS);
+    let after = des_total_completions(&s);
+    assert!(
+        after > during + 100,
+        "scheduling never resumed after the hang: {during} -> {after}"
+    );
+    assert!(s.enclave.alive());
+    check::assert_clean(&s.sink.snapshot());
+}
+
+#[test]
+fn live_agent_hang_stalls_wall_clock_then_completes() {
+    let hang = FaultPlan::from_events((0..2).map(|c| {
+        (
+            5 * MILLIS,
+            FaultKind::AgentHang {
+                cpu: CpuId(c),
+                dur: 300 * MILLIS,
+            },
+        )
+    }));
+    let s = live_setup(
+        EnclaveConfig::centralized("conf-live-hang").with_watchdog(5 * SECS),
+        Box::new(CentralizedFifo::new()),
+        5_000,
+        hang,
+    );
+    assert!(
+        live_drive_until(&s, s.total, Duration::from_secs(30)),
+        "closed loop stalled at {}/{}",
+        s.kv.completed_count(),
+        s.total
+    );
+    assert!(await_completion(&s.kv, s.total, Duration::from_secs(1)));
+
+    // The workload cannot finish inside the hang window: workers burn
+    // through at most one dispatched stint each, then sit until the
+    // agent thaws. Completion therefore proves both the stall and the
+    // recovery.
+    assert!(
+        s.kernel.now() >= 300 * MILLIS,
+        "run finished during the hang window: {} ns",
+        s.kernel.now()
+    );
+    let violations = check::check_with_grace(&s.kernel.trace_snapshot(), LIVE_GRACE_NS);
+    assert!(violations.is_empty(), "live violations: {violations:?}");
+    assert!(s.enclave.alive());
+    s.kernel.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// 5. Agent slow: execution genuinely stretches, invariants hold.
+// ---------------------------------------------------------------------
+
+#[test]
+fn des_agent_slow_throttles_dispatch_rate() {
+    let run = |faults: FaultPlan| {
+        let mut s = des_setup(
+            EnclaveConfig::centralized("conf-des-slow"),
+            Box::new(CentralizedFifo::new()),
+            3,
+            faults,
+        );
+        s.kernel.run_until(200 * MILLIS);
+        (des_total_completions(&s), s.sink.snapshot())
+    };
+    let (base_done, _) = run(FaultPlan::none());
+
+    // The DES serializes agent work through `agent_busy_until`: a
+    // stretched activation defers the next one, so a large factor turns
+    // the agent itself into the bottleneck. Microsecond activations
+    // stretched 5000x become ~10 ms stalls — still inside the checker's
+    // 50 ms grace, but throughput visibly collapses.
+    let slow = FaultPlan::from_events((1..4).map(|c| {
+        (
+            0,
+            FaultKind::AgentSlow {
+                cpu: CpuId(c),
+                dur: 200 * MILLIS,
+                factor: 5000,
+            },
+        )
+    }));
+    let (slow_done, records) = run(slow);
+    assert!(slow_done > 0, "slowed agent scheduled nothing at all");
+    assert!(
+        slow_done * 5 <= base_done,
+        "slow factor had no dispatch-rate effect: {slow_done} vs baseline {base_done}"
+    );
+    check::assert_clean(&records);
+}
+
+#[test]
+fn live_agent_slow_stalls_the_agent_loop() {
+    let slow = FaultPlan::from_events((0..2).map(|c| {
+        (
+            0,
+            FaultKind::AgentSlow {
+                cpu: CpuId(c),
+                dur: 10 * SECS,
+                factor: 20,
+            },
+        )
+    }));
+    let s = live_setup(
+        EnclaveConfig::centralized("conf-live-slow").with_watchdog(5 * SECS),
+        Box::new(CentralizedFifo::new()),
+        3_000,
+        slow,
+    );
+    assert!(
+        live_drive_until(&s, s.total, Duration::from_secs(30)),
+        "closed loop stalled at {}/{}",
+        s.kv.completed_count(),
+        s.total
+    );
+    assert!(await_completion(&s.kv, s.total, Duration::from_secs(1)));
+
+    let stats = s.kernel.stats();
+    assert!(
+        stats.fault_stall_ns > 0,
+        "slow window never stretched an activation"
+    );
+    let violations = check::check_with_grace(&s.kernel.trace_snapshot(), LIVE_GRACE_NS);
+    assert!(violations.is_empty(), "live violations: {violations:?}");
+    assert!(s.enclave.alive());
+    s.kernel.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// 6. Queue overflow: dropped messages, watchdog-driven resync (§3.1).
+// ---------------------------------------------------------------------
+
+#[test]
+fn des_queue_overflow_recovers_via_watchdog_upgrade() {
+    // Message drops have no producer-side notification: threads whose
+    // wakeups fell on the floor sit runnable-but-unqueued until the
+    // watchdog notices starvation and promotes the staged policy, whose
+    // status-word resync re-enqueues them.
+    let plan =
+        FaultPlan::from_events([(20 * MILLIS, FaultKind::QueueOverflow { dur: 10 * MILLIS })]);
+    let mut s = des_setup(
+        EnclaveConfig::centralized("conf-des-ovf").with_watchdog(15 * MILLIS),
+        Box::new(CentralizedFifo::new()),
+        3,
+        plan,
+    );
+    s.enclave.stage_upgrade(Box::new(CentralizedFifo::new()));
+    s.kernel.run_until(200 * MILLIS);
+
+    let stats = s.runtime.stats();
+    assert!(stats.msgs_dropped >= 1, "overflow window dropped nothing");
+    assert!(
+        stats.upgrades >= 1,
+        "watchdog never promoted the staged policy"
+    );
+    assert!(s.enclave.alive(), "enclave destroyed instead of upgraded");
+    assert!(
+        des_total_completions(&s) >= 100,
+        "no progress after overflow recovery"
+    );
+    let records = s.sink.snapshot();
+    assert!(
+        count(&records, |e| matches!(e, TraceEvent::QueueOverflow { .. })) >= 1,
+        "drops were not traced"
+    );
+    check::assert_clean(&records);
+}
+
+#[test]
+fn live_queue_overflow_recovers_via_watchdog_upgrade() {
+    let plan =
+        FaultPlan::from_events([(10 * MILLIS, FaultKind::QueueOverflow { dur: 100 * MILLIS })]);
+    let s = live_setup(
+        EnclaveConfig::centralized("conf-live-ovf").with_watchdog(150 * MILLIS),
+        Box::new(CentralizedFifo::new()),
+        20_000,
+        plan,
+    );
+    s.enclave.stage_upgrade(Box::new(CentralizedFifo::new()));
+
+    assert!(
+        live_drive_until(&s, s.total, Duration::from_secs(30)),
+        "closed loop stalled at {}/{}",
+        s.kv.completed_count(),
+        s.total
+    );
+    assert!(await_completion(&s.kv, s.total, Duration::from_secs(1)));
+
+    // The workload may finish on the surviving worker before the
+    // watchdog fires; wait for the upgrade before judging the trace so
+    // the stranded worker's rescue dispatch is recorded.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while s.kernel.runtime().stats().upgrades == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "watchdog never promoted the staged policy"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let stats = s.kernel.runtime().stats();
+    assert!(stats.msgs_dropped >= 1, "overflow window dropped nothing");
+    assert!(s.enclave.alive(), "enclave destroyed instead of upgraded");
+    let violations = check::check_with_grace(&s.kernel.trace_snapshot(), LIVE_GRACE_NS);
+    assert!(violations.is_empty(), "live violations: {violations:?}");
     s.kernel.shutdown();
 }

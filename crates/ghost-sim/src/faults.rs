@@ -66,6 +66,21 @@ impl FaultKind {
             FaultKind::AgentCrash { .. } | FaultKind::SpuriousWakeup { .. } | FaultKind::Upgrade
         )
     }
+
+    /// Stable kebab-case label, matching the `repro.json` encoding.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::AgentCrash { .. } => "agent-crash",
+            FaultKind::AgentHang { .. } => "agent-hang",
+            FaultKind::AgentSlow { .. } => "agent-slow",
+            FaultKind::QueueOverflow { .. } => "queue-overflow",
+            FaultKind::IpiDelay { .. } => "ipi-delay",
+            FaultKind::IpiLoss { .. } => "ipi-loss",
+            FaultKind::SpuriousWakeup { .. } => "spurious-wakeup",
+            FaultKind::TickSkew { .. } => "tick-skew",
+            FaultKind::Upgrade => "upgrade",
+        }
+    }
 }
 
 /// What happens to an IPI sent while fault windows are open.

@@ -35,8 +35,8 @@
 //! where 50 ms dwarfs any simulated scheduling latency. On live traces
 //! real park/unpark and host-scheduler latency are in the same units as
 //! the trace, so pass a wall-clock-sized window through
-//! [`check_with_grace`] instead (the live smoke and conformance tests
-//! use 500 ms).
+//! [`check_with_grace`] instead — [`LIVE_GRACE_NS`] (500 ms) is the
+//! standard window the live smoke, conformance, and chaos harnesses use.
 
 use crate::{Nanos, TraceEvent, TraceRecord, NO_TID, PREV_DEAD, PREV_RUNNABLE};
 use std::collections::{BTreeMap, BTreeSet};
@@ -44,6 +44,14 @@ use std::fmt;
 
 /// Wakeups younger than this at end-of-trace are not liveness violations.
 pub const DEFAULT_GRACE_NS: Nanos = 50_000_000; // 50 ms of virtual time
+
+/// The standard wakeup-liveness grace window for *wall-clock* traces
+/// ([`check_with_grace`]): live-backend timestamps include real
+/// park/unpark, host-scheduler, and timer-thread latency, so the window
+/// must absorb scheduling jitter a virtual clock never sees. Shared by
+/// the live smoke example, the conformance suite, and the `--live`
+/// chaos oracles so they all judge liveness against the same bound.
+pub const LIVE_GRACE_NS: Nanos = 500_000_000; // 500 ms of wall-clock time
 
 /// One invariant violation, anchored to the record that exposed it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -442,6 +450,31 @@ mod tests {
             cpu: 0,
         });
         assert!(check(&sink.snapshot()).is_empty());
+    }
+
+    #[test]
+    fn live_grace_window_is_pinned_and_respected() {
+        // Every live harness (smoke, conformance, chaos oracles) judges
+        // wakeup liveness against this shared wall-clock window; pin the
+        // value so a drive-by edit can't silently loosen the oracles.
+        assert_eq!(LIVE_GRACE_NS, 500_000_000);
+        const { assert!(LIVE_GRACE_NS > DEFAULT_GRACE_NS) };
+        // A wakeup stranded just inside the live window passes...
+        let sink = TraceSink::recording(1, 64);
+        sink.emit(0, 0, || TraceEvent::SchedWakeup { cpu: 0, tid: 1 });
+        sink.emit(LIVE_GRACE_NS - 1, 0, || TraceEvent::TickDelivered {
+            cpu: 0,
+        });
+        assert!(check_with_grace(&sink.snapshot(), LIVE_GRACE_NS).is_empty());
+        // ...and the same trace fails one nanosecond past it.
+        let sink = TraceSink::recording(1, 64);
+        sink.emit(0, 0, || TraceEvent::SchedWakeup { cpu: 0, tid: 1 });
+        sink.emit(LIVE_GRACE_NS + 1, 0, || TraceEvent::TickDelivered {
+            cpu: 0,
+        });
+        let violations = check_with_grace(&sink.snapshot(), LIVE_GRACE_NS);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].rule, "wakeup-liveness");
     }
 
     #[test]

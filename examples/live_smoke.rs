@@ -22,15 +22,10 @@ use ghost::live::{await_completion, open_loop_drive, KvService, LiveConfig, Live
 use ghost::metrics::LogHistogram;
 use ghost::policies::{CentralizedFifo, PerCpuPolicy};
 use ghost::sim::cpuset::CpuSet;
-use ghost::sim::time::{MICROS, MILLIS, SECS};
-use ghost::trace::check::check_with_grace;
+use ghost::sim::time::{MICROS, SECS};
+use ghost::trace::check::{check_with_grace, LIVE_GRACE_NS};
 use ghost::trace::TraceSink;
 use std::time::Duration;
-
-/// Wall-clock grace for the invariant checker: live executions measure
-/// real scheduling latency (thread park/unpark, lock handoff), so the
-/// virtual-time default (50 ms) is replaced with a generous budget.
-const LIVE_GRACE_NS: u64 = 500 * MILLIS;
 
 /// Per-request service-time floor (busy-spin), roughly a small KV hit.
 const SERVICE_NS: u64 = 2 * MICROS;
